@@ -1,0 +1,573 @@
+package dkindex
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (Section 6), plus micro-benchmarks for the individual
+// operations. Figure benchmarks regenerate the corresponding series at
+// paper scale (~10 MB XMark / ~15 MB NASA equivalents, override with
+// DK_BENCH_SCALE) and report the headline numbers as custom metrics; run
+// with -v to see the full rendered series. `cmd/dkbench` prints the same
+// rows interactively.
+
+import (
+	"bytes"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"dkindex/internal/codec"
+	"dkindex/internal/core"
+	"dkindex/internal/datagen"
+	"dkindex/internal/eval"
+	"dkindex/internal/experiments"
+	"dkindex/internal/graph"
+	"dkindex/internal/index"
+	"dkindex/internal/rpe"
+	"dkindex/internal/xmlgraph"
+)
+
+func benchScale() float64 {
+	if s := os.Getenv("DK_BENCH_SCALE"); s != "" {
+		if v, err := strconv.ParseFloat(s, 64); err == nil && v > 0 {
+			return v
+		}
+	}
+	return 1.0
+}
+
+var (
+	xmarkOnce sync.Once
+	xmarkDS   *experiments.Dataset
+	nasaOnce  sync.Once
+	nasaDS    *experiments.Dataset
+)
+
+func benchXMark(b *testing.B) *experiments.Dataset {
+	b.Helper()
+	xmarkOnce.Do(func() {
+		ds, err := experiments.XMarkDataset(benchScale(), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		xmarkDS = ds
+	})
+	return xmarkDS
+}
+
+func benchNasa(b *testing.B) *experiments.Dataset {
+	b.Helper()
+	nasaOnce.Do(func() {
+		ds, err := experiments.NasaDataset(benchScale()*1.5, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		nasaDS = ds
+	})
+	return nasaDS
+}
+
+// reportSeries logs the rendered series and reports the D(k) headline
+// numbers as metrics.
+func reportSeries(b *testing.B, title string, points []experiments.EvalPoint) {
+	b.Helper()
+	var sb strings.Builder
+	if err := experiments.RenderEvalPoints(&sb, title, points); err != nil {
+		b.Fatal(err)
+	}
+	b.Log("\n" + sb.String())
+	dk := points[len(points)-1]
+	best := points[0]
+	for _, p := range points[:len(points)-1] {
+		if p.AvgCost < best.AvgCost {
+			best = p
+		}
+	}
+	b.ReportMetric(float64(dk.Size), "dk_size")
+	b.ReportMetric(dk.AvgCost, "dk_avg_cost")
+	b.ReportMetric(float64(best.Size), "bestA_size")
+	b.ReportMetric(best.AvgCost, "bestA_avg_cost")
+}
+
+// BenchmarkFig4XMarkEvaluation regenerates Figure 4: evaluation cost vs
+// index size on XMark before updates, A(0..4) plus the load-tuned D(k).
+func BenchmarkFig4XMarkEvaluation(b *testing.B) {
+	ds := benchXMark(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.EvaluationBeforeUpdate(ds, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportSeries(b, "Figure 4 (Xmark, before updating)", points)
+		}
+	}
+}
+
+// BenchmarkFig5NasaEvaluation regenerates Figure 5 (NASA, before updates).
+func BenchmarkFig5NasaEvaluation(b *testing.B) {
+	ds := benchNasa(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.EvaluationBeforeUpdate(ds, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportSeries(b, "Figure 5 (Nasa, before updating)", points)
+		}
+	}
+}
+
+func benchTable1(b *testing.B, ds *experiments.Dataset) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.UpdateEfficiency(ds, experiments.AfterUpdateConfig{Edges: 100, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			var sb strings.Builder
+			if err := experiments.RenderUpdateRows(&sb, "Table 1: 100 edge additions", rows); err != nil {
+				b.Fatal(err)
+			}
+			b.Log("\n" + sb.String())
+			dk := rows[len(rows)-1]
+			b.ReportMetric(float64(dk.Elapsed.Microseconds())/1000, "dk_ms")
+			b.ReportMetric(float64(rows[0].Elapsed.Microseconds())/1000, "a1_ms")
+			b.ReportMetric(float64(rows[len(rows)-2].Elapsed.Microseconds())/1000, "amax_ms")
+		}
+	}
+}
+
+// BenchmarkTable1UpdateXMark regenerates Table 1's XMark column: the total
+// running time of 100 random reference-edge additions under each index's
+// update algorithm.
+func BenchmarkTable1UpdateXMark(b *testing.B) {
+	ds := benchXMark(b)
+	b.ResetTimer()
+	benchTable1(b, ds)
+}
+
+// BenchmarkTable1UpdateNasa regenerates Table 1's NASA column.
+func BenchmarkTable1UpdateNasa(b *testing.B) {
+	ds := benchNasa(b)
+	b.ResetTimer()
+	benchTable1(b, ds)
+}
+
+// BenchmarkFig6XMarkAfterUpdate regenerates Figure 6: evaluation cost vs
+// index size on XMark after 100 edge additions.
+func BenchmarkFig6XMarkAfterUpdate(b *testing.B) {
+	ds := benchXMark(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.EvaluationAfterUpdate(ds, experiments.AfterUpdateConfig{Edges: 100, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportSeries(b, "Figure 6 (Xmark, after 100 edge additions)", points)
+		}
+	}
+}
+
+// BenchmarkFig7NasaAfterUpdate regenerates Figure 7 (NASA, after updates).
+func BenchmarkFig7NasaAfterUpdate(b *testing.B) {
+	ds := benchNasa(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.EvaluationAfterUpdate(ds, experiments.AfterUpdateConfig{Edges: 100, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportSeries(b, "Figure 7 (Nasa, after 100 edge additions)", points)
+		}
+	}
+}
+
+// BenchmarkAblationPromote measures the maintenance cycle the paper defers
+// to its full version: D(k) decay under 100 edge additions, then recovery
+// via the promoting process.
+func BenchmarkAblationPromote(b *testing.B) {
+	ds := benchXMark(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := experiments.AblationPromote(ds, experiments.AfterUpdateConfig{Edges: 100, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			var sb strings.Builder
+			if err := experiments.RenderPromoteAblation(&sb, "Promotion ablation (Xmark)", a); err != nil {
+				b.Fatal(err)
+			}
+			b.Log("\n" + sb.String())
+			b.ReportMetric(a.Decayed.AvgCost, "decayed_cost")
+			b.ReportMetric(a.Recovered.AvgCost, "recovered_cost")
+			b.ReportMetric(float64(a.PromoteElapsed.Microseconds())/1000, "promote_ms")
+		}
+	}
+}
+
+// --- Micro-benchmarks: individual operations ---
+
+// BenchmarkConstructionLabelSplit measures A(0) construction on XMark.
+func BenchmarkConstructionLabelSplit(b *testing.B) {
+	g := benchXMark(b).G
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		index.BuildLabelSplit(g)
+	}
+}
+
+// BenchmarkConstructionAK measures A(2) construction on XMark.
+func BenchmarkConstructionAK(b *testing.B) {
+	g := benchXMark(b).G
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		index.BuildAK(g, 2)
+	}
+}
+
+// BenchmarkConstruction1Index measures full-bisimulation construction.
+func BenchmarkConstruction1Index(b *testing.B) {
+	g := benchXMark(b).G
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		index.Build1Index(g)
+	}
+}
+
+// BenchmarkConstructionDK measures load-tuned D(k) construction
+// (Algorithms 1+2).
+func BenchmarkConstructionDK(b *testing.B) {
+	ds := benchXMark(b)
+	reqs := ds.W.Requirements()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Build(ds.G, reqs)
+	}
+}
+
+// BenchmarkQueryDK measures one whole query-load evaluation on the tuned
+// D(k)-index (no validation needed).
+func BenchmarkQueryDK(b *testing.B) {
+	ds := benchXMark(b)
+	dk := core.Build(ds.G, ds.W.Requirements())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range ds.W.Queries {
+			eval.Index(dk.IG, q)
+		}
+	}
+}
+
+// BenchmarkQueryLabelSplitValidated measures the same load on the coarsest
+// index, where validation dominates.
+func BenchmarkQueryLabelSplitValidated(b *testing.B) {
+	ds := benchXMark(b)
+	ig := index.BuildLabelSplit(ds.G)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range ds.W.Queries {
+			eval.Index(ig, q)
+		}
+	}
+}
+
+// BenchmarkEdgeUpdateDK measures single D(k) edge updates (Algorithms 4+5
+// for additions, the deletion primitive for removals), alternating add and
+// remove over an edge pool so every iteration performs a real state change.
+func BenchmarkEdgeUpdateDK(b *testing.B) {
+	ds := benchXMark(b)
+	edges, err := ds.RandomEdges(1000, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := ds.G.Clone()
+	dk := core.Build(g, ds.W.Requirements())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := edges[(i/2)%len(edges)]
+		if i%2 == 0 {
+			dk.AddEdge(e[0], e[1])
+		} else {
+			dk.RemoveEdge(e[0], e[1])
+		}
+	}
+}
+
+// BenchmarkEdgeUpdateAK2 measures single A(2) propagate-style edge
+// additions. The paired raw removal restores the data graph so every
+// addition is a real change; the index reaches a refined steady state after
+// the first pool pass, which is the realistic long-run regime.
+func BenchmarkEdgeUpdateAK2(b *testing.B) {
+	ds := benchXMark(b)
+	edges, err := ds.RandomEdges(1000, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := ds.G.Clone()
+	ig := index.BuildAK(g, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := edges[(i/2)%len(edges)]
+		if i%2 == 0 {
+			index.AKEdgeUpdate(ig, 2, e[0], e[1])
+		} else {
+			ig.RemoveDataEdge(e[0], e[1])
+		}
+	}
+}
+
+// BenchmarkSubgraphAddition measures Algorithm 3: grafting a small document
+// into an indexed XMark graph.
+func BenchmarkSubgraphAddition(b *testing.B) {
+	ds := benchXMark(b)
+	h := graph.FigureOneMovies()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		g := ds.G.Clone()
+		dk := core.Build(g, ds.W.Requirements())
+		b.StartTimer()
+		if _, err := dk.AddSubgraph(h); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationAlg4 measures the value of Algorithm 4's similarity
+// probe: the same 100-edge batch applied with the probe vs with a naive
+// reset-to-zero, comparing post-update query cost.
+func BenchmarkAblationAlg4(b *testing.B) {
+	ds := benchXMark(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := experiments.AblationAlg4(ds, experiments.AfterUpdateConfig{Edges: 100, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			var sb strings.Builder
+			if err := experiments.RenderAlg4Ablation(&sb, "Algorithm 4 ablation (Xmark)", a); err != nil {
+				b.Fatal(err)
+			}
+			b.Log("\n" + sb.String())
+			b.ReportMetric(a.WithProbe.AvgCost, "probe_cost")
+			b.ReportMetric(a.Naive.AvgCost, "naive_cost")
+		}
+	}
+}
+
+// BenchmarkFamilyComparison builds the entire summary family (label split,
+// A(1..4), D(k), 1-index, F&B) and measures path and branching loads on
+// each — the size/precision spectrum around the D(k)-index.
+func BenchmarkFamilyComparison(b *testing.B) {
+	ds := benchXMark(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.FamilyComparison(ds, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			var sb strings.Builder
+			if err := experiments.RenderFamily(&sb, "Index family (Xmark)", rows); err != nil {
+				b.Fatal(err)
+			}
+			b.Log("\n" + sb.String())
+			for _, r := range rows {
+				if r.Index == "F&B" {
+					b.ReportMetric(float64(r.Size), "fb_size")
+				}
+				if r.Index == "1-index" {
+					b.ReportMetric(float64(r.Size), "oneindex_size")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkConstructionFB measures F&B-index construction (alternating
+// forward/backward refinement to a joint fixpoint).
+func BenchmarkConstructionFB(b *testing.B) {
+	g := benchXMark(b).G
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		index.BuildFB(g)
+	}
+}
+
+// BenchmarkPromoteLabel measures restoring one workload label's similarity
+// after a decay batch (the maintenance unit of Section 5.3).
+func BenchmarkPromoteLabel(b *testing.B) {
+	ds := benchXMark(b)
+	edges, err := ds.RandomEdges(100, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reqs := ds.W.Requirements()
+	labels := reqs.SortedLabels()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		g := ds.G.Clone()
+		dk := core.Build(g, reqs)
+		for _, e := range edges {
+			dk.AddEdge(e[0], e[1])
+		}
+		l := labels[i%len(labels)]
+		b.StartTimer()
+		dk.PromoteLabel(l, reqs[l])
+	}
+}
+
+// BenchmarkDemote measures shrinking a tuned index to half requirements via
+// the quotient construction (Theorem 2).
+func BenchmarkDemote(b *testing.B) {
+	ds := benchXMark(b)
+	reqs := ds.W.Requirements()
+	lo := make(core.Requirements)
+	for l, k := range reqs {
+		lo[l] = k / 2
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dk := core.Build(ds.G, reqs)
+		b.StartTimer()
+		dk.Demote(lo)
+	}
+}
+
+// BenchmarkCodecSave and BenchmarkCodecLoad measure index persistence.
+func BenchmarkCodecSave(b *testing.B) {
+	ds := benchXMark(b)
+	dk := core.Build(ds.G, ds.W.Requirements())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := codec.SaveDK(&buf, dk); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(buf.Len()))
+	}
+}
+
+func BenchmarkCodecLoad(b *testing.B) {
+	ds := benchXMark(b)
+	dk := core.Build(ds.G, ds.W.Requirements())
+	var buf bytes.Buffer
+	if err := codec.SaveDK(&buf, dk); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := codec.LoadDK(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryRPE measures a regular-path-expression evaluation with a
+// descendant axis on the tuned D(k)-index.
+func BenchmarkQueryRPE(b *testing.B) {
+	ds := benchXMark(b)
+	dk := core.Build(ds.G, ds.W.Requirements())
+	c := rpe.CompileExpr(rpe.MustParse("open_auction.itemref//name"), ds.G.Labels())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eval.IndexRPE(dk.IG, c)
+	}
+}
+
+// BenchmarkQueryTwig measures a branching query on the F&B index (no
+// validation) vs implicit validation on D(k) (see BenchmarkQueryTwigDK).
+func BenchmarkQueryTwigFB(b *testing.B) {
+	ds := benchXMark(b)
+	fb := index.BuildFB(ds.G)
+	tw, err := eval.ParseTwig(ds.G.Labels(), "item[mailbox].name")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eval.IndexTwig(fb, tw)
+	}
+}
+
+func BenchmarkQueryTwigDK(b *testing.B) {
+	ds := benchXMark(b)
+	dk := core.Build(ds.G, ds.W.Requirements())
+	tw, err := eval.ParseTwig(ds.G.Labels(), "item[mailbox].name")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eval.IndexTwig(dk.IG, tw)
+	}
+}
+
+// BenchmarkXMLLoad measures the XML-to-graph pipeline on the XMark document.
+func BenchmarkXMLLoad(b *testing.B) {
+	doc := datagen.XMark(datagen.XMarkScale(benchScale()))
+	var buf bytes.Buffer
+	if err := doc.WriteXML(&buf); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := xmlgraph.Load(bytes.NewReader(data), datagen.LoadOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkApexComparison runs the APEX-vs-D(k) comparison (related work §2).
+func BenchmarkApexComparison(b *testing.B) {
+	ds := benchXMark(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.ApexComparison(ds, 50, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			var sb strings.Builder
+			if err := experiments.RenderApexComparison(&sb, "APEX comparison (Xmark)", rows); err != nil {
+				b.Fatal(err)
+			}
+			b.Log("\n" + sb.String())
+			b.ReportMetric(float64(rows[0].UpdateElapsed.Microseconds())/1000, "dk_update_ms")
+			b.ReportMetric(float64(rows[1].UpdateElapsed.Microseconds())/1000, "apex_rebuild_ms")
+		}
+	}
+}
+
+// BenchmarkDocInsertion measures absorbing five documents per method.
+func BenchmarkDocInsertion(b *testing.B) {
+	ds := benchXMark(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.DocInsertion(ds, 5, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			var sb strings.Builder
+			if err := experiments.RenderDocInsertion(&sb, "Document insertion (Xmark)", rows); err != nil {
+				b.Fatal(err)
+			}
+			b.Log("\n" + sb.String())
+		}
+	}
+}

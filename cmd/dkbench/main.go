@@ -1,0 +1,243 @@
+// Command dkbench reproduces the paper's evaluation (Section 6). Each
+// experiment id maps to one table or figure:
+//
+//	fig4      Evaluation cost vs index size, XMark, before updates
+//	fig5      Evaluation cost vs index size, NASA, before updates
+//	tab1      Update efficiency: 100 edge additions, A(1)..A(4) vs D(k)
+//	fig6      Evaluation cost vs index size, XMark, after 100 edge additions
+//	fig7      Evaluation cost vs index size, NASA, after 100 edge additions
+//	ablation  D(k) decay under updates and recovery via promotion
+//	alg4      Algorithm 4 probe vs naive reset on edge addition
+//	family    full summary family (label-split..F&B) on path and twig loads
+//	docinsert incremental document insertion vs baseline vs rebuild
+//	apex      the APEX workload-aware competitor: cost and update handling
+//	miner     longest-query rule vs budget-aware load mining (not part of
+//	          "all": it builds hundreds of candidate indexes)
+//	all       everything above
+//
+// Usage:
+//
+//	dkbench -exp all -scale 1.0 -edges 100 -seed 1
+//
+// Scale 1.0 matches the paper's dataset sizes (about 10 MB XMark / 15 MB
+// NASA); smaller scales run faster with the same qualitative shape.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"dkindex/internal/experiments"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// bail aborts the run; recovered at the top of run.
+type bail struct{ err error }
+
+func run(args []string, stdout, stderr io.Writer) (code int) {
+	fs := flag.NewFlagSet("dkbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		exp   = fs.String("exp", "all", "experiment: fig4, fig5, tab1, fig6, fig7, ablation, alg4, family, docinsert, apex, miner, all")
+		scale = fs.Float64("scale", 1.0, "dataset scale (1.0 = paper size)")
+		edges = fs.Int("edges", 100, "edge additions for tab1/fig6/fig7/ablation")
+		seed  = fs.Int64("seed", 1, "random seed for workloads and edges")
+		maxK  = fs.Int("maxk", 0, "largest A(k) in the series (0 = longest query length)")
+		csv   = fs.String("csv", "", "also write each series as CSV files under this directory")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			if b, ok := r.(bail); ok {
+				fmt.Fprintf(stderr, "dkbench: %v\n", b.err)
+				code = 1
+				return
+			}
+			panic(r)
+		}
+	}()
+
+	if *csv != "" {
+		if err := os.MkdirAll(*csv, 0o755); err != nil {
+			fmt.Fprintf(stderr, "dkbench: %v\n", err)
+			return 1
+		}
+	}
+	writeCSV := func(name string, f func(w *os.File) error) {
+		if *csv == "" {
+			return
+		}
+		fp, err := os.Create(filepath.Join(*csv, name))
+		if err == nil {
+			err = f(fp)
+			if cerr := fp.Close(); err == nil {
+				err = cerr
+			}
+		}
+		check(err)
+	}
+
+	describe := func(ds *experiments.Dataset) {
+		fmt.Fprintf(stdout, "dataset %s: %s, %d queries (max length %d)\n",
+			ds.Name, ds.G.ComputeStats(), ds.W.Len(), ds.W.MaxLength())
+	}
+	timed := func(id string, f func()) {
+		start := time.Now()
+		f()
+		fmt.Fprintf(stdout, "[%s completed in %.1fs]\n\n", id, time.Since(start).Seconds())
+	}
+	run := func(id string) bool { return *exp == "all" || *exp == id }
+	cfg := experiments.AfterUpdateConfig{Edges: *edges, MaxK: *maxK, Seed: *seed}
+
+	var xmark, nasa *experiments.Dataset
+	loadXMark := func() *experiments.Dataset {
+		if xmark == nil {
+			xmark = mustDataset(experiments.XMarkDataset(*scale, *seed))
+			describe(xmark)
+		}
+		return xmark
+	}
+	loadNasa := func() *experiments.Dataset {
+		if nasa == nil {
+			// The paper's NASA file is 1.5x its XMark file.
+			nasa = mustDataset(experiments.NasaDataset(*scale*1.5, *seed))
+			describe(nasa)
+		}
+		return nasa
+	}
+
+	ran := false
+	if run("fig4") {
+		ran = true
+		timed("fig4", func() {
+			points := must(experiments.EvaluationBeforeUpdate(loadXMark(), *maxK))
+			check(experiments.RenderEvalPoints(stdout,
+				"Figure 4: evaluation performance, Xmark, before updating", points))
+			writeCSV("fig4.csv", func(w *os.File) error { return experiments.WriteEvalPointsCSV(w, points) })
+		})
+	}
+	if run("fig5") {
+		ran = true
+		timed("fig5", func() {
+			points := must(experiments.EvaluationBeforeUpdate(loadNasa(), *maxK))
+			check(experiments.RenderEvalPoints(stdout,
+				"Figure 5: evaluation performance, Nasa, before updating", points))
+			writeCSV("fig5.csv", func(w *os.File) error { return experiments.WriteEvalPointsCSV(w, points) })
+		})
+	}
+	if run("tab1") {
+		ran = true
+		timed("tab1", func() {
+			rows := must(experiments.UpdateEfficiency(loadXMark(), cfg))
+			check(experiments.RenderUpdateRows(stdout,
+				fmt.Sprintf("Table 1 (Xmark): running time of %d edge additions", *edges), rows))
+			writeCSV("tab1_xmark.csv", func(w *os.File) error { return experiments.WriteUpdateRowsCSV(w, rows) })
+			rows = must(experiments.UpdateEfficiency(loadNasa(), cfg))
+			check(experiments.RenderUpdateRows(stdout,
+				fmt.Sprintf("Table 1 (Nasa): running time of %d edge additions", *edges), rows))
+			writeCSV("tab1_nasa.csv", func(w *os.File) error { return experiments.WriteUpdateRowsCSV(w, rows) })
+		})
+	}
+	if run("fig6") {
+		ran = true
+		timed("fig6", func() {
+			points := must(experiments.EvaluationAfterUpdate(loadXMark(), cfg))
+			check(experiments.RenderEvalPoints(stdout,
+				fmt.Sprintf("Figure 6: evaluation performance, Xmark, after %d edge additions", *edges), points))
+			writeCSV("fig6.csv", func(w *os.File) error { return experiments.WriteEvalPointsCSV(w, points) })
+		})
+	}
+	if run("fig7") {
+		ran = true
+		timed("fig7", func() {
+			points := must(experiments.EvaluationAfterUpdate(loadNasa(), cfg))
+			check(experiments.RenderEvalPoints(stdout,
+				fmt.Sprintf("Figure 7: evaluation performance, Nasa, after %d edge additions", *edges), points))
+			writeCSV("fig7.csv", func(w *os.File) error { return experiments.WriteEvalPointsCSV(w, points) })
+		})
+	}
+	if run("ablation") {
+		ran = true
+		timed("ablation", func() {
+			a := must(experiments.AblationPromote(loadXMark(), cfg))
+			check(experiments.RenderPromoteAblation(stdout,
+				"Ablation (Xmark): D(k) decay under updates and recovery via promotion", a))
+		})
+	}
+	if run("apex") {
+		ran = true
+		timed("apex", func() {
+			rows := must(experiments.ApexComparison(loadXMark(), *edges, *seed))
+			check(experiments.RenderApexComparison(stdout,
+				"APEX comparison (Xmark): workload-aware competitor, update handling", rows))
+		})
+	}
+	if run("docinsert") {
+		ran = true
+		timed("docinsert", func() {
+			rows := must(experiments.DocInsertion(loadXMark(), 5, *seed))
+			check(experiments.RenderDocInsertion(stdout,
+				"Document insertion (Xmark): 5 documents, incremental vs baseline vs rebuild", rows))
+		})
+	}
+	// The miner searches hundreds of candidate indexes, so it only runs when
+	// asked for explicitly.
+	if *exp == "miner" {
+		ran = true
+		timed("miner", func() {
+			a := must(experiments.AblationMiner(loadXMark()))
+			check(experiments.RenderMinerAblation(stdout,
+				"Ablation (Xmark): longest-query rule vs budget-aware load mining", a))
+		})
+	}
+	if run("family") {
+		ran = true
+		timed("family", func() {
+			rows := must(experiments.FamilyComparison(loadXMark(), *maxK))
+			check(experiments.RenderFamily(stdout,
+				"Index family comparison (Xmark): sizes and path/twig costs", rows))
+		})
+	}
+	if run("alg4") {
+		ran = true
+		timed("alg4", func() {
+			a := must(experiments.AblationAlg4(loadXMark(), cfg))
+			check(experiments.RenderAlg4Ablation(stdout,
+				"Ablation (Xmark): Algorithm 4 probe vs naive reset on edge addition", a))
+		})
+	}
+	if !ran {
+		fmt.Fprintf(stderr, "dkbench: unknown experiment %q\n", *exp)
+		return 2
+	}
+	return 0
+}
+
+func mustDataset(ds *experiments.Dataset, err error) *experiments.Dataset {
+	if err != nil {
+		panic(bail{err})
+	}
+	return ds
+}
+
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(bail{err})
+	}
+	return v
+}
+
+func check(err error) {
+	if err != nil {
+		panic(bail{err})
+	}
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiment(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-exp", "fig4", "-scale", "0.02"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	s := out.String()
+	for _, want := range []string{"Figure 4", "A(0)", "D(k)", "completed in"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunCSVOutput(t *testing.T) {
+	dir := t.TempDir()
+	var out, errb bytes.Buffer
+	if code := run([]string{"-exp", "fig4", "-scale", "0.02", "-csv", dir}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-exp", "nosuch"}, &out, &errb); code != 2 {
+		t.Errorf("unknown experiment exit = %d, want 2", code)
+	}
+	if code := run([]string{"-badflag"}, &out, &errb); code != 2 {
+		t.Errorf("bad flag exit = %d, want 2", code)
+	}
+	// A regular file in the way makes MkdirAll fail regardless of privilege.
+	blocker := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(blocker, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"-exp", "fig4", "-scale", "0.01", "-csv", filepath.Join(blocker, "sub")}, &out, &errb); code != 1 {
+		t.Errorf("bad csv dir exit = %d, want 1", code)
+	}
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunXMarkToStdout(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-dataset", "xmark", "-scale", "0.01"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "<site>") {
+		t.Error("xmark output missing <site>")
+	}
+}
+
+func TestRunNasaWithStats(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-dataset", "nasa", "-scale", "0.01", "-stats"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "<datasets>") {
+		t.Error("nasa output missing <datasets>")
+	}
+	if !strings.Contains(errb.String(), "refEdges=") {
+		t.Error("stats missing from stderr")
+	}
+}
+
+func TestRunToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.xml")
+	var out, errb bytes.Buffer
+	if code := run([]string{"-scale", "0.01", "-o", path}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Error("output file empty")
+	}
+	if out.Len() != 0 {
+		t.Error("stdout not empty when writing to file")
+	}
+}
+
+func TestRunSeedChangesOutput(t *testing.T) {
+	var a, b, c, errb bytes.Buffer
+	run([]string{"-scale", "0.01", "-seed", "7"}, &a, &errb)
+	run([]string{"-scale", "0.01", "-seed", "7"}, &b, &errb)
+	run([]string{"-scale", "0.01", "-seed", "8"}, &c, &errb)
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("same seed produced different output")
+	}
+	if bytes.Equal(a.Bytes(), c.Bytes()) {
+		t.Error("different seeds produced identical output")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-dataset", "bogus"}, &out, &errb); code != 2 {
+		t.Errorf("unknown dataset exit = %d, want 2", code)
+	}
+	if code := run([]string{"-nosuchflag"}, &out, &errb); code != 2 {
+		t.Errorf("bad flag exit = %d, want 2", code)
+	}
+	if code := run([]string{"-o", "/nonexistent-dir/x.xml", "-scale", "0.01"}, &out, &errb); code != 1 {
+		t.Errorf("bad output path exit = %d, want 1", code)
+	}
+}

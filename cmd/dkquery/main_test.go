@@ -1,0 +1,170 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const doc = `<?xml version="1.0"?>
+<movieDB>
+  <director id="d1"><name/><movie id="m1"><title/></movie></director>
+  <director id="d2"><name/><movie id="m2"><title/></movie></director>
+  <actor id="a1" movieref="m1"><name/></actor>
+</movieDB>
+`
+
+func writeDoc(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "doc.xml")
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunPathQuery(t *testing.T) {
+	path := writeDoc(t)
+	var out, errb bytes.Buffer
+	code := run([]string{"-in", path, "-req", "title=2", "director.movie.title"},
+		strings.NewReader(""), &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "2 results") {
+		t.Errorf("output: %s", out.String())
+	}
+	if !strings.Contains(out.String(), "0 validations") {
+		t.Errorf("tuned query validated: %s", out.String())
+	}
+	if !strings.Contains(errb.String(), "loaded:") {
+		t.Error("stats line missing")
+	}
+}
+
+func TestRunStdinDocumentAndQueries(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-quiet", "movie.title"}, strings.NewReader(doc), &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "movie.title: 2 results") {
+		t.Errorf("output: %s", out.String())
+	}
+}
+
+func TestRunQueriesFromStdin(t *testing.T) {
+	path := writeDoc(t)
+	var out, errb bytes.Buffer
+	code := run([]string{"-in", path, "-quiet"},
+		strings.NewReader("# comment\ndirector.name\n\nmovie.title\n"), &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "director.name: 2 results") ||
+		!strings.Contains(out.String(), "movie.title: 2 results") {
+		t.Errorf("output: %s", out.String())
+	}
+}
+
+func TestRunRPEAndTwig(t *testing.T) {
+	path := writeDoc(t)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-in", path, "-rpe", "-quiet", "movieDB//name"},
+		strings.NewReader(""), &out, &errb); code != 0 {
+		t.Fatalf("rpe exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "movieDB//name: 3 results") {
+		t.Errorf("rpe output: %s", out.String())
+	}
+	out.Reset()
+	if code := run([]string{"-in", path, "-twig", "-quiet", "director[name].movie"},
+		strings.NewReader(""), &out, &errb); code != 0 {
+		t.Fatalf("twig exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "director[name].movie: 2 results") {
+		t.Errorf("twig output: %s", out.String())
+	}
+}
+
+func TestRunSaveAndLoadIndex(t *testing.T) {
+	path := writeDoc(t)
+	idxPath := filepath.Join(t.TempDir(), "doc.dkx")
+	var out, errb bytes.Buffer
+	if code := run([]string{"-in", path, "-req", "title=2", "-saveindex", idxPath, "-quiet", "movie.title"},
+		strings.NewReader(""), &out, &errb); code != 0 {
+		t.Fatalf("save exit %d: %s", code, errb.String())
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-index", idxPath, "-quiet", "director.movie.title"},
+		strings.NewReader(""), &out, &errb); code != 0 {
+		t.Fatalf("load exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "2 results") || !strings.Contains(out.String(), "0 validations") {
+		t.Errorf("loaded index output: %s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-in", "/nonexistent.xml", "q"}, strings.NewReader(""), &out, &errb); code != 1 {
+		t.Errorf("missing file exit = %d", code)
+	}
+	if code := run([]string{"-badflag"}, strings.NewReader(""), &out, &errb); code != 2 {
+		t.Errorf("bad flag exit = %d", code)
+	}
+	path := writeDoc(t)
+	if code := run([]string{"-in", path, "-req", "title=x", "q"}, strings.NewReader(""), &out, &errb); code != 1 {
+		t.Errorf("bad req exit = %d", code)
+	}
+	// Malformed query: reported on stderr, run continues with exit 0.
+	errb.Reset()
+	if code := run([]string{"-in", path, "a..b"}, strings.NewReader(""), &out, &errb); code != 0 {
+		t.Errorf("malformed query exit = %d", code)
+	}
+	if !strings.Contains(errb.String(), "a..b") {
+		t.Error("malformed query not reported")
+	}
+	// No queries, no stdin document source.
+	if code := run([]string{}, strings.NewReader(doc), &out, &errb); code != 2 {
+		t.Errorf("no queries exit = %d, want 2", code)
+	}
+}
+
+func TestRunExplain(t *testing.T) {
+	path := writeDoc(t)
+	var out, errb bytes.Buffer
+	code := run([]string{"-in", path, "-explain", "director.movie.title"},
+		strings.NewReader(""), &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "index nodes matched") ||
+		!strings.Contains(out.String(), "validated") {
+		t.Errorf("explain output: %s", out.String())
+	}
+}
+
+func TestRunDOTAndAudit(t *testing.T) {
+	path := writeDoc(t)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-in", path, "-req", "title=2", "-dot"},
+		strings.NewReader(""), &out, &errb); code != 0 {
+		t.Fatalf("dot exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "digraph dk") {
+		t.Errorf("dot output: %s", out.String())
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-in", path, "-req", "title=2", "-audit", "2"},
+		strings.NewReader(""), &out, &errb); code != 0 {
+		t.Fatalf("audit exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "audit passed") {
+		t.Errorf("audit output: %s", errb.String())
+	}
+}

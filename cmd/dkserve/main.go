@@ -1,0 +1,95 @@
+// Command dkserve serves a D(k)-index over HTTP with a JSON API: path,
+// regular-path-expression and branching (twig) queries, incremental edge and
+// document updates, and the promote/demote/optimize maintenance operations.
+//
+// Usage:
+//
+//	dkserve -in doc.xml -req title=2 -addr :8080
+//	dkserve -index doc.dkx -addr :8080
+//
+//	curl 'localhost:8080/query?path=director.movie.title'
+//	curl 'localhost:8080/query?twig=movie[actor].title'
+//	curl -X POST localhost:8080/promote -d '{"label":"title","k":3}'
+//	curl -X POST localhost:8080/optimize -d '{"budget":2000}'
+//
+// See internal/server for the full API.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+
+	"dkindex"
+	"dkindex/internal/server"
+)
+
+func main() {
+	addr, handler, code := setup(os.Args[1:], os.Stdout, os.Stderr)
+	if code != 0 {
+		os.Exit(code)
+	}
+	if err := http.ListenAndServe(addr, handler); err != nil {
+		fmt.Fprintf(os.Stderr, "dkserve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// setup parses flags, loads and tunes the index, and returns the listen
+// address and ready handler; a non-zero code aborts startup.
+func setup(args []string, stdout, stderr io.Writer) (string, http.Handler, int) {
+	fs := flag.NewFlagSet("dkserve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr = fs.String("addr", ":8080", "listen address")
+		in   = fs.String("in", "", "XML input file")
+		load = fs.String("index", "", "load a previously saved index")
+		req  = fs.String("req", "", "per-label requirements, e.g. title=2,name=1")
+		tune = fs.Int("tune", 0, "tune with a sampled workload of N queries")
+		seed = fs.Int64("seed", 1, "seed for -tune")
+	)
+	if err := fs.Parse(args); err != nil {
+		return "", nil, 2
+	}
+
+	var (
+		idx *dkindex.Index
+		err error
+	)
+	switch {
+	case *load != "":
+		idx, err = dkindex.OpenFile(*load)
+	case *in != "":
+		var f *os.File
+		if f, err = os.Open(*in); err == nil {
+			idx, err = dkindex.LoadXML(f, nil)
+			f.Close()
+		}
+	default:
+		fmt.Fprintln(stderr, "dkserve: one of -in or -index is required")
+		return "", nil, 2
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "dkserve: %v\n", err)
+		return "", nil, 1
+	}
+	if *tune > 0 {
+		if err := idx.Tune(*tune, *seed); err != nil {
+			fmt.Fprintf(stderr, "dkserve: %v\n", err)
+			return "", nil, 1
+		}
+	} else if *req != "" {
+		reqs, err := dkindex.ParseRequirements(*req)
+		if err != nil {
+			fmt.Fprintf(stderr, "dkserve: %v\n", err)
+			return "", nil, 1
+		}
+		idx.SetRequirements(reqs)
+	}
+	s := idx.Stats()
+	fmt.Fprintf(stdout, "dkserve: %d data nodes, index %d nodes (max k=%d), listening on %s\n",
+		s.DataNodes, s.IndexNodes, s.MaxK, *addr)
+	return *addr, server.New(idx), 0
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const doc = `<movieDB><director><name/><movie><title/></movie></director></movieDB>`
+
+func TestSetupAndServe(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "doc.xml")
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	addr, handler, code := setup([]string{"-in", path, "-req", "title=2", "-addr", ":0"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("setup exit %d: %s", code, errb.String())
+	}
+	if addr != ":0" || handler == nil {
+		t.Fatal("setup returned no handler")
+	}
+	if !strings.Contains(out.String(), "listening on") {
+		t.Errorf("banner: %s", out.String())
+	}
+	ts := httptest.NewServer(handler)
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/query?path=director.movie.title")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("query status = %d", resp.StatusCode)
+	}
+}
+
+func TestSetupErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if _, _, code := setup(nil, &out, &errb); code != 2 {
+		t.Errorf("no input exit = %d, want 2", code)
+	}
+	if _, _, code := setup([]string{"-badflag"}, &out, &errb); code != 2 {
+		t.Errorf("bad flag exit = %d, want 2", code)
+	}
+	if _, _, code := setup([]string{"-in", "/nonexistent.xml"}, &out, &errb); code != 1 {
+		t.Errorf("missing file exit = %d, want 1", code)
+	}
+	path := filepath.Join(t.TempDir(), "doc.xml")
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, code := setup([]string{"-in", path, "-req", "x=bad"}, &out, &errb); code != 1 {
+		t.Errorf("bad req exit = %d, want 1", code)
+	}
+}

@@ -1,0 +1,516 @@
+// Package dkindex implements the D(k)-index (Chen, Lim, Ong — SIGMOD 2003),
+// an adaptive structural summary for graph-structured XML and
+// semi-structured data, together with the structural summaries it
+// generalizes: the label-split graph, the A(k)-index and the 1-index.
+//
+// A structural summary partitions the nodes of a data graph into extents so
+// that path expressions can be evaluated over the much smaller index graph.
+// The D(k)-index assigns each index node its own local similarity k(n) —
+// node n answers path queries up to length k(n) exactly, longer ones are
+// validated against the data — and tunes those similarities from the query
+// load, subject to the structural invariant k(parent) >= k(child)-1. Unlike
+// its static predecessors it supports cheap incremental update: edge
+// additions only decay similarities (never split extents), document
+// insertions reuse the existing index, and the promoting/demoting processes
+// re-tune the index as the query load drifts.
+//
+// # Quick start
+//
+//	idx, err := dkindex.LoadXML(file, nil)
+//	if err != nil { ... }
+//	idx.Tune(100, 42)                         // mine a query load, or idx.SetRequirements
+//	res, stats, err := idx.Query("director.movie.title")
+//
+// The package is a facade over the internal packages; power users can reach
+// the underlying graph and index through Graph and IG.
+package dkindex
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"dkindex/internal/core"
+	"dkindex/internal/eval"
+	"dkindex/internal/graph"
+	"dkindex/internal/index"
+	"dkindex/internal/rpe"
+	"dkindex/internal/workload"
+	"dkindex/internal/xmlgraph"
+)
+
+// NodeID identifies a node of the loaded data graph.
+type NodeID = graph.NodeID
+
+// LoadOptions re-exports the XML loader configuration.
+type LoadOptions = xmlgraph.Options
+
+// Index is a D(k)-index over one data graph. It is not safe for concurrent
+// mutation; concurrent queries are safe between mutations, except that after
+// WatchLoad the Query method also records into the load recorder and needs
+// external synchronization (internal/server wraps an Index with the
+// appropriate locking).
+type Index struct {
+	dk      *core.DK
+	queries *workload.Workload // most recent tuned load, if any
+	// recorder observes executed path queries so Optimize can re-tune the
+	// index from its real load (the paper's query-pattern-mining direction).
+	recorder *workload.Recorder
+	// autoPromote, when positive, promotes a label once queries ending at
+	// it have validated that many times (see SetAutoPromote).
+	autoPromote    int
+	validationHeat map[graph.LabelID]heat
+}
+
+// LoadXML parses an XML document and builds the initial index (label-split:
+// every local similarity requirement starts at zero). Tune, SetRequirements
+// or Promote* raise similarities afterwards.
+func LoadXML(r io.Reader, opts *LoadOptions) (*Index, error) {
+	g, _, err := xmlgraph.Load(r, opts)
+	if err != nil {
+		return nil, err
+	}
+	return FromGraph(g, nil), nil
+}
+
+// LoadXMLString is LoadXML over a string.
+func LoadXMLString(doc string, opts *LoadOptions) (*Index, error) {
+	return LoadXML(strings.NewReader(doc), opts)
+}
+
+// FromGraph builds a D(k)-index over an existing data graph with the given
+// per-label-name requirements (nil for none).
+func FromGraph(g *graph.Graph, reqsByName map[string]int) *Index {
+	reqs := core.ReqsFromNames(g.Labels(), reqsByName)
+	return &Index{dk: core.Build(g, reqs)}
+}
+
+// Graph exposes the underlying data graph.
+func (x *Index) Graph() *graph.Graph { return x.dk.IG.Data() }
+
+// IG exposes the underlying index graph for advanced use.
+func (x *Index) IG() *index.IndexGraph { return x.dk.IG }
+
+// DK exposes the underlying D(k)-index handle for advanced use.
+func (x *Index) DK() *core.DK { return x.dk }
+
+// Stats summarizes the index.
+type Stats struct {
+	DataNodes  int
+	DataEdges  int
+	IndexNodes int
+	IndexEdges int
+	// MaxK is the largest local similarity of any index node.
+	MaxK int
+}
+
+// Stats returns current index statistics.
+func (x *Index) Stats() Stats {
+	ig := x.dk.IG
+	s := Stats{
+		DataNodes:  ig.Data().NumNodes(),
+		DataEdges:  ig.Data().NumEdges(),
+		IndexNodes: ig.NumNodes(),
+		IndexEdges: ig.NumEdges(),
+	}
+	for n := 0; n < ig.NumNodes(); n++ {
+		if k := ig.K(graph.NodeID(n)); k > s.MaxK {
+			s.MaxK = k
+		}
+	}
+	return s
+}
+
+// QueryStats reports the cost of one query under the paper's model.
+type QueryStats struct {
+	// IndexNodesVisited is the traversal cost over the index graph.
+	IndexNodesVisited int
+	// DataNodesValidated is the validation cost over the data graph.
+	DataNodesValidated int
+	// Validations counts matched index nodes that required validation.
+	Validations int
+}
+
+func fromCost(c eval.Cost) QueryStats {
+	return QueryStats{
+		IndexNodesVisited:  c.IndexNodesVisited,
+		DataNodesValidated: c.DataNodesValidated,
+		Validations:        c.Validations,
+	}
+}
+
+// Query evaluates a simple dotted label path ("director.movie.title") with
+// partial-match semantics: a node matches if some node path ending in it
+// spells the query. Results are exact (validation removes index false
+// positives) and sorted.
+func (x *Index) Query(path string) ([]NodeID, QueryStats, error) {
+	q, err := eval.ParseQuery(x.Graph().Labels(), path)
+	if err != nil {
+		return nil, QueryStats{}, err
+	}
+	if x.recorder != nil {
+		x.recorder.Record(q)
+	}
+	res, cost := eval.Index(x.dk.IG, q)
+	x.noteValidation(q[len(q)-1], q.Length(), cost.Validations)
+	return res, fromCost(cost), nil
+}
+
+// WatchLoad starts recording every executed path query so that Optimize can
+// later re-tune the index from the observed load. Recording costs one map
+// update per query.
+func (x *Index) WatchLoad() {
+	if x.recorder == nil {
+		x.recorder = workload.NewRecorder(x.Graph().Labels())
+	}
+}
+
+// ObservedQueries returns how many distinct path queries have been recorded
+// since WatchLoad (0 when not watching).
+func (x *Index) ObservedQueries() int {
+	if x.recorder == nil {
+		return 0
+	}
+	return x.recorder.Len()
+}
+
+// Optimize re-tunes the index from the load observed since WatchLoad,
+// choosing the per-label requirements with the best cost-saved-per-node
+// ratio while keeping the index within sizeBudget nodes (<= 0 for
+// unbounded). The recorder is reset afterwards so each epoch tunes to fresh
+// observations. It reports the chosen requirements by label name.
+func (x *Index) Optimize(sizeBudget int) (map[string]int, error) {
+	if x.recorder == nil || x.recorder.Len() == 0 {
+		return nil, fmt.Errorf("dkindex: no observed load (call WatchLoad and run queries first)")
+	}
+	res, err := workload.MineBudget(x.Graph(), x.recorder.Load(), sizeBudget)
+	if err != nil {
+		return nil, err
+	}
+	x.dk = core.Build(x.Graph(), res.Reqs)
+	x.recorder.Reset()
+	out := make(map[string]int, len(res.Reqs))
+	for l, k := range res.Reqs {
+		out[x.Graph().Labels().Name(l)] = k
+	}
+	return out, nil
+}
+
+// QueryRPE evaluates a regular path expression
+// (l, _, R.R, R|R, (R), R?, R*, and the a//b descendant shorthand).
+// Results are exact and sorted.
+func (x *Index) QueryRPE(expr string) ([]NodeID, QueryStats, error) {
+	e, err := rpe.Parse(expr)
+	if err != nil {
+		return nil, QueryStats{}, err
+	}
+	c := rpe.CompileExpr(e, x.Graph().Labels())
+	res, cost := eval.IndexRPE(x.dk.IG, c)
+	return res, fromCost(cost), nil
+}
+
+// SetRequirements rebuilds the index for explicit per-label requirements:
+// nodes labeled l answer queries up to length reqs[l] without validation.
+func (x *Index) SetRequirements(reqsByName map[string]int) {
+	g := x.Graph()
+	x.dk = core.Build(g, core.ReqsFromNames(g.Labels(), reqsByName))
+}
+
+// Tune samples a synthetic query load of n paths (2..5 labels, as in the
+// paper's protocol), mines per-label requirements from it and rebuilds the
+// index accordingly. Use TuneWith to supply a real query load.
+func (x *Index) Tune(n int, seed int64) error {
+	cfg := workload.DefaultConfig(seed)
+	cfg.N = n
+	w, err := workload.Generate(x.Graph(), cfg)
+	if err != nil {
+		return err
+	}
+	x.TuneWith(w)
+	return nil
+}
+
+// TuneWith mines requirements from the given query load and rebuilds.
+func (x *Index) TuneWith(w *workload.Workload) {
+	x.queries = w
+	x.dk = core.Build(x.Graph(), w.Requirements())
+}
+
+// Workload returns the load the index was last tuned with, or nil.
+func (x *Index) Workload() *workload.Workload { return x.queries }
+
+// AddEdge inserts a reference edge between two existing data nodes and
+// updates the index incrementally (Algorithms 4 and 5): no extent splits, no
+// data-graph traversal — only local similarities decay.
+func (x *Index) AddEdge(from, to NodeID) error {
+	g := x.Graph()
+	if int(from) >= g.NumNodes() || int(to) >= g.NumNodes() || from < 0 || to < 0 {
+		return fmt.Errorf("dkindex: edge endpoints out of range")
+	}
+	x.dk.AddEdge(from, to)
+	return nil
+}
+
+// RemoveEdge deletes a data edge and updates the index incrementally:
+// similarities of the target's class and its index descendants are lowered
+// to what the deletion provably preserves; no splits, no data traversal.
+func (x *Index) RemoveEdge(from, to NodeID) error {
+	g := x.Graph()
+	if int(from) >= g.NumNodes() || int(to) >= g.NumNodes() || from < 0 || to < 0 {
+		return fmt.Errorf("dkindex: edge endpoints out of range")
+	}
+	x.dk.RemoveEdge(from, to)
+	return nil
+}
+
+// AddDocument parses another XML document and grafts it under the data
+// graph's root, updating the index incrementally (Algorithm 3). It returns
+// the mapping from the new document's element order to data node ids.
+func (x *Index) AddDocument(r io.Reader, opts *LoadOptions) ([]NodeID, error) {
+	if opts == nil {
+		opts = &LoadOptions{}
+	}
+	h, _, err := xmlgraph.Load(r, opts)
+	if err != nil {
+		return nil, err
+	}
+	return x.dk.AddSubgraph(h)
+}
+
+// PromoteLabel raises every index node of the given label to local
+// similarity k (Algorithm 6) — queries of length <= k ending at that label
+// stop needing validation.
+func (x *Index) PromoteLabel(label string, k int) error {
+	l := x.Graph().Labels().Lookup(label)
+	if l == graph.InvalidLabel {
+		return fmt.Errorf("dkindex: unknown label %q", label)
+	}
+	x.dk.PromoteLabel(l, k)
+	return nil
+}
+
+// Demote shrinks the index to lower per-label requirements (Section 5.4),
+// merging extents without touching the data graph.
+func (x *Index) Demote(reqsByName map[string]int) {
+	x.dk.Demote(core.ReqsFromNames(x.Graph().Labels(), reqsByName))
+}
+
+// LabelName returns the label of a data node; handy when printing results.
+func (x *Index) LabelName(n NodeID) string { return x.Graph().LabelName(n) }
+
+// QueryTwig evaluates a branching path query such as
+// "movie[actor.name].title" — titles of movies having an actor child with a
+// name. Results are exact: on an F&B index they come straight off the
+// summary; on this adaptive index they are validated against the data
+// (backward bisimilarity cannot certify child existence).
+func (x *Index) QueryTwig(q string) ([]NodeID, QueryStats, error) {
+	tw, err := eval.ParseTwig(x.Graph().Labels(), q)
+	if err != nil {
+		return nil, QueryStats{}, err
+	}
+	res, cost := eval.IndexTwig(x.dk.IG, tw)
+	return res, fromCost(cost), nil
+}
+
+// ParseRequirements parses the "label=k,label=k" requirement syntax used by
+// the command-line tools into a requirements map for SetRequirements.
+func ParseRequirements(s string) (map[string]int, error) {
+	out := make(map[string]int)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("dkindex: bad requirement %q (want label=k)", part)
+		}
+		k := 0
+		for _, c := range val {
+			if c < '0' || c > '9' {
+				return nil, fmt.Errorf("dkindex: bad requirement value in %q", part)
+			}
+			k = k*10 + int(c-'0')
+			if k > 1<<20 {
+				return nil, fmt.Errorf("dkindex: requirement in %q too large", part)
+			}
+		}
+		if val == "" {
+			return nil, fmt.Errorf("dkindex: bad requirement value in %q", part)
+		}
+		out[name] = k
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("dkindex: empty requirements")
+	}
+	return out, nil
+}
+
+// Explanation describes how one query was answered: every matched index
+// node, its extent size and similarity, and whether its extent had to be
+// validated against the data graph. It is the debugging view behind
+// QueryStats.
+type Explanation struct {
+	Query string
+	// Matched lists the index nodes the query matched.
+	Matched []MatchedNode
+	// Results is the final result count.
+	Results int
+	Stats   QueryStats
+}
+
+// MatchedNode is one matched index node in an Explanation.
+type MatchedNode struct {
+	IndexNode  NodeID
+	Label      string
+	K          int
+	ExtentSize int
+	// Validated reports whether the extent required validation (its
+	// similarity did not cover the query length).
+	Validated bool
+	// Kept is how many extent members survived (equals ExtentSize when the
+	// node was sound).
+	Kept int
+}
+
+// Explain evaluates a simple path query and reports per-index-node detail:
+// which nodes matched, which were trusted outright, and which had to be
+// validated. Unlike Query it does not record into the load recorder.
+func (x *Index) Explain(path string) (*Explanation, error) {
+	q, err := eval.ParseQuery(x.Graph().Labels(), path)
+	if err != nil {
+		return nil, err
+	}
+	ig := x.dk.IG
+	out := &Explanation{Query: path}
+	matched, cost := eval.MatchedIndexNodes(ig, q)
+	need := q.Length()
+	data := ig.Data()
+	for _, m := range matched {
+		mn := MatchedNode{
+			IndexNode:  m,
+			Label:      x.Graph().Labels().Name(ig.Label(m)),
+			K:          ig.K(m),
+			ExtentSize: ig.ExtentSize(m),
+		}
+		if ig.K(m) >= need {
+			mn.Kept = mn.ExtentSize
+		} else {
+			mn.Validated = true
+			cost.Validations++
+			for _, d := range ig.Extent(m) {
+				ok := data.LabelPathMatchesNode(q, d, func(graph.NodeID) { cost.DataNodesValidated++ })
+				if ok {
+					mn.Kept++
+				}
+			}
+		}
+		out.Results += mn.Kept
+		out.Matched = append(out.Matched, mn)
+	}
+	out.Stats = fromCost(cost)
+	return out, nil
+}
+
+// String renders the explanation for humans.
+func (e *Explanation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "query %s: %d results, %d index nodes matched\n", e.Query, e.Results, len(e.Matched))
+	for _, m := range e.Matched {
+		status := "sound"
+		if m.Validated {
+			status = "validated"
+		}
+		fmt.Fprintf(&b, "  index node %d (%s) k=%d extent=%d kept=%d [%s]\n",
+			m.IndexNode, m.Label, m.K, m.ExtentSize, m.Kept, status)
+	}
+	fmt.Fprintf(&b, "  cost: %d index visits, %d data nodes validated\n",
+		e.Stats.IndexNodesVisited, e.Stats.DataNodesValidated)
+	return b.String()
+}
+
+// Summary returns the distribution view of the index (extent sizes and the
+// local-similarity histogram); its String method renders it for humans.
+func (x *Index) Summary() index.Summary {
+	return x.dk.IG.Summarize(x.Graph().Labels())
+}
+
+// Compact drops every data node that is no longer reachable from the root —
+// the reclamation half of subtree deletion (delete a subtree by removing its
+// incoming edges, then Compact). Node ids are renumbered; the returned
+// mapping translates old ids to new ones (-1 for dropped nodes). The index
+// is rebuilt for the current requirements.
+func (x *Index) Compact() (dropped int, mapping []NodeID, err error) {
+	g, mapping, err := x.Graph().CompactReachable()
+	if err != nil {
+		return 0, nil, err
+	}
+	for _, m := range mapping {
+		if m == graph.InvalidNode {
+			dropped++
+		}
+	}
+	reqs := x.dk.LabelReqs
+	x.dk = core.Build(g, reqs)
+	if x.recorder != nil {
+		x.recorder = workload.NewRecorder(g.Labels())
+	}
+	x.queries = nil
+	return dropped, mapping, nil
+}
+
+// Audit semantically verifies the index: structural invariants (extent
+// partitioning, edge mirroring), the Definition 3 invariant, and — the
+// expensive part — every local-similarity claim up to level maxK, by
+// checking that index paths of covered lengths match every extent member.
+// Returns nil when the index is provably exact for queries within the
+// audited budgets. Intended for operations (after restoring a persisted
+// index, or on suspicion of corruption), not hot paths.
+func (x *Index) Audit(maxK int) error {
+	if err := x.dk.IG.Validate(); err != nil {
+		return err
+	}
+	if err := core.CheckInvariant(x.dk.IG); err != nil {
+		return err
+	}
+	return core.Audit(x.dk.IG, maxK)
+}
+
+// SetAutoPromote makes the index crack itself: whenever queries ending at
+// some label have required validation `threshold` times, the label is
+// promoted to cover the longest such query, so subsequent repeats answer
+// straight from the summary. This implements the paper's second future-work
+// direction — combining the update and evaluation processes — with the
+// promoting machinery of Section 5.3. A threshold of 0 disables it.
+//
+// Auto-promotion mutates the index inside Query, so with it enabled Query
+// requires the same external synchronization as updates.
+func (x *Index) SetAutoPromote(threshold int) {
+	x.autoPromote = threshold
+	if threshold > 0 && x.validationHeat == nil {
+		x.validationHeat = make(map[graph.LabelID]heat)
+	}
+}
+
+type heat struct {
+	count  int
+	maxLen int
+}
+
+// noteValidation records validation pressure and fires promotion when the
+// threshold is crossed.
+func (x *Index) noteValidation(last graph.LabelID, length int, validations int) {
+	if x.autoPromote <= 0 || validations == 0 {
+		return
+	}
+	h := x.validationHeat[last]
+	h.count += validations
+	if length > h.maxLen {
+		h.maxLen = length
+	}
+	x.validationHeat[last] = h
+	if h.count >= x.autoPromote {
+		x.dk.PromoteLabel(last, h.maxLen)
+		delete(x.validationHeat, last)
+	}
+}

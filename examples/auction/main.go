@@ -1,0 +1,75 @@
+// Auction runs the paper's main scenario end to end on XMark-like auction
+// data: generate the site, mine a query load, compare the D(k)-index against
+// the static A(k) family, then stream in reference-edge updates and watch
+// the tradeoffs the paper reports in Figures 6/7 and Table 1.
+//
+//	go run ./examples/auction [-scale 0.1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"dkindex/internal/core"
+	"dkindex/internal/eval"
+	"dkindex/internal/experiments"
+	"dkindex/internal/index"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.1, "dataset scale (1.0 = paper's ~10MB)")
+	flag.Parse()
+
+	ds, err := experiments.XMarkDataset(*scale, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("auction site: %s\n", ds.G.ComputeStats())
+	fmt.Printf("query load: %d paths, e.g. %s\n\n",
+		ds.W.Len(), ds.W.Queries[0].Format(ds.G.Labels()))
+
+	// Static family vs the adaptive index.
+	reqs := ds.W.Requirements()
+	avg := func(ig *index.IndexGraph) (float64, int) {
+		var total eval.Cost
+		for _, q := range ds.W.Queries {
+			_, c := eval.Index(ig, q)
+			total.Add(c)
+		}
+		return float64(total.Total()) / float64(ds.W.Len()), total.Validations
+	}
+	fmt.Println("index          size   avg cost   validations")
+	for k := 0; k <= ds.W.MaxLength(); k++ {
+		ig := index.BuildAK(ds.G, k)
+		cost, val := avg(ig)
+		fmt.Printf("A(%d)        %6d   %8.1f   %d\n", k, ig.NumNodes(), cost, val)
+	}
+	dk := core.Build(ds.G, reqs)
+	cost, val := avg(dk.IG)
+	fmt.Printf("D(k)        %6d   %8.1f   %d   <- load-tuned\n\n", dk.Size(), cost, val)
+
+	// Live updates: auctions gain bidders, people watch new auctions.
+	edges, err := ds.RandomEdges(100, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	for _, e := range edges {
+		dk.AddEdge(e[0], e[1])
+	}
+	fmt.Printf("applied 100 reference-edge updates in %v (index size unchanged: %d)\n",
+		time.Since(start).Round(time.Microsecond), dk.Size())
+	cost, val = avg(dk.IG)
+	fmt.Printf("after updates: avg cost %.1f, %d validations (similarities decayed)\n", cost, val)
+
+	// Periodic maintenance: promote the workload labels back.
+	start = time.Now()
+	for _, l := range reqs.SortedLabels() {
+		dk.PromoteLabel(l, reqs[l])
+	}
+	cost, val = avg(dk.IG)
+	fmt.Printf("after promotion (%v): size %d, avg cost %.1f, %d validations\n",
+		time.Since(start).Round(time.Microsecond), dk.Size(), cost, val)
+}

@@ -1,0 +1,85 @@
+// Quickstart: load an XML document, tune a D(k)-index, and run path queries.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"dkindex"
+)
+
+const doc = `<?xml version="1.0"?>
+<library>
+  <shelf id="s1">
+    <book id="b1"><title/><author ref="w1"/></book>
+    <book id="b2"><title/><author ref="w2"/></book>
+  </shelf>
+  <shelf id="s2">
+    <journal id="j1"><title/><editor ref="w1"/></journal>
+  </shelf>
+  <writer id="w1"><name/></writer>
+  <writer id="w2"><name/></writer>
+</library>
+`
+
+func main() {
+	// Load: elements become graph nodes, nesting becomes edges, and the
+	// ref= attributes become reference edges (author -> writer).
+	idx, err := dkindex.LoadXMLString(doc, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := idx.Stats()
+	fmt.Printf("data graph: %d nodes, %d edges; index: %d nodes\n",
+		s.DataNodes, s.DataEdges, s.IndexNodes)
+
+	// Freshly loaded, the index is the label-split graph (every local
+	// similarity 0): long queries are answered exactly, but only by
+	// validating candidates against the data.
+	res, stats, err := idx.Query("shelf.book.title")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("shelf.book.title -> %d results, %d validations\n", len(res), stats.Validations)
+
+	// Tell the index what the query load needs: titles are reached by
+	// paths of length 2, names through references by length 2 as well.
+	idx.SetRequirements(map[string]int{"title": 2, "name": 2})
+	res, stats, err = idx.Query("shelf.book.title")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after tuning: %d results, %d validations (index has %d nodes)\n",
+		len(res), stats.Validations, idx.Stats().IndexNodes)
+
+	// Reference edges participate like any other edge: which writers are
+	// reachable as authors of shelved books?
+	res, _, err = idx.Query("book.author.writer.name")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, n := range res {
+		fmt.Printf("  author name node: %d\n", n)
+	}
+
+	// Regular path expressions cover alternation, wildcards and '//'.
+	res, _, err = idx.QueryRPE("library//name")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("library//name -> %d results\n", len(res))
+
+	// The index updates in place: add a document and re-query.
+	shelf := strings.NewReader(`<library><shelf><book><title/></book></shelf></library>`)
+	if _, err := idx.AddDocument(shelf, nil); err != nil {
+		log.Fatal(err)
+	}
+	res, _, err = idx.Query("shelf.book.title")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after inserting a document: shelf.book.title -> %d results\n", len(res))
+}

@@ -1,0 +1,91 @@
+// Service embeds the D(k)-index HTTP server in a program and drives it as a
+// client would: query, watch the live load, update the data, promote, and
+// let the index re-tune itself to what it has observed.
+//
+//	go run ./examples/service
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+
+	"dkindex"
+	"dkindex/internal/datagen"
+	"dkindex/internal/server"
+)
+
+func main() {
+	// Build an index over a small auction site.
+	var doc strings.Builder
+	if err := datagen.XMark(datagen.XMarkScale(0.02)).WriteXML(&doc); err != nil {
+		log.Fatal(err)
+	}
+	idx, err := dkindex.LoadXMLString(doc.String(), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Serve it on an ephemeral local port.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: server.New(idx)}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Println("serving on", base)
+
+	show := func(method, path, body string) map[string]any {
+		var (
+			resp *http.Response
+			err  error
+		)
+		if method == "GET" {
+			resp, err = http.Get(base + path)
+		} else {
+			resp, err = http.Post(base+path, "application/json", strings.NewReader(body))
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		var out map[string]any
+		_ = json.Unmarshal(raw, &out)
+		fmt.Printf("%-6s %-46s -> %d", method, path, resp.StatusCode)
+		if c, ok := out["count"]; ok {
+			fmt.Printf("  count=%v", c)
+		}
+		if c, ok := out["indexNodes"]; ok {
+			fmt.Printf("  indexNodes=%v", c)
+		}
+		fmt.Println()
+		return out
+	}
+
+	// A client works the index: the same hot query, over and over.
+	fmt.Println("\n--- clients issue queries (the server records the load) ---")
+	for i := 0; i < 5; i++ {
+		show("GET", "/query?path=closed_auction.itemref.item.name", "")
+	}
+	show("GET", "/query?twig=item[mailbox].name", "")
+	show("GET", "/stats", "")
+
+	// Data changes arrive as the site runs.
+	fmt.Println("\n--- live updates ---")
+	show("POST", "/documents", `<site><regions><asia><item id="late1"><name/><incategory categoryref="category0"/></item></asia></regions></site>`)
+	show("GET", "/query?path=asia.item.name", "")
+
+	// Maintenance: let the index re-tune itself to the observed load.
+	fmt.Println("\n--- self-tuning from the observed load ---")
+	out := show("POST", "/optimize", `{"budget":0}`)
+	fmt.Printf("chosen requirements: %v\n", out["requirements"])
+	show("GET", "/query?path=closed_auction.itemref.item.name", "")
+	show("GET", "/stats", "")
+}

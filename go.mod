@@ -1,0 +1,3 @@
+module dkindex
+
+go 1.22

@@ -1,0 +1,270 @@
+// Package codec persists D(k)-indexes to a compact, versioned binary format
+// and restores them: the data graph (labels, edges, root), the extents and
+// local similarities, and the query-load requirements. Index adjacency is
+// re-derived on load rather than stored.
+//
+// Layout (all integers are unsigned varints unless noted):
+//
+//	magic "DKIX", version byte
+//	label table:   count, then length-prefixed strings
+//	data graph:    node count, per-node label id, root+1 (0 = none),
+//	               edge count, edges as (from, to) pairs delta-coded by from
+//	index:         node count, per-node: local similarity, extent size,
+//	               extent node ids delta-coded
+//	requirements:  count, (label id, k) pairs
+package codec
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"dkindex/internal/core"
+	"dkindex/internal/graph"
+	"dkindex/internal/index"
+)
+
+var magic = [4]byte{'D', 'K', 'I', 'X'}
+
+// Version is the current format version.
+const Version = 1
+
+// ErrBadFormat reports a corrupt or foreign file.
+var ErrBadFormat = errors.New("codec: not a D(k)-index file")
+
+// SaveDK writes the index and everything needed to restore it.
+func SaveDK(w io.Writer, dk *core.DK) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(Version); err != nil {
+		return err
+	}
+	enc := &encoder{w: bw}
+	g := dk.IG.Data()
+
+	// Label table.
+	tab := g.Labels()
+	enc.uint(uint64(tab.Len()))
+	for l := 0; l < tab.Len(); l++ {
+		enc.str(tab.Name(graph.LabelID(l)))
+	}
+
+	// Data graph.
+	enc.uint(uint64(g.NumNodes()))
+	for n := 0; n < g.NumNodes(); n++ {
+		enc.uint(uint64(g.Label(graph.NodeID(n))))
+	}
+	enc.uint(uint64(g.Root() + 1))
+	enc.uint(uint64(g.NumEdges()))
+	for n := 0; n < g.NumNodes(); n++ {
+		for _, c := range g.Children(graph.NodeID(n)) {
+			enc.uint(uint64(n))
+			enc.uint(uint64(c))
+		}
+	}
+
+	// Index nodes.
+	ig := dk.IG
+	enc.uint(uint64(ig.NumNodes()))
+	for b := 0; b < ig.NumNodes(); b++ {
+		enc.uint(uint64(ig.K(graph.NodeID(b))))
+		ext := ig.Extent(graph.NodeID(b))
+		enc.uint(uint64(len(ext)))
+		prev := graph.NodeID(0)
+		for _, d := range ext {
+			enc.uint(uint64(d - prev)) // extents are sorted ascending
+			prev = d
+		}
+	}
+
+	// Requirements.
+	labels := dk.LabelReqs.SortedLabels()
+	enc.uint(uint64(len(labels)))
+	for _, l := range labels {
+		enc.uint(uint64(l))
+		enc.uint(uint64(dk.LabelReqs[l]))
+	}
+	if enc.err != nil {
+		return enc.err
+	}
+	return bw.Flush()
+}
+
+// LoadDK restores an index written by SaveDK.
+func LoadDK(r io.Reader) (*core.DK, error) {
+	br := bufio.NewReader(r)
+	var m [5]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if [4]byte{m[0], m[1], m[2], m[3]} != magic {
+		return nil, ErrBadFormat
+	}
+	if m[4] != Version {
+		return nil, fmt.Errorf("codec: unsupported version %d", m[4])
+	}
+	dec := &decoder{r: br}
+
+	// Label table.
+	tab := graph.NewLabelTable()
+	nLabels := dec.uint()
+	if nLabels > 1<<24 {
+		return nil, fmt.Errorf("codec: implausible label count %d", nLabels)
+	}
+	for i := uint64(0); i < nLabels; i++ {
+		name := dec.str()
+		if dec.err != nil {
+			return nil, dec.err
+		}
+		if got := tab.Intern(name); got != graph.LabelID(i) {
+			return nil, fmt.Errorf("codec: duplicate label %q", name)
+		}
+	}
+
+	// Data graph.
+	g := graph.NewWithLabels(tab)
+	nNodes := dec.uint()
+	if nNodes > 1<<31 {
+		return nil, fmt.Errorf("codec: implausible node count %d", nNodes)
+	}
+	for i := uint64(0); i < nNodes; i++ {
+		l := dec.uint()
+		if dec.err != nil {
+			return nil, dec.err
+		}
+		if l >= nLabels {
+			return nil, fmt.Errorf("codec: node %d has label %d out of range", i, l)
+		}
+		g.AddNodeID(graph.LabelID(l))
+	}
+	if root := dec.uint(); root > 0 {
+		if root > nNodes {
+			return nil, fmt.Errorf("codec: root %d out of range", root-1)
+		}
+		g.SetRoot(graph.NodeID(root - 1))
+	}
+	nEdges := dec.uint()
+	if nEdges > 1<<32 {
+		return nil, fmt.Errorf("codec: implausible edge count %d", nEdges)
+	}
+	for i := uint64(0); i < nEdges; i++ {
+		from, to := dec.uint(), dec.uint()
+		if dec.err != nil {
+			return nil, dec.err
+		}
+		if from >= nNodes || to >= nNodes {
+			return nil, fmt.Errorf("codec: edge %d-%d out of range", from, to)
+		}
+		g.AddEdge(graph.NodeID(from), graph.NodeID(to))
+	}
+
+	// Index nodes.
+	nIdx := dec.uint()
+	if nIdx > nNodes {
+		return nil, fmt.Errorf("codec: more index nodes (%d) than data nodes (%d)", nIdx, nNodes)
+	}
+	ks := make([]int, nIdx)
+	extents := make([][]graph.NodeID, nIdx)
+	for b := uint64(0); b < nIdx; b++ {
+		ks[b] = int(dec.uint())
+		sz := dec.uint()
+		if dec.err != nil {
+			return nil, dec.err
+		}
+		if sz == 0 || sz > nNodes {
+			return nil, fmt.Errorf("codec: extent %d has implausible size %d", b, sz)
+		}
+		ext := make([]graph.NodeID, sz)
+		cur := uint64(0)
+		for i := uint64(0); i < sz; i++ {
+			cur += dec.uint()
+			if cur >= nNodes {
+				return nil, fmt.Errorf("codec: extent %d references node %d out of range", b, cur)
+			}
+			ext[i] = graph.NodeID(cur)
+		}
+		extents[b] = ext
+	}
+
+	// Requirements.
+	reqs := make(core.Requirements)
+	nReqs := dec.uint()
+	if nReqs > nLabels {
+		return nil, fmt.Errorf("codec: more requirements (%d) than labels", nReqs)
+	}
+	for i := uint64(0); i < nReqs; i++ {
+		l, k := dec.uint(), dec.uint()
+		if l >= nLabels {
+			return nil, fmt.Errorf("codec: requirement label %d out of range", l)
+		}
+		reqs[graph.LabelID(l)] = int(k)
+	}
+	if dec.err != nil {
+		return nil, dec.err
+	}
+
+	ig, err := index.Reconstruct(g, extents, ks)
+	if err != nil {
+		return nil, fmt.Errorf("codec: %w", err)
+	}
+	return &core.DK{IG: ig, LabelReqs: reqs}, nil
+}
+
+type encoder struct {
+	w   *bufio.Writer
+	err error
+	buf [binary.MaxVarintLen64]byte
+}
+
+func (e *encoder) uint(v uint64) {
+	if e.err != nil {
+		return
+	}
+	n := binary.PutUvarint(e.buf[:], v)
+	_, e.err = e.w.Write(e.buf[:n])
+}
+
+func (e *encoder) str(s string) {
+	e.uint(uint64(len(s)))
+	if e.err == nil {
+		_, e.err = e.w.WriteString(s)
+	}
+}
+
+type decoder struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (d *decoder) uint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		d.err = fmt.Errorf("codec: truncated file: %w", err)
+		return 0
+	}
+	return v
+}
+
+func (d *decoder) str() string {
+	n := d.uint()
+	if d.err != nil {
+		return ""
+	}
+	if n > 1<<20 {
+		d.err = fmt.Errorf("codec: implausible string length %d", n)
+		return ""
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(d.r, buf); err != nil {
+		d.err = fmt.Errorf("codec: truncated string: %w", err)
+		return ""
+	}
+	return string(buf)
+}

@@ -1,0 +1,41 @@
+package codec
+
+import (
+	"bytes"
+	"testing"
+
+	"dkindex/internal/core"
+	"dkindex/internal/graph"
+)
+
+// FuzzLoadDK feeds arbitrary bytes (seeded with a valid file) to the index
+// loader: it must never panic, and anything it accepts must be structurally
+// valid.
+func FuzzLoadDK(f *testing.F) {
+	// A valid serialized index as the primary seed.
+	fg := graph.FigureOneMovies()
+	dk0 := core.Build(fg, core.ReqsFromNames(fg.Labels(), map[string]int{"title": 2}))
+	var buf bytes.Buffer
+	if err := SaveDK(&buf, dk0); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("DKIX"))
+	f.Add([]byte("DKIX\x01"))
+	f.Add([]byte("DKIX\x01\x00"))
+	f.Add([]byte("NOPE\x01\x02\x03"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			return
+		}
+		dk, err := LoadDK(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := dk.IG.Validate(); err != nil {
+			t.Fatalf("accepted bytes produced invalid index: %v", err)
+		}
+	})
+}

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"dkindex/internal/graph"
+)
+
+// TestAuditedUpdateSequences drives random interleaved additions and
+// removals, auditing every similarity claim after each operation.
+func TestAuditedUpdateSequences(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		g := randomGraph(seed+700, 180, 4, 60)
+		rng := rand.New(rand.NewSource(seed * 11))
+		reqs := make(Requirements)
+		for l := 0; l < g.Labels().Len(); l++ {
+			reqs[graph.LabelID(l)] = 2
+		}
+		dk := Build(g, reqs)
+		if err := Audit(dk.IG, 3); err != nil {
+			t.Fatalf("seed %d: unsound after build: %v", seed, err)
+		}
+		for op := 0; op < 25; op++ {
+			if rng.Intn(2) == 0 {
+				u := graph.NodeID(rng.Intn(g.NumNodes()))
+				ch := g.Children(u)
+				if len(ch) == 0 {
+					continue
+				}
+				v := ch[rng.Intn(len(ch))]
+				if v == g.Root() {
+					continue
+				}
+				dk.RemoveEdge(u, v)
+				if err := Audit(dk.IG, 3); err != nil {
+					t.Fatalf("seed %d: unsound after removing %d->%d: %v", seed, u, v, err)
+				}
+			} else {
+				a := graph.NodeID(rng.Intn(g.NumNodes()))
+				b := graph.NodeID(rng.Intn(g.NumNodes()))
+				if a != b && b != g.Root() {
+					dk.AddEdge(a, b)
+					if err := Audit(dk.IG, 3); err != nil {
+						t.Fatalf("seed %d: unsound after adding %d->%d: %v", seed, a, b, err)
+					}
+				}
+			}
+			if err := CheckInvariant(dk.IG); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+		}
+		if err := dk.IG.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}

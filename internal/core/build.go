@@ -1,0 +1,247 @@
+package core
+
+import (
+	"fmt"
+
+	"dkindex/internal/graph"
+	"dkindex/internal/index"
+	"dkindex/internal/partition"
+)
+
+// DK is a D(k)-index: a structural summary whose index nodes carry
+// individual local similarities. It wraps an index.IndexGraph (which stores
+// extents, adjacency and per-node k) together with the per-label
+// requirements the index was tuned for.
+type DK struct {
+	// IG is the underlying index graph. Its K(n) values are the local
+	// similarities: node n answers path expressions of length <= K(n)
+	// soundly, longer ones require validation against the data graph.
+	IG *index.IndexGraph
+	// LabelReqs records the query-load requirements (pre-broadcast) the
+	// index currently targets.
+	LabelReqs Requirements
+}
+
+// Build constructs the D(k)-index of the data graph g for the given
+// query-load requirements (Algorithm 2):
+//
+//  1. start from the label-split index graph;
+//  2. broadcast the requirements so that k(parent) >= k(child) - 1
+//     (Algorithm 1);
+//  3. for k = 1..k_max, split every block whose requirement is >= k until it
+//     is stable with respect to the previous round's partition, carrying
+//     requirements to fragments by inheritance.
+//
+// The result's node local similarities equal the broadcast requirements, and
+// the structural invariant of Definition 3 holds. Runs in O(k_max * m).
+func Build(g *graph.Graph, reqs Requirements) *DK {
+	ig := buildFromSource(index.DataSource{G: g}, reqs, nil)
+	return &DK{IG: ig, LabelReqs: reqs.Clone()}
+}
+
+// BuildFromIndex constructs a D(k)-index using an existing index graph as
+// the construction source, per Theorem 2 (the D(k)-index of a refinement of
+// I_G is I_G itself). Extents of merged source nodes are unioned.
+//
+// When the source's local similarities have decayed below the broadcast
+// requirements (as happens after edge-addition updates), result nodes are
+// clamped to the minimum source similarity among their merged members, and
+// the Definition 3 invariant is re-established by lowering, so the result is
+// always sound. This is the engine behind subgraph addition (Algorithm 3)
+// and the demoting process (Section 5.4).
+func BuildFromIndex(src *index.IndexGraph, reqs Requirements) *DK {
+	ig := buildFromSource(src, reqs, src.K)
+	return &DK{IG: ig, LabelReqs: reqs.Clone()}
+}
+
+// buildFromSource is the shared Algorithm 2 engine. memberK, when non-nil,
+// supplies the local similarity already established for each source node;
+// result nodes take the min of their broadcast requirement and their merged
+// members' similarities.
+func buildFromSource(src index.Source, reqs Requirements, memberK func(graph.NodeID) int) *index.IndexGraph {
+	p := partition.NewByLabel(src)
+
+	// Per-block requirements from the query load.
+	blockReq := make([]int, p.NumBlocks())
+	for b := 0; b < p.NumBlocks(); b++ {
+		blockReq[b] = reqs.Get(src.Label(p.Members(partition.BlockID(b))[0]))
+	}
+
+	// Algorithm 1 operates on the label-split index graph; derive its
+	// block-level parent adjacency from the source.
+	bg := blockGraph(src, p)
+	blockReq = broadcast(bg, blockReq)
+
+	// Algorithm 2 main loop: round k refines blocks requiring >= k against
+	// the previous round's partition (RefineRound snapshots it internally).
+	kmax := 0
+	for _, r := range blockReq {
+		if r > kmax {
+			kmax = r
+		}
+	}
+	for k := 1; k <= kmax; k++ {
+		req := blockReq // capture this round's values
+		res := p.RefineRound(src, func(b partition.BlockID) bool { return req[b] >= k })
+		next := make([]int, p.NumBlocks())
+		for nb := range next {
+			next[nb] = req[res.Origin[nb]] // inheritance
+		}
+		blockReq = next
+	}
+
+	ig := index.FromPartition(src, p, func(b partition.BlockID) int { return blockReq[b] })
+
+	if memberK != nil {
+		// Clamp each result node to the weakest similarity among the source
+		// nodes merged into it, then restore the Definition 3 invariant.
+		clamped := false
+		for b := 0; b < p.NumBlocks(); b++ {
+			k := blockReq[b]
+			for _, s := range p.Members(partition.BlockID(b)) {
+				if mk := memberK(s); mk < k {
+					k = mk
+				}
+			}
+			if k < blockReq[b] {
+				ig.SetK(graph.NodeID(b), k)
+				clamped = true
+			}
+		}
+		if clamped {
+			LowerToInvariant(ig)
+		}
+	}
+	return ig
+}
+
+// blockGraph materializes the quotient parent-adjacency of a partition: the
+// parents of block b are the blocks containing parents of b's members.
+type quotientGraph struct {
+	parents [][]graph.NodeID
+}
+
+func (q *quotientGraph) NumNodes() int                         { return len(q.parents) }
+func (q *quotientGraph) Parents(n graph.NodeID) []graph.NodeID { return q.parents[n] }
+
+func blockGraph(src index.Source, p *partition.Partition) *quotientGraph {
+	q := &quotientGraph{parents: make([][]graph.NodeID, p.NumBlocks())}
+	seen := make(map[[2]partition.BlockID]bool)
+	for n := 0; n < src.NumNodes(); n++ {
+		b := p.BlockOf(graph.NodeID(n))
+		for _, par := range src.Parents(graph.NodeID(n)) {
+			pb := p.BlockOf(par)
+			key := [2]partition.BlockID{pb, b}
+			if !seen[key] {
+				seen[key] = true
+				q.parents[b] = append(q.parents[b], graph.NodeID(pb))
+			}
+		}
+	}
+	return q
+}
+
+// LowerToInvariant restores Definition 3 on an index graph by lowering: for
+// every edge a -> b it enforces k(b) <= k(a) + 1, propagating with a
+// worklist until stable. Lowering never breaks soundness (a smaller budget
+// only means more validation), so this is always safe to call.
+func LowerToInvariant(ig *index.IndexGraph) {
+	queue := make([]graph.NodeID, 0, ig.NumNodes())
+	for n := 0; n < ig.NumNodes(); n++ {
+		queue = append(queue, graph.NodeID(n))
+	}
+	inQueue := make([]bool, ig.NumNodes())
+	for i := range inQueue {
+		inQueue[i] = true
+	}
+	for len(queue) > 0 {
+		a := queue[0]
+		queue = queue[1:]
+		inQueue[a] = false
+		limit := ig.K(a) + 1
+		for _, b := range ig.Children(a) {
+			if ig.K(b) > limit {
+				ig.SetK(b, limit)
+				if !inQueue[b] {
+					inQueue[b] = true
+					queue = append(queue, b)
+				}
+			}
+		}
+	}
+}
+
+// CheckInvariant verifies Definition 3 (k(parent) >= k(child) - 1 on every
+// index edge); for tests and debugging.
+func CheckInvariant(ig *index.IndexGraph) error {
+	for a := 0; a < ig.NumNodes(); a++ {
+		ka := ig.K(graph.NodeID(a))
+		for _, b := range ig.Children(graph.NodeID(a)) {
+			if ka < ig.K(b)-1 {
+				return fmt.Errorf("core: invariant violated on edge %d->%d: k=%d < %d-1",
+					a, b, ka, ig.K(b))
+			}
+		}
+	}
+	return nil
+}
+
+// Size returns the number of index nodes, the paper's index size metric.
+func (dk *DK) Size() int { return dk.IG.NumNodes() }
+
+// Audit exhaustively verifies every similarity claim of the index up to
+// level maxK (claims above maxK are checked at maxK): for each index node,
+// every label path of length <= min(K, maxK) that matches the node in the
+// index graph must match every data node in its extent. It returns nil when
+// every claim holds. Cost grows with the number of bounded index paths, so
+// keep maxK small (2-3) on large indexes. It is the semantic complement of
+// IndexGraph.Validate, which checks structure only.
+func Audit(ig *index.IndexGraph, maxK int) error {
+	g := ig.Data()
+	for b := 0; b < ig.NumNodes(); b++ {
+		k := ig.K(graph.NodeID(b))
+		if k > maxK {
+			k = maxK
+		}
+		if k <= 0 {
+			continue
+		}
+		type frame struct {
+			n    graph.NodeID
+			path []graph.LabelID
+		}
+		stack := []frame{{graph.NodeID(b), []graph.LabelID{ig.Label(graph.NodeID(b))}}}
+		seen := make(map[string]bool)
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if len(cur.path) > 1 {
+				key := encodePath(cur.path)
+				if !seen[key] {
+					seen[key] = true
+					for _, d := range ig.Extent(graph.NodeID(b)) {
+						if !g.LabelPathMatchesNode(cur.path, d, nil) {
+							return fmt.Errorf("core: audit failed: index node %d claims k=%d but a length-%d path does not match data node %d",
+								b, ig.K(graph.NodeID(b)), len(cur.path)-1, d)
+						}
+					}
+				}
+			}
+			if len(cur.path) <= k {
+				for _, p := range ig.Parents(cur.n) {
+					np := append([]graph.LabelID{ig.Label(p)}, cur.path...)
+					stack = append(stack, frame{p, np})
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func encodePath(path []graph.LabelID) string {
+	b := make([]byte, 0, len(path)*4)
+	for _, l := range path {
+		b = append(b, byte(l), byte(l>>8), byte(l>>16), byte(l>>24))
+	}
+	return string(b)
+}

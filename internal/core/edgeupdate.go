@@ -1,0 +1,245 @@
+package core
+
+import (
+	"encoding/binary"
+
+	"dkindex/internal/graph"
+	"dkindex/internal/index"
+)
+
+// maxTrackedPaths bounds the label-path sets maintained by Algorithm 4. The
+// sets can in principle grow exponentially with the similarity being probed;
+// beyond this budget the algorithm stops and returns the similarity proven
+// so far, which is always sound (a smaller k only means more validation).
+const maxTrackedPaths = 4096
+
+// maxProbedSimilarity caps how far Algorithm 4 probes. Index nodes marked
+// Exact would otherwise make the probe loop effectively unbounded (cyclic
+// graphs can keep matching forever). 64 is far beyond any practical path
+// expression length, and stopping early is always sound.
+const maxProbedSimilarity = 64
+
+// UpdateLocalSimilarity is Algorithm 4: given the index endpoints U -> V of
+// an edge about to be added, it computes the largest k_N <= min(k_U+1, k_V)
+// such that every label path of length k_N entering V through U already
+// matched V in the index graph before the edge existed. V's local similarity
+// can then be reset to k_N instead of 0 after the edge addition.
+//
+// It must be called on the index graph *before* the new edge is inserted
+// (the "original I_G" of the paper).
+func UpdateLocalSimilarity(ig *index.IndexGraph, u, v graph.NodeID) int {
+	upbound := ig.K(u) + 1
+	if kv := ig.K(v); kv < upbound {
+		upbound = kv
+	}
+	if upbound > maxProbedSimilarity {
+		upbound = maxProbedSimilarity
+	}
+	if upbound <= 0 {
+		return 0
+	}
+
+	// Label paths are tracked together with the set of index nodes at which
+	// matching occurrences start (the paper's S and S' sets). Keys encode
+	// the label sequence; extending a path by a parent prepends its label.
+	newSet := map[string]map[graph.NodeID]bool{
+		encodeLabel(nil, ig.Label(u)): {u: true},
+	}
+	oldSet := make(map[string]map[graph.NodeID]bool)
+	for _, p := range ig.Parents(v) {
+		key := encodeLabel(nil, ig.Label(p))
+		addOcc(oldSet, key, p)
+	}
+
+	kN := 0
+	for kN < upbound {
+		// Check: every new label path of the current length occurs among
+		// the old label paths into V.
+		for key := range newSet {
+			if _, ok := oldSet[key]; !ok {
+				return kN
+			}
+		}
+		kN++
+		if kN == upbound {
+			return kN
+		}
+		// Extend by one parent level. Old paths are restricted to those
+		// matching a new path first (the paper's OldLabelPathSet =
+		// NewLabelPathSet step): longer paths can only match through the
+		// suffixes that are still candidates.
+		nextOld := make(map[string]map[graph.NodeID]bool)
+		for key := range newSet {
+			for w := range oldSet[key] {
+				for _, x := range ig.Parents(w) {
+					addOcc(nextOld, encodeLabel([]byte(key), ig.Label(x)), x)
+				}
+			}
+		}
+		nextNew := make(map[string]map[graph.NodeID]bool)
+		for key, occ := range newSet {
+			for w := range occ {
+				for _, x := range ig.Parents(w) {
+					addOcc(nextNew, encodeLabel([]byte(key), ig.Label(x)), x)
+				}
+			}
+		}
+		if len(nextNew) == 0 {
+			// No longer new paths exist (U's ancestry is exhausted): every
+			// longer path through U trivially matches. The similarity is
+			// only capped by the upbound.
+			return upbound
+		}
+		if len(nextNew) > maxTrackedPaths || len(nextOld) > maxTrackedPaths {
+			return kN
+		}
+		newSet, oldSet = nextNew, nextOld
+	}
+	return kN
+}
+
+func addOcc(set map[string]map[graph.NodeID]bool, key string, n graph.NodeID) {
+	occ, ok := set[key]
+	if !ok {
+		occ = make(map[graph.NodeID]bool)
+		set[key] = occ
+	}
+	occ[n] = true
+}
+
+// encodeLabel prepends label l to the encoded path suffix.
+func encodeLabel(suffix []byte, l graph.LabelID) string {
+	var buf [4]byte
+	binary.BigEndian.PutUint32(buf[:], uint32(l))
+	return string(buf[:]) + string(suffix)
+}
+
+// AddEdge is Algorithm 5, the D(k)-index edge-addition update: insert the
+// data edge u -> v, reset the local similarity of v's index node to the
+// value justified by Algorithm 4, and propagate the lowering breadth-first
+// so that Definition 3 holds again. Unlike the A(k) propagate baseline it
+// never touches the data graph and never splits an extent: the index size is
+// unchanged, only similarities decay (Section 5.2).
+func (dk *DK) AddEdge(u, v graph.NodeID) index.UpdateStats {
+	return dk.addEdge(u, v, true)
+}
+
+// AddEdgeNaive inserts the edge like AddEdge but skips Algorithm 4, always
+// resetting the target's local similarity to zero (the "worst case" the
+// paper's Figure 3 discussion contrasts against). It exists for the ablation
+// that measures how much evaluation performance Algorithm 4's probe
+// preserves; production code should use AddEdge.
+func (dk *DK) AddEdgeNaive(u, v graph.NodeID) index.UpdateStats {
+	return dk.addEdge(u, v, false)
+}
+
+func (dk *DK) addEdge(u, v graph.NodeID, probe bool) index.UpdateStats {
+	var stats index.UpdateStats
+	ig := dk.IG
+	if ig.Data().HasEdge(u, v) {
+		return stats // duplicate data edge: paths are unchanged
+	}
+	a, b := ig.IndexOf(u), ig.IndexOf(v)
+	kN := 0
+	if probe {
+		kN = UpdateLocalSimilarity(ig, a, b)
+	}
+	stats.IndexNodesVisited++ // V itself
+	ig.AddDataEdge(u, v)
+	if kN >= ig.K(b) {
+		return stats // similarity fully preserved; nothing to propagate
+	}
+	ig.SetK(b, kN)
+
+	// Breadth-first lowering: an index node r distant from V may keep no
+	// more than k_N + r.
+	queue := []graph.NodeID{b}
+	inQueue := map[graph.NodeID]bool{b: true}
+	for len(queue) > 0 {
+		w := queue[0]
+		queue = queue[1:]
+		delete(inQueue, w)
+		limit := ig.K(w) + 1
+		for _, x := range ig.Children(w) {
+			stats.IndexNodesVisited++
+			if ig.K(x) > limit {
+				ig.SetK(x, limit)
+				if !inQueue[x] {
+					inQueue[x] = true
+					queue = append(queue, x)
+				}
+			}
+		}
+	}
+	return stats
+}
+
+// RemoveEdge deletes the data edge u -> v and updates the index: the target
+// class's local similarity is lowered (the deleted edge may have carried
+// label paths other extent members keep, which would make higher claims
+// unsound for v) and the lowering propagates breadth-first exactly as in
+// Algorithm 5. The index never splits and the data graph is never
+// traversed — deletion is as cheap as addition, which the paper's framework
+// implies ("all other update operations can be built on these two basic
+// cases") but does not spell out.
+//
+// Every label path v loses passes through the deleted edge, so if v retains
+// another parent labeled like u, all of v's length-1 label paths survive and
+// similarity 1 is kept (the one-level analogue of Algorithm 4 for
+// deletions); otherwise the similarity drops to 0. Descendants are then
+// lowered to that budget plus their index distance: a member w at data
+// distance r below v only loses label paths longer than r plus the retained
+// level, and index distance never exceeds data distance. (Deletions differ
+// from additions here: an addition introduces no new label paths below the
+// probed level, so the Definition 3 gap is the only thing to repair; a
+// deletion invalidates member paths at every depth below v, so the lowering
+// must be forced by distance even where the invariant already holds.)
+func (dk *DK) RemoveEdge(u, v graph.NodeID) index.UpdateStats {
+	var stats index.UpdateStats
+	ig := dk.IG
+	uLabel := ig.Data().Label(u)
+	if !ig.RemoveDataEdge(u, v) {
+		return stats
+	}
+	b := ig.IndexOf(v)
+	stats.IndexNodesVisited++
+
+	kept := 0
+	for _, p := range ig.Data().Parents(v) {
+		if ig.Data().Label(p) == uLabel {
+			kept = 1 // another u-labeled parent spells every lost length-1 path
+			break
+		}
+	}
+	if kept >= ig.K(b) {
+		// Descendants are covered by Definition 3: K(X) <= K(b)+dist <= kept+dist.
+		return stats
+	}
+	ig.SetK(b, kept)
+
+	// Forced breadth-first lowering: each reachable index node X gets
+	// K(X) <= kept + dist(b, X). Stopping when a node needs no change is
+	// safe because Definition 3 then bounds everything below it.
+	type item struct {
+		n graph.NodeID
+		d int
+	}
+	queue := []item{{b, 0}}
+	seen := map[graph.NodeID]bool{b: true}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, x := range ig.Children(cur.n) {
+			stats.IndexNodesVisited++
+			limit := kept + cur.d + 1
+			if ig.K(x) > limit {
+				ig.SetK(x, limit)
+				if !seen[x] {
+					seen[x] = true
+					queue = append(queue, item{x, cur.d + 1})
+				}
+			}
+		}
+	}
+	return stats
+}

@@ -1,0 +1,115 @@
+package datagen
+
+import "dkindex/internal/xmlgraph"
+
+// DBLPDTD models a DBLP-style bibliography: a flat, wide collection of
+// publication records whose cite/crossref attributes make the reference
+// structure far denser than either of the paper's datasets. It exercises a
+// third structural regime — shallow but heavily cross-linked — where
+// backward-bisimulation classes fragment through citations rather than
+// nesting.
+func DBLPDTD() *DTD {
+	return &DTD{
+		Root: "dblp",
+		Elements: map[string]*ElementDef{
+			"dblp": {Particles: []Particle{
+				plus("article", 1<<20),
+				plus("inproceedings", 1<<20),
+				star("proceedings", 1<<20),
+				star("www", 200),
+			}},
+			"article": {
+				HasID: true,
+				Particles: []Particle{
+					plus("author", 5),
+					one("title"),
+					opt("pages"),
+					one("year"),
+					opt("volume"),
+					opt("journal"),
+					opt("number"),
+					opt("url"),
+					plus("cite", 8),
+				},
+			},
+			"inproceedings": {
+				HasID: true,
+				Particles: []Particle{
+					plus("author", 6),
+					one("title"),
+					opt("pages"),
+					one("year"),
+					opt("booktitle"),
+					opt("url"),
+					plus("cite", 10),
+					opt("crossref"),
+				},
+			},
+			"proceedings": {
+				HasID: true,
+				Particles: []Particle{
+					plus("editor", 3),
+					one("title"),
+					opt("publisher"),
+					one("year"),
+					opt("isbn"),
+					opt("url"),
+				},
+			},
+			"www": {
+				HasID: true,
+				Particles: []Particle{
+					plus("author", 3),
+					one("title"),
+					opt("url"),
+				},
+			},
+			"author":    leaf(),
+			"editor":    leaf(),
+			"title":     leaf(),
+			"pages":     leaf(),
+			"year":      leaf(),
+			"volume":    leaf(),
+			"journal":   leaf(),
+			"number":    leaf(),
+			"url":       leaf(),
+			"booktitle": leaf(),
+			"publisher": leaf(),
+			"isbn":      leaf(),
+			// Citations point at other publications; crossrefs at proceedings.
+			"cite": {Refs: []Ref{
+				{Attr: "articleref", Target: "article", Prob: 0.7},
+				{Attr: "paperref", Target: "inproceedings", Prob: 0.7},
+			}},
+			"crossref": {Refs: []Ref{{Attr: "proceedingsref", Target: "proceedings"}}},
+		},
+	}
+}
+
+// DBLPConfig scales the bibliography.
+type DBLPConfig struct {
+	Seed        int64
+	TargetNodes int
+}
+
+// DBLPScale returns a config producing roughly scale * 100_000 element nodes.
+func DBLPScale(scale float64) DBLPConfig {
+	if scale <= 0 {
+		scale = 0.01
+	}
+	return DBLPConfig{Seed: 3, TargetNodes: int(scale * 100_000)}
+}
+
+// DBLP generates the bibliography document.
+func DBLP(cfg DBLPConfig) *xmlgraph.Elem {
+	doc, err := Generate(DBLPDTD(), GenConfig{
+		Seed:        cfg.Seed,
+		TargetNodes: cfg.TargetNodes,
+		MaxDepth:    6,
+	})
+	if err != nil {
+		// DBLPDTD is a fixed, validated model; failure is a programming error.
+		panic(err)
+	}
+	return doc
+}

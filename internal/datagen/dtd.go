@@ -1,0 +1,254 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"dkindex/internal/xmlgraph"
+)
+
+// Cardinality is a DTD content-particle cardinality.
+type Cardinality int
+
+// DTD cardinalities.
+const (
+	One  Cardinality = iota // exactly one
+	Opt                     // ? — zero or one
+	Star                    // * — zero or more
+	Plus                    // + — one or more
+)
+
+// Particle is one child slot in an element's content model.
+type Particle struct {
+	Child string
+	Card  Cardinality
+	// MaxRepeat caps Star/Plus expansion (default 3).
+	MaxRepeat int
+}
+
+// Ref declares a reference attribute the generator emits: Attr receives the
+// id of a randomly chosen generated element of type Target. Names should end
+// in "ref" so the default loader heuristic resolves them.
+type Ref struct {
+	Attr   string
+	Target string
+	// Prob is the emission probability (default 1.0).
+	Prob float64
+}
+
+// ElementDef is the content model of one element type.
+type ElementDef struct {
+	// HasID makes generated instances carry an id attribute so they can be
+	// reference targets.
+	HasID bool
+	// Choice selects exactly one particle instead of emitting the sequence.
+	Choice bool
+	// Particles is the content model (a sequence, or alternatives when
+	// Choice is set).
+	Particles []Particle
+	// Refs are reference attributes to emit.
+	Refs []Ref
+}
+
+// DTD is a document type definition: a root element and a content model per
+// element type.
+type DTD struct {
+	Root     string
+	Elements map[string]*ElementDef
+}
+
+// Validate checks that every particle and reference target is defined.
+func (d *DTD) Validate() error {
+	if _, ok := d.Elements[d.Root]; !ok {
+		return fmt.Errorf("datagen: root element %q undefined", d.Root)
+	}
+	for name, def := range d.Elements {
+		for _, p := range def.Particles {
+			if _, ok := d.Elements[p.Child]; !ok {
+				return fmt.Errorf("datagen: element %q references undefined child %q", name, p.Child)
+			}
+		}
+		for _, r := range def.Refs {
+			if _, ok := d.Elements[r.Target]; !ok {
+				return fmt.Errorf("datagen: element %q references undefined ref target %q", name, r.Target)
+			}
+		}
+		if def.Choice && len(def.Particles) == 0 {
+			return fmt.Errorf("datagen: element %q is a choice with no alternatives", name)
+		}
+	}
+	return nil
+}
+
+// GenConfig controls DTD-driven generation.
+type GenConfig struct {
+	Seed int64
+	// TargetNodes stops optional expansion once the document reaches this
+	// size; mandatory content still completes. Zero means 10_000.
+	TargetNodes int
+	// MaxDepth suppresses optional content below this depth to keep
+	// recursive models finite. Zero means 12.
+	MaxDepth int
+}
+
+// hardDepthCap aborts generation of DTDs whose *mandatory* content recurses
+// unboundedly.
+const hardDepthCap = 64
+
+// Generate produces a random document conforming to the DTD. Generation is
+// deterministic for a given seed. References are wired in a second pass so
+// they may point anywhere in the document, including forward.
+func Generate(d *DTD, cfg GenConfig) (*xmlgraph.Elem, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.TargetNodes == 0 {
+		cfg.TargetNodes = 10_000
+	}
+	if cfg.MaxDepth == 0 {
+		cfg.MaxDepth = 12
+	}
+	g := &dtdGen{
+		dtd:    d,
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		ids:    make(map[string][]string),
+		nextID: make(map[string]int),
+	}
+	root, err := g.emit(d.Root, 0)
+	if err != nil {
+		return nil, err
+	}
+	g.wireRefs()
+	return root, nil
+}
+
+type dtdGen struct {
+	dtd   *DTD
+	cfg   GenConfig
+	rng   *rand.Rand
+	nodes int
+	// ids collects generated ids per element type; nextID numbers them.
+	ids    map[string][]string
+	nextID map[string]int
+	// pending reference attributes to wire once all ids exist.
+	pending []pendingRef
+}
+
+type pendingRef struct {
+	elem   *xmlgraph.Elem
+	attr   string
+	target string
+}
+
+func (g *dtdGen) emit(name string, depth int) (*xmlgraph.Elem, error) {
+	if depth > hardDepthCap {
+		return nil, fmt.Errorf("datagen: mandatory content of %q recurses past depth %d", name, hardDepthCap)
+	}
+	def := g.dtd.Elements[name]
+	e := xmlgraph.NewElem(name)
+	g.nodes++
+	if def.HasID {
+		id := fmt.Sprintf("%s%d", name, g.nextID[name])
+		g.nextID[name]++
+		g.ids[name] = append(g.ids[name], id)
+		e.Attr("id", id)
+	}
+	for _, r := range def.Refs {
+		prob := r.Prob
+		if prob == 0 {
+			prob = 1
+		}
+		if g.rng.Float64() <= prob {
+			g.pending = append(g.pending, pendingRef{elem: e, attr: r.Attr, target: r.Target})
+		}
+	}
+
+	budgetLeft := g.nodes < g.cfg.TargetNodes && depth < g.cfg.MaxDepth
+	particles := def.Particles
+	if def.Choice && len(particles) > 0 {
+		particles = []Particle{particles[g.rng.Intn(len(particles))]}
+	}
+	for _, p := range particles {
+		count := 0
+		switch p.Card {
+		case One:
+			count = 1
+		case Opt:
+			if budgetLeft && g.rng.Intn(2) == 0 {
+				count = 1
+			}
+		case Plus, Star:
+			max := p.MaxRepeat
+			if max == 0 {
+				max = 3
+			}
+			min := 0
+			if p.Card == Plus {
+				min = 1
+			}
+			switch {
+			case !budgetLeft:
+				count = min
+			case max >= 100:
+				// Wide repetitions (document-level lists) are budget-driven:
+				// the emission loop below stops when the target is reached.
+				count = max
+			default:
+				count = pick(g.rng, min, max)
+			}
+		}
+		minCount := 0
+		if p.Card == One || p.Card == Plus {
+			minCount = 1
+		}
+		for i := 0; i < count; i++ {
+			if i >= minCount && g.nodes >= g.cfg.TargetNodes {
+				break
+			}
+			c, err := g.emit(p.Child, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			e.Append(c)
+		}
+	}
+	return e, nil
+}
+
+// wireRefs assigns each pending reference a random id of its target type.
+// References whose target type was never generated are dropped.
+func (g *dtdGen) wireRefs() {
+	// Deterministic order regardless of map iteration: pending is already
+	// in generation order.
+	for _, p := range g.pending {
+		ids := g.ids[p.target]
+		if len(ids) == 0 {
+			continue
+		}
+		p.elem.Attr(p.attr, ids[g.rng.Intn(len(ids))])
+	}
+}
+
+// leaf is a convenience for DTD literals: an element with no content.
+func leaf() *ElementDef { return &ElementDef{} }
+
+// seq builds a sequence content model.
+func seq(ps ...Particle) *ElementDef { return &ElementDef{Particles: ps} }
+
+// one/opt/star/plus build particles.
+func one(child string) Particle           { return Particle{Child: child, Card: One} }
+func opt(child string) Particle           { return Particle{Child: child, Card: Opt} }
+func star(child string, max int) Particle { return Particle{Child: child, Card: Star, MaxRepeat: max} }
+func plus(child string, max int) Particle { return Particle{Child: child, Card: Plus, MaxRepeat: max} }
+
+// ElementNames returns the defined element names, sorted; for reports.
+func (d *DTD) ElementNames() []string {
+	out := make([]string, 0, len(d.Elements))
+	for n := range d.Elements {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,181 @@
+package datagen
+
+import "dkindex/internal/xmlgraph"
+
+// NASADTD models the structure of nasa.dtd, the markup language of the
+// astronomical data center at NASA/GSFC that the paper's second dataset is
+// generated from. The paper used the IBM XML generator over the real DTD and
+// kept 8 of its 20 ID/IDREF references to keep the index manageable; this
+// transcription preserves the properties the experiments rely on — a
+// broader, deeper and less regular structure than XMark, with exactly 8
+// reference kinds (marked Refs below).
+func NASADTD() *DTD {
+	return &DTD{
+		Root: "datasets",
+		Elements: map[string]*ElementDef{
+			"datasets": {Particles: []Particle{plus("dataset", 1<<20)}},
+			"dataset": {
+				HasID: true,
+				Particles: []Particle{
+					one("subject"),
+					one("title"),
+					star("altname", 3),
+					one("abstract"),
+					opt("keywords"),
+					plus("author", 4),
+					opt("holdings"),
+					one("identifier"),
+					opt("date"),
+					opt("journal"),
+					opt("descriptions"),
+					opt("tableHead"),
+					opt("history"),
+					plus("reference", 6),
+					plus("seealso", 4),
+					opt("instrument"),
+					opt("observatory"),
+					opt("coverage"),
+				},
+			},
+			"subject":     leaf(),
+			"title":       leaf(),
+			"altname":     leaf(),
+			"identifier":  leaf(),
+			"abstract":    seq(plus("para", 3)),
+			"para":        seq(star("footnote", 2)),
+			"footnote":    seq(opt("source")),
+			"keywords":    seq(plus("keyword", 5)),
+			"instrument":  seq(one("instname"), opt("telescope"), star("detector", 2)),
+			"instname":    leaf(),
+			"telescope":   seq(opt("aperture")),
+			"aperture":    leaf(),
+			"detector":    seq(opt("waveband")),
+			"waveband":    leaf(),
+			"observatory": seq(one("obsname"), opt("location"), opt("operator")),
+			"obsname":     leaf(),
+			"location":    seq(opt("latitude"), opt("longitude"), opt("altitude")),
+			"latitude":    leaf(),
+			"longitude":   leaf(),
+			"altitude":    leaf(),
+			"operator":    leaf(),
+			"coverage":    seq(opt("spatial"), opt("temporal"), opt("spectral")),
+			"spatial":     seq(opt("region")),
+			"region":      leaf(),
+			"temporal":    seq(opt("startTime"), opt("stopTime")),
+			"startTime":   leaf(),
+			"stopTime":    leaf(),
+			"spectral":    leaf(),
+			"keyword": {
+				HasID: true,
+				Particles: []Particle{
+					// Related keyword: reference 1.
+					plus("relatedkw", 3),
+				},
+			},
+			"relatedkw": {Refs: []Ref{{Attr: "keywordref", Target: "keyword"}}},
+			"author": {
+				HasID: true,
+				Particles: []Particle{
+					opt("initial"),
+					one("lastname"),
+					opt("affiliation"),
+				},
+			},
+			"initial":     leaf(),
+			"lastname":    leaf(),
+			"affiliation": leaf(),
+			"holdings":    seq(star("resource", 3)),
+			"resource":    seq(opt("media"), opt("size")),
+			"media":       leaf(),
+			"size":        leaf(),
+			"date":        seq(opt("year"), opt("month"), opt("day")),
+			"year":        leaf(),
+			"month":       leaf(),
+			"day":         leaf(),
+			"journal": {
+				Particles: []Particle{
+					one("name"),
+					star("journalauthor", 3),
+					opt("volume"),
+					opt("pages"),
+				},
+			},
+			"name":   leaf(),
+			"volume": leaf(),
+			"pages":  leaf(),
+			// Journal author cites a dataset author: reference 2.
+			"journalauthor": {Refs: []Ref{{Attr: "authorref", Target: "author"}}},
+			"descriptions":  seq(plus("description", 3)),
+			"description":   seq(plus("detail", 2), opt("contributor")),
+			"detail":        seq(star("para", 3)),
+			// Contributor points at an author: reference 3.
+			"contributor": {Refs: []Ref{{Attr: "authorref", Target: "author"}}},
+			"tableHead":   seq(plus("tableLink", 3), star("field", 4)),
+			// Table links cite other datasets: reference 4.
+			"tableLink":  {Refs: []Ref{{Attr: "datasetref", Target: "dataset"}}},
+			"field":      seq(opt("definition")),
+			"definition": seq(star("para", 2)),
+			"history":    seq(plus("revision", 4), opt("ingest"), opt("checksum")),
+			"ingest":     seq(opt("ingestDate")),
+			"ingestDate": leaf(),
+			"checksum":   leaf(),
+			"revision": {
+				HasID: true,
+				Particles: []Particle{
+					star("basedon", 2),
+				},
+			},
+			// Revision lineage: reference 5.
+			"basedon": {Refs: []Ref{{Attr: "revisionref", Target: "revision"}}},
+			"reference": {
+				Particles: []Particle{one("source")},
+				// Bibliographic citation of another dataset: reference 6.
+				Refs: []Ref{{Attr: "datasetref", Target: "dataset"}},
+			},
+			"source": {
+				Choice: true,
+				Particles: []Particle{
+					one("journal"),
+					one("book"),
+					one("other"),
+				},
+			},
+			"book": seq(one("title"), star("journalauthor", 2)),
+			"other": {
+				// Free citation with a keyword link: reference 7.
+				Refs: []Ref{{Attr: "keywordref", Target: "keyword", Prob: 0.8}},
+			},
+			// See-also between datasets: reference 8.
+			"seealso": {Refs: []Ref{{Attr: "datasetref", Target: "dataset"}}},
+		},
+	}
+}
+
+// NASAConfig scales the NASA-like document.
+type NASAConfig struct {
+	Seed        int64
+	TargetNodes int
+}
+
+// NASAScale returns a config producing roughly scale * 100_000 element
+// nodes (the paper's 15 MB file is about scale 1.5 here).
+func NASAScale(scale float64) NASAConfig {
+	if scale <= 0 {
+		scale = 0.01
+	}
+	return NASAConfig{Seed: 2, TargetNodes: int(scale * 100_000)}
+}
+
+// NASA generates the NASA-like astronomical metadata document.
+func NASA(cfg NASAConfig) *xmlgraph.Elem {
+	doc, err := Generate(NASADTD(), GenConfig{
+		Seed:        cfg.Seed,
+		TargetNodes: cfg.TargetNodes,
+		MaxDepth:    14,
+	})
+	if err != nil {
+		// NASADTD is a fixed, validated model; failure is a programming error.
+		panic(err)
+	}
+	return doc
+}

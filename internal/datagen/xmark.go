@@ -1,0 +1,208 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dkindex/internal/xmlgraph"
+)
+
+// XMarkConfig scales the auction-site document. Counts are totals across
+// the whole site.
+type XMarkConfig struct {
+	Seed           int64
+	Categories     int
+	Items          int
+	People         int
+	OpenAuctions   int
+	ClosedAuctions int
+}
+
+// XMarkScale returns a config sized so the resulting document has roughly
+// scale * 100_000 element nodes, mirroring XMark's single scale factor (the
+// paper's 10 MB file is about scale 1 here).
+func XMarkScale(scale float64) XMarkConfig {
+	if scale <= 0 {
+		scale = 0.01
+	}
+	f := func(n float64) int {
+		v := int(n * scale)
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	return XMarkConfig{
+		Seed:           1,
+		Categories:     f(100),
+		Items:          f(2175),
+		People:         f(2550),
+		OpenAuctions:   f(1200),
+		ClosedAuctions: f(975),
+	}
+}
+
+var xmarkRegions = []string{"africa", "asia", "australia", "europe", "namerica", "samerica"}
+
+// XMark generates the auction-site document: the structural skeleton of the
+// XMark benchmark (site / regions / categories / people / open_auctions /
+// closed_auctions) with its characteristic reference edges — items belong to
+// categories, auctions reference items and people, people watch auctions and
+// declare category interests.
+func XMark(cfg XMarkConfig) *xmlgraph.Elem {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	site := xmlgraph.NewElem("site")
+
+	// Categories.
+	categories := site.Child("categories")
+	for i := 0; i < cfg.Categories; i++ {
+		c := categories.Child("category")
+		c.Attr("id", catID(i))
+		c.Child("name")
+		desc := c.Child("description")
+		for j := pick(rng, 1, 3); j > 0; j-- {
+			desc.Child("text")
+		}
+	}
+	catgraph := site.Child("catgraph")
+	for i := 0; i < cfg.Categories; i++ {
+		e := catgraph.Child("edge")
+		e.Attr("fromref", catID(rng.Intn(cfg.Categories)))
+		e.Attr("toref", catID(rng.Intn(cfg.Categories)))
+	}
+
+	// Regions and items.
+	regions := site.Child("regions")
+	regionElems := make([]*xmlgraph.Elem, len(xmarkRegions))
+	for i, r := range xmarkRegions {
+		regionElems[i] = regions.Child(r)
+	}
+	for i := 0; i < cfg.Items; i++ {
+		item := regionElems[rng.Intn(len(regionElems))].Child("item")
+		item.Attr("id", itemID(i))
+		item.Child("location")
+		item.Child("quantity")
+		item.Child("name")
+		item.Child("payment")
+		desc := item.Child("description")
+		for j := pick(rng, 1, 3); j > 0; j-- {
+			desc.Child("text")
+		}
+		if rng.Intn(2) == 0 {
+			item.Child("shipping")
+		}
+		for j := pick(rng, 1, 2); j > 0; j-- {
+			inc := item.Child("incategory")
+			inc.Attr("categoryref", catID(rng.Intn(cfg.Categories)))
+		}
+		if rng.Intn(3) == 0 {
+			mb := item.Child("mailbox")
+			for j := pick(rng, 1, 3); j > 0; j-- {
+				mail := mb.Child("mail")
+				mail.Child("from")
+				mail.Child("to")
+				mail.Child("date")
+				mail.Child("text")
+			}
+		}
+	}
+
+	// People.
+	people := site.Child("people")
+	for i := 0; i < cfg.People; i++ {
+		p := people.Child("person")
+		p.Attr("id", personID(i))
+		p.Child("name")
+		p.Child("emailaddress")
+		if rng.Intn(2) == 0 {
+			p.Child("phone")
+		}
+		if rng.Intn(2) == 0 {
+			addr := p.Child("address")
+			addr.Child("street")
+			addr.Child("city")
+			addr.Child("country")
+			addr.Child("zipcode")
+		}
+		if rng.Intn(3) != 0 {
+			prof := p.Child("profile")
+			for j := pick(rng, 0, 3); j > 0; j-- {
+				in := prof.Child("interest")
+				in.Attr("categoryref", catID(rng.Intn(cfg.Categories)))
+			}
+			if rng.Intn(2) == 0 {
+				prof.Child("education")
+			}
+			if rng.Intn(2) == 0 {
+				prof.Child("business")
+			}
+		}
+		if cfg.OpenAuctions > 0 && rng.Intn(3) == 0 {
+			w := p.Child("watches")
+			for j := pick(rng, 1, 3); j > 0; j-- {
+				watch := w.Child("watch")
+				watch.Attr("auctionref", openAuctionID(rng.Intn(cfg.OpenAuctions)))
+			}
+		}
+	}
+
+	// Open auctions.
+	open := site.Child("open_auctions")
+	for i := 0; i < cfg.OpenAuctions; i++ {
+		a := open.Child("open_auction")
+		a.Attr("id", openAuctionID(i))
+		a.Child("initial")
+		if rng.Intn(2) == 0 {
+			a.Child("reserve")
+		}
+		for j := pick(rng, 0, 4); j > 0; j-- {
+			b := a.Child("bidder")
+			b.Child("date")
+			b.Child("increase")
+			b.Attr("personref", personID(rng.Intn(cfg.People)))
+		}
+		a.Child("current")
+		it := a.Child("itemref")
+		it.Attr("itemref", itemID(rng.Intn(cfg.Items)))
+		seller := a.Child("seller")
+		seller.Attr("personref", personID(rng.Intn(cfg.People)))
+		ann := a.Child("annotation")
+		author := ann.Child("author")
+		author.Attr("personref", personID(rng.Intn(cfg.People)))
+		ann.Child("description")
+		a.Child("quantity")
+		a.Child("type")
+		iv := a.Child("interval")
+		iv.Child("start")
+		iv.Child("end")
+	}
+
+	// Closed auctions.
+	closed := site.Child("closed_auctions")
+	for i := 0; i < cfg.ClosedAuctions; i++ {
+		a := closed.Child("closed_auction")
+		seller := a.Child("seller")
+		seller.Attr("personref", personID(rng.Intn(cfg.People)))
+		buyer := a.Child("buyer")
+		buyer.Attr("personref", personID(rng.Intn(cfg.People)))
+		it := a.Child("itemref")
+		it.Attr("itemref", itemID(rng.Intn(cfg.Items)))
+		a.Child("price")
+		a.Child("date")
+		a.Child("quantity")
+		a.Child("type")
+		if rng.Intn(2) == 0 {
+			ann := a.Child("annotation")
+			author := ann.Child("author")
+			author.Attr("personref", personID(rng.Intn(cfg.People)))
+			ann.Child("description")
+		}
+	}
+
+	return site
+}
+
+func catID(i int) string         { return fmt.Sprintf("category%d", i) }
+func itemID(i int) string        { return fmt.Sprintf("item%d", i) }
+func personID(i int) string      { return fmt.Sprintf("person%d", i) }
+func openAuctionID(i int) string { return fmt.Sprintf("open_auction%d", i) }

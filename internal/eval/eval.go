@@ -1,0 +1,204 @@
+// Package eval evaluates path queries on data graphs and on structural
+// summaries, implementing the paper's in-memory cost model (Section 6.1):
+// the cost of a query is the number of nodes visited in the index or data
+// graph during evaluation. Data nodes inside the extent of a matched index
+// node are free — unless the match requires validation, in which case every
+// data node inspected while validating is charged.
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dkindex/internal/graph"
+	"dkindex/internal/index"
+)
+
+// Query is a simple path query: a sequence of labels, outermost first. A
+// data node matches if some node path ending in it spells the query (the
+// paper's partial-match semantics — queries may start anywhere, which is the
+// common self-or-descendant '//' usage its workload models).
+type Query []graph.LabelID
+
+// ParseQuery builds a Query from a dotted label path such as
+// "director.movie.title". Labels the data has never used resolve to
+// graph.InvalidLabel, which no node carries — the query simply matches
+// nothing. (Parsing never interns, so hostile query streams cannot grow the
+// label table.)
+func ParseQuery(t *graph.LabelTable, s string) (Query, error) {
+	if s == "" {
+		return nil, fmt.Errorf("eval: empty query")
+	}
+	parts := strings.Split(s, ".")
+	q := make(Query, len(parts))
+	for i, p := range parts {
+		if p == "" {
+			return nil, fmt.Errorf("eval: empty label at position %d in %q", i, s)
+		}
+		q[i] = t.Lookup(p)
+	}
+	return q, nil
+}
+
+// Length returns the path expression length in the paper's convention: a
+// query of m+1 labels has length m (its edge count). An index node is sound
+// for q iff its local similarity is >= q.Length().
+func (q Query) Length() int { return len(q) - 1 }
+
+// Format renders the query with a label table. Labels unknown to the data
+// (graph.InvalidLabel after parsing) render as "__unknown__", which itself
+// resolves to no label, so formatting stays re-parseable.
+func (q Query) Format(t *graph.LabelTable) string {
+	parts := make([]string, len(q))
+	for i, l := range q {
+		parts[i] = labelName(t, l)
+	}
+	return strings.Join(parts, ".")
+}
+
+// labelName renders a label id defensively (parsing can produce
+// graph.InvalidLabel for labels the data never uses).
+func labelName(t *graph.LabelTable, l graph.LabelID) string {
+	if l == graph.InvalidLabel {
+		return "__unknown__"
+	}
+	return t.Name(l)
+}
+
+// Cost tallies the work of one evaluation under the paper's cost model.
+type Cost struct {
+	// IndexNodesVisited counts nodes expanded during graph traversal (index
+	// nodes for index evaluation, data nodes for direct evaluation).
+	IndexNodesVisited int
+	// DataNodesValidated counts data nodes inspected by the validation
+	// process.
+	DataNodesValidated int
+	// Validations counts matched index nodes that required validation.
+	Validations int
+}
+
+// Total is the paper's scalar cost: all nodes visited.
+func (c Cost) Total() int { return c.IndexNodesVisited + c.DataNodesValidated }
+
+// Add accumulates other into c.
+func (c *Cost) Add(other Cost) {
+	c.IndexNodesVisited += other.IndexNodesVisited
+	c.DataNodesValidated += other.DataNodesValidated
+	c.Validations += other.Validations
+}
+
+// Data evaluates q directly on the data graph — the ground truth (and the
+// cost of queries without any index). Results are sorted data node ids.
+func Data(g *graph.Graph, q Query) ([]graph.NodeID, Cost) {
+	var c Cost
+	res := g.EvalLabelPath(q, func(graph.NodeID) { c.IndexNodesVisited++ })
+	return res, c
+}
+
+// Index evaluates q on a structural summary. The query is first run over
+// the index graph; extents of matched index nodes that are sound for the
+// query (local similarity >= query length) contribute wholesale, while
+// unsound matches are validated node by node against the data graph
+// (Section 4.1: the validation process of the A(k)-index, applied per index
+// node under the D(k)-index's per-node similarities).
+//
+// Results are sorted data node ids and always equal Data(g, q): safety
+// guarantees no misses, validation removes false positives.
+func Index(ig *index.IndexGraph, q Query) ([]graph.NodeID, Cost) {
+	var c Cost
+	matched := evalOnIndex(ig, q, &c)
+	need := q.Length()
+	data := ig.Data()
+	var res []graph.NodeID
+	for _, m := range matched {
+		if ig.K(m) >= need {
+			res = append(res, ig.Extent(m)...)
+			continue
+		}
+		c.Validations++
+		for _, d := range ig.Extent(m) {
+			ok := data.LabelPathMatchesNode(q, d, func(graph.NodeID) { c.DataNodesValidated++ })
+			if ok {
+				res = append(res, d)
+			}
+		}
+	}
+	sort.Slice(res, func(i, j int) bool { return res[i] < res[j] })
+	return res, c
+}
+
+// IndexNoValidation evaluates q on the summary trusting every match: the
+// union of matched extents is returned without consulting the data graph.
+// For a sound index (every matched node with similarity >= query length)
+// this equals the true result; otherwise it may contain false positives.
+// Exposed for soundness experiments and tests.
+func IndexNoValidation(ig *index.IndexGraph, q Query) ([]graph.NodeID, Cost) {
+	var c Cost
+	matched := evalOnIndex(ig, q, &c)
+	var res []graph.NodeID
+	for _, m := range matched {
+		res = append(res, ig.Extent(m)...)
+	}
+	sort.Slice(res, func(i, j int) bool { return res[i] < res[j] })
+	return res, c
+}
+
+// evalOnIndex runs the label-path traversal over the index graph, charging
+// one visit per (node, position) expansion, and returns the matched index
+// nodes in ascending order.
+func evalOnIndex(ig *index.IndexGraph, q Query, c *Cost) []graph.NodeID {
+	if len(q) == 0 {
+		return nil
+	}
+	cur := make(map[graph.NodeID]bool)
+	for n := 0; n < ig.NumNodes(); n++ {
+		if ig.Label(graph.NodeID(n)) == q[0] {
+			cur[graph.NodeID(n)] = true
+			c.IndexNodesVisited++
+		}
+	}
+	for pos := 1; pos < len(q); pos++ {
+		next := make(map[graph.NodeID]bool)
+		for n := range cur {
+			for _, ch := range ig.Children(n) {
+				if ig.Label(ch) == q[pos] && !next[ch] {
+					next[ch] = true
+					c.IndexNodesVisited++
+				}
+			}
+		}
+		cur = next
+		if len(cur) == 0 {
+			return nil
+		}
+	}
+	out := make([]graph.NodeID, 0, len(cur))
+	for n := range cur {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SameResult reports whether two sorted result slices are identical; a test
+// and experiment helper.
+func SameResult(a, b []graph.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// MatchedIndexNodes runs the index-graph traversal for q and returns the
+// matched index nodes (ascending) with the traversal cost, leaving the
+// sound-or-validate decision to the caller. It backs explanation tooling.
+func MatchedIndexNodes(ig *index.IndexGraph, q Query) ([]graph.NodeID, Cost) {
+	var c Cost
+	return evalOnIndex(ig, q, &c), c
+}

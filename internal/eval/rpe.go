@@ -1,0 +1,45 @@
+package eval
+
+import (
+	"sort"
+
+	"dkindex/internal/graph"
+	"dkindex/internal/index"
+	"dkindex/internal/rpe"
+)
+
+// DataRPE evaluates a compiled regular path expression directly on the data
+// graph (ground truth for expression queries).
+func DataRPE(g *graph.Graph, c *rpe.Compiled) ([]graph.NodeID, Cost) {
+	var cost Cost
+	res := c.Eval(g, func(graph.NodeID) { cost.IndexNodesVisited++ })
+	return res, cost
+}
+
+// IndexRPE evaluates a compiled regular path expression on a structural
+// summary. Matched index nodes whose local similarity covers the longest
+// word the expression can produce contribute their extents wholesale; the
+// rest are validated member by member against the data graph with the
+// reversed automaton. Unbounded expressions (containing a reachable star)
+// always validate, which is conservative but exact.
+func IndexRPE(ig *index.IndexGraph, c *rpe.Compiled) ([]graph.NodeID, Cost) {
+	var cost Cost
+	matched := c.Eval(ig, func(graph.NodeID) { cost.IndexNodesVisited++ })
+	data := ig.Data()
+	var res []graph.NodeID
+	for _, m := range matched {
+		if c.MaxLen >= 0 && c.MaxLen-1 <= ig.K(m) {
+			res = append(res, ig.Extent(m)...)
+			continue
+		}
+		cost.Validations++
+		for _, d := range ig.Extent(m) {
+			ok := c.MatchesNode(data, d, func(graph.NodeID) { cost.DataNodesValidated++ })
+			if ok {
+				res = append(res, d)
+			}
+		}
+	}
+	sort.Slice(res, func(i, j int) bool { return res[i] < res[j] })
+	return res, cost
+}

@@ -1,0 +1,94 @@
+package eval
+
+import (
+	"testing"
+
+	"dkindex/internal/graph"
+	"dkindex/internal/index"
+	"dkindex/internal/rpe"
+)
+
+func compile(t *testing.T, g *graph.Graph, src string) *rpe.Compiled {
+	t.Helper()
+	e, err := rpe.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rpe.CompileExpr(e, g.Labels())
+}
+
+func TestIndexRPEPaperExamples(t *testing.T) {
+	g := graph.FigureOneMovies()
+	for _, tc := range []struct {
+		expr string
+		want []graph.NodeID
+	}{
+		{"director.movie.title", []graph.NodeID{15, 16, 18}},
+		{"movieDB.(_)?.movie.actor.name", []graph.NodeID{12, 22}},
+		{"movieDB//title", []graph.NodeID{13, 15, 16, 18}},
+	} {
+		c := compile(t, g, tc.expr)
+		for _, ig := range []*index.IndexGraph{
+			index.BuildLabelSplit(g),
+			index.BuildAK(g, 2),
+			index.Build1Index(g),
+		} {
+			res, _ := IndexRPE(ig, c)
+			if !SameResult(res, tc.want) {
+				t.Errorf("%s on %d-node index: %v, want %v", tc.expr, ig.NumNodes(), res, tc.want)
+			}
+		}
+	}
+}
+
+func TestIndexRPESoundBoundSkipsValidation(t *testing.T) {
+	g := graph.FigureOneMovies()
+	c := compile(t, g, "director.movie.title") // MaxLen 3, length 2
+	one := index.Build1Index(g)
+	_, cost := IndexRPE(one, c)
+	if cost.Validations != 0 {
+		t.Errorf("1-index validated a bounded expression %d times", cost.Validations)
+	}
+	ls := index.BuildLabelSplit(g)
+	_, cost = IndexRPE(ls, c)
+	if cost.Validations == 0 {
+		t.Error("label-split should validate a length-2 expression")
+	}
+}
+
+func TestIndexRPEUnboundedAlwaysValidates(t *testing.T) {
+	g := graph.FigureOneMovies()
+	c := compile(t, g, "movieDB//title")
+	one := index.Build1Index(g)
+	res, cost := IndexRPE(one, c)
+	truth, _ := DataRPE(g, c)
+	if !SameResult(res, truth) {
+		t.Errorf("unbounded expr: %v != %v", res, truth)
+	}
+	if cost.Validations == 0 {
+		t.Error("unbounded expression must validate even on the 1-index")
+	}
+}
+
+func TestIndexRPERandomizedAgainstTruth(t *testing.T) {
+	for trial := 0; trial < 4; trial++ {
+		g := randomGraph(int64(trial)+400, 200, 3, 50)
+		exprs := []string{"a.b", "a//c", "(a|b).c", "a.(b|c)*.a", "_.b.c?", "ROOT//a"}
+		igs := []*index.IndexGraph{
+			index.BuildLabelSplit(g),
+			index.BuildAK(g, 2),
+			index.Build1Index(g),
+		}
+		for _, src := range exprs {
+			c := compile(t, g, src)
+			truth, _ := DataRPE(g, c)
+			for _, ig := range igs {
+				res, _ := IndexRPE(ig, c)
+				if !SameResult(res, truth) {
+					t.Fatalf("trial %d expr %s on %d-node index: %v != %v",
+						trial, src, ig.NumNodes(), res, truth)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,325 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dkindex/internal/graph"
+	"dkindex/internal/index"
+)
+
+// Twig is a branching path query: a trunk of labels in which every step may
+// carry child-existence predicates, themselves twigs. "movie[actor.name].title"
+// returns titles of movies that have an actor child with a name child.
+// These are the branching path queries of the F&B-index (Kaushik et al.,
+// SIGMOD 2002), which the paper's future work points to.
+type Twig struct {
+	Steps []TwigStep
+	// numSteps is the total number of steps across the trunk and all nested
+	// predicates; memo tables are sized by it.
+	numSteps int
+}
+
+// TwigStep is one trunk step: a label plus optional predicates.
+type TwigStep struct {
+	Label graph.LabelID
+	Preds []*Twig
+	id    int // dense across the whole query, for memoization
+}
+
+// ParseTwig parses a branching path query (unknown labels resolve to
+// graph.InvalidLabel and match nothing, as in ParseQuery):
+//
+//	twig := step ('.' step)*
+//	step := label ('[' twig ']')*
+//
+// Labels follow the same lexical rules as simple queries.
+func ParseTwig(t *graph.LabelTable, s string) (*Twig, error) {
+	p := &twigParser{src: s, tab: t}
+	q, err := p.twig()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("eval: unexpected %q at offset %d", p.src[p.pos:], p.pos)
+	}
+	assignIDs(q, 0)
+	return q, nil
+}
+
+func assignIDs(q *Twig, next int) int {
+	for i := range q.Steps {
+		q.Steps[i].id = next
+		next++
+		for _, pred := range q.Steps[i].Preds {
+			next = assignIDs(pred, next)
+		}
+	}
+	q.numSteps = next
+	return next
+}
+
+type twigParser struct {
+	src string
+	pos int
+	tab *graph.LabelTable
+}
+
+func (p *twigParser) twig() (*Twig, error) {
+	q := &Twig{}
+	for {
+		step, err := p.step()
+		if err != nil {
+			return nil, err
+		}
+		q.Steps = append(q.Steps, step)
+		if p.pos < len(p.src) && p.src[p.pos] == '.' {
+			p.pos++
+			continue
+		}
+		return q, nil
+	}
+}
+
+func (p *twigParser) step() (TwigStep, error) {
+	start := p.pos
+	for p.pos < len(p.src) && isTwigLabelByte(p.src[p.pos]) {
+		p.pos++
+	}
+	if p.pos == start {
+		return TwigStep{}, fmt.Errorf("eval: expected label at offset %d in %q", start, p.src)
+	}
+	step := TwigStep{Label: p.tab.Lookup(p.src[start:p.pos])}
+	for p.pos < len(p.src) && p.src[p.pos] == '[' {
+		p.pos++
+		pred, err := p.twig()
+		if err != nil {
+			return TwigStep{}, err
+		}
+		if p.pos >= len(p.src) || p.src[p.pos] != ']' {
+			return TwigStep{}, fmt.Errorf("eval: missing ']' at offset %d in %q", p.pos, p.src)
+		}
+		p.pos++
+		step.Preds = append(step.Preds, pred)
+	}
+	return step, nil
+}
+
+func isTwigLabelByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' ||
+		c == '_' || c == '-' || c == ':' || c == '@'
+}
+
+// Format renders the twig back to source syntax.
+func (q *Twig) Format(t *graph.LabelTable) string {
+	var b strings.Builder
+	for i, s := range q.Steps {
+		if i > 0 {
+			b.WriteByte('.')
+		}
+		b.WriteString(labelName(t, s.Label))
+		for _, pred := range s.Preds {
+			b.WriteByte('[')
+			b.WriteString(pred.Format(t))
+			b.WriteByte(']')
+		}
+	}
+	return b.String()
+}
+
+// Length returns the trunk length in edges (the budget a non-branching
+// index node would need for the trunk alone).
+func (q *Twig) Length() int { return len(q.Steps) - 1 }
+
+// twigSource is the graph view twig evaluation needs; data graphs and index
+// graphs both provide it.
+type twigSource interface {
+	NumNodes() int
+	Label(n graph.NodeID) graph.LabelID
+	Children(n graph.NodeID) []graph.NodeID
+	Parents(n graph.NodeID) []graph.NodeID
+}
+
+// twigEval carries the per-query memo tables.
+type twigEval struct {
+	src   twigSource
+	q     *Twig
+	visit func(graph.NodeID)
+	// predMemo[(stepID, node)] caches downward predicate matching.
+	predMemo map[[2]int32]bool
+}
+
+func newTwigEval(src twigSource, q *Twig, visit func(graph.NodeID)) *twigEval {
+	return &twigEval{src: src, q: q, visit: visit, predMemo: make(map[[2]int32]bool)}
+}
+
+func (e *twigEval) see(n graph.NodeID) {
+	if e.visit != nil {
+		e.visit(n)
+	}
+}
+
+// stepOK reports whether node n satisfies step s locally: label match plus
+// all predicates.
+func (e *twigEval) stepOK(n graph.NodeID, s *TwigStep) bool {
+	if e.src.Label(n) != s.Label {
+		return false
+	}
+	for _, pred := range s.Preds {
+		if !e.matchDown(n, pred, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// matchDown reports whether some child chain of n matches pred starting at
+// step i (the predicate is rooted strictly below n).
+func (e *twigEval) matchDown(n graph.NodeID, pred *Twig, i int) bool {
+	key := [2]int32{int32(pred.Steps[i].id), int32(n)}
+	if v, ok := e.predMemo[key]; ok {
+		return v
+	}
+	e.predMemo[key] = false // cycle cut: revisiting (step, node) cannot help
+	res := false
+	for _, c := range e.src.Children(n) {
+		e.see(c)
+		if !e.stepOK(c, &pred.Steps[i]) {
+			continue
+		}
+		if i == len(pred.Steps)-1 || e.matchDown(c, pred, i+1) {
+			res = true
+			break
+		}
+	}
+	e.predMemo[key] = res
+	return res
+}
+
+// eval runs the trunk forward and returns matched nodes, ascending.
+func (e *twigEval) eval() []graph.NodeID {
+	cur := make(map[graph.NodeID]bool)
+	for n := 0; n < e.src.NumNodes(); n++ {
+		id := graph.NodeID(n)
+		if e.src.Label(id) == e.q.Steps[0].Label {
+			e.see(id)
+			if e.stepOK(id, &e.q.Steps[0]) {
+				cur[id] = true
+			}
+		}
+	}
+	for pos := 1; pos < len(e.q.Steps); pos++ {
+		next := make(map[graph.NodeID]bool)
+		for n := range cur {
+			for _, c := range e.src.Children(n) {
+				if e.src.Label(c) != e.q.Steps[pos].Label || next[c] {
+					continue
+				}
+				e.see(c)
+				if e.stepOK(c, &e.q.Steps[pos]) {
+					next[c] = true
+				}
+			}
+		}
+		cur = next
+		if len(cur) == 0 {
+			return nil
+		}
+	}
+	out := make([]graph.NodeID, 0, len(cur))
+	for n := range cur {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// matchesEndingAt reports whether some trunk instance ends at node n, with
+// every trunk node satisfying its predicates; the validation primitive.
+func (e *twigEval) matchesEndingAt(n graph.NodeID) bool {
+	type key struct {
+		n graph.NodeID
+		i int
+	}
+	memo := make(map[key]bool)
+	var ok func(n graph.NodeID, i int) bool
+	ok = func(n graph.NodeID, i int) bool {
+		e.see(n)
+		if !e.stepOK(n, &e.q.Steps[i]) {
+			return false
+		}
+		if i == 0 {
+			return true
+		}
+		k := key{n, i}
+		if v, hit := memo[k]; hit {
+			return v
+		}
+		memo[k] = false
+		res := false
+		for _, p := range e.src.Parents(n) {
+			if ok(p, i-1) {
+				res = true
+				break
+			}
+		}
+		memo[k] = res
+		return res
+	}
+	return ok(n, len(e.q.Steps)-1)
+}
+
+// DataTwig evaluates a branching path query directly on the data graph.
+func DataTwig(g *graph.Graph, q *Twig) ([]graph.NodeID, Cost) {
+	var c Cost
+	e := newTwigEval(g, q, func(graph.NodeID) { c.IndexNodesVisited++ })
+	return e.eval(), c
+}
+
+// IndexTwig evaluates a branching path query on a structural summary. On an
+// F&B-stable index (BuildFB) the result is sound without validation:
+// forward-and-backward bisimilar extents agree on both the trunk's incoming
+// paths and every predicate's downward pattern. On any other index, matched
+// extents are validated member by member against the data graph — backward
+// bisimilarity alone says nothing about child structure.
+func IndexTwig(ig *index.IndexGraph, q *Twig) ([]graph.NodeID, Cost) {
+	var c Cost
+	e := newTwigEval(ig, q, func(graph.NodeID) { c.IndexNodesVisited++ })
+	matched := e.eval()
+	var res []graph.NodeID
+	data := ig.Data()
+	for _, m := range matched {
+		if ig.FBStable() {
+			res = append(res, ig.Extent(m)...)
+			continue
+		}
+		c.Validations++
+		ev := newTwigEval(data, q, func(graph.NodeID) { c.DataNodesValidated++ })
+		for _, d := range ig.Extent(m) {
+			if ev.matchesEndingAt(d) {
+				res = append(res, d)
+			}
+		}
+	}
+	sort.Slice(res, func(i, j int) bool { return res[i] < res[j] })
+	return res, c
+}
+
+// TwigFromQuery converts a simple path query into a predicate-free twig.
+func TwigFromQuery(q Query) *Twig {
+	tw := &Twig{Steps: make([]TwigStep, len(q))}
+	for i, l := range q {
+		tw.Steps[i].Label = l
+	}
+	assignIDs(tw, 0)
+	return tw
+}
+
+// AddTwigPred attaches a single-label child-existence predicate to trunk
+// step pos; a workload-derivation helper for experiments.
+func AddTwigPred(q *Twig, pos int, label graph.LabelID) {
+	q.Steps[pos].Preds = append(q.Steps[pos].Preds,
+		&Twig{Steps: []TwigStep{{Label: label}}})
+	assignIDs(q, 0)
+}

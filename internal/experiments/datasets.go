@@ -1,0 +1,136 @@
+// Package experiments reproduces the paper's evaluation (Section 6): the
+// evaluation-performance curves of Figures 4 and 5, the update-efficiency
+// comparison of Table 1, the after-update curves of Figures 6 and 7, and a
+// promoting-process ablation the paper defers to its full version.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dkindex/internal/datagen"
+	"dkindex/internal/graph"
+	"dkindex/internal/workload"
+)
+
+// Dataset bundles a data graph with its query load and the ID/IDREF label
+// pairs used to draw random edge additions (Section 6.2 picks a random
+// ID/IDREF pair from the DTD and one data node from each label group).
+type Dataset struct {
+	Name string
+	G    *graph.Graph
+	W    *workload.Workload
+	// RefPairs are (referencing label, referenced label) pairs from the
+	// dataset's DTD.
+	RefPairs [][2]string
+}
+
+// XMarkDataset generates the XMark-like auction data and its 100-query load.
+// The paper's file is about 10 MB (~scale 1 here).
+func XMarkDataset(scale float64, seed int64) (*Dataset, error) {
+	g, rep, err := datagen.Graph(datagen.XMark(datagen.XMarkScale(scale)))
+	if err != nil {
+		return nil, err
+	}
+	if len(rep.DanglingRefs) > 0 {
+		return nil, fmt.Errorf("experiments: xmark generated %d dangling refs", len(rep.DanglingRefs))
+	}
+	w, err := workload.Generate(g, workload.DefaultConfig(seed))
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{
+		Name: "Xmark",
+		G:    g,
+		W:    w,
+		RefPairs: [][2]string{
+			{"incategory", "category"},
+			{"interest", "category"},
+			{"edge", "category"},
+			{"watch", "open_auction"},
+			{"itemref", "item"},
+			{"seller", "person"},
+			{"buyer", "person"},
+			{"bidder", "person"},
+			{"author", "person"},
+		},
+	}, nil
+}
+
+// NasaDataset generates the NASA-like astronomical metadata and its load.
+// The paper's file is about 15 MB (~scale 1.5 here).
+func NasaDataset(scale float64, seed int64) (*Dataset, error) {
+	g, _, err := datagen.Graph(datagen.NASA(datagen.NASAScale(scale)))
+	if err != nil {
+		return nil, err
+	}
+	w, err := workload.Generate(g, workload.DefaultConfig(seed))
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{
+		Name: "Nasa",
+		G:    g,
+		W:    w,
+		RefPairs: [][2]string{
+			{"relatedkw", "keyword"},
+			{"journalauthor", "author"},
+			{"contributor", "author"},
+			{"tableLink", "dataset"},
+			{"basedon", "revision"},
+			{"reference", "dataset"},
+			{"other", "keyword"},
+			{"seealso", "dataset"},
+		},
+	}, nil
+}
+
+// RandomEdges draws n random reference-edge insertions: a random ID/IDREF
+// label pair, then one data node from each label group, skipping self-loops
+// and existing edges. The returned node ids are valid on any clone of ds.G.
+func (ds *Dataset) RandomEdges(n int, seed int64) ([][2]graph.NodeID, error) {
+	rng := rand.New(rand.NewSource(seed))
+	byLabel := ds.G.NodesByLabel()
+	group := func(name string) []graph.NodeID {
+		l := ds.G.Labels().Lookup(name)
+		if l == graph.InvalidLabel {
+			return nil
+		}
+		return byLabel[l]
+	}
+	var pairs [][2][]graph.NodeID
+	for _, rp := range ds.RefPairs {
+		from, to := group(rp[0]), group(rp[1])
+		if len(from) > 0 && len(to) > 0 {
+			pairs = append(pairs, [2][]graph.NodeID{from, to})
+		}
+	}
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("experiments: no usable ID/IDREF label pairs in %s", ds.Name)
+	}
+	out := make([][2]graph.NodeID, 0, n)
+	attempts := 0
+	for len(out) < n && attempts < n*100 {
+		attempts++
+		p := pairs[rng.Intn(len(pairs))]
+		u := p[0][rng.Intn(len(p[0]))]
+		v := p[1][rng.Intn(len(p[1]))]
+		if u == v || ds.G.HasEdge(u, v) {
+			continue
+		}
+		dup := false
+		for _, e := range out {
+			if e[0] == u && e[1] == v {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, [2]graph.NodeID{u, v})
+		}
+	}
+	if len(out) < n {
+		return nil, fmt.Errorf("experiments: could only draw %d of %d edges", len(out), n)
+	}
+	return out, nil
+}

@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dkindex/internal/core"
+	"dkindex/internal/eval"
+	"dkindex/internal/graph"
+	"dkindex/internal/index"
+)
+
+// EvalPoint is one point of a Figure 4/5/6/7 plot: an index, its size (the
+// X axis) and its average per-query evaluation cost (the Y axis), plus the
+// validation breakdown behind the cost.
+type EvalPoint struct {
+	Index string // "A(0)".."A(4)" or "D(k)"
+	// Size is the number of index nodes.
+	Size int
+	// Edges is the number of index edges.
+	Edges int
+	// AvgCost is the average number of nodes visited per query (the
+	// paper's Y axis).
+	AvgCost float64
+	// AvgValidated is the validation share of AvgCost (data nodes visited).
+	AvgValidated float64
+	// Validations counts matched index nodes that needed validation across
+	// the whole load.
+	Validations int
+}
+
+// measure evaluates the whole query load on one index.
+func measure(name string, ig *index.IndexGraph, ds *Dataset) EvalPoint {
+	var total eval.Cost
+	for _, q := range ds.W.Queries {
+		_, c := eval.Index(ig, q)
+		total.Add(c)
+	}
+	n := float64(ds.W.Len())
+	return EvalPoint{
+		Index:        name,
+		Size:         ig.NumNodes(),
+		Edges:        ig.NumEdges(),
+		AvgCost:      float64(total.Total()) / n,
+		AvgValidated: float64(total.DataNodesValidated) / n,
+		Validations:  total.Validations,
+	}
+}
+
+// CheckedMeasure is measure plus a correctness audit: every query's index
+// result must equal direct evaluation. Experiments run it so reported
+// numbers are guaranteed to come from correct answers.
+func CheckedMeasure(name string, ig *index.IndexGraph, ds *Dataset) (EvalPoint, error) {
+	for _, q := range ds.W.Queries {
+		res, _ := eval.Index(ig, q)
+		truth, _ := eval.Data(ig.Data(), q)
+		if !eval.SameResult(res, truth) {
+			return EvalPoint{}, fmt.Errorf("experiments: %s wrong on %s", name, q.Format(ig.Data().Labels()))
+		}
+	}
+	return measure(name, ig, ds), nil
+}
+
+// EvaluationBeforeUpdate reproduces Figures 4 and 5: the A(k) size/cost
+// curve for k = 0..maxK and the D(k) point with requirements mined from the
+// query load. maxK <= 0 defaults to the workload's longest query length
+// (A(maxK) is already sound for the whole load, so larger k only grows the
+// index, as the paper argues).
+func EvaluationBeforeUpdate(ds *Dataset, maxK int) ([]EvalPoint, error) {
+	if maxK <= 0 {
+		maxK = ds.W.MaxLength()
+	}
+	var points []EvalPoint
+	for k := 0; k <= maxK; k++ {
+		p, err := CheckedMeasure(fmt.Sprintf("A(%d)", k), index.BuildAK(ds.G, k), ds)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, p)
+	}
+	dk := core.Build(ds.G, ds.W.Requirements())
+	p, err := CheckedMeasure("D(k)", dk.IG, ds)
+	if err != nil {
+		return nil, err
+	}
+	points = append(points, p)
+	return points, nil
+}
+
+// AfterUpdateConfig parameterizes the Figures 6/7 and Table 1 protocol.
+type AfterUpdateConfig struct {
+	// Edges is the number of random reference-edge additions (100 in the
+	// paper).
+	Edges int
+	// MaxK bounds the A(k) series (defaults to the workload's longest
+	// query length).
+	MaxK int
+	Seed int64
+}
+
+// EvaluationAfterUpdate reproduces Figures 6 and 7: each index is built
+// fresh on its own copy of the data, the same random edges are applied with
+// the index's own update algorithm, and the query load is re-evaluated.
+// The A(k) indexes grow (the propagate update splits extents); the
+// D(k)-index keeps its size but pays more validation.
+func EvaluationAfterUpdate(ds *Dataset, cfg AfterUpdateConfig) ([]EvalPoint, error) {
+	if cfg.MaxK <= 0 {
+		cfg.MaxK = ds.W.MaxLength()
+	}
+	if cfg.Edges <= 0 {
+		cfg.Edges = 100
+	}
+	edges, err := ds.RandomEdges(cfg.Edges, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	var points []EvalPoint
+	for k := 0; k <= cfg.MaxK; k++ {
+		sub := ds.withGraph(ds.G.Clone())
+		ig := index.BuildAK(sub.G, k)
+		for _, e := range edges {
+			if k == 0 {
+				// A(0) extents never change; only the index edge is added.
+				ig.AddDataEdge(e[0], e[1])
+			} else {
+				index.AKEdgeUpdate(ig, k, e[0], e[1])
+			}
+		}
+		p, err := CheckedMeasure(fmt.Sprintf("A(%d)", k), ig, sub)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, p)
+	}
+
+	sub := ds.withGraph(ds.G.Clone())
+	dk := core.Build(sub.G, sub.W.Requirements())
+	for _, e := range edges {
+		dk.AddEdge(e[0], e[1])
+	}
+	p, err := CheckedMeasure("D(k)", dk.IG, sub)
+	if err != nil {
+		return nil, err
+	}
+	points = append(points, p)
+	return points, nil
+}
+
+// withGraph returns a shallow copy of the dataset bound to another graph
+// instance (same node ids); updates mutate per-index clones, never the
+// shared original.
+func (ds *Dataset) withGraph(g *graph.Graph) *Dataset {
+	c := *ds
+	c.G = g
+	return &c
+}

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"text/tabwriter"
+
+	"dkindex/internal/core"
+	"dkindex/internal/eval"
+	"dkindex/internal/index"
+)
+
+// FamilyRow describes one member of the structural-summary family on a
+// dataset: its size and its average cost on simple-path and branching
+// (twig) loads.
+type FamilyRow struct {
+	Index string
+	Size  int
+	Edges int
+	// PathCost is the average cost of the dataset's simple-path load.
+	PathCost float64
+	// TwigCost is the average cost of a derived branching load, and
+	// TwigValidations how often it had to consult the data.
+	TwigCost        float64
+	TwigValidations int
+}
+
+// FamilyComparison builds the whole index family over one dataset — the
+// label-split graph, A(1..maxK), the load-tuned D(k), the 1-index, and the
+// F&B-index — and measures each on the simple-path load plus a branching
+// load derived from it (every second query gains a child-existence
+// predicate). This is the size spectrum the literature describes: label
+// split <= A(k) <= 1-index <= F&B, with D(k) adaptively placed.
+func FamilyComparison(ds *Dataset, maxK int) ([]FamilyRow, error) {
+	if maxK <= 0 {
+		maxK = ds.W.MaxLength()
+	}
+	twigs := deriveTwigLoad(ds)
+
+	type entry struct {
+		name string
+		ig   *index.IndexGraph
+	}
+	var entries []entry
+	entries = append(entries, entry{"label-split", index.BuildLabelSplit(ds.G)})
+	for k := 1; k <= maxK; k++ {
+		entries = append(entries, entry{fmt.Sprintf("A(%d)", k), index.BuildAK(ds.G, k)})
+	}
+	entries = append(entries, entry{"D(k)", core.Build(ds.G, ds.W.Requirements()).IG})
+	entries = append(entries, entry{"1-index", index.Build1Index(ds.G)})
+	entries = append(entries, entry{"F&B", index.BuildFB(ds.G)})
+
+	var rows []FamilyRow
+	for _, e := range entries {
+		row := FamilyRow{Index: e.name, Size: e.ig.NumNodes(), Edges: e.ig.NumEdges()}
+		var pc eval.Cost
+		for _, q := range ds.W.Queries {
+			res, c := eval.Index(e.ig, q)
+			truth, _ := eval.Data(ds.G, q)
+			if !eval.SameResult(res, truth) {
+				return nil, fmt.Errorf("experiments: %s wrong on %s", e.name, q.Format(ds.G.Labels()))
+			}
+			pc.Add(c)
+		}
+		row.PathCost = float64(pc.Total()) / float64(len(ds.W.Queries))
+		var tc eval.Cost
+		for _, tw := range twigs {
+			res, c := eval.IndexTwig(e.ig, tw)
+			truth, _ := eval.DataTwig(ds.G, tw)
+			if !eval.SameResult(res, truth) {
+				return nil, fmt.Errorf("experiments: %s wrong on twig %s", e.name, tw.Format(ds.G.Labels()))
+			}
+			tc.Add(c)
+		}
+		row.TwigCost = float64(tc.Total()) / float64(len(twigs))
+		row.TwigValidations = tc.Validations
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// deriveTwigLoad turns the dataset's path load into a branching load:
+// every second query gets a child-existence predicate drawn from the data
+// at a random trunk position.
+func deriveTwigLoad(ds *Dataset) []*eval.Twig {
+	rng := rand.New(rand.NewSource(77))
+	byLabel := ds.G.NodesByLabel()
+	var out []*eval.Twig
+	for i, q := range ds.W.Queries {
+		tw := eval.TwigFromQuery(q)
+		if i%2 == 1 {
+			pos := rng.Intn(len(tw.Steps))
+			cands := byLabel[tw.Steps[pos].Label]
+			if len(cands) > 0 {
+				base := cands[rng.Intn(len(cands))]
+				if ch := ds.G.Children(base); len(ch) > 0 {
+					c := ch[rng.Intn(len(ch))]
+					eval.AddTwigPred(tw, pos, ds.G.Label(c))
+				}
+			}
+		}
+		out = append(out, tw)
+	}
+	return out
+}
+
+// RenderFamily prints the family comparison.
+func RenderFamily(w io.Writer, title string, rows []FamilyRow) error {
+	if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "index\tsize(nodes)\tedges\tavg path cost\tavg twig cost\ttwig validations")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.1f\t%.1f\t%d\n",
+			r.Index, r.Size, r.Edges, r.PathCost, r.TwigCost, r.TwigValidations)
+	}
+	return tw.Flush()
+}

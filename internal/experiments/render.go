@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// RenderEvalPoints prints a Figure 4/5/6/7 series the way the paper plots
+// it: index size on the X axis against average evaluation cost on the Y
+// axis, one row per index.
+func RenderEvalPoints(w io.Writer, title string, points []EvalPoint) error {
+	if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "index\tsize(nodes)\tedges\tavg cost(nodes visited)\tavg validated\tvalidations")
+	for _, p := range points {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.1f\t%.1f\t%d\n",
+			p.Index, p.Size, p.Edges, p.AvgCost, p.AvgValidated, p.Validations)
+	}
+	return tw.Flush()
+}
+
+// RenderUpdateRows prints Table 1: total running time of the update batch
+// per index.
+func RenderUpdateRows(w io.Writer, title string, rows []UpdateRow) error {
+	if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "index\trunning time(ms)\tdata nodes touched\tindex nodes visited\tsplits\tsize before\tsize after")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.1f\t%d\t%d\t%d\t%d\t%d\n",
+			r.Index, float64(r.Elapsed.Microseconds())/1000.0,
+			r.Stats.DataNodesTouched, r.Stats.IndexNodesVisited, r.Stats.IndexNodesCreated,
+			r.SizeBefore, r.SizeAfter)
+	}
+	return tw.Flush()
+}
+
+// RenderPromoteAblation prints the decay/recover cycle.
+func RenderPromoteAblation(w io.Writer, title string, a *PromoteAblation) error {
+	if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
+		return err
+	}
+	if err := RenderEvalPoints(w, "", []EvalPoint{a.Fresh, a.Decayed, a.Recovered}); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "promotion: %.1f ms, %d splits, %d index nodes visited\n",
+		float64(a.PromoteElapsed.Microseconds())/1000.0,
+		a.PromoteStats.IndexNodesCreated, a.PromoteStats.IndexNodesVisited)
+	return err
+}
+
+// RenderAlg4Ablation prints the probe-vs-naive edge update comparison.
+func RenderAlg4Ablation(w io.Writer, title string, a *Alg4Ablation) error {
+	if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
+		return err
+	}
+	if err := RenderEvalPoints(w, "", []EvalPoint{a.WithProbe, a.Naive}); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "probe preserved similarity on %d/%d edges; update batch: %.1f ms with probe vs %.1f ms naive\n",
+		a.ProbePreserved, a.Edges,
+		float64(a.ProbeElapsed.Microseconds())/1000.0,
+		float64(a.NaiveElapsed.Microseconds())/1000.0)
+	return err
+}
+
+// RenderMinerAblation prints the tuning-rule comparison.
+func RenderMinerAblation(w io.Writer, title string, a *MinerAblation) error {
+	if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
+		return err
+	}
+	if err := RenderEvalPoints(w, "", []EvalPoint{a.LongestRule, a.Mined, a.MinedBudget}); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "budget for the constrained run: %d index nodes\n", a.Budget)
+	return err
+}
+
+// WriteEvalPointsCSV emits a series as CSV (size,cost pairs per index) for
+// external plotting of the paper's figures.
+func WriteEvalPointsCSV(w io.Writer, points []EvalPoint) error {
+	if _, err := fmt.Fprintln(w, "index,size_nodes,index_edges,avg_cost,avg_validated,validations"); err != nil {
+		return err
+	}
+	for _, p := range points {
+		if _, err := fmt.Fprintf(w, "%s,%d,%d,%.3f,%.3f,%d\n",
+			p.Index, p.Size, p.Edges, p.AvgCost, p.AvgValidated, p.Validations); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteUpdateRowsCSV emits Table 1 rows as CSV.
+func WriteUpdateRowsCSV(w io.Writer, rows []UpdateRow) error {
+	if _, err := fmt.Fprintln(w, "index,running_time_ms,data_nodes_touched,index_nodes_visited,splits,size_before,size_after"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%s,%.3f,%d,%d,%d,%d,%d\n",
+			r.Index, float64(r.Elapsed.Microseconds())/1000.0,
+			r.Stats.DataNodesTouched, r.Stats.IndexNodesVisited, r.Stats.IndexNodesCreated,
+			r.SizeBefore, r.SizeAfter); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderDocInsertion prints the document-insertion comparison.
+func RenderDocInsertion(w io.Writer, title string, rows []DocInsertRow) error {
+	if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "method\ttotal time(ms)\tfinal index size")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.1f\t%d\n", r.Method,
+			float64(r.Elapsed.Microseconds())/1000.0, r.FinalSize)
+	}
+	return tw.Flush()
+}
+
+// RenderApexComparison prints the APEX-vs-D(k) comparison.
+func RenderApexComparison(w io.Writer, title string, rows []ApexRow) error {
+	if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "system\tsize\tstored node refs\tavg cost\tupdate handling(ms)\tavg cost after")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.1f\t%.1f\t%.1f\n",
+			r.System, r.Size, r.Storage, r.AvgCost,
+			float64(r.UpdateElapsed.Microseconds())/1000.0, r.AvgCostAfter)
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"dkindex/internal/core"
+	"dkindex/internal/index"
+)
+
+// UpdateRow is one row of Table 1: the total running time of applying the
+// whole batch of edge additions with one index's update algorithm, plus the
+// work counters behind it.
+type UpdateRow struct {
+	Index   string
+	Elapsed time.Duration
+	Stats   index.UpdateStats
+	// SizeBefore/SizeAfter expose the side effect the paper discusses: the
+	// A(k) propagate update grows the index, the D(k) update does not.
+	SizeBefore, SizeAfter int
+}
+
+// UpdateEfficiency reproduces Table 1: the same cfg.Edges random reference
+// edges are applied to A(1)..A(maxK) with the propagate-style baseline and
+// to the D(k)-index with Algorithms 4+5, each on its own copy of the data,
+// and the total running time is measured. A(0) is omitted like in the paper
+// (its extents never change).
+func UpdateEfficiency(ds *Dataset, cfg AfterUpdateConfig) ([]UpdateRow, error) {
+	if cfg.MaxK <= 0 {
+		cfg.MaxK = ds.W.MaxLength()
+	}
+	if cfg.Edges <= 0 {
+		cfg.Edges = 100
+	}
+	edges, err := ds.RandomEdges(cfg.Edges, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []UpdateRow
+	for k := 1; k <= cfg.MaxK; k++ {
+		g := ds.G.Clone()
+		ig := index.BuildAK(g, k)
+		row := UpdateRow{Index: fmt.Sprintf("A(%d)", k), SizeBefore: ig.NumNodes()}
+		start := time.Now()
+		for _, e := range edges {
+			row.Stats.Add(index.AKEdgeUpdate(ig, k, e[0], e[1]))
+		}
+		row.Elapsed = time.Since(start)
+		row.SizeAfter = ig.NumNodes()
+		rows = append(rows, row)
+	}
+
+	g := ds.G.Clone()
+	dk := core.Build(g, ds.W.Requirements())
+	row := UpdateRow{Index: "D(k)", SizeBefore: dk.Size()}
+	start := time.Now()
+	for _, e := range edges {
+		row.Stats.Add(dk.AddEdge(e[0], e[1]))
+	}
+	row.Elapsed = time.Since(start)
+	row.SizeAfter = dk.Size()
+	rows = append(rows, row)
+	return rows, nil
+}
+
+// PromoteAblation measures the maintenance cycle the paper defers to its
+// full version: the D(k)-index after a batch of edge additions (decayed),
+// then after promoting every workload label back to its mined requirement
+// (recovered). Promotion must bring validation back to zero for the tuned
+// load; the size/cost tradeoff is reported alongside.
+type PromoteAblation struct {
+	Fresh, Decayed, Recovered EvalPoint
+	PromoteElapsed            time.Duration
+	PromoteStats              index.UpdateStats
+}
+
+// AblationPromote runs the decay-and-recover cycle on the D(k)-index.
+func AblationPromote(ds *Dataset, cfg AfterUpdateConfig) (*PromoteAblation, error) {
+	if cfg.Edges <= 0 {
+		cfg.Edges = 100
+	}
+	edges, err := ds.RandomEdges(cfg.Edges, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	sub := ds.withGraph(ds.G.Clone())
+	reqs := sub.W.Requirements()
+	dk := core.Build(sub.G, reqs)
+	out := &PromoteAblation{}
+	if out.Fresh, err = CheckedMeasure("D(k) fresh", dk.IG, sub); err != nil {
+		return nil, err
+	}
+	for _, e := range edges {
+		dk.AddEdge(e[0], e[1])
+	}
+	if out.Decayed, err = CheckedMeasure("D(k) decayed", dk.IG, sub); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	for _, l := range reqs.SortedLabels() {
+		out.PromoteStats.Add(dk.PromoteLabel(l, reqs[l]))
+	}
+	out.PromoteElapsed = time.Since(start)
+	if out.Recovered, err = CheckedMeasure("D(k) promoted", dk.IG, sub); err != nil {
+		return nil, err
+	}
+	if err := core.CheckInvariant(dk.IG); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,299 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// NodeID identifies a node within a Graph. Node identifiers are dense and
+// stable: they are assigned consecutively starting from 0 and never reused.
+type NodeID int32
+
+// InvalidNode is the sentinel for "no node".
+const InvalidNode NodeID = -1
+
+// Graph is a directed, node-labeled multigraph-free graph (parallel edges are
+// collapsed). It stores both children and parents adjacency so that backward
+// bisimulation (which partitions nodes by their incoming structure) and
+// forward query evaluation are both efficient.
+//
+// A Graph owns (or shares) a LabelTable. Graphs derived from the same
+// document share one table so LabelIDs are comparable across them.
+//
+// Graph is not safe for concurrent mutation; concurrent reads are fine.
+type Graph struct {
+	labels    *LabelTable
+	nodeLabel []LabelID
+	children  [][]NodeID
+	parents   [][]NodeID
+	edgeSet   map[edgeKey]struct{}
+	numEdges  int
+	root      NodeID
+}
+
+type edgeKey struct{ from, to NodeID }
+
+// New returns an empty graph with a fresh label table.
+func New() *Graph {
+	return NewWithLabels(NewLabelTable())
+}
+
+// NewWithLabels returns an empty graph that shares the given label table.
+func NewWithLabels(t *LabelTable) *Graph {
+	return &Graph{
+		labels:  t,
+		edgeSet: make(map[edgeKey]struct{}),
+		root:    InvalidNode,
+	}
+}
+
+// Labels returns the label table shared by this graph.
+func (g *Graph) Labels() *LabelTable { return g.labels }
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.nodeLabel) }
+
+// NumEdges returns the number of (distinct) directed edges.
+func (g *Graph) NumEdges() int { return g.numEdges }
+
+// AddNode creates a node with the given label name and returns its id.
+func (g *Graph) AddNode(label string) NodeID {
+	return g.AddNodeID(g.labels.Intern(label))
+}
+
+// AddNodeID creates a node with an already-interned label.
+func (g *Graph) AddNodeID(label LabelID) NodeID {
+	if label < 0 || int(label) >= g.labels.Len() {
+		panic(fmt.Sprintf("graph: AddNodeID with foreign label id %d", label))
+	}
+	id := NodeID(len(g.nodeLabel))
+	g.nodeLabel = append(g.nodeLabel, label)
+	g.children = append(g.children, nil)
+	g.parents = append(g.parents, nil)
+	return id
+}
+
+// AddRoot creates the distinguished root node (label ROOT) and records it.
+// It panics if a root already exists.
+func (g *Graph) AddRoot() NodeID {
+	if g.root != InvalidNode {
+		panic("graph: AddRoot called twice")
+	}
+	g.root = g.AddNode(RootLabel)
+	return g.root
+}
+
+// SetRoot marks an existing node as the root.
+func (g *Graph) SetRoot(n NodeID) {
+	g.checkNode(n)
+	g.root = n
+}
+
+// Root returns the root node, or InvalidNode if none was set.
+func (g *Graph) Root() NodeID { return g.root }
+
+// AddEdge inserts the directed edge from -> to. Duplicate edges are ignored;
+// the return value reports whether the edge was newly inserted. Adjacency
+// lists are kept in ascending order, so traversal order — and therefore the
+// cost model — is canonical: independent of the order edges were added
+// (loading a persisted graph reproduces costs exactly).
+func (g *Graph) AddEdge(from, to NodeID) bool {
+	g.checkNode(from)
+	g.checkNode(to)
+	k := edgeKey{from, to}
+	if _, dup := g.edgeSet[k]; dup {
+		return false
+	}
+	g.edgeSet[k] = struct{}{}
+	g.children[from] = insertSorted(g.children[from], to)
+	g.parents[to] = insertSorted(g.parents[to], from)
+	g.numEdges++
+	return true
+}
+
+// RemoveEdge deletes the directed edge from -> to, reporting whether it
+// existed.
+func (g *Graph) RemoveEdge(from, to NodeID) bool {
+	g.checkNode(from)
+	g.checkNode(to)
+	k := edgeKey{from, to}
+	if _, ok := g.edgeSet[k]; !ok {
+		return false
+	}
+	delete(g.edgeSet, k)
+	g.children[from] = removeSorted(g.children[from], to)
+	g.parents[to] = removeSorted(g.parents[to], from)
+	g.numEdges--
+	return true
+}
+
+// removeSorted deletes one occurrence of id from the ascending slice s.
+func removeSorted(s []NodeID, id NodeID) []NodeID {
+	for i, v := range s {
+		if v == id {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}
+
+// insertSorted inserts id into the ascending slice s.
+func insertSorted(s []NodeID, id NodeID) []NodeID {
+	i := len(s)
+	for i > 0 && s[i-1] > id {
+		i--
+	}
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = id
+	return s
+}
+
+// HasEdge reports whether the directed edge from -> to exists.
+func (g *Graph) HasEdge(from, to NodeID) bool {
+	_, ok := g.edgeSet[edgeKey{from, to}]
+	return ok
+}
+
+// Label returns the label id of node n.
+func (g *Graph) Label(n NodeID) LabelID {
+	g.checkNode(n)
+	return g.nodeLabel[n]
+}
+
+// LabelName returns the label string of node n.
+func (g *Graph) LabelName(n NodeID) string {
+	return g.labels.Name(g.Label(n))
+}
+
+// Children returns the out-neighbors of n. The returned slice is owned by the
+// graph and must not be mutated.
+func (g *Graph) Children(n NodeID) []NodeID {
+	g.checkNode(n)
+	return g.children[n]
+}
+
+// Parents returns the in-neighbors of n. The returned slice is owned by the
+// graph and must not be mutated.
+func (g *Graph) Parents(n NodeID) []NodeID {
+	g.checkNode(n)
+	return g.parents[n]
+}
+
+// OutDegree returns the number of children of n.
+func (g *Graph) OutDegree(n NodeID) int { return len(g.Children(n)) }
+
+// InDegree returns the number of parents of n.
+func (g *Graph) InDegree(n NodeID) int { return len(g.Parents(n)) }
+
+// NodesByLabel returns, for every label id, the list of nodes carrying it.
+// The outer slice is indexed by LabelID. Building it is O(n).
+func (g *Graph) NodesByLabel() [][]NodeID {
+	out := make([][]NodeID, g.labels.Len())
+	for n, l := range g.nodeLabel {
+		out[l] = append(out[l], NodeID(n))
+	}
+	return out
+}
+
+// Clone returns a deep copy of the graph sharing the same label table.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		labels:    g.labels,
+		nodeLabel: append([]LabelID(nil), g.nodeLabel...),
+		children:  make([][]NodeID, len(g.children)),
+		parents:   make([][]NodeID, len(g.parents)),
+		edgeSet:   make(map[edgeKey]struct{}, len(g.edgeSet)),
+		numEdges:  g.numEdges,
+		root:      g.root,
+	}
+	for i := range g.children {
+		c.children[i] = append([]NodeID(nil), g.children[i]...)
+		c.parents[i] = append([]NodeID(nil), g.parents[i]...)
+	}
+	for k := range g.edgeSet {
+		c.edgeSet[k] = struct{}{}
+	}
+	return c
+}
+
+// ErrNoRoot is returned by operations that require a rooted graph.
+var ErrNoRoot = errors.New("graph: no root node set")
+
+// Validate performs structural sanity checks: adjacency symmetry, edge-set
+// consistency and root validity. It is intended for tests and for validating
+// loaded data, not for hot paths.
+func (g *Graph) Validate() error {
+	if g.root != InvalidNode {
+		if int(g.root) >= g.NumNodes() {
+			return fmt.Errorf("graph: root %d out of range", g.root)
+		}
+	}
+	fwd := 0
+	for n := range g.children {
+		for _, c := range g.children[n] {
+			if int(c) >= g.NumNodes() {
+				return fmt.Errorf("graph: edge %d->%d points past node range", n, c)
+			}
+			if _, ok := g.edgeSet[edgeKey{NodeID(n), c}]; !ok {
+				return fmt.Errorf("graph: edge %d->%d missing from edge set", n, c)
+			}
+			found := false
+			for _, p := range g.parents[c] {
+				if p == NodeID(n) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("graph: edge %d->%d missing reverse adjacency", n, c)
+			}
+			fwd++
+		}
+	}
+	if fwd != g.numEdges || len(g.edgeSet) != g.numEdges {
+		return fmt.Errorf("graph: edge count mismatch: adjacency %d, set %d, counter %d",
+			fwd, len(g.edgeSet), g.numEdges)
+	}
+	return nil
+}
+
+func (g *Graph) checkNode(n NodeID) {
+	if n < 0 || int(n) >= len(g.nodeLabel) {
+		panic(fmt.Sprintf("graph: node id %d out of range [0,%d)", n, len(g.nodeLabel)))
+	}
+}
+
+// CompactReachable returns a new graph containing only the nodes reachable
+// from the root (in their original relative order) plus the mapping from old
+// node ids to new ones (InvalidNode for dropped nodes). Deleting a subtree
+// is "remove its incoming edges, then compact": detached nodes stop being
+// query-reachable immediately, and compaction reclaims them.
+func (g *Graph) CompactReachable() (*Graph, []NodeID, error) {
+	if g.root == InvalidNode {
+		return nil, nil, ErrNoRoot
+	}
+	keep := g.ReachableFrom(g.root)
+	mapping := make([]NodeID, g.NumNodes())
+	for i := range mapping {
+		mapping[i] = InvalidNode
+	}
+	out := NewWithLabels(g.labels)
+	for n := 0; n < g.NumNodes(); n++ {
+		if keep[NodeID(n)] {
+			mapping[n] = out.AddNodeID(g.nodeLabel[n])
+		}
+	}
+	out.SetRoot(mapping[g.root])
+	for n := 0; n < g.NumNodes(); n++ {
+		if mapping[n] == InvalidNode {
+			continue
+		}
+		for _, c := range g.children[n] {
+			if mapping[c] != InvalidNode {
+				out.AddEdge(mapping[n], mapping[c])
+			}
+		}
+	}
+	return out, mapping, nil
+}

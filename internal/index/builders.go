@@ -1,0 +1,47 @@
+package index
+
+import (
+	"dkindex/internal/graph"
+	"dkindex/internal/partition"
+)
+
+// BuildLabelSplit returns the label-split index graph of g: one index node
+// per label. It is the coarsest safe summary and equals the A(0)-index (and
+// the D(k)-index with every local similarity requirement 0).
+func BuildLabelSplit(g *graph.Graph) *IndexGraph {
+	p := partition.NewByLabel(g)
+	return FromPartition(DataSource{g}, p, func(partition.BlockID) int { return 0 })
+}
+
+// BuildAK returns the A(k)-index of g: extents are the k-bisimulation
+// equivalence classes. If the partition stabilizes in fewer than k rounds it
+// coincides with the 1-index and every node is marked Exact; otherwise each
+// node's local similarity is k.
+func BuildAK(g *graph.Graph, k int) *IndexGraph {
+	p, rounds := partition.KBisimulation(g, k)
+	sim := k
+	if rounds < k {
+		sim = Exact
+	}
+	return FromPartition(DataSource{g}, p, func(partition.BlockID) int { return sim })
+}
+
+// Build1Index returns the 1-index of g: extents are the full backward
+// bisimulation classes (Milo & Suciu). Every node is Exact: results are
+// sound for path expressions of any length.
+func Build1Index(g *graph.Graph) *IndexGraph {
+	p, _ := partition.Bisimulation(g)
+	return FromPartition(DataSource{g}, p, func(partition.BlockID) int { return Exact })
+}
+
+// BuildFB returns the F&B-index of g: extents are the forward & backward
+// bisimulation classes (Kaushik et al., SIGMOD 2002 — the covering index for
+// branching path queries the paper's future work points to). It is at least
+// as fine as the 1-index and sound for branching (twig) queries evaluated
+// purely on the index.
+func BuildFB(g *graph.Graph) *IndexGraph {
+	p, _ := partition.FBBisimulation(g)
+	ig := FromPartition(DataSource{g}, p, func(partition.BlockID) int { return Exact })
+	ig.markFBStable()
+	return ig
+}

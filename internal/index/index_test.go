@@ -1,0 +1,471 @@
+package index
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dkindex/internal/graph"
+	"dkindex/internal/partition"
+)
+
+func randomGraph(seed int64, nodes, labels, extraEdges int) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New()
+	r := g.AddRoot()
+	ids := []graph.NodeID{r}
+	for i := 1; i < nodes; i++ {
+		n := g.AddNode(string(rune('a' + rng.Intn(labels))))
+		g.AddEdge(ids[rng.Intn(len(ids))], n)
+		ids = append(ids, n)
+	}
+	for i := 0; i < extraEdges; i++ {
+		from := ids[rng.Intn(len(ids))]
+		to := ids[rng.Intn(len(ids))]
+		if from != to && to != r {
+			g.AddEdge(from, to)
+		}
+	}
+	return g
+}
+
+func TestBuildLabelSplit(t *testing.T) {
+	g := graph.FigureOneMovies()
+	ig := BuildLabelSplit(g)
+	if err := ig.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ig.NumNodes() != 8 {
+		t.Errorf("label-split size = %d, want 8", ig.NumNodes())
+	}
+	for n := 0; n < ig.NumNodes(); n++ {
+		if ig.K(graph.NodeID(n)) != 0 {
+			t.Errorf("label-split node %d has k=%d, want 0", n, ig.K(graph.NodeID(n)))
+		}
+	}
+	// All 4 movies share one extent.
+	if ig.IndexOf(5) != ig.IndexOf(7) || ig.IndexOf(7) != ig.IndexOf(9) || ig.IndexOf(9) != ig.IndexOf(10) {
+		t.Error("movie nodes not grouped in label split")
+	}
+}
+
+func TestBuild1IndexPaperFacts(t *testing.T) {
+	g := graph.FigureOneMovies()
+	ig := Build1Index(g)
+	if err := ig.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ig.IndexOf(7) != ig.IndexOf(10) {
+		t.Error("1-index must keep bisimilar movies 7,10 together")
+	}
+	if ig.IndexOf(7) == ig.IndexOf(9) {
+		t.Error("1-index must separate movies 7 and 9")
+	}
+	if ig.K(ig.IndexOf(7)) != Exact {
+		t.Error("1-index nodes must be Exact")
+	}
+}
+
+func TestBuildAKSizesAreMonotone(t *testing.T) {
+	g := randomGraph(3, 400, 4, 120)
+	one := Build1Index(g)
+	prev := 0
+	for k := 0; k <= 6; k++ {
+		ig := BuildAK(g, k)
+		if err := ig.Validate(); err != nil {
+			t.Fatalf("A(%d): %v", k, err)
+		}
+		if ig.NumNodes() < prev {
+			t.Fatalf("A(%d) smaller than A(%d)", k, k-1)
+		}
+		if ig.NumNodes() > one.NumNodes() {
+			t.Fatalf("A(%d) larger than 1-index", k)
+		}
+		prev = ig.NumNodes()
+	}
+}
+
+func TestBuildAKStabilizedBecomesExact(t *testing.T) {
+	g := graph.FigureOneMovies()
+	ig := BuildAK(g, 50) // way past the bisimulation depth of figure 1
+	one := Build1Index(g)
+	if ig.NumNodes() != one.NumNodes() {
+		t.Errorf("A(50) size %d != 1-index size %d", ig.NumNodes(), one.NumNodes())
+	}
+	if ig.K(0) != Exact {
+		t.Error("stabilized A(k) must be marked Exact")
+	}
+}
+
+func TestIndexEdgesMirrorDataEdges(t *testing.T) {
+	g := graph.FigureOneMovies()
+	ig := BuildAK(g, 2)
+	// Index edge exists iff a data edge connects the extents; Validate
+	// checks counts, here we spot-check direction and HasEdge.
+	a := ig.IndexOf(2) // a director
+	b := ig.IndexOf(7) // its movie
+	if !ig.HasEdge(a, b) {
+		t.Error("missing index edge director->movie")
+	}
+	if ig.HasEdge(b, a) {
+		t.Error("reversed index edge present")
+	}
+	kids := ig.Children(a)
+	for i := 1; i < len(kids); i++ {
+		if kids[i-1] >= kids[i] {
+			t.Error("Children not sorted ascending")
+		}
+	}
+}
+
+func TestFromPartitionExtentsSorted(t *testing.T) {
+	g := randomGraph(11, 200, 3, 50)
+	p, _ := partition.KBisimulation(g, 2)
+	ig := FromPartition(DataSource{g}, p, func(partition.BlockID) int { return 2 })
+	for n := 0; n < ig.NumNodes(); n++ {
+		ext := ig.Extent(graph.NodeID(n))
+		for i := 1; i < len(ext); i++ {
+			if ext[i-1] >= ext[i] {
+				t.Fatalf("extent of %d not sorted", n)
+			}
+		}
+		if ig.ExtentSize(graph.NodeID(n)) != len(ext) {
+			t.Fatal("ExtentSize disagrees with Extent")
+		}
+	}
+}
+
+func TestSplitNodeMaintainsInvariants(t *testing.T) {
+	g := graph.FigureOneMovies()
+	ig := BuildLabelSplit(g)
+	movies := ig.IndexOf(7)
+	nb, ok := ig.SplitNode(movies, func(d graph.NodeID) bool { return d == 7 || d == 10 })
+	if !ok {
+		t.Fatal("split failed")
+	}
+	if err := ig.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ig.IndexOf(7) != nb || ig.IndexOf(10) != nb {
+		t.Error("moved members not remapped")
+	}
+	if ig.IndexOf(5) != movies || ig.IndexOf(9) != movies {
+		t.Error("remaining members remapped incorrectly")
+	}
+	if ig.Label(nb) != ig.Label(movies) {
+		t.Error("fragment label not inherited")
+	}
+	if ig.K(nb) != ig.K(movies) {
+		t.Error("fragment local similarity not inherited")
+	}
+}
+
+func TestSplitNodeDegenerate(t *testing.T) {
+	g := graph.FigureOneMovies()
+	ig := BuildLabelSplit(g)
+	n := ig.NumNodes()
+	if _, ok := ig.SplitNode(ig.IndexOf(7), func(graph.NodeID) bool { return true }); ok {
+		t.Error("all-in split reported success")
+	}
+	if _, ok := ig.SplitNode(ig.IndexOf(7), func(graph.NodeID) bool { return false }); ok {
+		t.Error("all-out split reported success")
+	}
+	if ig.NumNodes() != n {
+		t.Error("degenerate splits changed index size")
+	}
+}
+
+func TestRandomSplitsKeepValidity(t *testing.T) {
+	g := randomGraph(21, 300, 4, 90)
+	ig := BuildLabelSplit(g)
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 50; i++ {
+		b := graph.NodeID(rng.Intn(ig.NumNodes()))
+		ig.SplitNode(b, func(d graph.NodeID) bool { return rng.Intn(2) == 0 })
+	}
+	if err := ig.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitBySuccOf(t *testing.T) {
+	g := graph.FigureOneMovies()
+	ig := BuildLabelSplit(g)
+	movies := ig.IndexOf(7)
+	actors := ig.IndexOf(4)
+	nb, ok := ig.SplitBySuccOf(movies, actors)
+	if !ok {
+		t.Fatal("movies should split against Succ(actors)")
+	}
+	// Movies 7 and 10 are actor children; 5 and 9 are not.
+	if ig.IndexOf(7) != nb || ig.IndexOf(10) != nb {
+		t.Error("actor-successor movies not grouped")
+	}
+	if ig.IndexOf(5) == nb || ig.IndexOf(9) == nb {
+		t.Error("non-successor movies leaked into split")
+	}
+	if err := ig.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsolateDataNode(t *testing.T) {
+	g := graph.FigureOneMovies()
+	ig := BuildLabelSplit(g)
+	nb := ig.IsolateDataNode(9)
+	if ig.ExtentSize(nb) != 1 || ig.Extent(nb)[0] != 9 {
+		t.Errorf("isolated extent = %v", ig.Extent(nb))
+	}
+	if got := ig.IsolateDataNode(9); got != nb {
+		t.Error("second isolation changed the node")
+	}
+	if err := ig.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddDataEdge(t *testing.T) {
+	g := graph.FigureOneMovies()
+	ig := BuildAK(g, 2)
+	a, b, fresh := ig.AddDataEdge(11, 9) // actor 11 -> movie 9
+	if !fresh {
+		t.Error("expected a new index edge actor->movie-9-class")
+	}
+	if !ig.HasEdge(a, b) {
+		t.Error("index edge missing after AddDataEdge")
+	}
+	if err := ig.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Re-adding the same data edge is a no-op.
+	before := ig.NumEdges()
+	if _, _, fresh := ig.AddDataEdge(11, 9); fresh {
+		t.Error("duplicate data edge created a new index edge")
+	}
+	if ig.NumEdges() != before {
+		t.Error("duplicate data edge changed edge count")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := graph.FigureOneMovies()
+	ig := BuildAK(g, 1)
+	c := ig.Clone()
+	c.SplitNode(c.IndexOf(7), func(d graph.NodeID) bool { return d == 7 })
+	c.SetK(0, 5)
+	if ig.NumNodes() == c.NumNodes() {
+		t.Error("clone shares node storage")
+	}
+	if ig.K(0) == 5 {
+		t.Error("clone shares k storage")
+	}
+	if err := ig.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// extentsRefine checks that every extent of ig lies inside a single block of
+// p (i.e. ig's partition refines p).
+func extentsRefine(t *testing.T, ig *IndexGraph, p *partition.Partition, context string) {
+	t.Helper()
+	for n := 0; n < ig.NumNodes(); n++ {
+		ext := ig.Extent(graph.NodeID(n))
+		b := p.BlockOf(ext[0])
+		for _, d := range ext[1:] {
+			if p.BlockOf(d) != b {
+				t.Fatalf("%s: extent of index node %d spans partition blocks (data %d vs %d)",
+					context, n, ext[0], d)
+			}
+		}
+	}
+}
+
+func TestAKEdgeUpdateRestoresKBisimilarity(t *testing.T) {
+	for _, k := range []int{1, 2, 3} {
+		g := randomGraph(7, 250, 4, 60)
+		ig := BuildAK(g, k)
+		rng := rand.New(rand.NewSource(123))
+		var stats UpdateStats
+		for i := 0; i < 25; i++ {
+			u := graph.NodeID(rng.Intn(g.NumNodes()))
+			v := graph.NodeID(rng.Intn(g.NumNodes()))
+			if u == v || v == g.Root() || g.HasEdge(u, v) {
+				continue
+			}
+			stats.Add(AKEdgeUpdate(ig, k, u, v))
+		}
+		if err := ig.Validate(); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		// Ground truth: k-bisimulation of the *updated* data graph. The
+		// propagate strategy may over-split but must never under-split.
+		truth, _ := partition.KBisimulation(g, k)
+		extentsRefine(t, ig, truth, "A(k) after updates")
+		if stats.DataNodesTouched == 0 {
+			t.Errorf("k=%d: propagate update touched no data nodes", k)
+		}
+	}
+}
+
+func TestAKEdgeUpdateGrowsIndex(t *testing.T) {
+	g := randomGraph(9, 300, 3, 40)
+	ig := BuildAK(g, 2)
+	before := ig.NumNodes()
+	rng := rand.New(rand.NewSource(5))
+	added := 0
+	for added < 15 {
+		u := graph.NodeID(rng.Intn(g.NumNodes()))
+		v := graph.NodeID(rng.Intn(g.NumNodes()))
+		if u == v || v == g.Root() || g.HasEdge(u, v) {
+			continue
+		}
+		AKEdgeUpdate(ig, 2, u, v)
+		added++
+	}
+	if ig.NumNodes() <= before {
+		t.Errorf("A(2) index did not grow after 15 edge updates (%d -> %d)", before, ig.NumNodes())
+	}
+}
+
+func TestUpdateStatsAdd(t *testing.T) {
+	a := UpdateStats{1, 2, 3}
+	a.Add(UpdateStats{10, 20, 30})
+	if a != (UpdateStats{11, 22, 33}) {
+		t.Errorf("Add = %+v", a)
+	}
+}
+
+func TestIndexGraphAsSource(t *testing.T) {
+	// Theorem 2: constructing an index from a *refinement* of it reproduces
+	// the index. The 1-index is a refinement of A(1); building A(1) with the
+	// 1-index as source must equal A(1) built directly from the data graph.
+	g := randomGraph(17, 300, 4, 80)
+	one := Build1Index(g)
+	p, _ := partition.KBisimulation(one, 1)
+	via := FromPartition(one, p, func(partition.BlockID) int { return 1 })
+	direct := BuildAK(g, 1)
+	if err := via.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if via.NumNodes() != direct.NumNodes() {
+		t.Fatalf("A(1) via 1-index has %d nodes, direct has %d", via.NumNodes(), direct.NumNodes())
+	}
+	for d := 0; d < g.NumNodes(); d++ {
+		dn := graph.NodeID(d)
+		for e := d + 1; e < g.NumNodes(); e++ {
+			en := graph.NodeID(e)
+			if (via.IndexOf(dn) == via.IndexOf(en)) != (direct.IndexOf(dn) == direct.IndexOf(en)) {
+				t.Fatalf("index-of-index grouping differs from direct construction at data nodes %d,%d", d, e)
+			}
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	g := graph.FigureOneMovies()
+	ig := BuildAK(g, 1)
+	s := ig.Summarize(g.Labels())
+	if s.Nodes != ig.NumNodes() || s.Edges != ig.NumEdges() {
+		t.Error("summary shape mismatch")
+	}
+	if s.DataNodes != g.NumNodes() {
+		t.Errorf("DataNodes = %d, want %d", s.DataNodes, g.NumNodes())
+	}
+	if s.KHistogram[1] != ig.NumNodes() {
+		t.Errorf("KHistogram = %v, want all at k=1", s.KHistogram)
+	}
+	if len(s.LargestExtents) == 0 || s.LargestExtents[0].Size != s.MaxExtent {
+		t.Error("LargestExtents inconsistent with MaxExtent")
+	}
+	if s.MeanExtent <= 0 {
+		t.Error("MeanExtent not positive")
+	}
+	out := s.String()
+	if !strings.Contains(out, "similarity histogram") || !strings.Contains(out, "largest:") {
+		t.Errorf("String() = %q", out)
+	}
+	one := Build1Index(g)
+	s = one.Summarize(g.Labels())
+	if s.KHistogram[-1] != one.NumNodes() {
+		t.Error("1-index nodes not reported as exact")
+	}
+}
+
+func TestAKSubgraphAddMatchesFreshBuild(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		g := randomGraph(seed+900, 200, 4, 50)
+		h := randomGraph(seed+950, 60, 4, 10)
+		for _, k := range []int{1, 2, 3} {
+			// Fresh build target: clone g, graft h manually, build A(k).
+			g2 := g.Clone()
+			mapping := make([]graph.NodeID, h.NumNodes())
+			for n := 0; n < h.NumNodes(); n++ {
+				if graph.NodeID(n) == h.Root() {
+					mapping[n] = g2.Root()
+					continue
+				}
+				mapping[n] = g2.AddNodeID(g2.Labels().Intern(h.LabelName(graph.NodeID(n))))
+			}
+			for n := 0; n < h.NumNodes(); n++ {
+				for _, c := range h.Children(graph.NodeID(n)) {
+					g2.AddEdge(mapping[n], mapping[c])
+				}
+			}
+			fresh := BuildAK(g2, k)
+
+			// Incremental path.
+			g1 := g.Clone()
+			ig := BuildAK(g1, k)
+			got, _, err := AKSubgraphAdd(ig, k, h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := got.Validate(); err != nil {
+				t.Fatalf("seed %d k=%d: %v", seed, k, err)
+			}
+			if got.NumNodes() != fresh.NumNodes() {
+				t.Fatalf("seed %d k=%d: incremental %d nodes, fresh %d",
+					seed, k, got.NumNodes(), fresh.NumNodes())
+			}
+			for d := 0; d < g2.NumNodes(); d++ {
+				for e := d + 1; e < g2.NumNodes(); e++ {
+					a := got.IndexOf(graph.NodeID(d)) == got.IndexOf(graph.NodeID(e))
+					b := fresh.IndexOf(graph.NodeID(d)) == fresh.IndexOf(graph.NodeID(e))
+					if a != b {
+						t.Fatalf("seed %d k=%d: grouping differs at (%d,%d)", seed, k, d, e)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestAKSubgraphAddErrors(t *testing.T) {
+	g := graph.New()
+	g.AddNode("x")
+	ig := BuildLabelSplit(g)
+	if _, _, err := AKSubgraphAdd(ig, 1, graph.FigureOneMovies()); err == nil {
+		t.Error("rootless base accepted")
+	}
+}
+
+func TestIndexWriteDOT(t *testing.T) {
+	g := graph.FigureOneMovies()
+	ig := BuildAK(g, 1)
+	var b strings.Builder
+	if err := ig.WriteDOT(&b, "idx", g.Labels()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "digraph idx") || !strings.Contains(out, "k=1") {
+		t.Errorf("DOT output:\n%s", out)
+	}
+	one := Build1Index(g)
+	b.Reset()
+	if err := one.WriteDOT(&b, "", g.Labels()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "k=exact") {
+		t.Error("exact similarity not rendered")
+	}
+}

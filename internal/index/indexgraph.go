@@ -1,0 +1,261 @@
+package index
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dkindex/internal/graph"
+	"dkindex/internal/partition"
+)
+
+// Exact is the local similarity of index nodes whose extents are fully
+// bisimilar (1-index nodes): they are sound for path expressions of any
+// length. It is large enough that Exact+r never overflows in neighborhood
+// arithmetic.
+const Exact = math.MaxInt32 / 4
+
+// IndexGraph is a structural summary of a data graph. Index nodes are
+// identified by graph.NodeID values local to the index graph (dense, starting
+// at 0). Each index node carries a label, an extent (the data nodes it
+// represents, kept sorted), and a local similarity k: its extent members are
+// mutually k-bisimilar, making the node sound for path expressions up to
+// length k (Theorem 1 / D(k) property 3).
+//
+// Adjacency is maintained with data-edge counts so that extent splits and
+// incremental edge additions update the index graph without global rebuilds.
+type IndexGraph struct {
+	data    *graph.Graph
+	labels  []graph.LabelID
+	extents [][]graph.NodeID
+	k       []int
+	// children[a][b] = number of data edges from extent(a) into extent(b);
+	// parents is the mirror. An index edge exists iff its count is > 0.
+	children []map[graph.NodeID]int
+	parents  []map[graph.NodeID]int
+	numEdges int
+	nodeOf   []graph.NodeID // data node -> index node
+	// fbStable records that extents are forward-and-backward bisimilar
+	// (F&B classes): branching path queries are then sound on the index
+	// alone. Data mutations clear it.
+	fbStable bool
+}
+
+// FromPartition materializes the index graph induced by a partition of src.
+// kOf supplies the local similarity recorded for each block; blocks become
+// index nodes with the same ids.
+func FromPartition(src Source, p *partition.Partition, kOf func(partition.BlockID) int) *IndexGraph {
+	data := src.Data()
+	nb := p.NumBlocks()
+	ig := &IndexGraph{
+		data:     data,
+		labels:   make([]graph.LabelID, nb),
+		extents:  make([][]graph.NodeID, nb),
+		k:        make([]int, nb),
+		children: make([]map[graph.NodeID]int, nb),
+		parents:  make([]map[graph.NodeID]int, nb),
+		nodeOf:   make([]graph.NodeID, data.NumNodes()),
+	}
+	for b := 0; b < nb; b++ {
+		mem := p.Members(partition.BlockID(b))
+		ig.labels[b] = src.Label(mem[0])
+		ig.k[b] = kOf(partition.BlockID(b))
+		ig.children[b] = make(map[graph.NodeID]int)
+		ig.parents[b] = make(map[graph.NodeID]int)
+		var ext []graph.NodeID
+		for _, m := range mem {
+			ext = src.AppendExtent(ext, m)
+		}
+		sort.Slice(ext, func(i, j int) bool { return ext[i] < ext[j] })
+		ig.extents[b] = ext
+		for _, d := range ext {
+			ig.nodeOf[d] = graph.NodeID(b)
+		}
+	}
+	// Derive index edges from data edges, counting multiplicities.
+	for u := 0; u < data.NumNodes(); u++ {
+		a := ig.nodeOf[u]
+		for _, v := range data.Children(graph.NodeID(u)) {
+			ig.incEdge(a, ig.nodeOf[v])
+		}
+	}
+	return ig
+}
+
+func (ig *IndexGraph) incEdge(a, b graph.NodeID) {
+	if ig.children[a][b] == 0 {
+		ig.numEdges++
+	}
+	ig.children[a][b]++
+	ig.parents[b][a]++
+}
+
+func (ig *IndexGraph) decEdge(a, b graph.NodeID) {
+	c := ig.children[a][b]
+	switch {
+	case c > 1:
+		ig.children[a][b] = c - 1
+		ig.parents[b][a] = c - 1
+	case c == 1:
+		delete(ig.children[a], b)
+		delete(ig.parents[b], a)
+		ig.numEdges--
+	default:
+		panic(fmt.Sprintf("index: decEdge on absent edge %d->%d", a, b))
+	}
+}
+
+// Data returns the underlying data graph.
+func (ig *IndexGraph) Data() *graph.Graph { return ig.data }
+
+// FBStable reports whether extents are known to be forward-and-backward
+// bisimilar (set by BuildFB, cleared by data mutations).
+func (ig *IndexGraph) FBStable() bool { return ig.fbStable }
+
+// markFBStable is used by BuildFB.
+func (ig *IndexGraph) markFBStable() { ig.fbStable = true }
+
+// NumNodes returns the number of index nodes (the paper's index size metric).
+func (ig *IndexGraph) NumNodes() int { return len(ig.labels) }
+
+// NumEdges returns the number of distinct index edges.
+func (ig *IndexGraph) NumEdges() int { return ig.numEdges }
+
+// Label returns the label of index node n.
+func (ig *IndexGraph) Label(n graph.NodeID) graph.LabelID { return ig.labels[n] }
+
+// K returns the local similarity of index node n.
+func (ig *IndexGraph) K(n graph.NodeID) int { return ig.k[n] }
+
+// SetK sets the local similarity of index node n.
+func (ig *IndexGraph) SetK(n graph.NodeID, k int) { ig.k[n] = k }
+
+// Extent returns the sorted data nodes represented by index node n. The
+// slice is owned by the index graph.
+func (ig *IndexGraph) Extent(n graph.NodeID) []graph.NodeID { return ig.extents[n] }
+
+// ExtentSize returns len(Extent(n)) without exposing the slice.
+func (ig *IndexGraph) ExtentSize(n graph.NodeID) int { return len(ig.extents[n]) }
+
+// IndexOf returns the index node whose extent contains data node d.
+func (ig *IndexGraph) IndexOf(d graph.NodeID) graph.NodeID { return ig.nodeOf[d] }
+
+// Children returns the out-neighbors of index node n in ascending order.
+// The slice is freshly allocated.
+func (ig *IndexGraph) Children(n graph.NodeID) []graph.NodeID {
+	return sortedKeys(ig.children[n])
+}
+
+// Parents returns the in-neighbors of index node n in ascending order. The
+// slice is freshly allocated.
+func (ig *IndexGraph) Parents(n graph.NodeID) []graph.NodeID {
+	return sortedKeys(ig.parents[n])
+}
+
+// HasEdge reports whether the index edge a -> b exists.
+func (ig *IndexGraph) HasEdge(a, b graph.NodeID) bool { return ig.children[a][b] > 0 }
+
+func sortedKeys(m map[graph.NodeID]int) []graph.NodeID {
+	out := make([]graph.NodeID, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AppendExtent implements Source, allowing an IndexGraph to serve as the
+// construction source for another index (subgraph addition, demotion).
+func (ig *IndexGraph) AppendExtent(dst []graph.NodeID, n graph.NodeID) []graph.NodeID {
+	return append(dst, ig.extents[n]...)
+}
+
+var _ Source = (*IndexGraph)(nil)
+
+// Clone returns an independent deep copy sharing only the data graph.
+func (ig *IndexGraph) Clone() *IndexGraph {
+	c := &IndexGraph{
+		data:     ig.data,
+		labels:   append([]graph.LabelID(nil), ig.labels...),
+		extents:  make([][]graph.NodeID, len(ig.extents)),
+		k:        append([]int(nil), ig.k...),
+		children: make([]map[graph.NodeID]int, len(ig.children)),
+		parents:  make([]map[graph.NodeID]int, len(ig.parents)),
+		numEdges: ig.numEdges,
+		nodeOf:   append([]graph.NodeID(nil), ig.nodeOf...),
+		fbStable: ig.fbStable,
+	}
+	for i := range ig.extents {
+		c.extents[i] = append([]graph.NodeID(nil), ig.extents[i]...)
+		c.children[i] = cloneCounts(ig.children[i])
+		c.parents[i] = cloneCounts(ig.parents[i])
+	}
+	return c
+}
+
+func cloneCounts(m map[graph.NodeID]int) map[graph.NodeID]int {
+	c := make(map[graph.NodeID]int, len(m))
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}
+
+// Validate checks all structural invariants: extents partition the data
+// nodes, labels are homogeneous, edge counts equal data-edge multiplicities,
+// and nodeOf is consistent. Intended for tests.
+func (ig *IndexGraph) Validate() error {
+	seen := make([]bool, ig.data.NumNodes())
+	for b := range ig.extents {
+		if len(ig.extents[b]) == 0 {
+			return fmt.Errorf("index: empty extent at node %d", b)
+		}
+		for _, d := range ig.extents[b] {
+			if seen[d] {
+				return fmt.Errorf("index: data node %d in two extents", d)
+			}
+			seen[d] = true
+			if ig.nodeOf[d] != graph.NodeID(b) {
+				return fmt.Errorf("index: nodeOf[%d]=%d, listed in %d", d, ig.nodeOf[d], b)
+			}
+			if ig.data.Label(d) != ig.labels[b] {
+				return fmt.Errorf("index: node %d extent mixes labels", b)
+			}
+		}
+	}
+	for d, ok := range seen {
+		if !ok {
+			return fmt.Errorf("index: data node %d not covered by any extent", d)
+		}
+	}
+	// Recount edges from scratch.
+	want := make(map[[2]graph.NodeID]int)
+	for u := 0; u < ig.data.NumNodes(); u++ {
+		for _, v := range ig.data.Children(graph.NodeID(u)) {
+			want[[2]graph.NodeID{ig.nodeOf[u], ig.nodeOf[v]}]++
+		}
+	}
+	got := 0
+	for a := range ig.children {
+		for b, cnt := range ig.children[a] {
+			if cnt <= 0 {
+				return fmt.Errorf("index: non-positive edge count %d->%d", a, b)
+			}
+			if want[[2]graph.NodeID{graph.NodeID(a), b}] != cnt {
+				return fmt.Errorf("index: edge %d->%d count %d, want %d",
+					a, b, cnt, want[[2]graph.NodeID{graph.NodeID(a), b}])
+			}
+			if ig.parents[b][graph.NodeID(a)] != cnt {
+				return fmt.Errorf("index: edge %d->%d parent mirror mismatch", a, b)
+			}
+			got++
+		}
+	}
+	if got != len(want) {
+		return fmt.Errorf("index: %d edges present, want %d", got, len(want))
+	}
+	if got != ig.numEdges {
+		return fmt.Errorf("index: numEdges=%d, actual %d", ig.numEdges, got)
+	}
+	return nil
+}

@@ -1,0 +1,65 @@
+package index
+
+import (
+	"fmt"
+	"sort"
+
+	"dkindex/internal/graph"
+)
+
+// Reconstruct rebuilds an IndexGraph from its persisted parts: the data
+// graph, the extents (which must partition the data nodes into
+// label-homogeneous groups) and the per-node local similarities. Index
+// adjacency is re-derived from the data edges. It validates the inputs and
+// is the loading half of the on-disk codec.
+func Reconstruct(data *graph.Graph, extents [][]graph.NodeID, ks []int) (*IndexGraph, error) {
+	if len(extents) != len(ks) {
+		return nil, fmt.Errorf("index: %d extents but %d similarities", len(extents), len(ks))
+	}
+	ig := &IndexGraph{
+		data:     data,
+		labels:   make([]graph.LabelID, len(extents)),
+		extents:  make([][]graph.NodeID, len(extents)),
+		k:        append([]int(nil), ks...),
+		children: make([]map[graph.NodeID]int, len(extents)),
+		parents:  make([]map[graph.NodeID]int, len(extents)),
+		nodeOf:   make([]graph.NodeID, data.NumNodes()),
+	}
+	seen := make([]bool, data.NumNodes())
+	for b, ext := range extents {
+		if len(ext) == 0 {
+			return nil, fmt.Errorf("index: empty extent %d", b)
+		}
+		cp := append([]graph.NodeID(nil), ext...)
+		sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+		ig.extents[b] = cp
+		ig.labels[b] = data.Label(cp[0])
+		ig.children[b] = make(map[graph.NodeID]int)
+		ig.parents[b] = make(map[graph.NodeID]int)
+		for _, d := range cp {
+			if d < 0 || int(d) >= data.NumNodes() {
+				return nil, fmt.Errorf("index: extent %d references node %d out of range", b, d)
+			}
+			if seen[d] {
+				return nil, fmt.Errorf("index: data node %d in two extents", d)
+			}
+			if data.Label(d) != ig.labels[b] {
+				return nil, fmt.Errorf("index: extent %d mixes labels", b)
+			}
+			seen[d] = true
+			ig.nodeOf[d] = graph.NodeID(b)
+		}
+	}
+	for d, ok := range seen {
+		if !ok {
+			return nil, fmt.Errorf("index: data node %d not covered", d)
+		}
+	}
+	for u := 0; u < data.NumNodes(); u++ {
+		a := ig.nodeOf[u]
+		for _, v := range data.Children(graph.NodeID(u)) {
+			ig.incEdge(a, ig.nodeOf[v])
+		}
+	}
+	return ig, nil
+}

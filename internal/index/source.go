@@ -1,0 +1,55 @@
+// Package index implements structural summaries (index graphs) for labeled
+// data graphs: the label-split graph, the 1-index of Milo & Suciu, and the
+// A(k)-index of Kaushik et al. The adaptive D(k)-index, which generalizes
+// all three, builds on this package and lives in internal/core.
+//
+// An index graph I_G groups the data nodes of G into extents, one per index
+// node, and has an edge A -> B whenever some data edge connects a node in
+// extent(A) to a node in extent(B). Every index graph in this package is
+// *safe* in the paper's sense: each label path that matches a data node also
+// matches its index node, so index results always contain the true results.
+package index
+
+import (
+	"dkindex/internal/graph"
+	"dkindex/internal/partition"
+)
+
+// Source abstracts the graph an index is built from. Building from the data
+// graph itself is the common case; building from an existing index graph
+// (whose nodes carry extents) is how subgraph addition (Algorithm 3) and the
+// demoting process reuse construction, justified by the paper's Theorem 2.
+type Source interface {
+	partition.Labeled
+	Children(n graph.NodeID) []graph.NodeID
+	// AppendExtent appends the data nodes represented by source node n.
+	AppendExtent(dst []graph.NodeID, n graph.NodeID) []graph.NodeID
+	// Data returns the underlying data graph that extents refer to.
+	Data() *graph.Graph
+}
+
+// DataSource adapts a plain data graph to Source: every node represents
+// itself.
+type DataSource struct {
+	G *graph.Graph
+}
+
+// NumNodes implements Source.
+func (s DataSource) NumNodes() int { return s.G.NumNodes() }
+
+// Label implements Source.
+func (s DataSource) Label(n graph.NodeID) graph.LabelID { return s.G.Label(n) }
+
+// Parents implements Source.
+func (s DataSource) Parents(n graph.NodeID) []graph.NodeID { return s.G.Parents(n) }
+
+// Children implements Source.
+func (s DataSource) Children(n graph.NodeID) []graph.NodeID { return s.G.Children(n) }
+
+// AppendExtent implements Source: a data node's extent is itself.
+func (s DataSource) AppendExtent(dst []graph.NodeID, n graph.NodeID) []graph.NodeID {
+	return append(dst, n)
+}
+
+// Data implements Source.
+func (s DataSource) Data() *graph.Graph { return s.G }

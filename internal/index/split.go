@@ -1,0 +1,126 @@
+package index
+
+import (
+	"dkindex/internal/graph"
+)
+
+// SplitNode divides index node b: extent members satisfying inSet move to a
+// fresh index node, the rest stay in b. The new node inherits b's label and
+// local similarity (Algorithm 2: "set the local similarity requirements to
+// newly created index nodes by inheritance"). Index adjacency is repaired
+// incrementally by reclassifying only the data edges incident to the moved
+// extent members, so the cost is proportional to the moved extent's degree —
+// not to the index size.
+//
+// It returns the new node id and true, or InvalidNode and false when the
+// split is degenerate (no member or every member satisfies inSet).
+func (ig *IndexGraph) SplitNode(b graph.NodeID, inSet func(graph.NodeID) bool) (graph.NodeID, bool) {
+	ext := ig.extents[b]
+	var ins, outs []graph.NodeID
+	for _, d := range ext {
+		if inSet(d) {
+			ins = append(ins, d)
+		} else {
+			outs = append(outs, d)
+		}
+	}
+	if len(ins) == 0 || len(outs) == 0 {
+		return graph.InvalidNode, false
+	}
+	nb := graph.NodeID(len(ig.labels))
+	ig.labels = append(ig.labels, ig.labels[b])
+	ig.k = append(ig.k, ig.k[b])
+	ig.extents[b] = outs
+	ig.extents = append(ig.extents, ins)
+	ig.children = append(ig.children, make(map[graph.NodeID]int))
+	ig.parents = append(ig.parents, make(map[graph.NodeID]int))
+
+	moved := make(map[graph.NodeID]bool, len(ins))
+	for _, d := range ins {
+		moved[d] = true
+		ig.nodeOf[d] = nb
+	}
+
+	// Every data edge with a moved endpoint changes index classification.
+	// Collect them once (an edge between two moved nodes appears from both
+	// sides; the set dedupes it).
+	type dedge struct{ u, v graph.NodeID }
+	affected := make(map[dedge]struct{})
+	for _, d := range ins {
+		for _, p := range ig.data.Parents(d) {
+			affected[dedge{p, d}] = struct{}{}
+		}
+		for _, c := range ig.data.Children(d) {
+			affected[dedge{d, c}] = struct{}{}
+		}
+	}
+	oldOf := func(n graph.NodeID) graph.NodeID {
+		if moved[n] {
+			return b
+		}
+		return ig.nodeOf[n]
+	}
+	for e := range affected {
+		ig.decEdge(oldOf(e.u), oldOf(e.v))
+		ig.incEdge(ig.nodeOf[e.u], ig.nodeOf[e.v])
+	}
+	return nb, true
+}
+
+// SplitBySuccOf splits index node v against splitter index node w, exactly
+// as the construction and promoting algorithms require: extent(v) is divided
+// into extent(v) ∩ Succ(extent(w)) and the rest. Returns the new node id (the
+// intersection part) and whether a split happened.
+func (ig *IndexGraph) SplitBySuccOf(v, w graph.NodeID) (graph.NodeID, bool) {
+	succ := make(map[graph.NodeID]bool)
+	for _, d := range ig.extents[w] {
+		for _, c := range ig.data.Children(d) {
+			succ[c] = true
+		}
+	}
+	return ig.SplitNode(v, func(d graph.NodeID) bool { return succ[d] })
+}
+
+// IsolateDataNode splits data node d into a singleton index node and returns
+// it. If d is already alone in its extent, its index node is returned
+// unchanged.
+func (ig *IndexGraph) IsolateDataNode(d graph.NodeID) graph.NodeID {
+	b := ig.nodeOf[d]
+	if len(ig.extents[b]) == 1 {
+		return b
+	}
+	nb, ok := ig.SplitNode(b, func(n graph.NodeID) bool { return n == d })
+	if !ok {
+		panic("index: singleton split failed on multi-member extent")
+	}
+	return nb
+}
+
+// AddDataEdge inserts the data edge u -> v into the underlying data graph
+// and mirrors it in the index graph, keeping the summary safe. It returns
+// the index endpoints and whether the *index* edge is new. It does not
+// adjust local similarities — that is the responsibility of the particular
+// index's update algorithm (D(k) Algorithm 5, or the A(k) propagate variant).
+func (ig *IndexGraph) AddDataEdge(u, v graph.NodeID) (a, b graph.NodeID, newIndexEdge bool) {
+	a, b = ig.nodeOf[u], ig.nodeOf[v]
+	if !ig.data.AddEdge(u, v) {
+		return a, b, false // duplicate data edge: nothing changes
+	}
+	ig.fbStable = false // forward structure changed
+	newIndexEdge = ig.children[a][b] == 0
+	ig.incEdge(a, b)
+	return a, b, newIndexEdge
+}
+
+// RemoveDataEdge deletes the data edge u -> v and mirrors the change in the
+// index graph (the index edge disappears when its last data edge does).
+// Like AddDataEdge it leaves local similarities to the caller's update
+// algorithm. It reports whether the data edge existed.
+func (ig *IndexGraph) RemoveDataEdge(u, v graph.NodeID) bool {
+	if !ig.data.RemoveEdge(u, v) {
+		return false
+	}
+	ig.fbStable = false
+	ig.decEdge(ig.nodeOf[u], ig.nodeOf[v])
+	return true
+}

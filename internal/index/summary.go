@@ -1,0 +1,136 @@
+package index
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"dkindex/internal/graph"
+)
+
+// Summary describes the shape of an index graph: how extents and local
+// similarities are distributed. Operators use it to judge whether an index
+// is over- or under-refined for its data.
+type Summary struct {
+	Nodes int
+	Edges int
+	// DataNodes is the number of data nodes covered (the extents' total).
+	DataNodes int
+	// MaxExtent and MeanExtent describe extent sizes; a MaxExtent close to
+	// DataNodes signals a coarse hot label, a MeanExtent near 1 an index
+	// close to the data graph.
+	MaxExtent  int
+	MeanExtent float64
+	// KHistogram counts index nodes per local similarity (Exact nodes are
+	// reported under key -1).
+	KHistogram map[int]int
+	// LargestExtents lists the biggest extents with their labels, largest
+	// first, at most 5 entries.
+	LargestExtents []ExtentInfo
+}
+
+// ExtentInfo is one entry of Summary.LargestExtents.
+type ExtentInfo struct {
+	IndexNode graph.NodeID
+	Label     string
+	Size      int
+	K         int
+}
+
+// Summarize computes the Summary. names resolves label ids; pass the data
+// graph's table.
+func (ig *IndexGraph) Summarize(names *graph.LabelTable) Summary {
+	s := Summary{
+		Nodes:      ig.NumNodes(),
+		Edges:      ig.NumEdges(),
+		KHistogram: make(map[int]int),
+	}
+	var infos []ExtentInfo
+	for n := 0; n < ig.NumNodes(); n++ {
+		id := graph.NodeID(n)
+		sz := ig.ExtentSize(id)
+		s.DataNodes += sz
+		if sz > s.MaxExtent {
+			s.MaxExtent = sz
+		}
+		k := ig.K(id)
+		if k >= Exact {
+			s.KHistogram[-1]++
+		} else {
+			s.KHistogram[k]++
+		}
+		infos = append(infos, ExtentInfo{IndexNode: id, Label: names.Name(ig.Label(id)), Size: sz, K: k})
+	}
+	if s.Nodes > 0 {
+		s.MeanExtent = float64(s.DataNodes) / float64(s.Nodes)
+	}
+	sort.Slice(infos, func(i, j int) bool {
+		if infos[i].Size != infos[j].Size {
+			return infos[i].Size > infos[j].Size
+		}
+		return infos[i].IndexNode < infos[j].IndexNode
+	})
+	if len(infos) > 5 {
+		infos = infos[:5]
+	}
+	s.LargestExtents = infos
+	return s
+}
+
+// String renders the summary for humans.
+func (s Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "index: %d nodes, %d edges over %d data nodes (mean extent %.1f, max %d)\n",
+		s.Nodes, s.Edges, s.DataNodes, s.MeanExtent, s.MaxExtent)
+	ks := make([]int, 0, len(s.KHistogram))
+	for k := range s.KHistogram {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	b.WriteString("similarity histogram:")
+	for _, k := range ks {
+		if k == -1 {
+			fmt.Fprintf(&b, " exact:%d", s.KHistogram[k])
+		} else {
+			fmt.Fprintf(&b, " k=%d:%d", k, s.KHistogram[k])
+		}
+	}
+	b.WriteByte('\n')
+	for _, e := range s.LargestExtents {
+		fmt.Fprintf(&b, "  largest: node %d (%s) extent=%d k=%d\n", e.IndexNode, e.Label, e.Size, e.K)
+	}
+	return b.String()
+}
+
+// WriteDOT renders the index graph in Graphviz DOT format: each node shows
+// its label, extent size and local similarity. Deterministic output.
+func (ig *IndexGraph) WriteDOT(w io.Writer, name string, names *graph.LabelTable) error {
+	if name == "" {
+		name = "I"
+	}
+	if _, err := fmt.Fprintf(w, "digraph %s {\n  node [shape=box];\n", name); err != nil {
+		return err
+	}
+	for n := 0; n < ig.NumNodes(); n++ {
+		id := graph.NodeID(n)
+		k := ig.K(id)
+		kLabel := fmt.Sprintf("%d", k)
+		if k >= Exact {
+			kLabel = "exact"
+		}
+		if _, err := fmt.Fprintf(w, "  i%d [label=\"%s\\n|ext|=%d k=%s\"];\n",
+			n, names.Name(ig.Label(id)), ig.ExtentSize(id), kLabel); err != nil {
+			return err
+		}
+	}
+	for n := 0; n < ig.NumNodes(); n++ {
+		for _, c := range ig.Children(graph.NodeID(n)) {
+			if _, err := fmt.Fprintf(w, "  i%d -> i%d;\n", n, c); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

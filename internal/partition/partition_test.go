@@ -1,0 +1,352 @@
+package partition
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"dkindex/internal/graph"
+)
+
+// sameGrouping reports whether two partitions induce the same equivalence
+// relation, ignoring block numbering.
+func sameGrouping(a, b *Partition) bool {
+	if a.NumNodes() != b.NumNodes() || a.NumBlocks() != b.NumBlocks() {
+		return false
+	}
+	fwd := make(map[BlockID]BlockID)
+	bwd := make(map[BlockID]BlockID)
+	for n := 0; n < a.NumNodes(); n++ {
+		ba, bb := a.BlockOf(graph.NodeID(n)), b.BlockOf(graph.NodeID(n))
+		if m, ok := fwd[ba]; ok && m != bb {
+			return false
+		}
+		if m, ok := bwd[bb]; ok && m != ba {
+			return false
+		}
+		fwd[ba] = bb
+		bwd[bb] = ba
+	}
+	return true
+}
+
+// randomGraph builds a seeded random DAG-ish labeled graph with some back
+// edges, for property tests.
+func randomGraph(seed int64, nodes, labels, extraEdges int) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New()
+	r := g.AddRoot()
+	ids := []graph.NodeID{r}
+	for i := 1; i < nodes; i++ {
+		n := g.AddNode(string(rune('a' + rng.Intn(labels))))
+		// Tree edge from an earlier node keeps everything root-reachable.
+		g.AddEdge(ids[rng.Intn(len(ids))], n)
+		ids = append(ids, n)
+	}
+	for i := 0; i < extraEdges; i++ {
+		from := ids[rng.Intn(len(ids))]
+		to := ids[rng.Intn(len(ids))]
+		if from != to && to != r {
+			g.AddEdge(from, to)
+		}
+	}
+	return g
+}
+
+func TestNewByLabelGroupsByLabel(t *testing.T) {
+	g := graph.FigureOneMovies()
+	p := NewByLabel(g)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Labels in figure 1: ROOT, movieDB, director, actor, movie, name,
+	// title, year = 8 blocks.
+	if p.NumBlocks() != 8 {
+		t.Errorf("label split has %d blocks, want 8", p.NumBlocks())
+	}
+	if p.BlockOf(7) != p.BlockOf(9) || p.BlockOf(7) != p.BlockOf(5) {
+		t.Error("all movie nodes must share the label-split block")
+	}
+}
+
+func TestRefineRoundSeparatesByParents(t *testing.T) {
+	g := graph.FigureOneMovies()
+	p := NewByLabel(g)
+	res := p.RefineRound(g, nil)
+	if !res.Changed {
+		t.Fatal("first refinement round should split something")
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// After one round (1-bisimulation): movie 7 {director,actor parents} and
+	// movie 10 {director,actor} together; movie 9 {director} separate;
+	// movie 5 {movieDB} separate.
+	if p.BlockOf(7) != p.BlockOf(10) {
+		t.Error("movies 7 and 10 must stay together at k=1")
+	}
+	if p.BlockOf(7) == p.BlockOf(9) {
+		t.Error("movies 7 and 9 must separate at k=1")
+	}
+	if p.BlockOf(7) == p.BlockOf(5) {
+		t.Error("movies 7 and 5 must separate at k=1")
+	}
+}
+
+func TestRefineRoundOriginLineage(t *testing.T) {
+	g := graph.FigureOneMovies()
+	p := NewByLabel(g)
+	before := make([]BlockID, g.NumNodes())
+	for n := range before {
+		before[n] = p.BlockOf(graph.NodeID(n))
+	}
+	res := p.RefineRound(g, nil)
+	for n := 0; n < g.NumNodes(); n++ {
+		nb := p.BlockOf(graph.NodeID(n))
+		if res.Origin[nb] != before[n] {
+			t.Fatalf("node %d: new block %d has origin %d, want %d",
+				n, nb, res.Origin[nb], before[n])
+		}
+	}
+}
+
+func TestRefineRoundSelective(t *testing.T) {
+	g := graph.FigureOneMovies()
+	p := NewByLabel(g)
+	movieBlock := p.BlockOf(7)
+	// Refine only the movie block: all other blocks must stay whole.
+	res := p.RefineRound(g, func(b BlockID) bool { return b == movieBlock })
+	if !res.Changed {
+		t.Fatal("selective refinement should split the movie block")
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.BlockOf(2) != p.BlockOf(3) {
+		t.Error("director nodes split although their block was unselected")
+	}
+	// name nodes 6, 8 (director children) vs 12, 22 (actor children) would
+	// split under full refinement but must not here.
+	if p.BlockOf(6) != p.BlockOf(12) {
+		t.Error("name nodes split although their block was unselected")
+	}
+	if p.BlockOf(7) == p.BlockOf(9) {
+		t.Error("selected movie block did not split")
+	}
+}
+
+func TestKBisimulationStabilizes(t *testing.T) {
+	g := graph.FigureOneMovies()
+	full, depth := Bisimulation(g)
+	if depth == 0 {
+		t.Fatal("figure-1 bisimulation depth should be positive")
+	}
+	pk, rounds := KBisimulation(g, 100)
+	if rounds != depth {
+		t.Errorf("KBisimulation stabilized after %d rounds, Bisimulation after %d", rounds, depth)
+	}
+	if !sameGrouping(full, pk) {
+		t.Error("KBisimulation(100) != full bisimulation")
+	}
+}
+
+func TestKBisimulationMonotone(t *testing.T) {
+	g := randomGraph(7, 300, 4, 80)
+	prevBlocks := 0
+	for k := 0; k <= 6; k++ {
+		p, _ := KBisimulation(g, k)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if p.NumBlocks() < prevBlocks {
+			t.Fatalf("k=%d: blocks decreased from %d to %d", k, prevBlocks, p.NumBlocks())
+		}
+		prevBlocks = p.NumBlocks()
+	}
+}
+
+func TestBisimulationPaperFacts(t *testing.T) {
+	g := graph.FigureOneMovies()
+	p, _ := Bisimulation(g)
+	if p.BlockOf(7) != p.BlockOf(10) {
+		t.Error("paper: movies 7 and 10 are bisimilar")
+	}
+	if p.BlockOf(7) == p.BlockOf(9) {
+		t.Error("paper: movies 7 and 9 are not bisimilar")
+	}
+	if p.BlockOf(2) != p.BlockOf(3) {
+		t.Error("directors 2 and 3 should be bisimilar")
+	}
+}
+
+func TestBisimulationAgreesWithSplitter(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		g := randomGraph(seed, 200+int(seed)*37, 3+int(seed)%4, 60)
+		a, _ := Bisimulation(g)
+		b := BisimulationSplitter(g)
+		if err := b.Validate(); err != nil {
+			t.Fatalf("seed %d: splitter partition invalid: %v", seed, err)
+		}
+		if !sameGrouping(a, b) {
+			t.Fatalf("seed %d: signature fixpoint (%d blocks) != splitter worklist (%d blocks)",
+				seed, a.NumBlocks(), b.NumBlocks())
+		}
+	}
+}
+
+func TestBisimulationOnCycle(t *testing.T) {
+	g := graph.TinyCycle()
+	p, _ := Bisimulation(g)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.NumBlocks() != 3 {
+		t.Errorf("tiny cycle bisimulation has %d blocks, want 3", p.NumBlocks())
+	}
+	s := BisimulationSplitter(g)
+	if !sameGrouping(p, s) {
+		t.Error("cycle: splitter disagrees with fixpoint")
+	}
+}
+
+func TestBisimulationRefinesLabelSplit(t *testing.T) {
+	g := randomGraph(42, 500, 5, 150)
+	p, _ := Bisimulation(g)
+	// Every bisimulation block must be label-homogeneous.
+	for b := 0; b < p.NumBlocks(); b++ {
+		mem := p.Members(BlockID(b))
+		for _, n := range mem[1:] {
+			if g.Label(n) != g.Label(mem[0]) {
+				t.Fatalf("block %d mixes labels", b)
+			}
+		}
+	}
+}
+
+// bisimulation invariant: nodes in the same full-bisimulation block have the
+// same sets of parent blocks.
+func TestBisimulationStability(t *testing.T) {
+	g := randomGraph(99, 400, 4, 120)
+	p, _ := Bisimulation(g)
+	parentSig := func(n graph.NodeID) map[BlockID]bool {
+		s := make(map[BlockID]bool)
+		for _, par := range g.Parents(n) {
+			s[p.BlockOf(par)] = true
+		}
+		return s
+	}
+	for b := 0; b < p.NumBlocks(); b++ {
+		mem := p.Members(BlockID(b))
+		ref := parentSig(mem[0])
+		for _, n := range mem[1:] {
+			got := parentSig(n)
+			if len(got) != len(ref) {
+				t.Fatalf("block %d unstable: parent block sets differ in size", b)
+			}
+			for k := range ref {
+				if !got[k] {
+					t.Fatalf("block %d unstable: parent block %d missing", b, k)
+				}
+			}
+		}
+	}
+}
+
+func TestSplitBlock(t *testing.T) {
+	g := graph.FigureOneMovies()
+	p := NewByLabel(g)
+	movieBlock := p.BlockOf(5)
+	nb, split := p.SplitBlock(movieBlock, func(n graph.NodeID) bool { return n == 7 || n == 10 })
+	if !split {
+		t.Fatal("split of movie block into {7,10} vs {5,9} failed")
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.BlockOf(7) != nb || p.BlockOf(10) != nb {
+		t.Error("in-set members not in new block")
+	}
+	if p.BlockOf(5) != movieBlock || p.BlockOf(9) != movieBlock {
+		t.Error("out-set members did not keep the old block")
+	}
+}
+
+func TestSplitBlockNoOp(t *testing.T) {
+	g := graph.FigureOneMovies()
+	p := NewByLabel(g)
+	b := p.BlockOf(5)
+	before := p.NumBlocks()
+	if _, split := p.SplitBlock(b, func(graph.NodeID) bool { return true }); split {
+		t.Error("all-in split reported a split")
+	}
+	if _, split := p.SplitBlock(b, func(graph.NodeID) bool { return false }); split {
+		t.Error("all-out split reported a split")
+	}
+	if p.NumBlocks() != before {
+		t.Error("no-op splits changed block count")
+	}
+}
+
+func TestMoveNodeToNewBlock(t *testing.T) {
+	g := graph.FigureOneMovies()
+	p := NewByLabel(g)
+	nb := p.MoveNodeToNewBlock(7)
+	if len(p.Members(nb)) != 1 || p.Members(nb)[0] != 7 {
+		t.Errorf("singleton block = %v", p.Members(nb))
+	}
+	// Moving it again is a no-op returning the same block.
+	if got := p.MoveNodeToNewBlock(7); got != nb {
+		t.Errorf("second move returned %d, want %d", got, nb)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := graph.FigureOneMovies()
+	p := NewByLabel(g)
+	c := p.Clone()
+	c.MoveNodeToNewBlock(7)
+	if p.NumBlocks() == c.NumBlocks() {
+		t.Error("clone shares block storage")
+	}
+	if err := p.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeterministicRefinement(t *testing.T) {
+	g := randomGraph(5, 300, 4, 90)
+	a, _ := KBisimulation(g, 3)
+	b, _ := KBisimulation(g, 3)
+	for n := 0; n < g.NumNodes(); n++ {
+		if a.BlockOf(graph.NodeID(n)) != b.BlockOf(graph.NodeID(n)) {
+			t.Fatal("KBisimulation is not deterministic (block numbering differs across runs)")
+		}
+	}
+}
+
+func TestParallelRefinementMatchesSerial(t *testing.T) {
+	// Cross the parallel threshold so the worker path runs (and, under
+	// -race, is checked), then verify bit-identical results with one CPU.
+	g := randomGraph(13, 40_000, 5, 9_000)
+	par, _ := KBisimulation(g, 3)
+
+	prev := runtime.GOMAXPROCS(1)
+	ser, _ := KBisimulation(g, 3)
+	runtime.GOMAXPROCS(prev)
+
+	if par.NumBlocks() != ser.NumBlocks() {
+		t.Fatalf("parallel %d blocks, serial %d", par.NumBlocks(), ser.NumBlocks())
+	}
+	for n := 0; n < g.NumNodes(); n++ {
+		if par.BlockOf(graph.NodeID(n)) != ser.BlockOf(graph.NodeID(n)) {
+			t.Fatalf("node %d: parallel block %d, serial block %d",
+				n, par.BlockOf(graph.NodeID(n)), ser.BlockOf(graph.NodeID(n)))
+		}
+	}
+	if err := par.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,205 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dkindex/internal/graph"
+)
+
+// genSpec is a compact, generatable description of a random labeled graph;
+// testing/quick produces values of it and property tests expand them.
+type genSpec struct {
+	Seed   int64
+	Nodes  uint8
+	Labels uint8
+	Extra  uint8
+}
+
+func (s genSpec) build() *graph.Graph {
+	nodes := int(s.Nodes%120) + 2
+	labels := int(s.Labels%5) + 1
+	extra := int(s.Extra % 60)
+	return randomGraph(s.Seed, nodes, labels, extra)
+}
+
+// Property: refinement rounds only ever split blocks — every new block is a
+// subset of its origin block.
+func TestQuickRefinementOnlySplits(t *testing.T) {
+	f := func(s genSpec, rounds uint8) bool {
+		g := s.build()
+		p := NewByLabel(g)
+		for r := 0; r < int(rounds%4)+1; r++ {
+			prev := append([]BlockID(nil), p.blockOf...)
+			res := p.RefineRound(g, nil)
+			for n := 0; n < g.NumNodes(); n++ {
+				nb := p.BlockOf(graph.NodeID(n))
+				if res.Origin[nb] != prev[n] {
+					return false
+				}
+			}
+			if p.Validate() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the full bisimulation partition is stable — no further round
+// changes it — and is the same no matter how many extra rounds run.
+func TestQuickBisimulationIsFixpoint(t *testing.T) {
+	f := func(s genSpec) bool {
+		g := s.build()
+		p, _ := Bisimulation(g)
+		before := p.NumBlocks()
+		res := p.RefineRound(g, nil)
+		return !res.Changed && p.NumBlocks() == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: k-bisimilar nodes have identical label-path sets up to length k
+// (A(k) property 1). Verified by sampling backward paths from each node.
+func TestQuickKBisimilarSamePathSets(t *testing.T) {
+	f := func(s genSpec, kk uint8) bool {
+		g := s.build()
+		k := int(kk%3) + 1
+		p, _ := KBisimulation(g, k)
+		// For every node, enumerate all label paths of length exactly k
+		// (bounded graphs keep this small).
+		paths := make([]map[string]bool, g.NumNodes())
+		var walk func(n graph.NodeID, left int, acc []byte) []string
+		walk = func(n graph.NodeID, left int, acc []byte) []string {
+			acc = append(acc, byte(g.Label(n)))
+			if left == 0 {
+				return []string{string(acc)}
+			}
+			var out []string
+			for _, par := range g.Parents(n) {
+				out = append(out, walk(par, left-1, acc)...)
+			}
+			return out
+		}
+		for n := 0; n < g.NumNodes(); n++ {
+			set := make(map[string]bool)
+			for _, s := range walk(graph.NodeID(n), k, nil) {
+				set[s] = true
+			}
+			paths[n] = set
+		}
+		for b := 0; b < p.NumBlocks(); b++ {
+			mem := p.Members(BlockID(b))
+			ref := paths[mem[0]]
+			for _, m := range mem[1:] {
+				got := paths[m]
+				if len(got) != len(ref) {
+					return false
+				}
+				for s := range ref {
+					if !got[s] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SplitBlock with a random predicate preserves partition validity
+// and exactly separates the predicate.
+func TestQuickSplitBlockSeparates(t *testing.T) {
+	f := func(s genSpec, which uint8, bits uint64) bool {
+		g := s.build()
+		p := NewByLabel(g)
+		b := BlockID(int(which) % p.NumBlocks())
+		rng := rand.New(rand.NewSource(int64(bits)))
+		in := make(map[graph.NodeID]bool)
+		for _, n := range p.Members(b) {
+			if rng.Intn(2) == 0 {
+				in[n] = true
+			}
+		}
+		nb, split := p.SplitBlock(b, func(n graph.NodeID) bool { return in[n] })
+		if p.Validate() != nil {
+			return false
+		}
+		if !split {
+			return true // degenerate predicate
+		}
+		for _, n := range p.Members(nb) {
+			if !in[n] {
+				return false
+			}
+		}
+		for _, n := range p.Members(b) {
+			if in[n] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the splitter-based and signature-based full bisimulations agree
+// on arbitrary generated graphs.
+func TestQuickSplitterAgreesWithFixpoint(t *testing.T) {
+	f := func(s genSpec) bool {
+		g := s.build()
+		a, _ := Bisimulation(g)
+		b := BisimulationSplitter(g)
+		return sameGrouping(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the F&B partition is stable in both directions and refines the
+// backward bisimulation.
+func TestQuickFBBisimulationStableBothWays(t *testing.T) {
+	f := func(s genSpec) bool {
+		g := s.build()
+		fb, _ := FBBisimulation(g)
+		if fb.Validate() != nil {
+			return false
+		}
+		// Neither direction refines it further.
+		c := fb.Clone()
+		if c.RefineRound(g, nil).Changed {
+			return false
+		}
+		if c.RefineRoundForward(g, nil).Changed {
+			return false
+		}
+		// It refines the backward bisimulation: members of an F&B block
+		// never straddle two backward blocks.
+		back, _ := Bisimulation(g)
+		for b := 0; b < fb.NumBlocks(); b++ {
+			mem := fb.Members(BlockID(b))
+			ref := back.BlockOf(mem[0])
+			for _, m := range mem[1:] {
+				if back.BlockOf(m) != ref {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

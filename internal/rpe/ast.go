@@ -1,0 +1,95 @@
+// Package rpe implements the paper's regular path expressions (Section 3):
+//
+//	R = l | _ | R.R | R|R | (R) | R? | R*
+//
+// plus the '//' descendant shorthand (a//b desugars to a.(_)*.b). An
+// expression matches a data node n if the label path of some word in L(R)
+// matches a node path ending in n; evaluation returns all matching nodes.
+// Expressions compile to Thompson NFAs and evaluate over any labeled graph —
+// the data graph or an index graph.
+package rpe
+
+import "strings"
+
+// Expr is a parsed regular path expression.
+type Expr interface {
+	// String renders the expression in source syntax.
+	String() string
+	isExpr()
+}
+
+// Label matches a single node with the given label.
+type Label struct{ Name string }
+
+// Wildcard matches a single node with any label (the paper's '_').
+type Wildcard struct{}
+
+// Seq matches L followed by R along an edge (the '.' operator).
+type Seq struct{ L, R Expr }
+
+// Alt matches either branch (the '|' operator).
+type Alt struct{ L, R Expr }
+
+// Opt matches X or nothing (the '?' operator).
+type Opt struct{ X Expr }
+
+// Star matches zero or more repetitions of X (the '*' operator).
+type Star struct{ X Expr }
+
+func (Label) isExpr()    {}
+func (Wildcard) isExpr() {}
+func (Seq) isExpr()      {}
+func (Alt) isExpr()      {}
+func (Opt) isExpr()      {}
+func (Star) isExpr()     {}
+
+func (e Label) String() string  { return e.Name }
+func (Wildcard) String() string { return "_" }
+func (e Seq) String() string    { return e.L.String() + "." + e.R.String() }
+func (e Alt) String() string    { return "(" + e.L.String() + "|" + e.R.String() + ")" }
+func (e Opt) String() string    { return child(e.X) + "?" }
+func (e Star) String() string   { return child(e.X) + "*" }
+
+func child(x Expr) string {
+	s := x.String()
+	switch x.(type) {
+	case Label, Wildcard:
+		if !strings.ContainsAny(s, ".|") {
+			return s
+		}
+	case Alt:
+		return s // Alt already parenthesizes itself
+	}
+	return "(" + s + ")"
+}
+
+// MaxWordLen returns the length (in labels) of the longest word the
+// expression can match, or -1 when unbounded (the expression contains a
+// reachable star). Index evaluation uses it to decide whether a matched
+// index node's local similarity covers every possible match length.
+func MaxWordLen(e Expr) int {
+	switch x := e.(type) {
+	case Label, Wildcard:
+		return 1
+	case Seq:
+		l, r := MaxWordLen(x.L), MaxWordLen(x.R)
+		if l < 0 || r < 0 {
+			return -1
+		}
+		return l + r
+	case Alt:
+		l, r := MaxWordLen(x.L), MaxWordLen(x.R)
+		if l < 0 || r < 0 {
+			return -1
+		}
+		if l > r {
+			return l
+		}
+		return r
+	case Opt:
+		return MaxWordLen(x.X)
+	case Star:
+		return -1
+	}
+	panic("rpe: unknown expression type")
+}

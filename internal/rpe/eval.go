@@ -1,0 +1,200 @@
+package rpe
+
+import (
+	"sort"
+
+	"dkindex/internal/graph"
+)
+
+// Source is the graph view expression evaluation needs. Both the data graph
+// and index graphs satisfy it.
+type Source interface {
+	NumNodes() int
+	Label(n graph.NodeID) graph.LabelID
+	Children(n graph.NodeID) []graph.NodeID
+	Parents(n graph.NodeID) []graph.NodeID
+}
+
+// Compiled is a ready-to-evaluate expression: the forward automaton, its
+// reversal (for per-node validation walking parent edges), and the longest
+// word bound.
+type Compiled struct {
+	Expr Expr
+	// MaxLen is the longest word length the expression matches, -1 if
+	// unbounded. An index node m is sound for the whole expression when
+	// MaxLen >= 0 and MaxLen-1 <= k(m).
+	MaxLen int
+
+	fwd *NFA
+	rev *NFA
+}
+
+// CompileExpr compiles e against a label table.
+func CompileExpr(e Expr, t *graph.LabelTable) *Compiled {
+	return &Compiled{
+		Expr:   e,
+		MaxLen: MaxWordLen(e),
+		fwd:    Compile(e, t),
+		rev:    Compile(reverseExpr(e), t),
+	}
+}
+
+// reverseExpr mirrors an expression so that L(rev) = reversed L(e).
+func reverseExpr(e Expr) Expr {
+	switch x := e.(type) {
+	case Label, Wildcard:
+		return x
+	case Seq:
+		return Seq{L: reverseExpr(x.R), R: reverseExpr(x.L)}
+	case Alt:
+		return Alt{L: reverseExpr(x.L), R: reverseExpr(x.R)}
+	case Opt:
+		return Opt{X: reverseExpr(x.X)}
+	case Star:
+		return Star{X: reverseExpr(x.X)}
+	}
+	panic("rpe: unknown expression type")
+}
+
+// Eval returns all nodes of g matched by the expression: nodes n such that
+// some node path ending in n spells a word of the language. Matching uses a
+// worklist fixpoint over (node, NFA-state) reachability, so cyclic graphs
+// and starred expressions terminate. visited, when non-nil, receives one
+// call per node expansion (the paper's cost unit).
+//
+// Words of length zero are ignored: an expression that accepts only the
+// empty word matches nothing.
+func (c *Compiled) Eval(g Source, visited func(graph.NodeID)) []graph.NodeID {
+	n := g.NumNodes()
+	states := make([][]bool, n)
+	start := c.fwd.startSet()
+
+	queue := make([]graph.NodeID, 0, 64)
+	inQueue := make([]bool, n)
+	push := func(id graph.NodeID) {
+		if !inQueue[id] {
+			inQueue[id] = true
+			queue = append(queue, id)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if s := c.fwd.stepOn(start, g.Label(graph.NodeID(i))); s != nil {
+			states[i] = s
+			push(graph.NodeID(i))
+		}
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		inQueue[cur] = false
+		if visited != nil {
+			visited(cur)
+		}
+		for _, ch := range g.Children(cur) {
+			delta := c.fwd.stepOn(states[cur], g.Label(ch))
+			if delta == nil {
+				continue
+			}
+			if mergeStates(&states[ch], delta) {
+				push(ch)
+			}
+		}
+	}
+
+	var out []graph.NodeID
+	for i := 0; i < n; i++ {
+		if states[i] != nil && c.fwd.anyAccept(states[i]) {
+			out = append(out, graph.NodeID(i))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// mergeStates ORs delta into *dst, reporting whether *dst grew.
+func mergeStates(dst *[]bool, delta []bool) bool {
+	if *dst == nil {
+		cp := make([]bool, len(delta))
+		copy(cp, delta)
+		*dst = cp
+		return true
+	}
+	grew := false
+	d := *dst
+	for q := range delta {
+		if delta[q] && !d[q] {
+			d[q] = true
+			grew = true
+		}
+	}
+	return grew
+}
+
+// MatchesNode reports whether the expression matches the specific node:
+// whether some node path ending at it spells an accepted word. It walks
+// parent edges from the node, running the reversed automaton, with
+// memoization over (node, state) pairs — this is the validation primitive
+// for index results. visited, when non-nil, receives each node inspected.
+func (c *Compiled) MatchesNode(g Source, node graph.NodeID, visited func(graph.NodeID)) bool {
+	// BFS over (node, reversed-NFA-state) pairs: polynomial in
+	// |nodes| x |states| even on cyclic graphs with starred expressions.
+	type pair struct {
+		n graph.NodeID
+		q int32
+	}
+	seen := make(map[pair]bool)
+	seenNode := make(map[graph.NodeID]bool)
+	var queue []pair
+	visit := func(n graph.NodeID) {
+		if visited != nil && !seenNode[n] {
+			seenNode[n] = true
+			visited(n)
+		}
+	}
+	enqueue := func(n graph.NodeID, set []bool) bool {
+		for q := range set {
+			if !set[q] {
+				continue
+			}
+			if c.rev.accept[q] {
+				return true
+			}
+			it := pair{n, int32(q)}
+			if !seen[it] {
+				seen[it] = true
+				queue = append(queue, it)
+			}
+		}
+		return false
+	}
+
+	visit(node)
+	startSet := c.rev.stepOn(c.rev.startSet(), g.Label(node))
+	if startSet == nil {
+		return false
+	}
+	if enqueue(node, startSet) {
+		return true
+	}
+	single := make([]bool, c.rev.NumStates())
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		visit(cur.n)
+		for i := range single {
+			single[i] = false
+		}
+		single[cur.q] = true
+		for _, p := range g.Parents(cur.n) {
+			next := c.rev.stepOn(single, g.Label(p))
+			if next == nil {
+				continue
+			}
+			if enqueue(p, next) {
+				visit(p)
+				return true
+			}
+		}
+	}
+	return false
+}

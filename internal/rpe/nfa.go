@@ -1,0 +1,159 @@
+package rpe
+
+import (
+	"dkindex/internal/graph"
+)
+
+// deadLabel marks transitions on labels the data has never interned: they
+// can never fire.
+const deadLabel graph.LabelID = -2
+
+// wildLabel marks wildcard transitions.
+const wildLabel graph.LabelID = -3
+
+// NFA is a Thompson automaton over node labels. State 0 is the start state.
+type NFA struct {
+	// eps[q] lists epsilon successors of q.
+	eps [][]int32
+	// step[q] lists consuming transitions of q.
+	step   [][]edge
+	accept []bool
+}
+
+type edge struct {
+	label graph.LabelID // deadLabel, wildLabel or a concrete label
+	to    int32
+}
+
+// Compile translates an expression to an NFA, resolving label names against
+// the given table. Names the table has never seen compile to dead
+// transitions (they cannot match any node), without mutating the table.
+func Compile(e Expr, t *graph.LabelTable) *NFA {
+	n := &NFA{}
+	start := n.newState()
+	end := n.build(e, t, start)
+	n.accept[end] = true
+	return n
+}
+
+func (n *NFA) newState() int32 {
+	n.eps = append(n.eps, nil)
+	n.step = append(n.step, nil)
+	n.accept = append(n.accept, false)
+	return int32(len(n.accept) - 1)
+}
+
+// build wires e between state from and a fresh exit state, which it returns.
+func (n *NFA) build(e Expr, t *graph.LabelTable, from int32) int32 {
+	switch x := e.(type) {
+	case Label:
+		to := n.newState()
+		l := t.Lookup(x.Name)
+		if l == graph.InvalidLabel {
+			l = deadLabel
+		}
+		n.step[from] = append(n.step[from], edge{label: l, to: to})
+		return to
+	case Wildcard:
+		to := n.newState()
+		n.step[from] = append(n.step[from], edge{label: wildLabel, to: to})
+		return to
+	case Seq:
+		mid := n.build(x.L, t, from)
+		return n.build(x.R, t, mid)
+	case Alt:
+		lEnd := n.build(x.L, t, from)
+		rEnd := n.build(x.R, t, from)
+		to := n.newState()
+		n.eps[lEnd] = append(n.eps[lEnd], to)
+		n.eps[rEnd] = append(n.eps[rEnd], to)
+		return to
+	case Opt:
+		end := n.build(x.X, t, from)
+		n.eps[from] = append(n.eps[from], end)
+		return end
+	case Star:
+		// from -eps-> inner ... innerEnd -eps-> from ; exit at from.
+		inner := n.newState()
+		n.eps[from] = append(n.eps[from], inner)
+		innerEnd := n.build(x.X, t, inner)
+		n.eps[innerEnd] = append(n.eps[innerEnd], inner)
+		to := n.newState()
+		n.eps[from] = append(n.eps[from], to)
+		n.eps[innerEnd] = append(n.eps[innerEnd], to)
+		return to
+	}
+	panic("rpe: unknown expression type")
+}
+
+// NumStates returns the number of NFA states.
+func (n *NFA) NumStates() int { return len(n.accept) }
+
+// closure expands a state set with epsilon reachability, in place, and
+// returns it as a bitset.
+func (n *NFA) closure(set []bool) {
+	var stack []int32
+	for q := range set {
+		if set[q] {
+			stack = append(stack, int32(q))
+		}
+	}
+	for len(stack) > 0 {
+		q := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range n.eps[q] {
+			if !set[e] {
+				set[e] = true
+				stack = append(stack, e)
+			}
+		}
+	}
+}
+
+// stepOn returns the epsilon-closed successor set of set after consuming a
+// node with label l.
+func (n *NFA) stepOn(set []bool, l graph.LabelID) []bool {
+	out := make([]bool, len(set))
+	any := false
+	for q := range set {
+		if !set[q] {
+			continue
+		}
+		for _, e := range n.step[q] {
+			if e.label == wildLabel || e.label == l {
+				out[e.to] = true
+				any = true
+			}
+		}
+	}
+	if !any {
+		return nil
+	}
+	n.closure(out)
+	return out
+}
+
+// startSet returns the epsilon closure of the start state.
+func (n *NFA) startSet() []bool {
+	set := make([]bool, n.NumStates())
+	set[0] = true
+	n.closure(set)
+	return set
+}
+
+// anyAccept reports whether the set contains an accepting state.
+func (n *NFA) anyAccept(set []bool) bool {
+	for q, ok := range set {
+		if ok && n.accept[q] {
+			return true
+		}
+	}
+	return false
+}
+
+// MatchesEmpty reports whether the automaton accepts the empty word (such an
+// expression matches every node vacuously and is rejected by evaluation
+// entry points).
+func (n *NFA) MatchesEmpty() bool {
+	return n.anyAccept(n.startSet())
+}

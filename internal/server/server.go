@@ -1,0 +1,282 @@
+// Package server exposes a D(k)-index over HTTP with a small JSON API:
+//
+//	GET  /stats                         index statistics
+//	GET  /query?path=a.b.c              simple path query
+//	GET  /query?rpe=a//b                regular path expression
+//	GET  /query?twig=a[b].c             branching path query
+//	POST /edges    {"from":1,"to":2}    incremental edge addition
+//	POST /edges/remove {"from":1,"to":2} incremental edge removal
+//	POST /documents  (XML body)         incremental document insertion
+//	POST /promote  {"label":"x","k":2}  promoting process
+//	POST /demote   {"reqs":{"x":1}}     demoting process
+//	POST /optimize {"budget":1000}      re-tune from the observed load
+//	GET  /healthz                       liveness
+//
+// Queries run concurrently under a read lock; updates serialize under the
+// write lock. Every query is recorded so /optimize can re-tune the index to
+// the live load.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"dkindex"
+)
+
+// Server wraps an index with a lock and the HTTP handlers.
+type Server struct {
+	mu  sync.RWMutex
+	idx *dkindex.Index
+	mux *http.ServeMux
+}
+
+// New wraps idx; the server starts watching the query load immediately.
+func New(idx *dkindex.Index) *Server {
+	idx.WatchLoad()
+	s := &Server{idx: idx, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /query", s.handleQuery)
+	s.mux.HandleFunc("GET /explain", s.handleExplain)
+	s.mux.HandleFunc("POST /edges", s.handleAddEdge)
+	s.mux.HandleFunc("POST /edges/remove", s.handleRemoveEdge)
+	s.mux.HandleFunc("POST /documents", s.handleAddDocument)
+	s.mux.HandleFunc("POST /promote", s.handlePromote)
+	s.mux.HandleFunc("POST /demote", s.handleDemote)
+	s.mux.HandleFunc("POST /optimize", s.handleOptimize)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	st := s.idx.Stats()
+	observed := s.idx.ObservedQueries()
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"dataNodes":       st.DataNodes,
+		"dataEdges":       st.DataEdges,
+		"indexNodes":      st.IndexNodes,
+		"indexEdges":      st.IndexEdges,
+		"maxK":            st.MaxK,
+		"observedQueries": observed,
+	})
+}
+
+// queryResponse is the JSON shape of query results.
+type queryResponse struct {
+	Query   string             `json:"query"`
+	Count   int                `json:"count"`
+	Results []queryResult      `json:"results"`
+	Cost    dkindex.QueryStats `json:"cost"`
+}
+
+type queryResult struct {
+	Node  dkindex.NodeID `json:"node"`
+	Label string         `json:"label"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var (
+		res   []dkindex.NodeID
+		stats dkindex.QueryStats
+		err   error
+		text  string
+	)
+	// Queries only read index structure; recording needs the write lock
+	// only for the path flavor (it mutates the recorder), so take the
+	// write lock there and the read lock elsewhere.
+	switch {
+	case q.Get("path") != "":
+		text = q.Get("path")
+		s.mu.Lock()
+		res, stats, err = s.idx.Query(text)
+		s.mu.Unlock()
+	case q.Get("rpe") != "":
+		text = q.Get("rpe")
+		s.mu.RLock()
+		res, stats, err = s.idx.QueryRPE(text)
+		s.mu.RUnlock()
+	case q.Get("twig") != "":
+		text = q.Get("twig")
+		s.mu.RLock()
+		res, stats, err = s.idx.QueryTwig(text)
+		s.mu.RUnlock()
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("one of path=, rpe= or twig= is required"))
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	out := queryResponse{Query: text, Count: len(res), Cost: stats, Results: []queryResult{}}
+	const maxListed = 1000
+	s.mu.RLock()
+	for i, n := range res {
+		if i == maxListed {
+			break
+		}
+		out.Results = append(out.Results, queryResult{Node: n, Label: s.idx.LabelName(n)})
+	}
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	path := r.URL.Query().Get("path")
+	if path == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("path= is required"))
+		return
+	}
+	s.mu.RLock()
+	e, err := s.idx.Explain(path)
+	s.mu.RUnlock()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, e)
+}
+
+type edgeRequest struct {
+	From dkindex.NodeID `json:"from"`
+	To   dkindex.NodeID `json:"to"`
+}
+
+func (s *Server) handleAddEdge(w http.ResponseWriter, r *http.Request) {
+	var req edgeRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	err := s.idx.AddEdge(req.From, req.To)
+	s.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "added"})
+}
+
+func (s *Server) handleRemoveEdge(w http.ResponseWriter, r *http.Request) {
+	var req edgeRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	err := s.idx.RemoveEdge(req.From, req.To)
+	s.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "removed"})
+}
+
+func (s *Server) handleAddDocument(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, 64<<20)
+	defer body.Close()
+	s.mu.Lock()
+	mapping, err := s.idx.AddDocument(body, nil)
+	s.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "inserted", "nodes": len(mapping)})
+}
+
+func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Label string `json:"label"`
+		K     int    `json:"k"`
+	}
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.K < 0 || req.K > 64 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("k out of range"))
+		return
+	}
+	s.mu.Lock()
+	err := s.idx.PromoteLabel(req.Label, req.K)
+	st := s.idx.Stats()
+	s.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "promoted", "indexNodes": st.IndexNodes})
+}
+
+func (s *Server) handleDemote(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Reqs map[string]int `json:"reqs"`
+	}
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	s.idx.Demote(req.Reqs)
+	st := s.idx.Stats()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"status": "demoted", "indexNodes": st.IndexNodes})
+}
+
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Budget int `json:"budget"`
+	}
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	reqs, err := s.idx.Optimize(req.Budget)
+	st := s.idx.Stats()
+	s.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":       "optimized",
+		"requirements": reqs,
+		"indexNodes":   st.IndexNodes,
+	})
+}
+
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,107 @@
+package xmlgraph
+
+import (
+	"bufio"
+	"encoding/xml"
+	"io"
+)
+
+// Elem is a lightweight XML element tree, used by the dataset generators to
+// emit documents that Load then parses back — exercising the same pipeline a
+// real deployment would.
+type Elem struct {
+	Name     string
+	Attrs    []Attr
+	Children []*Elem
+	Text     string
+}
+
+// Attr is an attribute of an Elem.
+type Attr struct {
+	Name, Value string
+}
+
+// NewElem returns an element with the given tag.
+func NewElem(name string) *Elem { return &Elem{Name: name} }
+
+// Attr appends an attribute and returns the element for chaining.
+func (e *Elem) Attr(name, value string) *Elem {
+	e.Attrs = append(e.Attrs, Attr{name, value})
+	return e
+}
+
+// Child appends a child element and returns the child.
+func (e *Elem) Child(name string) *Elem {
+	c := NewElem(name)
+	e.Children = append(e.Children, c)
+	return c
+}
+
+// Append attaches an existing element as a child and returns e.
+func (e *Elem) Append(c *Elem) *Elem {
+	e.Children = append(e.Children, c)
+	return e
+}
+
+// CountNodes returns the number of elements in the tree rooted at e.
+func (e *Elem) CountNodes() int {
+	n := 1
+	for _, c := range e.Children {
+		n += c.CountNodes()
+	}
+	return n
+}
+
+// WriteXML serializes the tree as an XML document.
+func (e *Elem) WriteXML(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(xml.Header); err != nil {
+		return err
+	}
+	if err := e.write(bw); err != nil {
+		return err
+	}
+	if err := bw.WriteByte('\n'); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func (e *Elem) write(w *bufio.Writer) error {
+	if err := w.WriteByte('<'); err != nil {
+		return err
+	}
+	if _, err := w.WriteString(e.Name); err != nil {
+		return err
+	}
+	for _, a := range e.Attrs {
+		if _, err := w.WriteString(" " + a.Name + `="`); err != nil {
+			return err
+		}
+		if err := xml.EscapeText(w, []byte(a.Value)); err != nil {
+			return err
+		}
+		if err := w.WriteByte('"'); err != nil {
+			return err
+		}
+	}
+	if len(e.Children) == 0 && e.Text == "" {
+		_, err := w.WriteString("/>")
+		return err
+	}
+	if err := w.WriteByte('>'); err != nil {
+		return err
+	}
+	if e.Text != "" {
+		if err := xml.EscapeText(w, []byte(e.Text)); err != nil {
+			return err
+		}
+	}
+	for _, c := range e.Children {
+		if err := c.write(w); err != nil {
+			return err
+		}
+	}
+	_, err := w.WriteString("</" + e.Name + ">")
+	return err
+}

@@ -1,0 +1,49 @@
+package xmlgraph
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzLoad checks that arbitrary bytes never panic the loader and that every
+// accepted document yields a structurally valid graph.
+func FuzzLoad(f *testing.F) {
+	for _, seed := range []string{
+		`<a/>`,
+		`<a><b/></a>`,
+		`<a id="1"><b ref="1"/></a>`,
+		`<a id="1"><b ref="2"/></a>`,
+		`<a><b></a>`,
+		`<a></a><b></b>`,
+		`<?xml version="1.0"?><a x="1" idref="q w"/>`,
+		`<a>text<b/>more</a>`,
+		``,
+		`not xml at all`,
+		`<a id="x" id="x"/>`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, doc string) {
+		if len(doc) > 1<<16 {
+			return
+		}
+		for _, opts := range []*Options{
+			nil,
+			{IncludeValues: true, IncludeAttributes: true},
+		} {
+			g, rep, err := Load(strings.NewReader(doc), opts)
+			if err != nil {
+				continue
+			}
+			if err := g.Validate(); err != nil {
+				t.Fatalf("accepted document produced invalid graph: %v", err)
+			}
+			if g.Root() < 0 {
+				t.Fatal("accepted document has no root")
+			}
+			if rep.Elements <= 0 {
+				t.Fatal("accepted document reported no elements")
+			}
+		}
+	})
+}

@@ -1,0 +1,178 @@
+// Package xmlgraph turns XML documents into the labeled data graphs of the
+// paper's data model (Section 3): elements become nodes labeled with their
+// tag, nesting becomes tree edges, text content becomes nodes with the
+// distinguished VALUE label, attributes become child nodes, and ID/IDREF(S)
+// attributes become reference edges. Tree edges and reference edges are not
+// distinguished in the resulting graph.
+package xmlgraph
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+
+	"dkindex/internal/graph"
+)
+
+// Options configures loading. The zero value is usable: values and ordinary
+// attributes are skipped (structural indexing cares about labels, and value
+// leaves would dominate the node count), while ID/IDREF reference edges are
+// resolved.
+type Options struct {
+	// IncludeValues adds a VALUE-labeled child node for text content.
+	IncludeValues bool
+	// IncludeAttributes adds a child node labeled "@name" per attribute
+	// (ID/IDREF attributes are always consumed for reference edges and
+	// never materialized).
+	IncludeAttributes bool
+	// IDAttrs lists attribute names that define element identity.
+	// Defaults to ["id"].
+	IDAttrs []string
+	// IDRefAttrs lists attribute names holding references (IDREF or
+	// space-separated IDREFS). Defaults to ["idref", "ref"], plus any
+	// attribute name ending in "ref".
+	IDRefAttrs []string
+	// Labels, when non-nil, is the label table to intern into (lets several
+	// documents share one table). A fresh table is created otherwise.
+	Labels *graph.LabelTable
+}
+
+func (o *Options) isID(name string) bool {
+	ids := o.IDAttrs
+	if ids == nil {
+		ids = []string{"id"}
+	}
+	for _, n := range ids {
+		if strings.EqualFold(n, name) {
+			return true
+		}
+	}
+	return false
+}
+
+func (o *Options) isIDRef(name string) bool {
+	refs := o.IDRefAttrs
+	if refs == nil {
+		refs = []string{"idref", "ref"}
+	}
+	for _, n := range refs {
+		if strings.EqualFold(n, name) {
+			return true
+		}
+	}
+	return o.IDRefAttrs == nil && strings.HasSuffix(strings.ToLower(name), "ref")
+}
+
+// Report describes what Load found.
+type Report struct {
+	Elements       int      // element nodes created
+	Values         int      // VALUE nodes created
+	Attributes     int      // attribute nodes created
+	ReferenceEdges int      // ID/IDREF edges added
+	DanglingRefs   []string // IDREF values that resolved to no element
+}
+
+// Load parses one XML document into a data graph. The graph has a single
+// ROOT node whose child is the document element.
+func Load(r io.Reader, opts *Options) (*graph.Graph, *Report, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	tab := opts.Labels
+	if tab == nil {
+		tab = graph.NewLabelTable()
+	}
+	g := graph.NewWithLabels(tab)
+	root := g.AddRoot()
+	rep := &Report{}
+
+	byID := make(map[string]graph.NodeID)
+	type pendingRef struct {
+		from graph.NodeID
+		id   string
+	}
+	var refs []pendingRef
+
+	dec := xml.NewDecoder(r)
+	stack := []graph.NodeID{root}
+	sawElement := false
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("xmlgraph: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			if len(stack) == 1 && sawElement {
+				return nil, nil, fmt.Errorf("xmlgraph: multiple document elements")
+			}
+			sawElement = true
+			n := g.AddNode(t.Name.Local)
+			rep.Elements++
+			g.AddEdge(stack[len(stack)-1], n)
+			for _, a := range t.Attr {
+				name := a.Name.Local
+				switch {
+				case opts.isID(name):
+					byID[a.Value] = n
+				case opts.isIDRef(name):
+					for _, id := range strings.Fields(a.Value) {
+						refs = append(refs, pendingRef{from: n, id: id})
+					}
+				case opts.IncludeAttributes:
+					an := g.AddNode("@" + name)
+					rep.Attributes++
+					g.AddEdge(n, an)
+					if opts.IncludeValues {
+						vn := g.AddNode(graph.ValueLabel)
+						rep.Values++
+						g.AddEdge(an, vn)
+					}
+				}
+			}
+			stack = append(stack, n)
+		case xml.EndElement:
+			if len(stack) <= 1 {
+				return nil, nil, fmt.Errorf("xmlgraph: unbalanced end element %s", t.Name.Local)
+			}
+			stack = stack[:len(stack)-1]
+		case xml.CharData:
+			if !opts.IncludeValues || len(stack) == 1 {
+				continue
+			}
+			if strings.TrimSpace(string(t)) == "" {
+				continue
+			}
+			vn := g.AddNode(graph.ValueLabel)
+			rep.Values++
+			g.AddEdge(stack[len(stack)-1], vn)
+		}
+	}
+	if len(stack) != 1 {
+		return nil, nil, fmt.Errorf("xmlgraph: unexpected end of document (%d open elements)", len(stack)-1)
+	}
+	if !sawElement {
+		return nil, nil, fmt.Errorf("xmlgraph: empty document")
+	}
+
+	for _, ref := range refs {
+		target, ok := byID[ref.id]
+		if !ok {
+			rep.DanglingRefs = append(rep.DanglingRefs, ref.id)
+			continue
+		}
+		if g.AddEdge(ref.from, target) {
+			rep.ReferenceEdges++
+		}
+	}
+	return g, rep, nil
+}
+
+// LoadString is Load over a string; a convenience for tests and examples.
+func LoadString(doc string, opts *Options) (*graph.Graph, *Report, error) {
+	return Load(strings.NewReader(doc), opts)
+}

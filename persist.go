@@ -1,0 +1,47 @@
+package dkindex
+
+import (
+	"io"
+	"os"
+
+	"dkindex/internal/codec"
+)
+
+// Save writes the index — data graph, extents, similarities and tuned
+// requirements — to a compact versioned binary stream. Open restores it.
+func (x *Index) Save(w io.Writer) error {
+	return codec.SaveDK(w, x.dk)
+}
+
+// SaveFile is Save to a file path.
+func (x *Index) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := x.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Open restores an index persisted with Save. Queries on the restored index
+// return identical results at identical cost.
+func Open(r io.Reader) (*Index, error) {
+	dk, err := codec.LoadDK(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{dk: dk}, nil
+}
+
+// OpenFile is Open from a file path.
+func OpenFile(path string) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Open(f)
+}
