@@ -1,0 +1,38 @@
+GO ?= go
+
+# Benchmark knobs: DK_BENCH_SCALE sets the XMark fraction loaded by
+# bench_test.go; BENCHTIME feeds -benchtime.
+DK_BENCH_SCALE ?= 1.0
+BENCHTIME ?= 2s
+
+.PHONY: all build test race vet fmt-check bench clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# bench runs the query-throughput benchmark and records both the raw text
+# (BENCH_1.txt) and a parsed JSON report (BENCH_1.json, via dkbench
+# -benchjson).
+bench:
+	DK_BENCH_SCALE=$(DK_BENCH_SCALE) $(GO) test -run '^$$' \
+		-bench BenchmarkQueryThroughput -benchmem -benchtime $(BENCHTIME) . \
+		| tee BENCH_1.txt
+	$(GO) run ./cmd/dkbench -benchjson < BENCH_1.txt > BENCH_1.json
+
+clean:
+	rm -f BENCH_1.txt BENCH_1.json

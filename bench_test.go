@@ -515,6 +515,49 @@ func BenchmarkQueryTwigDK(b *testing.B) {
 	}
 }
 
+// BenchmarkQueryThroughput is the canonical hot-path benchmark: a mixed
+// path/RPE/twig load over the tuned XMark D(k)-index, driven from all CPUs
+// via RunParallel the way dkserve drives it under concurrent traffic. Future
+// PRs quote this number; run with -benchmem to watch allocation churn too
+// (`make bench` records it in BENCH_1.txt/.json).
+//
+// Query fast-path overhaul (DK_BENCH_SCALE=1.0, -benchtime 2s, same machine):
+//
+//	before: 3526880 ns/op   901201 B/op   19412 allocs/op
+//	after:  1144431 ns/op   204416 B/op   16595 allocs/op   (3.1x)
+func BenchmarkQueryThroughput(b *testing.B) {
+	ds := benchXMark(b)
+	dk := core.Build(ds.G, ds.W.Requirements())
+	rpes := []*rpe.Compiled{
+		rpe.CompileExpr(rpe.MustParse("open_auction.itemref//name"), ds.G.Labels()),
+		rpe.CompileExpr(rpe.MustParse("person.name|item.name"), ds.G.Labels()),
+	}
+	twigSrcs := []string{"item[mailbox].name", "person[name].emailaddress"}
+	var twigs []*eval.Twig
+	for _, s := range twigSrcs {
+		tw, err := eval.ParseTwig(ds.G.Labels(), s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		twigs = append(twigs, tw)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			switch i % 4 {
+			case 0, 1:
+				eval.Index(dk.IG, ds.W.Queries[i%len(ds.W.Queries)])
+			case 2:
+				eval.IndexRPE(dk.IG, rpes[(i/4)%len(rpes)])
+			default:
+				eval.IndexTwig(dk.IG, twigs[(i/4)%len(twigs)])
+			}
+			i++
+		}
+	})
+}
+
 // BenchmarkXMLLoad measures the XML-to-graph pipeline on the XMark document.
 func BenchmarkXMLLoad(b *testing.B) {
 	doc := datagen.XMark(datagen.XMarkScale(benchScale()))

@@ -45,15 +45,23 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	fs := flag.NewFlagSet("dkbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp   = fs.String("exp", "all", "experiment: fig4, fig5, tab1, fig6, fig7, ablation, alg4, family, docinsert, apex, miner, all")
-		scale = fs.Float64("scale", 1.0, "dataset scale (1.0 = paper size)")
-		edges = fs.Int("edges", 100, "edge additions for tab1/fig6/fig7/ablation")
-		seed  = fs.Int64("seed", 1, "random seed for workloads and edges")
-		maxK  = fs.Int("maxk", 0, "largest A(k) in the series (0 = longest query length)")
-		csv   = fs.String("csv", "", "also write each series as CSV files under this directory")
+		exp       = fs.String("exp", "all", "experiment: fig4, fig5, tab1, fig6, fig7, ablation, alg4, family, docinsert, apex, miner, all")
+		scale     = fs.Float64("scale", 1.0, "dataset scale (1.0 = paper size)")
+		edges     = fs.Int("edges", 100, "edge additions for tab1/fig6/fig7/ablation")
+		seed      = fs.Int64("seed", 1, "random seed for workloads and edges")
+		maxK      = fs.Int("maxk", 0, "largest A(k) in the series (0 = longest query length)")
+		csv       = fs.String("csv", "", "also write each series as CSV files under this directory")
+		benchjson = fs.Bool("benchjson", false, "read `go test -bench` text on stdin, write a JSON report on stdout, and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *benchjson {
+		if err := benchToJSON(os.Stdin, stdout); err != nil {
+			fmt.Fprintf(stderr, "dkbench: %v\n", err)
+			return 1
+		}
+		return 0
 	}
 	defer func() {
 		if r := recover(); r != nil {

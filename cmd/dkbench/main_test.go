@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -44,5 +45,37 @@ func TestRunErrors(t *testing.T) {
 	}
 	if code := run([]string{"-exp", "fig4", "-scale", "0.01", "-csv", filepath.Join(blocker, "sub")}, &out, &errb); code != 1 {
 		t.Errorf("bad csv dir exit = %d, want 1", code)
+	}
+}
+
+func TestBenchJSON(t *testing.T) {
+	input := `goos: linux
+goarch: amd64
+pkg: dkindex
+cpu: some cpu model
+BenchmarkQueryThroughput-8   	     720	   3526880 ns/op	  901201 B/op	   19412 allocs/op
+PASS
+ok  	dkindex	5.1s
+`
+	var out strings.Builder
+	if err := benchToJSON(strings.NewReader(input), &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep benchReport
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Pkg != "dkindex" || len(rep.Results) != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+	r := rep.Results[0]
+	if r.Name != "BenchmarkQueryThroughput" || r.Procs != 8 || r.Iterations != 720 {
+		t.Errorf("result = %+v", r)
+	}
+	if r.Metrics["ns/op"] != 3526880 || r.Metrics["allocs/op"] != 19412 {
+		t.Errorf("metrics = %v", r.Metrics)
+	}
+	if err := benchToJSON(strings.NewReader("no benchmarks here\n"), &out); err == nil {
+		t.Error("want error for input without benchmark lines")
 	}
 }

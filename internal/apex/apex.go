@@ -13,6 +13,7 @@ package apex
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"dkindex/internal/eval"
@@ -175,7 +176,7 @@ func (a *APEX) Eval(q eval.Query) ([]graph.NodeID, eval.Cost) {
 				out = append(out, d)
 			}
 		}
-		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		slices.Sort(out)
 		return out, cost
 	default:
 		// Cold query: full scan of the data graph.

@@ -10,7 +10,7 @@
 package core
 
 import (
-	"sort"
+	"slices"
 	"strconv"
 
 	"dkindex/internal/graph"
@@ -124,7 +124,7 @@ func (r Requirements) SortedLabels() []graph.LabelID {
 	for l := range r {
 		out = append(out, l)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 

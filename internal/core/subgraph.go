@@ -144,7 +144,9 @@ func (c *compositeSource) Parents(n graph.NodeID) []graph.NodeID {
 
 func (c *compositeSource) Children(n graph.NodeID) []graph.NodeID {
 	if int(n) < c.base {
-		out := c.ig.Children(n)
+		// Copy: the index owns the adjacency slice, and the igRoot case
+		// appends the added subgraph's children to it.
+		out := append([]graph.NodeID(nil), c.ig.Children(n)...)
 		if n == c.igRoot {
 			for _, ch := range c.ih.Children(c.ihRoot) {
 				out = append(out, c.fromIH(ch))

@@ -8,8 +8,10 @@ package eval
 
 import (
 	"fmt"
-	"sort"
+	"runtime"
+	"slices"
 	"strings"
+	"sync"
 
 	"dkindex/internal/graph"
 	"dkindex/internal/index"
@@ -113,18 +115,17 @@ func Index(ig *index.IndexGraph, q Query) ([]graph.NodeID, Cost) {
 	var res []graph.NodeID
 	for _, m := range matched {
 		if ig.K(m) >= need {
-			res = append(res, ig.Extent(m)...)
+			res = ig.AppendExtent(res, m)
 			continue
 		}
 		c.Validations++
-		for _, d := range ig.Extent(m) {
-			ok := data.LabelPathMatchesNode(q, d, func(graph.NodeID) { c.DataNodesValidated++ })
-			if ok {
-				res = append(res, d)
-			}
-		}
+		hits, charged := validateMembers(ig.Extent(m), func(d graph.NodeID, charge func(graph.NodeID)) bool {
+			return data.LabelPathMatchesNode(q, d, charge)
+		})
+		c.DataNodesValidated += charged
+		res = append(res, hits...)
 	}
-	sort.Slice(res, func(i, j int) bool { return res[i] < res[j] })
+	slices.Sort(res)
 	return res, c
 }
 
@@ -138,46 +139,123 @@ func IndexNoValidation(ig *index.IndexGraph, q Query) ([]graph.NodeID, Cost) {
 	matched := evalOnIndex(ig, q, &c)
 	var res []graph.NodeID
 	for _, m := range matched {
-		res = append(res, ig.Extent(m)...)
+		res = ig.AppendExtent(res, m)
 	}
-	sort.Slice(res, func(i, j int) bool { return res[i] < res[j] })
+	slices.Sort(res)
 	return res, c
 }
 
+// validateParallelThreshold is the extent size above which validation fans
+// out across CPUs (mirroring partition's parallel refinement threshold, tuned
+// lower because validating one member costs a backward search, not a hash).
+// Per-member validation is independent — the memo scratch is per call — and
+// the charge for one member is deterministic, so summing per-chunk counters
+// in chunk order reproduces the serial Cost exactly.
+var validateParallelThreshold = 1 << 11
+
+// validateMembers runs check over every extent member, returning the members
+// that passed (in extent order) and the total number of data nodes charged.
+// Large extents are validated by a bounded worker pool; results and charges
+// are merged in chunk order so the outcome is identical to the serial loop.
+func validateMembers(ext []graph.NodeID, check func(d graph.NodeID, charge func(graph.NodeID)) bool) ([]graph.NodeID, int) {
+	workers := runtime.GOMAXPROCS(0)
+	if len(ext) < validateParallelThreshold || workers <= 1 {
+		var hits []graph.NodeID
+		charged := 0
+		for _, d := range ext {
+			if check(d, func(graph.NodeID) { charged++ }) {
+				hits = append(hits, d)
+			}
+		}
+		return hits, charged
+	}
+	if workers > 8 {
+		workers = 8
+	}
+	type chunkResult struct {
+		hits    []graph.NodeID
+		charged int
+	}
+	chunk := (len(ext) + workers - 1) / workers
+	results := make([]chunkResult, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= len(ext) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(ext) {
+			hi = len(ext)
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			r := &results[w]
+			for _, d := range ext[lo:hi] {
+				if check(d, func(graph.NodeID) { r.charged++ }) {
+					r.hits = append(r.hits, d)
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var hits []graph.NodeID
+	charged := 0
+	for w := range results {
+		hits = append(hits, results[w].hits...)
+		charged += results[w].charged
+	}
+	return hits, charged
+}
+
+// idxScratch pools the dense frontier buffers of evalOnIndex.
+type idxScratch struct {
+	seen graph.VisitSet
+	a, b []graph.NodeID
+}
+
+var idxScratchPool = sync.Pool{New: func() any { return new(idxScratch) }}
+
 // evalOnIndex runs the label-path traversal over the index graph, charging
 // one visit per (node, position) expansion, and returns the matched index
-// nodes in ascending order.
+// nodes in ascending order. Seeding reads the label posting list —
+// O(|matches|), not O(index size) — and frontiers are pooled dense slices
+// deduplicated by an epoch-stamped visit set, so steady-state evaluation
+// allocates only the result. The charges are exactly those of the map-based
+// evaluator: posting lists hold precisely the label-matching nodes, and each
+// (node, position) pair is still charged at most once.
 func evalOnIndex(ig *index.IndexGraph, q Query, c *Cost) []graph.NodeID {
 	if len(q) == 0 {
 		return nil
 	}
-	cur := make(map[graph.NodeID]bool)
-	for n := 0; n < ig.NumNodes(); n++ {
-		if ig.Label(graph.NodeID(n)) == q[0] {
-			cur[graph.NodeID(n)] = true
-			c.IndexNodesVisited++
-		}
+	sc := idxScratchPool.Get().(*idxScratch)
+	cur, next := sc.a[:0], sc.b[:0]
+	for _, n := range ig.NodesWithLabel(q[0]) {
+		cur = append(cur, n)
+		c.IndexNodesVisited++
 	}
-	for pos := 1; pos < len(q); pos++ {
-		next := make(map[graph.NodeID]bool)
-		for n := range cur {
+	for pos := 1; pos < len(q) && len(cur) > 0; pos++ {
+		sc.seen.Reset(ig.NumNodes())
+		next = next[:0]
+		want := q[pos]
+		for _, n := range cur {
 			for _, ch := range ig.Children(n) {
-				if ig.Label(ch) == q[pos] && !next[ch] {
-					next[ch] = true
+				if ig.Label(ch) == want && sc.seen.Add(ch) {
+					next = append(next, ch)
 					c.IndexNodesVisited++
 				}
 			}
 		}
-		cur = next
-		if len(cur) == 0 {
-			return nil
-		}
+		cur, next = next, cur
 	}
-	out := make([]graph.NodeID, 0, len(cur))
-	for n := range cur {
-		out = append(out, n)
+	var out []graph.NodeID
+	if len(cur) > 0 {
+		out = append([]graph.NodeID(nil), cur...)
+		slices.Sort(out)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	sc.a, sc.b = cur, next
+	idxScratchPool.Put(sc)
 	return out
 }
 

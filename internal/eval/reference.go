@@ -1,0 +1,362 @@
+package eval
+
+import (
+	"sort"
+
+	"dkindex/internal/graph"
+	"dkindex/internal/index"
+	"dkindex/internal/rpe"
+)
+
+// This file preserves the straightforward map-based evaluators as oracles
+// for the optimized hot paths. Each Reference* function implements the same
+// algorithm its production counterpart replaced — full-scan seeding, map
+// frontiers, per-call memo maps, strictly serial validation — so audits can
+// run both side by side and assert that results and every Cost counter are
+// bit-identical. They are not used by production query paths.
+
+// ReferenceData is the oracle for Data: map-frontier label path evaluation
+// directly on the data graph.
+func ReferenceData(g *graph.Graph, q Query) ([]graph.NodeID, Cost) {
+	var c Cost
+	res := referenceLabelPathEval(g, q, func(graph.NodeID) { c.IndexNodesVisited++ })
+	return res, c
+}
+
+// ReferenceIndex is the oracle for Index: map-frontier traversal of the
+// index graph with strictly serial member-by-member validation.
+func ReferenceIndex(ig *index.IndexGraph, q Query) ([]graph.NodeID, Cost) {
+	var c Cost
+	matched := referenceEvalOnIndex(ig, q, &c)
+	need := q.Length()
+	data := ig.Data()
+	var res []graph.NodeID
+	for _, m := range matched {
+		if ig.K(m) >= need {
+			res = append(res, ig.Extent(m)...)
+			continue
+		}
+		c.Validations++
+		for _, d := range ig.Extent(m) {
+			ok := referenceLabelPathMatchesNode(data, q, d, func(graph.NodeID) { c.DataNodesValidated++ })
+			if ok {
+				res = append(res, d)
+			}
+		}
+	}
+	sort.Slice(res, func(i, j int) bool { return res[i] < res[j] })
+	return res, c
+}
+
+// ReferenceIndexNoValidation is the oracle for IndexNoValidation.
+func ReferenceIndexNoValidation(ig *index.IndexGraph, q Query) ([]graph.NodeID, Cost) {
+	var c Cost
+	matched := referenceEvalOnIndex(ig, q, &c)
+	var res []graph.NodeID
+	for _, m := range matched {
+		res = append(res, ig.Extent(m)...)
+	}
+	sort.Slice(res, func(i, j int) bool { return res[i] < res[j] })
+	return res, c
+}
+
+// ReferenceDataRPE is the oracle for DataRPE.
+func ReferenceDataRPE(g *graph.Graph, c *rpe.Compiled) ([]graph.NodeID, Cost) {
+	var cost Cost
+	res := c.ReferenceEval(g, func(graph.NodeID) { cost.IndexNodesVisited++ })
+	return res, cost
+}
+
+// ReferenceIndexRPE is the oracle for IndexRPE: per-node seeding in the
+// automaton fixpoint and strictly serial map-based validation.
+func ReferenceIndexRPE(ig *index.IndexGraph, c *rpe.Compiled) ([]graph.NodeID, Cost) {
+	var cost Cost
+	matched := c.ReferenceEval(ig, func(graph.NodeID) { cost.IndexNodesVisited++ })
+	data := ig.Data()
+	var res []graph.NodeID
+	for _, m := range matched {
+		if c.MaxLen >= 0 && c.MaxLen-1 <= ig.K(m) {
+			res = append(res, ig.Extent(m)...)
+			continue
+		}
+		cost.Validations++
+		for _, d := range ig.Extent(m) {
+			ok := c.ReferenceMatchesNode(data, d, func(graph.NodeID) { cost.DataNodesValidated++ })
+			if ok {
+				res = append(res, d)
+			}
+		}
+	}
+	sort.Slice(res, func(i, j int) bool { return res[i] < res[j] })
+	return res, cost
+}
+
+// ReferenceDataTwig is the oracle for DataTwig.
+func ReferenceDataTwig(g *graph.Graph, q *Twig) ([]graph.NodeID, Cost) {
+	var c Cost
+	e := newReferenceTwigEval(g, q, func(graph.NodeID) { c.IndexNodesVisited++ })
+	return e.eval(), c
+}
+
+// ReferenceIndexTwig is the oracle for IndexTwig.
+func ReferenceIndexTwig(ig *index.IndexGraph, q *Twig) ([]graph.NodeID, Cost) {
+	var c Cost
+	e := newReferenceTwigEval(ig, q, func(graph.NodeID) { c.IndexNodesVisited++ })
+	matched := e.eval()
+	var res []graph.NodeID
+	data := ig.Data()
+	for _, m := range matched {
+		if ig.FBStable() {
+			res = append(res, ig.Extent(m)...)
+			continue
+		}
+		c.Validations++
+		ev := newReferenceTwigEval(data, q, func(graph.NodeID) { c.DataNodesValidated++ })
+		for _, d := range ig.Extent(m) {
+			if ev.matchesEndingAt(d) {
+				res = append(res, d)
+			}
+		}
+	}
+	sort.Slice(res, func(i, j int) bool { return res[i] < res[j] })
+	return res, c
+}
+
+// referenceEvalOnIndex is the original full-scan, map-frontier index
+// traversal.
+func referenceEvalOnIndex(ig *index.IndexGraph, q Query, c *Cost) []graph.NodeID {
+	if len(q) == 0 {
+		return nil
+	}
+	cur := make(map[graph.NodeID]bool)
+	for n := 0; n < ig.NumNodes(); n++ {
+		if ig.Label(graph.NodeID(n)) == q[0] {
+			cur[graph.NodeID(n)] = true
+			c.IndexNodesVisited++
+		}
+	}
+	for pos := 1; pos < len(q); pos++ {
+		next := make(map[graph.NodeID]bool)
+		for n := range cur {
+			for _, ch := range ig.Children(n) {
+				if ig.Label(ch) == q[pos] && !next[ch] {
+					next[ch] = true
+					c.IndexNodesVisited++
+				}
+			}
+		}
+		cur = next
+		if len(cur) == 0 {
+			return nil
+		}
+	}
+	out := make([]graph.NodeID, 0, len(cur))
+	for n := range cur {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// referenceLabelPathEval is the original map-frontier data graph evaluator.
+func referenceLabelPathEval(g *graph.Graph, labels []graph.LabelID, visited func(graph.NodeID)) []graph.NodeID {
+	if len(labels) == 0 {
+		return nil
+	}
+	cur := make(map[graph.NodeID]bool)
+	for n := 0; n < g.NumNodes(); n++ {
+		if g.Label(graph.NodeID(n)) == labels[0] {
+			cur[graph.NodeID(n)] = true
+			if visited != nil {
+				visited(graph.NodeID(n))
+			}
+		}
+	}
+	for pos := 1; pos < len(labels); pos++ {
+		next := make(map[graph.NodeID]bool)
+		want := labels[pos]
+		for n := range cur {
+			for _, c := range g.Children(n) {
+				if g.Label(c) == want && !next[c] {
+					next[c] = true
+					if visited != nil {
+						visited(c)
+					}
+				}
+			}
+		}
+		cur = next
+		if len(cur) == 0 {
+			return nil
+		}
+	}
+	out := make([]graph.NodeID, 0, len(cur))
+	for n := range cur {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// referenceLabelPathMatchesNode is the original backward label path match
+// with a per-call memo map.
+func referenceLabelPathMatchesNode(g *graph.Graph, labels []graph.LabelID, n graph.NodeID, visited func(graph.NodeID)) bool {
+	if len(labels) == 0 {
+		return true
+	}
+	type key struct {
+		n   graph.NodeID
+		pos int
+	}
+	memo := make(map[key]bool)
+	var match func(n graph.NodeID, pos int) bool
+	match = func(n graph.NodeID, pos int) bool {
+		if visited != nil {
+			visited(n)
+		}
+		if g.Label(n) != labels[pos] {
+			return false
+		}
+		if pos == 0 {
+			return true
+		}
+		k := key{n, pos}
+		if v, ok := memo[k]; ok {
+			return v
+		}
+		memo[k] = false
+		res := false
+		for _, p := range g.Parents(n) {
+			if match(p, pos-1) {
+				res = true
+				break
+			}
+		}
+		memo[k] = res
+		return res
+	}
+	return match(n, len(labels)-1)
+}
+
+// referenceTwigEval is the original map-based twig evaluator: full-scan
+// seeding and map frontiers with the same charge-on-every-failing-parent
+// semantics as the production evaluator.
+type referenceTwigEval struct {
+	src      twigSource
+	q        *Twig
+	visit    func(graph.NodeID)
+	predMemo map[[2]int32]bool
+}
+
+func newReferenceTwigEval(src twigSource, q *Twig, visit func(graph.NodeID)) *referenceTwigEval {
+	return &referenceTwigEval{src: src, q: q, visit: visit, predMemo: make(map[[2]int32]bool)}
+}
+
+func (e *referenceTwigEval) see(n graph.NodeID) {
+	if e.visit != nil {
+		e.visit(n)
+	}
+}
+
+func (e *referenceTwigEval) stepOK(n graph.NodeID, s *TwigStep) bool {
+	if e.src.Label(n) != s.Label {
+		return false
+	}
+	for _, pred := range s.Preds {
+		if !e.matchDown(n, pred, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *referenceTwigEval) matchDown(n graph.NodeID, pred *Twig, i int) bool {
+	key := [2]int32{int32(pred.Steps[i].id), int32(n)}
+	if v, ok := e.predMemo[key]; ok {
+		return v
+	}
+	e.predMemo[key] = false
+	res := false
+	for _, c := range e.src.Children(n) {
+		e.see(c)
+		if !e.stepOK(c, &pred.Steps[i]) {
+			continue
+		}
+		if i == len(pred.Steps)-1 || e.matchDown(c, pred, i+1) {
+			res = true
+			break
+		}
+	}
+	e.predMemo[key] = res
+	return res
+}
+
+func (e *referenceTwigEval) eval() []graph.NodeID {
+	cur := make(map[graph.NodeID]bool)
+	for n := 0; n < e.src.NumNodes(); n++ {
+		id := graph.NodeID(n)
+		if e.src.Label(id) == e.q.Steps[0].Label {
+			e.see(id)
+			if e.stepOK(id, &e.q.Steps[0]) {
+				cur[id] = true
+			}
+		}
+	}
+	for pos := 1; pos < len(e.q.Steps); pos++ {
+		next := make(map[graph.NodeID]bool)
+		for n := range cur {
+			for _, c := range e.src.Children(n) {
+				if e.src.Label(c) != e.q.Steps[pos].Label || next[c] {
+					continue
+				}
+				e.see(c)
+				if e.stepOK(c, &e.q.Steps[pos]) {
+					next[c] = true
+				}
+			}
+		}
+		cur = next
+		if len(cur) == 0 {
+			return nil
+		}
+	}
+	out := make([]graph.NodeID, 0, len(cur))
+	for n := range cur {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (e *referenceTwigEval) matchesEndingAt(n graph.NodeID) bool {
+	type key struct {
+		n graph.NodeID
+		i int
+	}
+	memo := make(map[key]bool)
+	var ok func(n graph.NodeID, i int) bool
+	ok = func(n graph.NodeID, i int) bool {
+		e.see(n)
+		if !e.stepOK(n, &e.q.Steps[i]) {
+			return false
+		}
+		if i == 0 {
+			return true
+		}
+		k := key{n, i}
+		if v, hit := memo[k]; hit {
+			return v
+		}
+		memo[k] = false
+		res := false
+		for _, p := range e.src.Parents(n) {
+			if ok(p, i-1) {
+				res = true
+				break
+			}
+		}
+		memo[k] = res
+		return res
+	}
+	return ok(n, len(e.q.Steps)-1)
+}

@@ -1,7 +1,7 @@
 package eval
 
 import (
-	"sort"
+	"slices"
 
 	"dkindex/internal/graph"
 	"dkindex/internal/index"
@@ -21,7 +21,9 @@ func DataRPE(g *graph.Graph, c *rpe.Compiled) ([]graph.NodeID, Cost) {
 // word the expression can produce contribute their extents wholesale; the
 // rest are validated member by member against the data graph with the
 // reversed automaton. Unbounded expressions (containing a reachable star)
-// always validate, which is conservative but exact.
+// always validate, which is conservative but exact. Validation of large
+// extents is spread across CPUs: each member's reversed-automaton search is
+// independent, so the per-chunk charges sum to the serial Cost exactly.
 func IndexRPE(ig *index.IndexGraph, c *rpe.Compiled) ([]graph.NodeID, Cost) {
 	var cost Cost
 	matched := c.Eval(ig, func(graph.NodeID) { cost.IndexNodesVisited++ })
@@ -29,17 +31,16 @@ func IndexRPE(ig *index.IndexGraph, c *rpe.Compiled) ([]graph.NodeID, Cost) {
 	var res []graph.NodeID
 	for _, m := range matched {
 		if c.MaxLen >= 0 && c.MaxLen-1 <= ig.K(m) {
-			res = append(res, ig.Extent(m)...)
+			res = ig.AppendExtent(res, m)
 			continue
 		}
 		cost.Validations++
-		for _, d := range ig.Extent(m) {
-			ok := c.MatchesNode(data, d, func(graph.NodeID) { cost.DataNodesValidated++ })
-			if ok {
-				res = append(res, d)
-			}
-		}
+		hits, charged := validateMembers(ig.Extent(m), func(d graph.NodeID, charge func(graph.NodeID)) bool {
+			return c.MatchesNode(data, d, charge)
+		})
+		cost.DataNodesValidated += charged
+		res = append(res, hits...)
 	}
-	sort.Slice(res, func(i, j int) bool { return res[i] < res[j] })
+	slices.Sort(res)
 	return res, cost
 }

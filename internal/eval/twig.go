@@ -2,8 +2,9 @@ package eval
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
+	"sync"
 
 	"dkindex/internal/graph"
 	"dkindex/internal/index"
@@ -141,6 +142,14 @@ type twigSource interface {
 	Parents(n graph.NodeID) []graph.NodeID
 }
 
+// labelIndexed is the optional posting-list view: sources that provide it
+// (data graphs and index graphs both do) seed evaluation in O(|matches|)
+// instead of a full node scan. The returned slice must be the label's nodes
+// in ascending order.
+type labelIndexed interface {
+	NodesWithLabel(l graph.LabelID) []graph.NodeID
+}
+
 // twigEval carries the per-query memo tables.
 type twigEval struct {
 	src   twigSource
@@ -148,6 +157,14 @@ type twigEval struct {
 	visit func(graph.NodeID)
 	// predMemo[(stepID, node)] caches downward predicate matching.
 	predMemo map[[2]int32]bool
+	// trunkMemo backs matchesEndingAt; cleared per call, storage reused.
+	trunkMemo map[trunkKey]bool
+}
+
+// trunkKey indexes matchesEndingAt's memo table.
+type trunkKey struct {
+	n graph.NodeID
+	i int
 }
 
 func newTwigEval(src twigSource, q *Twig, visit func(graph.NodeID)) *twigEval {
@@ -197,52 +214,82 @@ func (e *twigEval) matchDown(n graph.NodeID, pred *Twig, i int) bool {
 	return res
 }
 
-// eval runs the trunk forward and returns matched nodes, ascending.
+// twigScratch pools the dense frontier buffers of twigEval.eval.
+type twigScratch struct {
+	inNext graph.VisitSet
+	a, b   []graph.NodeID
+}
+
+var twigScratchPool = sync.Pool{New: func() any { return new(twigScratch) }}
+
+// eval runs the trunk forward and returns matched nodes, ascending. Seeding
+// reads the source's label posting list when available; frontiers are pooled
+// dense slices deduplicated by an epoch-stamped visit set. The charge
+// pattern of the map-based evaluator is preserved exactly: a child that
+// passes stepOK is charged once (it enters the dedupe set), while a child
+// that fails is charged again by every frontier parent that reaches it —
+// both counts are properties of the frontier set, not of iteration order.
 func (e *twigEval) eval() []graph.NodeID {
-	cur := make(map[graph.NodeID]bool)
-	for n := 0; n < e.src.NumNodes(); n++ {
-		id := graph.NodeID(n)
-		if e.src.Label(id) == e.q.Steps[0].Label {
+	sc := twigScratchPool.Get().(*twigScratch)
+	cur, next := sc.a[:0], sc.b[:0]
+	if li, ok := e.src.(labelIndexed); ok {
+		for _, id := range li.NodesWithLabel(e.q.Steps[0].Label) {
 			e.see(id)
 			if e.stepOK(id, &e.q.Steps[0]) {
-				cur[id] = true
+				cur = append(cur, id)
+			}
+		}
+	} else {
+		for n := 0; n < e.src.NumNodes(); n++ {
+			id := graph.NodeID(n)
+			if e.src.Label(id) == e.q.Steps[0].Label {
+				e.see(id)
+				if e.stepOK(id, &e.q.Steps[0]) {
+					cur = append(cur, id)
+				}
 			}
 		}
 	}
-	for pos := 1; pos < len(e.q.Steps); pos++ {
-		next := make(map[graph.NodeID]bool)
-		for n := range cur {
+	for pos := 1; pos < len(e.q.Steps) && len(cur) > 0; pos++ {
+		sc.inNext.Reset(e.src.NumNodes())
+		next = next[:0]
+		want := e.q.Steps[pos].Label
+		for _, n := range cur {
 			for _, c := range e.src.Children(n) {
-				if e.src.Label(c) != e.q.Steps[pos].Label || next[c] {
+				if e.src.Label(c) != want || sc.inNext.Contains(c) {
 					continue
 				}
 				e.see(c)
 				if e.stepOK(c, &e.q.Steps[pos]) {
-					next[c] = true
+					sc.inNext.Add(c)
+					next = append(next, c)
 				}
 			}
 		}
-		cur = next
-		if len(cur) == 0 {
-			return nil
-		}
+		cur, next = next, cur
 	}
-	out := make([]graph.NodeID, 0, len(cur))
-	for n := range cur {
-		out = append(out, n)
+	var out []graph.NodeID
+	if len(cur) > 0 {
+		out = append([]graph.NodeID(nil), cur...)
+		slices.Sort(out)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	sc.a, sc.b = cur, next
+	twigScratchPool.Put(sc)
 	return out
 }
 
 // matchesEndingAt reports whether some trunk instance ends at node n, with
-// every trunk node satisfying its predicates; the validation primitive.
+// every trunk node satisfying its predicates; the validation primitive. The
+// memo table is scoped to one call (cleared on entry) but its storage is
+// reused across the members of an extent.
 func (e *twigEval) matchesEndingAt(n graph.NodeID) bool {
-	type key struct {
-		n graph.NodeID
-		i int
+	type key = trunkKey
+	if e.trunkMemo == nil {
+		e.trunkMemo = make(map[trunkKey]bool)
+	} else {
+		clear(e.trunkMemo)
 	}
-	memo := make(map[key]bool)
+	memo := e.trunkMemo
 	var ok func(n graph.NodeID, i int) bool
 	ok = func(n graph.NodeID, i int) bool {
 		e.see(n)
@@ -291,10 +338,12 @@ func IndexTwig(ig *index.IndexGraph, q *Twig) ([]graph.NodeID, Cost) {
 	data := ig.Data()
 	for _, m := range matched {
 		if ig.FBStable() {
-			res = append(res, ig.Extent(m)...)
+			res = ig.AppendExtent(res, m)
 			continue
 		}
 		c.Validations++
+		// Validation stays serial: extent members share ev's predicate memo,
+		// so later members ride on charges already paid by earlier ones.
 		ev := newTwigEval(data, q, func(graph.NodeID) { c.DataNodesValidated++ })
 		for _, d := range ig.Extent(m) {
 			if ev.matchesEndingAt(d) {
@@ -302,7 +351,7 @@ func IndexTwig(ig *index.IndexGraph, q *Twig) ([]graph.NodeID, Cost) {
 			}
 		}
 	}
-	sort.Slice(res, func(i, j int) bool { return res[i] < res[j] })
+	slices.Sort(res)
 	return res, c
 }
 

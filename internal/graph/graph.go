@@ -29,6 +29,11 @@ type Graph struct {
 	edgeSet   map[edgeKey]struct{}
 	numEdges  int
 	root      NodeID
+	// byLabel[l] lists the nodes carrying label l in ascending order (node
+	// ids are assigned ascending and labels never change, so appending on
+	// node creation keeps the lists sorted). Query evaluation seeds from
+	// these posting lists in O(|matches|) instead of scanning all nodes.
+	byLabel [][]NodeID
 }
 
 type edgeKey struct{ from, to NodeID }
@@ -70,6 +75,10 @@ func (g *Graph) AddNodeID(label LabelID) NodeID {
 	g.nodeLabel = append(g.nodeLabel, label)
 	g.children = append(g.children, nil)
 	g.parents = append(g.parents, nil)
+	for int(label) >= len(g.byLabel) {
+		g.byLabel = append(g.byLabel, nil)
+	}
+	g.byLabel[label] = append(g.byLabel[label], id)
 	return id
 }
 
@@ -187,14 +196,31 @@ func (g *Graph) OutDegree(n NodeID) int { return len(g.Children(n)) }
 func (g *Graph) InDegree(n NodeID) int { return len(g.Parents(n)) }
 
 // NodesByLabel returns, for every label id, the list of nodes carrying it.
-// The outer slice is indexed by LabelID. Building it is O(n).
+// The outer slice is indexed by LabelID. The slices are fresh copies of the
+// maintained posting lists and may be retained by the caller.
 func (g *Graph) NodesByLabel() [][]NodeID {
 	out := make([][]NodeID, g.labels.Len())
-	for n, l := range g.nodeLabel {
-		out[l] = append(out[l], NodeID(n))
+	for l := range g.byLabel {
+		if len(g.byLabel[l]) > 0 {
+			out[l] = append([]NodeID(nil), g.byLabel[l]...)
+		}
 	}
 	return out
 }
+
+// NodesWithLabel returns the nodes carrying label l in ascending order: the
+// label posting list that seeds query evaluation. The slice is owned by the
+// graph and must not be mutated. Unknown labels (including InvalidLabel)
+// return nil.
+func (g *Graph) NodesWithLabel(l LabelID) []NodeID {
+	if l < 0 || int(l) >= len(g.byLabel) {
+		return nil
+	}
+	return g.byLabel[l]
+}
+
+// NumLabels returns the number of labels interned in the shared table.
+func (g *Graph) NumLabels() int { return g.labels.Len() }
 
 // Clone returns a deep copy of the graph sharing the same label table.
 func (g *Graph) Clone() *Graph {
@@ -206,10 +232,14 @@ func (g *Graph) Clone() *Graph {
 		edgeSet:   make(map[edgeKey]struct{}, len(g.edgeSet)),
 		numEdges:  g.numEdges,
 		root:      g.root,
+		byLabel:   make([][]NodeID, len(g.byLabel)),
 	}
 	for i := range g.children {
 		c.children[i] = append([]NodeID(nil), g.children[i]...)
 		c.parents[i] = append([]NodeID(nil), g.parents[i]...)
+	}
+	for i := range g.byLabel {
+		c.byLabel[i] = append([]NodeID(nil), g.byLabel[i]...)
 	}
 	for k := range g.edgeSet {
 		c.edgeSet[k] = struct{}{}
@@ -254,6 +284,25 @@ func (g *Graph) Validate() error {
 	if fwd != g.numEdges || len(g.edgeSet) != g.numEdges {
 		return fmt.Errorf("graph: edge count mismatch: adjacency %d, set %d, counter %d",
 			fwd, len(g.edgeSet), g.numEdges)
+	}
+	// Posting lists must exactly re-derive from the node labels.
+	want := make([][]NodeID, len(g.byLabel))
+	for n, l := range g.nodeLabel {
+		if int(l) >= len(want) {
+			return fmt.Errorf("graph: posting lists missing label %d", l)
+		}
+		want[l] = append(want[l], NodeID(n))
+	}
+	for l := range want {
+		if len(want[l]) != len(g.byLabel[l]) {
+			return fmt.Errorf("graph: posting list for label %d has %d nodes, want %d",
+				l, len(g.byLabel[l]), len(want[l]))
+		}
+		for i := range want[l] {
+			if g.byLabel[l][i] != want[l][i] {
+				return fmt.Errorf("graph: posting list for label %d wrong at position %d", l, i)
+			}
+		}
 	}
 	return nil
 }

@@ -1,6 +1,9 @@
 package graph
 
-import "sort"
+import (
+	"slices"
+	"sync"
+)
 
 // BFS performs a breadth-first traversal from start following children edges,
 // invoking visit for each node with its depth. Traversal of a node's subtree
@@ -66,16 +69,20 @@ func (g *Graph) MaxDepth() int {
 //
 // The search walks parent edges backwards from n with memoization on
 // (node, position) pairs so it runs in O(positions * edges) worst case.
+//
+// It is safe to call concurrently (the memo table is drawn from a pool), so
+// validation of one extent can be spread across CPUs.
 func (g *Graph) LabelPathMatchesNode(labels []LabelID, n NodeID, visited func(NodeID)) bool {
 	if len(labels) == 0 {
 		return true
 	}
 	g.checkNode(n)
-	type key struct {
-		n   NodeID
-		pos int
-	}
-	memo := make(map[key]bool)
+	sc := matchScratchPool.Get().(*matchScratch)
+	defer func() {
+		clear(sc.memo)
+		matchScratchPool.Put(sc)
+	}()
+	memo := sc.memo
 	var match func(n NodeID, pos int) bool
 	match = func(n NodeID, pos int) bool {
 		if visited != nil {
@@ -87,7 +94,7 @@ func (g *Graph) LabelPathMatchesNode(labels []LabelID, n NodeID, visited func(No
 		if pos == 0 {
 			return true
 		}
-		k := key{n, pos}
+		k := matchKey{n, pos}
 		if v, ok := memo[k]; ok {
 			return v
 		}
@@ -107,6 +114,30 @@ func (g *Graph) LabelPathMatchesNode(labels []LabelID, n NodeID, visited func(No
 	return match(n, len(labels)-1)
 }
 
+// matchKey indexes LabelPathMatchesNode's memo table.
+type matchKey struct {
+	n   NodeID
+	pos int
+}
+
+// matchScratch pools the validation memo table so per-member validation does
+// not allocate a map per call.
+type matchScratch struct {
+	memo map[matchKey]bool
+}
+
+var matchScratchPool = sync.Pool{
+	New: func() any { return &matchScratch{memo: make(map[matchKey]bool, 64)} },
+}
+
+// evalScratch pools the dense frontier buffers of EvalLabelPath.
+type evalScratch struct {
+	seen VisitSet
+	a, b []NodeID
+}
+
+var evalScratchPool = sync.Pool{New: func() any { return new(evalScratch) }}
+
 // EvalLabelPath evaluates the simple label path (a sequence of labels,
 // outermost first) directly on the data graph and returns the matching nodes
 // in ascending order. A node matches if some node path ending in it matches
@@ -117,39 +148,41 @@ func (g *Graph) EvalLabelPath(labels []LabelID, visited func(NodeID)) []NodeID {
 	if len(labels) == 0 {
 		return nil
 	}
-	// frontier[i] holds nodes matched at position i. Position 0 seeds from
-	// every node with the first label.
-	cur := make(map[NodeID]bool)
-	for n, l := range g.nodeLabel {
-		if l == labels[0] {
-			cur[NodeID(n)] = true
-			if visited != nil {
-				visited(NodeID(n))
-			}
+	// Position 0 seeds from the label posting list — O(|matches|), not O(n).
+	// Frontiers are dense slices deduplicated by an epoch-stamped visit set;
+	// the buffers come from a pool so repeated queries do not allocate. The
+	// cost model is unchanged: exactly the nodes the map-based evaluator
+	// charged are charged here, in the same canonical (ascending-seed) order.
+	sc := evalScratchPool.Get().(*evalScratch)
+	cur, next := sc.a[:0], sc.b[:0]
+	for _, n := range g.NodesWithLabel(labels[0]) {
+		cur = append(cur, n)
+		if visited != nil {
+			visited(n)
 		}
 	}
-	for pos := 1; pos < len(labels); pos++ {
-		next := make(map[NodeID]bool)
+	for pos := 1; pos < len(labels) && len(cur) > 0; pos++ {
+		sc.seen.Reset(len(g.nodeLabel))
+		next = next[:0]
 		want := labels[pos]
-		for n := range cur {
+		for _, n := range cur {
 			for _, c := range g.children[n] {
-				if g.nodeLabel[c] == want && !next[c] {
-					next[c] = true
+				if g.nodeLabel[c] == want && sc.seen.Add(c) {
+					next = append(next, c)
 					if visited != nil {
 						visited(c)
 					}
 				}
 			}
 		}
-		cur = next
-		if len(cur) == 0 {
-			return nil
-		}
+		cur, next = next, cur
 	}
-	out := make([]NodeID, 0, len(cur))
-	for n := range cur {
-		out = append(out, n)
+	var out []NodeID
+	if len(cur) > 0 {
+		out = append([]NodeID(nil), cur...)
+		slices.Sort(out)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	sc.a, sc.b = cur, next
+	evalScratchPool.Put(sc)
 	return out
 }

@@ -1,0 +1,40 @@
+package graph
+
+// VisitSet is an epoch-stamped dense node set: membership is one array read,
+// and clearing is one counter increment instead of an O(n) wipe or a fresh
+// map. It is the frontier/visited structure of the query fast path — reused
+// across evaluations through per-package pools so the serving hot path stops
+// allocating per request.
+//
+// A VisitSet is not safe for concurrent use; pool one per evaluation.
+type VisitSet struct {
+	stamp []uint32
+	epoch uint32
+}
+
+// Reset prepares the set to hold node ids in [0, n), emptying it. The backing
+// array is retained across resets whenever it is already large enough.
+func (s *VisitSet) Reset(n int) {
+	if n > len(s.stamp) {
+		s.stamp = make([]uint32, n)
+		s.epoch = 1
+		return
+	}
+	s.epoch++
+	if s.epoch == 0 { // stamp wrap-around: old stamps become ambiguous, wipe
+		clear(s.stamp)
+		s.epoch = 1
+	}
+}
+
+// Add inserts id, reporting whether it was absent.
+func (s *VisitSet) Add(id NodeID) bool {
+	if s.stamp[id] == s.epoch {
+		return false
+	}
+	s.stamp[id] = s.epoch
+	return true
+}
+
+// Contains reports membership of id.
+func (s *VisitSet) Contains(id NodeID) bool { return s.stamp[id] == s.epoch }

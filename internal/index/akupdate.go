@@ -3,7 +3,7 @@ package index
 import (
 	"encoding/binary"
 	"fmt"
-	"sort"
+	"slices"
 
 	"dkindex/internal/graph"
 	"dkindex/internal/partition"
@@ -139,7 +139,7 @@ func (ig *IndexGraph) repartitionByParents(b graph.NodeID, stats *UpdateStats) [
 			stats.DataNodesTouched++
 			sig = append(sig, ig.nodeOf[p])
 		}
-		sort.Slice(sig, func(i, j int) bool { return sig[i] < sig[j] })
+		slices.Sort(sig)
 		key = key[:0]
 		last := graph.InvalidNode
 		for _, s := range sig {
@@ -300,7 +300,9 @@ func (c *graftSource) Parents(n graph.NodeID) []graph.NodeID {
 
 func (c *graftSource) Children(n graph.NodeID) []graph.NodeID {
 	if int(n) < c.base {
-		out := c.ig.Children(n)
+		// Copy: the index owns the adjacency slice, and the igRoot case
+		// appends the grafted subtree's children to it.
+		out := append([]graph.NodeID(nil), c.ig.Children(n)...)
 		if n == c.igRoot {
 			for _, ch := range c.ih.Children(c.ihRoot) {
 				out = append(out, c.fromIH(ch))

@@ -3,7 +3,7 @@ package index
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"dkindex/internal/graph"
 	"dkindex/internal/partition"
@@ -33,6 +33,15 @@ type IndexGraph struct {
 	// parents is the mirror. An index edge exists iff its count is > 0.
 	children []map[graph.NodeID]int
 	parents  []map[graph.NodeID]int
+	// childList/parentList mirror the maps as ascending adjacency slices,
+	// maintained incrementally on edge appearance/disappearance so the query
+	// hot path never sorts map keys. Returned slices are owned by the index.
+	childList  [][]graph.NodeID
+	parentList [][]graph.NodeID
+	// byLabel[l] lists index nodes carrying label l in ascending order (new
+	// nodes always receive the largest id, so appending keeps lists sorted).
+	// Query seeding reads these posting lists instead of scanning all nodes.
+	byLabel  [][]graph.NodeID
 	numEdges int
 	nodeOf   []graph.NodeID // data node -> index node
 	// fbStable records that extents are forward-and-backward bisimilar
@@ -48,13 +57,15 @@ func FromPartition(src Source, p *partition.Partition, kOf func(partition.BlockI
 	data := src.Data()
 	nb := p.NumBlocks()
 	ig := &IndexGraph{
-		data:     data,
-		labels:   make([]graph.LabelID, nb),
-		extents:  make([][]graph.NodeID, nb),
-		k:        make([]int, nb),
-		children: make([]map[graph.NodeID]int, nb),
-		parents:  make([]map[graph.NodeID]int, nb),
-		nodeOf:   make([]graph.NodeID, data.NumNodes()),
+		data:       data,
+		labels:     make([]graph.LabelID, nb),
+		extents:    make([][]graph.NodeID, nb),
+		k:          make([]int, nb),
+		children:   make([]map[graph.NodeID]int, nb),
+		parents:    make([]map[graph.NodeID]int, nb),
+		childList:  make([][]graph.NodeID, nb),
+		parentList: make([][]graph.NodeID, nb),
+		nodeOf:     make([]graph.NodeID, data.NumNodes()),
 	}
 	for b := 0; b < nb; b++ {
 		mem := p.Members(partition.BlockID(b))
@@ -62,11 +73,12 @@ func FromPartition(src Source, p *partition.Partition, kOf func(partition.BlockI
 		ig.k[b] = kOf(partition.BlockID(b))
 		ig.children[b] = make(map[graph.NodeID]int)
 		ig.parents[b] = make(map[graph.NodeID]int)
+		ig.appendPosting(ig.labels[b], graph.NodeID(b))
 		var ext []graph.NodeID
 		for _, m := range mem {
 			ext = src.AppendExtent(ext, m)
 		}
-		sort.Slice(ext, func(i, j int) bool { return ext[i] < ext[j] })
+		slices.Sort(ext)
 		ig.extents[b] = ext
 		for _, d := range ext {
 			ig.nodeOf[d] = graph.NodeID(b)
@@ -82,9 +94,20 @@ func FromPartition(src Source, p *partition.Partition, kOf func(partition.BlockI
 	return ig
 }
 
+// appendPosting records that index node n carries label l. Nodes are created
+// with ascending ids, so appending keeps each posting list sorted.
+func (ig *IndexGraph) appendPosting(l graph.LabelID, n graph.NodeID) {
+	for int(l) >= len(ig.byLabel) {
+		ig.byLabel = append(ig.byLabel, nil)
+	}
+	ig.byLabel[l] = append(ig.byLabel[l], n)
+}
+
 func (ig *IndexGraph) incEdge(a, b graph.NodeID) {
 	if ig.children[a][b] == 0 {
 		ig.numEdges++
+		ig.childList[a] = insertSortedIDs(ig.childList[a], b)
+		ig.parentList[b] = insertSortedIDs(ig.parentList[b], a)
 	}
 	ig.children[a][b]++
 	ig.parents[b][a]++
@@ -99,10 +122,34 @@ func (ig *IndexGraph) decEdge(a, b graph.NodeID) {
 	case c == 1:
 		delete(ig.children[a], b)
 		delete(ig.parents[b], a)
+		ig.childList[a] = removeSortedIDs(ig.childList[a], b)
+		ig.parentList[b] = removeSortedIDs(ig.parentList[b], a)
 		ig.numEdges--
 	default:
 		panic(fmt.Sprintf("index: decEdge on absent edge %d->%d", a, b))
 	}
+}
+
+// insertSortedIDs inserts id into the ascending slice s.
+func insertSortedIDs(s []graph.NodeID, id graph.NodeID) []graph.NodeID {
+	i := len(s)
+	for i > 0 && s[i-1] > id {
+		i--
+	}
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = id
+	return s
+}
+
+// removeSortedIDs deletes one occurrence of id from the ascending slice s.
+func removeSortedIDs(s []graph.NodeID, id graph.NodeID) []graph.NodeID {
+	for i, v := range s {
+		if v == id {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
 }
 
 // Data returns the underlying data graph.
@@ -141,28 +188,34 @@ func (ig *IndexGraph) ExtentSize(n graph.NodeID) int { return len(ig.extents[n])
 func (ig *IndexGraph) IndexOf(d graph.NodeID) graph.NodeID { return ig.nodeOf[d] }
 
 // Children returns the out-neighbors of index node n in ascending order.
-// The slice is freshly allocated.
+// The slice is owned by the index graph and must not be mutated; it is
+// maintained incrementally so the query hot path never sorts map keys.
 func (ig *IndexGraph) Children(n graph.NodeID) []graph.NodeID {
-	return sortedKeys(ig.children[n])
+	return ig.childList[n]
 }
 
 // Parents returns the in-neighbors of index node n in ascending order. The
-// slice is freshly allocated.
+// slice is owned by the index graph and must not be mutated.
 func (ig *IndexGraph) Parents(n graph.NodeID) []graph.NodeID {
-	return sortedKeys(ig.parents[n])
+	return ig.parentList[n]
 }
 
 // HasEdge reports whether the index edge a -> b exists.
 func (ig *IndexGraph) HasEdge(a, b graph.NodeID) bool { return ig.children[a][b] > 0 }
 
-func sortedKeys(m map[graph.NodeID]int) []graph.NodeID {
-	out := make([]graph.NodeID, 0, len(m))
-	for k := range m {
-		out = append(out, k)
+// NodesWithLabel returns the index nodes carrying label l in ascending order:
+// the posting list that seeds query evaluation in O(|matches|) instead of a
+// full node scan. The slice is owned by the index graph and must not be
+// mutated. Unknown labels (including graph.InvalidLabel) return nil.
+func (ig *IndexGraph) NodesWithLabel(l graph.LabelID) []graph.NodeID {
+	if l < 0 || int(l) >= len(ig.byLabel) {
+		return nil
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return ig.byLabel[l]
 }
+
+// NumLabels returns the number of labels interned in the shared table.
+func (ig *IndexGraph) NumLabels() int { return ig.data.Labels().Len() }
 
 // AppendExtent implements Source, allowing an IndexGraph to serve as the
 // construction source for another index (subgraph addition, demotion).
@@ -175,20 +228,28 @@ var _ Source = (*IndexGraph)(nil)
 // Clone returns an independent deep copy sharing only the data graph.
 func (ig *IndexGraph) Clone() *IndexGraph {
 	c := &IndexGraph{
-		data:     ig.data,
-		labels:   append([]graph.LabelID(nil), ig.labels...),
-		extents:  make([][]graph.NodeID, len(ig.extents)),
-		k:        append([]int(nil), ig.k...),
-		children: make([]map[graph.NodeID]int, len(ig.children)),
-		parents:  make([]map[graph.NodeID]int, len(ig.parents)),
-		numEdges: ig.numEdges,
-		nodeOf:   append([]graph.NodeID(nil), ig.nodeOf...),
-		fbStable: ig.fbStable,
+		data:       ig.data,
+		labels:     append([]graph.LabelID(nil), ig.labels...),
+		extents:    make([][]graph.NodeID, len(ig.extents)),
+		k:          append([]int(nil), ig.k...),
+		children:   make([]map[graph.NodeID]int, len(ig.children)),
+		parents:    make([]map[graph.NodeID]int, len(ig.parents)),
+		childList:  make([][]graph.NodeID, len(ig.childList)),
+		parentList: make([][]graph.NodeID, len(ig.parentList)),
+		byLabel:    make([][]graph.NodeID, len(ig.byLabel)),
+		numEdges:   ig.numEdges,
+		nodeOf:     append([]graph.NodeID(nil), ig.nodeOf...),
+		fbStable:   ig.fbStable,
 	}
 	for i := range ig.extents {
 		c.extents[i] = append([]graph.NodeID(nil), ig.extents[i]...)
 		c.children[i] = cloneCounts(ig.children[i])
 		c.parents[i] = cloneCounts(ig.parents[i])
+		c.childList[i] = append([]graph.NodeID(nil), ig.childList[i]...)
+		c.parentList[i] = append([]graph.NodeID(nil), ig.parentList[i]...)
+	}
+	for l := range ig.byLabel {
+		c.byLabel[l] = append([]graph.NodeID(nil), ig.byLabel[l]...)
 	}
 	return c
 }
@@ -256,6 +317,46 @@ func (ig *IndexGraph) Validate() error {
 	}
 	if got != ig.numEdges {
 		return fmt.Errorf("index: numEdges=%d, actual %d", ig.numEdges, got)
+	}
+	// Adjacency slice mirrors must match the maps, sorted ascending.
+	for a := range ig.children {
+		if err := checkMirror(ig.childList[a], ig.children[a], "childList", a); err != nil {
+			return err
+		}
+		if err := checkMirror(ig.parentList[a], ig.parents[a], "parentList", a); err != nil {
+			return err
+		}
+	}
+	// Posting lists must exactly re-derive from the node labels.
+	wantPost := make([][]graph.NodeID, len(ig.byLabel))
+	for n, l := range ig.labels {
+		if int(l) >= len(wantPost) {
+			return fmt.Errorf("index: posting lists missing label %d", l)
+		}
+		wantPost[l] = append(wantPost[l], graph.NodeID(n))
+	}
+	for l := range wantPost {
+		if !slices.Equal(wantPost[l], ig.byLabel[l]) {
+			return fmt.Errorf("index: posting list for label %d is %v, want %v",
+				l, ig.byLabel[l], wantPost[l])
+		}
+	}
+	return nil
+}
+
+// checkMirror verifies that list holds exactly the keys of m in ascending
+// order.
+func checkMirror(list []graph.NodeID, m map[graph.NodeID]int, name string, at int) error {
+	if len(list) != len(m) {
+		return fmt.Errorf("index: %s[%d] has %d entries, map has %d", name, at, len(list), len(m))
+	}
+	for i, v := range list {
+		if i > 0 && list[i-1] >= v {
+			return fmt.Errorf("index: %s[%d] not strictly ascending at %d", name, at, i)
+		}
+		if m[v] <= 0 {
+			return fmt.Errorf("index: %s[%d] lists %d absent from map", name, at, v)
+		}
 	}
 	return nil
 }

@@ -112,6 +112,71 @@ func TestQuickAKUpdateRefinesTruth(t *testing.T) {
 	}
 }
 
+// Property: under randomized mixed mutation sequences — splits, isolations,
+// edge insertions AND removals — the label posting lists and the adjacency
+// slice mirrors stay exactly consistent with a brute-force re-derivation:
+// NodesWithLabel(l) lists precisely the ascending index nodes labeled l, and
+// Children/Parents equal the sorted key sets of the count maps (both checked
+// by Validate), so posting-list query seeding can never drift from a full
+// scan.
+func TestQuickPostingListsConsistentUnderMixedOps(t *testing.T) {
+	f := func(s genSpec, ops uint8, opSeed int64) bool {
+		g := s.build()
+		ig := BuildAK(g, 2)
+		rng := rand.New(rand.NewSource(opSeed))
+		type edge struct{ u, v graph.NodeID }
+		var added []edge
+		for i := 0; i < int(ops%40); i++ {
+			switch rng.Intn(4) {
+			case 0:
+				b := graph.NodeID(rng.Intn(ig.NumNodes()))
+				ig.SplitNode(b, func(graph.NodeID) bool { return rng.Intn(2) == 0 })
+			case 1:
+				ig.IsolateDataNode(graph.NodeID(rng.Intn(g.NumNodes())))
+			case 2:
+				u := graph.NodeID(rng.Intn(g.NumNodes()))
+				v := graph.NodeID(rng.Intn(g.NumNodes()))
+				if u != v && v != g.Root() && !g.HasEdge(u, v) {
+					ig.AddDataEdge(u, v)
+					added = append(added, edge{u, v})
+				}
+			case 3:
+				if len(added) > 0 {
+					j := rng.Intn(len(added))
+					e := added[j]
+					added = append(added[:j], added[j+1:]...)
+					ig.RemoveDataEdge(e.u, e.v)
+				}
+			}
+		}
+		if ig.Validate() != nil || g.Validate() != nil {
+			return false
+		}
+		// Posting lists against a brute-force label scan.
+		for l := 0; l < ig.NumLabels(); l++ {
+			var want []graph.NodeID
+			for n := 0; n < ig.NumNodes(); n++ {
+				if ig.Label(graph.NodeID(n)) == graph.LabelID(l) {
+					want = append(want, graph.NodeID(n))
+				}
+			}
+			got := ig.NodesWithLabel(graph.LabelID(l))
+			if len(got) != len(want) {
+				return false
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
 // Property: Clone is a true deep copy — arbitrary mutations of the clone
 // leave the original Validate-clean and of unchanged size.
 func TestQuickCloneIsolation(t *testing.T) {

@@ -2,7 +2,7 @@ package index
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"dkindex/internal/graph"
 )
@@ -17,13 +17,15 @@ func Reconstruct(data *graph.Graph, extents [][]graph.NodeID, ks []int) (*IndexG
 		return nil, fmt.Errorf("index: %d extents but %d similarities", len(extents), len(ks))
 	}
 	ig := &IndexGraph{
-		data:     data,
-		labels:   make([]graph.LabelID, len(extents)),
-		extents:  make([][]graph.NodeID, len(extents)),
-		k:        append([]int(nil), ks...),
-		children: make([]map[graph.NodeID]int, len(extents)),
-		parents:  make([]map[graph.NodeID]int, len(extents)),
-		nodeOf:   make([]graph.NodeID, data.NumNodes()),
+		data:       data,
+		labels:     make([]graph.LabelID, len(extents)),
+		extents:    make([][]graph.NodeID, len(extents)),
+		k:          append([]int(nil), ks...),
+		children:   make([]map[graph.NodeID]int, len(extents)),
+		parents:    make([]map[graph.NodeID]int, len(extents)),
+		childList:  make([][]graph.NodeID, len(extents)),
+		parentList: make([][]graph.NodeID, len(extents)),
+		nodeOf:     make([]graph.NodeID, data.NumNodes()),
 	}
 	seen := make([]bool, data.NumNodes())
 	for b, ext := range extents {
@@ -31,11 +33,12 @@ func Reconstruct(data *graph.Graph, extents [][]graph.NodeID, ks []int) (*IndexG
 			return nil, fmt.Errorf("index: empty extent %d", b)
 		}
 		cp := append([]graph.NodeID(nil), ext...)
-		sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+		slices.Sort(cp)
 		ig.extents[b] = cp
 		ig.labels[b] = data.Label(cp[0])
 		ig.children[b] = make(map[graph.NodeID]int)
 		ig.parents[b] = make(map[graph.NodeID]int)
+		ig.appendPosting(ig.labels[b], graph.NodeID(b))
 		for _, d := range cp {
 			if d < 0 || int(d) >= data.NumNodes() {
 				return nil, fmt.Errorf("index: extent %d references node %d out of range", b, d)

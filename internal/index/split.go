@@ -34,6 +34,9 @@ func (ig *IndexGraph) SplitNode(b graph.NodeID, inSet func(graph.NodeID) bool) (
 	ig.extents = append(ig.extents, ins)
 	ig.children = append(ig.children, make(map[graph.NodeID]int))
 	ig.parents = append(ig.parents, make(map[graph.NodeID]int))
+	ig.childList = append(ig.childList, nil)
+	ig.parentList = append(ig.parentList, nil)
+	ig.appendPosting(ig.labels[b], nb)
 
 	moved := make(map[graph.NodeID]bool, len(ins))
 	for _, d := range ins {

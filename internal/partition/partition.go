@@ -16,7 +16,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 
 	"dkindex/internal/graph"
@@ -245,7 +245,7 @@ func appendBlock(key []byte, b BlockID) []byte {
 }
 
 func sortBlocks(s []BlockID) {
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	slices.Sort(s)
 }
 
 // SplitBlock splits block b into the sub-block of members satisfying inSet

@@ -1,7 +1,8 @@
 package rpe
 
 import (
-	"sort"
+	"slices"
+	"sync"
 
 	"dkindex/internal/graph"
 )
@@ -13,6 +14,14 @@ type Source interface {
 	Label(n graph.NodeID) graph.LabelID
 	Children(n graph.NodeID) []graph.NodeID
 	Parents(n graph.NodeID) []graph.NodeID
+}
+
+// labelIndexed is the optional posting-list view of a Source: when provided
+// (data graphs and index graphs both do), evaluation seeds from per-label
+// node lists instead of probing the automaton once per node.
+type labelIndexed interface {
+	NodesWithLabel(l graph.LabelID) []graph.NodeID
+	NumLabels() int
 }
 
 // Compiled is a ready-to-evaluate expression: the forward automaton, its
@@ -64,6 +73,13 @@ func reverseExpr(e Expr) Expr {
 //
 // Words of length zero are ignored: an expression that accepts only the
 // empty word matches nothing.
+//
+// Seeding exploits that the start transition depends only on a node's label:
+// the successor set is computed once per label and the seed nodes come from
+// the source's posting lists when it provides them. Seeds enter the worklist
+// in ascending node order — exactly the order of the per-node probe loop —
+// so the FIFO fixpoint performs the identical sequence of expansions and the
+// visited charges are unchanged.
 func (c *Compiled) Eval(g Source, visited func(graph.NodeID)) []graph.NodeID {
 	n := g.NumNodes()
 	states := make([][]bool, n)
@@ -77,10 +93,34 @@ func (c *Compiled) Eval(g Source, visited func(graph.NodeID)) []graph.NodeID {
 			queue = append(queue, id)
 		}
 	}
-	for i := 0; i < n; i++ {
-		if s := c.fwd.stepOn(start, g.Label(graph.NodeID(i))); s != nil {
-			states[i] = s
-			push(graph.NodeID(i))
+	if li, ok := g.(labelIndexed); ok {
+		var seeds []graph.NodeID
+		for l := 0; l < li.NumLabels(); l++ {
+			nodes := li.NodesWithLabel(graph.LabelID(l))
+			if len(nodes) == 0 {
+				continue
+			}
+			s := c.fwd.stepOn(start, graph.LabelID(l))
+			if s == nil {
+				continue
+			}
+			for _, id := range nodes {
+				// Each node needs its own state set: the fixpoint widens
+				// states in place as new words reach the node.
+				states[id] = append([]bool(nil), s...)
+				seeds = append(seeds, id)
+			}
+		}
+		slices.Sort(seeds)
+		for _, id := range seeds {
+			push(id)
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			if s := c.fwd.stepOn(start, g.Label(graph.NodeID(i))); s != nil {
+				states[i] = s
+				push(graph.NodeID(i))
+			}
 		}
 	}
 	for len(queue) > 0 {
@@ -107,7 +147,7 @@ func (c *Compiled) Eval(g Source, visited func(graph.NodeID)) []graph.NodeID {
 			out = append(out, graph.NodeID(i))
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -130,24 +170,75 @@ func mergeStates(dst *[]bool, delta []bool) bool {
 	return grew
 }
 
+// pair is one (node, reversed-NFA-state) item of MatchesNode's BFS.
+type pair struct {
+	n graph.NodeID
+	q int32
+}
+
+// stampSet is an epoch-stamped dense set over int keys (graph.VisitSet for
+// the (node, state) product space, which can exceed the node id range).
+type stampSet struct {
+	stamp []uint32
+	epoch uint32
+}
+
+func (s *stampSet) reset(n int) {
+	if n > len(s.stamp) {
+		s.stamp = make([]uint32, n)
+		s.epoch = 1
+		return
+	}
+	s.epoch++
+	if s.epoch == 0 {
+		clear(s.stamp)
+		s.epoch = 1
+	}
+}
+
+func (s *stampSet) add(i int) bool {
+	if s.stamp[i] == s.epoch {
+		return false
+	}
+	s.stamp[i] = s.epoch
+	return true
+}
+
+// matchScratch pools MatchesNode's working state so validating an extent
+// member does not allocate; each concurrent validation draws its own.
+type matchScratch struct {
+	pairSeen stampSet
+	nodeSeen stampSet
+	queue    []pair
+	single   []bool
+}
+
+var matchScratchPool = sync.Pool{New: func() any { return new(matchScratch) }}
+
 // MatchesNode reports whether the expression matches the specific node:
 // whether some node path ending at it spells an accepted word. It walks
 // parent edges from the node, running the reversed automaton, with
 // memoization over (node, state) pairs — this is the validation primitive
 // for index results. visited, when non-nil, receives each node inspected.
+//
+// It is safe to call concurrently (working state is drawn from a pool), so
+// validation of one extent can be spread across CPUs.
 func (c *Compiled) MatchesNode(g Source, node graph.NodeID, visited func(graph.NodeID)) bool {
 	// BFS over (node, reversed-NFA-state) pairs: polynomial in
 	// |nodes| x |states| even on cyclic graphs with starred expressions.
-	type pair struct {
-		n graph.NodeID
-		q int32
+	ns := c.rev.NumStates()
+	sc := matchScratchPool.Get().(*matchScratch)
+	defer matchScratchPool.Put(sc)
+	sc.pairSeen.reset(g.NumNodes() * ns)
+	sc.nodeSeen.reset(g.NumNodes())
+	queue := sc.queue[:0]
+	defer func() { sc.queue = queue[:0] }()
+	if cap(sc.single) < ns {
+		sc.single = make([]bool, ns)
 	}
-	seen := make(map[pair]bool)
-	seenNode := make(map[graph.NodeID]bool)
-	var queue []pair
+	single := sc.single[:ns]
 	visit := func(n graph.NodeID) {
-		if visited != nil && !seenNode[n] {
-			seenNode[n] = true
+		if visited != nil && sc.nodeSeen.add(int(n)) {
 			visited(n)
 		}
 	}
@@ -159,10 +250,8 @@ func (c *Compiled) MatchesNode(g Source, node graph.NodeID, visited func(graph.N
 			if c.rev.accept[q] {
 				return true
 			}
-			it := pair{n, int32(q)}
-			if !seen[it] {
-				seen[it] = true
-				queue = append(queue, it)
+			if sc.pairSeen.add(int(n)*ns + q) {
+				queue = append(queue, pair{n, int32(q)})
 			}
 		}
 		return false
@@ -176,14 +265,10 @@ func (c *Compiled) MatchesNode(g Source, node graph.NodeID, visited func(graph.N
 	if enqueue(node, startSet) {
 		return true
 	}
-	single := make([]bool, c.rev.NumStates())
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
+	for head := 0; head < len(queue); head++ {
+		cur := queue[head]
 		visit(cur.n)
-		for i := range single {
-			single[i] = false
-		}
+		clear(single)
 		single[cur.q] = true
 		for _, p := range g.Parents(cur.n) {
 			next := c.rev.stepOn(single, g.Label(p))

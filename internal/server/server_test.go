@@ -109,6 +109,41 @@ func TestQueryEndpoints(t *testing.T) {
 	}
 }
 
+func TestQueryLimit(t *testing.T) {
+	ts, _ := newTestServer(t)
+	code, body := get(t, ts.URL+"/query?path=director.movie.title&limit=1")
+	if code != 200 {
+		t.Fatalf("limited query = %d %v", code, body)
+	}
+	if body["count"].(float64) != 2 {
+		t.Errorf("count = %v, want full result size 2", body["count"])
+	}
+	if n := len(body["results"].([]any)); n != 1 {
+		t.Errorf("listed %d results, want 1", n)
+	}
+
+	code, body = get(t, ts.URL+"/query?path=director.movie.title&limit=0")
+	if code != 200 || len(body["results"].([]any)) != 0 {
+		t.Errorf("limit=0 = %d %v, want 200 with empty results", code, body)
+	}
+	if body["count"].(float64) != 2 {
+		t.Errorf("limit=0 count = %v, want 2", body["count"])
+	}
+
+	// Limits beyond the result size are harmless; the cap only trims listing.
+	code, body = get(t, ts.URL+"/query?path=director.movie.title&limit=99999")
+	if code != 200 || len(body["results"].([]any)) != 2 {
+		t.Errorf("huge limit = %d %v, want both results", code, body)
+	}
+
+	for _, bad := range []string{"x", "-1", "1.5"} {
+		code, _ = get(t, ts.URL+"/query?path=director.movie.title&limit="+bad)
+		if code != 400 {
+			t.Errorf("limit=%s = %d, want 400", bad, code)
+		}
+	}
+}
+
 func TestEdgeAndDocumentUpdates(t *testing.T) {
 	ts, idx := newTestServer(t)
 	// Find an actor and a movie.
@@ -202,12 +237,12 @@ func TestConcurrentQueriesAndUpdates(t *testing.T) {
 		t.Fatal(err)
 	}
 	var wg sync.WaitGroup
-	for i := 0; i < 8; i++ {
+	for i := 0; i < 10; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
 			for j := 0; j < 30; j++ {
-				switch i % 3 {
+				switch i % 5 {
 				case 0:
 					resp, err := http.Get(ts.URL + "/query?path=director.movie.title")
 					if err == nil {
@@ -221,6 +256,17 @@ func TestConcurrentQueriesAndUpdates(t *testing.T) {
 				case 2:
 					body := fmt.Sprintf(`{"from":%d,"to":%d}`, movies[j%len(movies)], names[j%len(names)])
 					resp, err := http.Post(ts.URL+"/edges", "application/json", strings.NewReader(body))
+					if err == nil {
+						resp.Body.Close()
+					}
+				case 3:
+					resp, err := http.Get(ts.URL + "/query?rpe=movieDB//name&limit=1")
+					if err == nil {
+						resp.Body.Close()
+					}
+				case 4:
+					doc := `<movieDB><actor><name/></actor></movieDB>`
+					resp, err := http.Post(ts.URL+"/documents", "application/xml", strings.NewReader(doc))
 					if err == nil {
 						resp.Body.Close()
 					}
