@@ -1,13 +1,19 @@
 GO ?= go
 
 # Benchmark knobs: DK_BENCH_SCALE sets the XMark fraction loaded by
-# bench_test.go; BENCHTIME feeds -benchtime.
+# bench_test.go; BENCHTIME feeds -benchtime; BENCHCOUNT feeds -count (bench2
+# uses several repetitions so min/median survive machine noise).
 DK_BENCH_SCALE ?= 1.0
 BENCHTIME ?= 2s
+BENCHCOUNT ?= 1
 
-.PHONY: all build test race vet fmt-check bench clean
+.PHONY: all build test race vet fmt-check bench bench2 ci clean
 
 all: build test
+
+# ci chains every hygiene gate: compile, vet, formatting, and the race-enabled
+# test suite.
+ci: build vet fmt-check race
 
 build:
 	$(GO) build ./...
@@ -34,5 +40,14 @@ bench:
 		| tee BENCH_1.txt
 	$(GO) run ./cmd/dkbench -benchjson < BENCH_1.txt > BENCH_1.json
 
+# bench2 quantifies observability overhead: the plain and fully instrumented
+# query-throughput benchmarks side by side (BENCH_2.txt/BENCH_2.json).
+bench2:
+	DK_BENCH_SCALE=$(DK_BENCH_SCALE) $(GO) test -run '^$$' \
+		-bench 'BenchmarkQueryThroughput(Instrumented)?$$' \
+		-benchmem -benchtime $(BENCHTIME) -count $(BENCHCOUNT) . \
+		| tee BENCH_2.txt
+	$(GO) run ./cmd/dkbench -benchjson < BENCH_2.txt > BENCH_2.json
+
 clean:
-	rm -f BENCH_1.txt BENCH_1.json
+	rm -f BENCH_1.txt BENCH_1.json BENCH_2.txt BENCH_2.json

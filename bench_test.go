@@ -15,6 +15,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"dkindex/internal/codec"
 	"dkindex/internal/core"
@@ -23,6 +24,7 @@ import (
 	"dkindex/internal/experiments"
 	"dkindex/internal/graph"
 	"dkindex/internal/index"
+	"dkindex/internal/obs"
 	"dkindex/internal/rpe"
 	"dkindex/internal/xmlgraph"
 )
@@ -553,6 +555,67 @@ func BenchmarkQueryThroughput(b *testing.B) {
 			default:
 				eval.IndexTwig(dk.IG, twigs[(i/4)%len(twigs)])
 			}
+			i++
+		}
+	})
+}
+
+// BenchmarkQueryThroughputInstrumented runs the identical mixed load with the
+// full observability stack attached the way the facade wires it — per-kind
+// counters and histograms, cost sampling, and 1-in-64 query tracing (the
+// dkserve default). The gap to BenchmarkQueryThroughput is the
+// instrumentation overhead; `make bench2` records the pair in
+// BENCH_2.txt/BENCH_2.json. Machine noise exceeds the effect in single runs,
+// so compare per-run minimums across repetitions (BENCHCOUNT=10): recorded
+// there as 1.13 -> 1.15 ms/op (~2%), identical B/op and allocs/op.
+func BenchmarkQueryThroughputInstrumented(b *testing.B) {
+	ds := benchXMark(b)
+	dk := core.Build(ds.G, ds.W.Requirements())
+	o := obs.NewObserverWith(obs.NewRegistry(), obs.NewStream(256), obs.NewTracer(64, 32))
+	rpes := []*rpe.Compiled{
+		rpe.CompileExpr(rpe.MustParse("open_auction.itemref//name"), ds.G.Labels()),
+		rpe.CompileExpr(rpe.MustParse("person.name|item.name"), ds.G.Labels()),
+	}
+	twigSrcs := []string{"item[mailbox].name", "person[name].emailaddress"}
+	var twigs []*eval.Twig
+	for _, s := range twigSrcs {
+		tw, err := eval.ParseTwig(ds.G.Labels(), s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		twigs = append(twigs, tw)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			var (
+				kind string
+				res  []graph.NodeID
+				cost eval.Cost
+				tr   *obs.Trace
+			)
+			begin := time.Now()
+			switch i % 4 {
+			case 0, 1:
+				kind = "path"
+				tr = o.SampleTrace(kind, "bench-path")
+				res, cost = eval.IndexTraced(dk.IG, ds.W.Queries[i%len(ds.W.Queries)], tr)
+			case 2:
+				kind = "rpe"
+				tr = o.SampleTrace(kind, "bench-rpe")
+				res, cost = eval.IndexRPETraced(dk.IG, rpes[(i/4)%len(rpes)], tr)
+			default:
+				kind = "twig"
+				tr = o.SampleTrace(kind, "bench-twig")
+				res, cost = eval.IndexTwigTraced(dk.IG, twigs[(i/4)%len(twigs)], tr)
+			}
+			o.ObserveQuery(kind, time.Since(begin), obs.CostSample{
+				IndexNodesVisited:  cost.IndexNodesVisited,
+				DataNodesValidated: cost.DataNodesValidated,
+				Validations:        cost.Validations,
+			}, len(res))
+			o.FinishTrace(tr)
 			i++
 		}
 	})

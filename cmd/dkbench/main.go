@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"dkindex/internal/experiments"
+	"dkindex/internal/obs"
 )
 
 func main() {
@@ -51,6 +52,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		seed      = fs.Int64("seed", 1, "random seed for workloads and edges")
 		maxK      = fs.Int("maxk", 0, "largest A(k) in the series (0 = longest query length)")
 		csv       = fs.String("csv", "", "also write each series as CSV files under this directory")
+		metrics   = fs.String("metrics", "", "write a Prometheus text snapshot of the run's metrics to this file")
 		benchjson = fs.Bool("benchjson", false, "read `go test -bench` text on stdin, write a JSON report on stdout, and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -98,10 +100,20 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		fmt.Fprintf(stdout, "dataset %s: %s, %d queries (max length %d)\n",
 			ds.Name, ds.G.ComputeStats(), ds.W.Len(), ds.W.MaxLength())
 	}
+	// Every experiment feeds the run's metrics registry, so -metrics leaves a
+	// machine-readable record of what ran and how long it took alongside the
+	// rendered tables.
+	reg := obs.NewRegistry()
+	expSeconds := obs.ExpBuckets(0.1, 2, 14)
 	timed := func(id string, f func()) {
 		start := time.Now()
 		f()
-		fmt.Fprintf(stdout, "[%s completed in %.1fs]\n\n", id, time.Since(start).Seconds())
+		elapsed := time.Since(start)
+		reg.Counter("dkbench_experiments_total", "Experiments executed, by id.",
+			obs.L("id", id)).Inc()
+		reg.Histogram("dkbench_experiment_seconds", "Wall time per experiment run.",
+			expSeconds, obs.L("id", id)).Observe(elapsed.Seconds())
+		fmt.Fprintf(stdout, "[%s completed in %.1fs]\n\n", id, elapsed.Seconds())
 	}
 	run := func(id string) bool { return *exp == "all" || *exp == id }
 	cfg := experiments.AfterUpdateConfig{Edges: *edges, MaxK: *maxK, Seed: *seed}
@@ -226,6 +238,19 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	if !ran {
 		fmt.Fprintf(stderr, "dkbench: unknown experiment %q\n", *exp)
 		return 2
+	}
+	if *metrics != "" {
+		f, err := os.Create(*metrics)
+		if err == nil {
+			err = reg.WritePrometheus(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "dkbench: %v\n", err)
+			return 1
+		}
 	}
 	return 0
 }

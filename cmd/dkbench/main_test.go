@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"dkindex/internal/obs"
 )
 
 func TestRunSingleExperiment(t *testing.T) {
@@ -27,6 +29,31 @@ func TestRunCSVOutput(t *testing.T) {
 	var out, errb bytes.Buffer
 	if code := run([]string{"-exp", "fig4", "-scale", "0.02", "-csv", dir}, &out, &errb); code != 0 {
 		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+}
+
+// TestRunMetricsSnapshot checks -metrics leaves a valid Prometheus text
+// record of the experiments that ran.
+func TestRunMetricsSnapshot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.prom")
+	var out, errb bytes.Buffer
+	if code := run([]string{"-exp", "fig4", "-scale", "0.02", "-metrics", path}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fams, err := obs.ParsePrometheusText(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("snapshot unparsable: %v\n%s", err, data)
+	}
+	f := fams["dkbench_experiments_total"]
+	if f == nil || len(f.Samples) != 1 || f.Samples[0].Value != 1 || f.Samples[0].Labels["id"] != "fig4" {
+		t.Errorf("experiment counter = %+v", f)
+	}
+	if fams["dkbench_experiment_seconds"] == nil {
+		t.Errorf("duration histogram missing:\n%s", data)
 	}
 }
 

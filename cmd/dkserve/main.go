@@ -5,57 +5,94 @@
 // Usage:
 //
 //	dkserve -in doc.xml -req title=2 -addr :8080
-//	dkserve -index doc.dkx -addr :8080
+//	dkserve -index doc.dkx -addr :8080 -pprof -trace-sample 16
 //
 //	curl 'localhost:8080/query?path=director.movie.title'
 //	curl 'localhost:8080/query?twig=movie[actor].title'
 //	curl -X POST localhost:8080/promote -d '{"label":"title","k":3}'
-//	curl -X POST localhost:8080/optimize -d '{"budget":2000}'
+//	curl 'localhost:8080/metrics'
+//	curl 'localhost:8080/events?n=20'
 //
-// See internal/server for the full API.
+// The process logs one structured line per request, serves Prometheus
+// metrics on /metrics and the index lifecycle event stream on /events, and
+// shuts down gracefully on SIGINT/SIGTERM — in-flight requests drain and a
+// final metrics snapshot is flushed to the log. See internal/server for the
+// full API.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
 
 	"dkindex"
+	"dkindex/internal/obs"
 	"dkindex/internal/server"
 )
 
 func main() {
-	addr, handler, code := setup(os.Args[1:], os.Stdout, os.Stderr)
-	if code != 0 {
-		os.Exit(code)
-	}
-	if err := http.ListenAndServe(addr, handler); err != nil {
-		fmt.Fprintf(os.Stderr, "dkserve: %v\n", err)
-		os.Exit(1)
-	}
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-// setup parses flags, loads and tunes the index, and returns the listen
-// address and ready handler; a non-zero code aborts startup.
-func setup(args []string, stdout, stderr io.Writer) (string, http.Handler, int) {
+// run wires setup, the listener and the signal-aware serve loop; split from
+// main so tests can drive the full lifecycle in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	cfg, code := setup(args, stdout, stderr)
+	if code != 0 {
+		return code
+	}
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		cfg.logger.Error("listen failed", "addr", cfg.addr, "err", err)
+		return 1
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return serve(ctx, ln, cfg)
+}
+
+// config is everything setup hands to the serve loop.
+type config struct {
+	addr     string
+	handler  http.Handler
+	logger   *slog.Logger
+	observer *obs.Observer
+}
+
+// setup parses flags, loads and tunes the index, and returns the ready
+// configuration; a non-zero code aborts startup.
+func setup(args []string, stdout, stderr io.Writer) (*config, int) {
 	fs := flag.NewFlagSet("dkserve", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		addr = fs.String("addr", ":8080", "listen address")
-		in   = fs.String("in", "", "XML input file")
-		load = fs.String("index", "", "load a previously saved index")
-		req  = fs.String("req", "", "per-label requirements, e.g. title=2,name=1")
-		tune = fs.Int("tune", 0, "tune with a sampled workload of N queries")
-		seed = fs.Int64("seed", 1, "seed for -tune")
+		addr        = fs.String("addr", ":8080", "listen address")
+		in          = fs.String("in", "", "XML input file")
+		load        = fs.String("index", "", "load a previously saved index")
+		req         = fs.String("req", "", "per-label requirements, e.g. title=2,name=1")
+		tune        = fs.Int("tune", 0, "tune with a sampled workload of N queries")
+		seed        = fs.Int64("seed", 1, "seed for -tune")
+		pprofOn     = fs.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
+		traceSample = fs.Int("trace-sample", 64, "sample 1 query in N for tracing (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
-		return "", nil, 2
+		return nil, 2
 	}
+	logger := slog.New(slog.NewTextHandler(stderr, nil))
+	observer := obs.NewObserverWith(obs.NewRegistry(), obs.NewStream(256), obs.NewTracer(*traceSample, 32))
 
 	var (
 		idx *dkindex.Index
+		rep *dkindex.LoadReport
 		err error
 	)
 	switch {
@@ -64,32 +101,140 @@ func setup(args []string, stdout, stderr io.Writer) (string, http.Handler, int) 
 	case *in != "":
 		var f *os.File
 		if f, err = os.Open(*in); err == nil {
-			idx, err = dkindex.LoadXML(f, nil)
+			idx, rep, err = dkindex.LoadXMLWithReport(f, nil)
 			f.Close()
 		}
 	default:
 		fmt.Fprintln(stderr, "dkserve: one of -in or -index is required")
-		return "", nil, 2
+		return nil, 2
 	}
 	if err != nil {
 		fmt.Fprintf(stderr, "dkserve: %v\n", err)
-		return "", nil, 1
+		return nil, 1
+	}
+	idx.Observe(observer)
+	if rep != nil && len(rep.DanglingRefs) > 0 {
+		observer.AddDanglingRefs(len(rep.DanglingRefs))
+		logger.Warn("document has dangling IDREF references",
+			"count", len(rep.DanglingRefs),
+			"refs", strings.Join(firstN(rep.DanglingRefs, 5), ","))
 	}
 	if *tune > 0 {
 		if err := idx.Tune(*tune, *seed); err != nil {
 			fmt.Fprintf(stderr, "dkserve: %v\n", err)
-			return "", nil, 1
+			return nil, 1
 		}
 	} else if *req != "" {
 		reqs, err := dkindex.ParseRequirements(*req)
 		if err != nil {
 			fmt.Fprintf(stderr, "dkserve: %v\n", err)
-			return "", nil, 1
+			return nil, 1
 		}
 		idx.SetRequirements(reqs)
+	}
+	srv := server.New(idx)
+	if *pprofOn {
+		srv.EnablePprof()
 	}
 	s := idx.Stats()
 	fmt.Fprintf(stdout, "dkserve: %d data nodes, index %d nodes (max k=%d), listening on %s\n",
 		s.DataNodes, s.IndexNodes, s.MaxK, *addr)
-	return *addr, server.New(idx), 0
+	return &config{
+		addr:     *addr,
+		handler:  logRequests(srv, logger),
+		logger:   logger,
+		observer: observer,
+	}, 0
+}
+
+func firstN(s []string, n int) []string {
+	if len(s) > n {
+		return s[:n]
+	}
+	return s
+}
+
+// shutdownGrace bounds how long in-flight requests may drain after a
+// termination signal.
+const shutdownGrace = 10 * time.Second
+
+// serve runs the HTTP server on ln until it fails or ctx is cancelled (the
+// signal path); on cancellation in-flight requests drain within
+// shutdownGrace and a final metrics snapshot is flushed to the log.
+func serve(ctx context.Context, ln net.Listener, cfg *config) int {
+	hs := &http.Server{Handler: cfg.handler}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			cfg.logger.Error("server failed", "err", err)
+			return 1
+		}
+		return 0
+	case <-ctx.Done():
+		cfg.logger.Info("shutdown signal received, draining requests", "grace", shutdownGrace)
+		shutCtx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+		defer cancel()
+		code := 0
+		if err := hs.Shutdown(shutCtx); err != nil {
+			cfg.logger.Error("shutdown did not drain cleanly", "err", err)
+			code = 1
+		}
+		flushFinalMetrics(cfg)
+		return code
+	}
+}
+
+// flushFinalMetrics renders the registry one last time into the log so the
+// process's closing state survives after the /metrics endpoint is gone.
+func flushFinalMetrics(cfg *config) {
+	var sb strings.Builder
+	if err := cfg.observer.Registry.WritePrometheus(&sb); err != nil {
+		cfg.logger.Error("final metrics snapshot failed", "err", err)
+		return
+	}
+	cfg.logger.Info("final metrics snapshot",
+		"events", cfg.observer.Events.LastSeq(),
+		"traces", cfg.observer.Tracer.Sampled(),
+		"metrics", sb.String())
+}
+
+// statusWriter captures the response status and size for request logging.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += n
+	return n, err
+}
+
+// logRequests wraps h with one structured log line per request.
+func logRequests(h http.Handler, logger *slog.Logger) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		h.ServeHTTP(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		logger.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"bytes", sw.bytes,
+			"durMS", float64(time.Since(start).Microseconds())/1000)
+	})
 }

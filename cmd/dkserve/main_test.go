@@ -2,33 +2,64 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 )
 
 const doc = `<movieDB><director><name/><movie><title/></movie></director></movieDB>`
 
-func TestSetupAndServe(t *testing.T) {
+// syncBuffer guards the log sink: handler goroutines and the serve loop both
+// write to it.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func writeDoc(t *testing.T, body string) string {
+	t.Helper()
 	path := filepath.Join(t.TempDir(), "doc.xml")
-	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	var out, errb bytes.Buffer
-	addr, handler, code := setup([]string{"-in", path, "-req", "title=2", "-addr", ":0"}, &out, &errb)
+	return path
+}
+
+func TestSetupAndServe(t *testing.T) {
+	path := writeDoc(t, doc)
+	var out bytes.Buffer
+	errb := &syncBuffer{}
+	cfg, code := setup([]string{"-in", path, "-req", "title=2", "-addr", ":0"}, &out, errb)
 	if code != 0 {
 		t.Fatalf("setup exit %d: %s", code, errb.String())
 	}
-	if addr != ":0" || handler == nil {
+	if cfg.addr != ":0" || cfg.handler == nil {
 		t.Fatal("setup returned no handler")
 	}
 	if !strings.Contains(out.String(), "listening on") {
 		t.Errorf("banner: %s", out.String())
 	}
-	ts := httptest.NewServer(handler)
-	defer ts.Close()
+	ts := httptest.NewServer(cfg.handler)
 	resp, err := ts.Client().Get(ts.URL + "/query?path=director.movie.title")
 	if err != nil {
 		t.Fatal(err)
@@ -37,24 +68,117 @@ func TestSetupAndServe(t *testing.T) {
 	if resp.StatusCode != 200 {
 		t.Errorf("query status = %d", resp.StatusCode)
 	}
+	ts.Close() // drain handlers before reading the log
+	log := errb.String()
+	if !strings.Contains(log, "msg=request") || !strings.Contains(log, "path=/query") {
+		t.Errorf("no request log line:\n%s", log)
+	}
 }
 
 func TestSetupErrors(t *testing.T) {
-	var out, errb bytes.Buffer
-	if _, _, code := setup(nil, &out, &errb); code != 2 {
+	var out bytes.Buffer
+	errb := &syncBuffer{}
+	if _, code := setup(nil, &out, errb); code != 2 {
 		t.Errorf("no input exit = %d, want 2", code)
 	}
-	if _, _, code := setup([]string{"-badflag"}, &out, &errb); code != 2 {
+	if _, code := setup([]string{"-badflag"}, &out, errb); code != 2 {
 		t.Errorf("bad flag exit = %d, want 2", code)
 	}
-	if _, _, code := setup([]string{"-in", "/nonexistent.xml"}, &out, &errb); code != 1 {
+	if _, code := setup([]string{"-in", "/nonexistent.xml"}, &out, errb); code != 1 {
 		t.Errorf("missing file exit = %d, want 1", code)
 	}
-	path := filepath.Join(t.TempDir(), "doc.xml")
-	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+	path := writeDoc(t, doc)
+	if _, code := setup([]string{"-in", path, "-req", "x=bad"}, &out, errb); code != 1 {
+		t.Errorf("bad req exit = %d, want 1", code)
+	}
+}
+
+// TestSetupPprofFlag checks -pprof mounts the profiling handlers.
+func TestSetupPprofFlag(t *testing.T) {
+	path := writeDoc(t, doc)
+	var out bytes.Buffer
+	cfg, code := setup([]string{"-in", path, "-pprof"}, &out, &syncBuffer{})
+	if code != 0 {
+		t.Fatalf("setup exit %d", code)
+	}
+	ts := httptest.NewServer(cfg.handler)
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/debug/pprof/cmdline")
+	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, code := setup([]string{"-in", path, "-req", "x=bad"}, &out, &errb); code != 1 {
-		t.Errorf("bad req exit = %d, want 1", code)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("pprof cmdline = %d with -pprof, want 200", resp.StatusCode)
+	}
+}
+
+// TestSetupDanglingWarning loads a document with a dangling IDREF and expects
+// a structured warning plus the counter metric.
+func TestSetupDanglingWarning(t *testing.T) {
+	path := writeDoc(t, `<movieDB><actor movieref="nosuch"><name/></actor></movieDB>`)
+	var out bytes.Buffer
+	errb := &syncBuffer{}
+	cfg, code := setup([]string{"-in", path}, &out, errb)
+	if code != 0 {
+		t.Fatalf("setup exit %d: %s", code, errb.String())
+	}
+	log := errb.String()
+	if !strings.Contains(log, "dangling") || !strings.Contains(log, "nosuch") {
+		t.Errorf("no dangling-reference warning:\n%s", log)
+	}
+	var sb strings.Builder
+	if err := cfg.observer.Registry.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "dk_load_dangling_refs_total 1") {
+		t.Errorf("dangling-ref counter not set:\n%s", sb.String())
+	}
+}
+
+// TestGracefulShutdown runs the real serve loop, sends traffic, cancels the
+// context (the SIGINT/SIGTERM path) and expects a clean exit with a final
+// metrics snapshot in the log.
+func TestGracefulShutdown(t *testing.T) {
+	path := writeDoc(t, doc)
+	var out bytes.Buffer
+	errb := &syncBuffer{}
+	cfg, code := setup([]string{"-in", path}, &out, errb)
+	if code != 0 {
+		t.Fatalf("setup exit %d: %s", code, errb.String())
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan int, 1)
+	go func() { done <- serve(ctx, ln, cfg) }()
+
+	url := fmt.Sprintf("http://%s/query?path=director.movie.title", ln.Addr())
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("query status = %d", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case exit := <-done:
+		if exit != 0 {
+			t.Errorf("serve exit = %d, want 0", exit)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serve did not shut down")
+	}
+	log := errb.String()
+	if !strings.Contains(log, "shutdown signal received") {
+		t.Errorf("no shutdown log line:\n%s", log)
+	}
+	if !strings.Contains(log, "final metrics snapshot") || !strings.Contains(log, "dk_queries_total") {
+		t.Errorf("final metrics snapshot missing or empty:\n%s", log)
 	}
 }

@@ -29,11 +29,13 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"time"
 
 	"dkindex/internal/core"
 	"dkindex/internal/eval"
 	"dkindex/internal/graph"
 	"dkindex/internal/index"
+	"dkindex/internal/obs"
 	"dkindex/internal/rpe"
 	"dkindex/internal/workload"
 	"dkindex/internal/xmlgraph"
@@ -60,17 +62,32 @@ type Index struct {
 	// it have validated that many times (see SetAutoPromote).
 	autoPromote    int
 	validationHeat map[graph.LabelID]heat
+	// observer, when attached via Observe, receives query metrics, sampled
+	// traces and index lifecycle events. Nil costs only receiver checks.
+	observer *obs.Observer
 }
+
+// LoadReport re-exports the XML loader's diagnostics: node and reference-edge
+// counts, plus the IDREF values that resolved to no element.
+type LoadReport = xmlgraph.Report
 
 // LoadXML parses an XML document and builds the initial index (label-split:
 // every local similarity requirement starts at zero). Tune, SetRequirements
 // or Promote* raise similarities afterwards.
 func LoadXML(r io.Reader, opts *LoadOptions) (*Index, error) {
-	g, _, err := xmlgraph.Load(r, opts)
+	idx, _, err := LoadXMLWithReport(r, opts)
+	return idx, err
+}
+
+// LoadXMLWithReport is LoadXML, also returning the loader's report so callers
+// can surface diagnostics such as dangling IDREFs (dkserve logs them and
+// counts them into the metrics registry).
+func LoadXMLWithReport(r io.Reader, opts *LoadOptions) (*Index, *LoadReport, error) {
+	g, rep, err := xmlgraph.Load(r, opts)
 	if err != nil {
-		return nil, err
+		return nil, rep, err
 	}
-	return FromGraph(g, nil), nil
+	return FromGraph(g, nil), rep, nil
 }
 
 // LoadXMLString is LoadXML over a string.
@@ -146,13 +163,23 @@ func fromCost(c eval.Cost) QueryStats {
 func (x *Index) Query(path string) ([]NodeID, QueryStats, error) {
 	q, err := eval.ParseQuery(x.Graph().Labels(), path)
 	if err != nil {
+		x.observer.ObserveQueryError("path")
 		return nil, QueryStats{}, err
 	}
 	if x.recorder != nil {
 		x.recorder.Record(q)
 	}
-	res, cost := eval.Index(x.dk.IG, q)
+	tr := x.observer.SampleTrace("path", path)
+	var begin time.Time
+	if x.observer != nil {
+		begin = time.Now()
+	}
+	res, cost := eval.IndexTraced(x.dk.IG, q, tr)
 	x.noteValidation(q[len(q)-1], q.Length(), cost.Validations)
+	if x.observer != nil {
+		x.observer.ObserveQuery("path", time.Since(begin), costSample(cost), len(res))
+		x.observer.FinishTrace(tr)
+	}
 	return res, fromCost(cost), nil
 }
 
@@ -187,8 +214,12 @@ func (x *Index) Optimize(sizeBudget int) (map[string]int, error) {
 	if err != nil {
 		return nil, err
 	}
+	before, start := x.preOp()
 	x.dk = core.Build(x.Graph(), res.Reqs)
 	x.recorder.Reset()
+	x.rewire()
+	x.emit(obs.Event{Type: obs.EventOptimize, NodesBefore: before, Wall: opWall(start),
+		Detail: fmt.Sprintf("%d requirements mined", len(res.Reqs))})
 	out := make(map[string]int, len(res.Reqs))
 	for l, k := range res.Reqs {
 		out[x.Graph().Labels().Name(l)] = k
@@ -202,10 +233,20 @@ func (x *Index) Optimize(sizeBudget int) (map[string]int, error) {
 func (x *Index) QueryRPE(expr string) ([]NodeID, QueryStats, error) {
 	e, err := rpe.Parse(expr)
 	if err != nil {
+		x.observer.ObserveQueryError("rpe")
 		return nil, QueryStats{}, err
 	}
 	c := rpe.CompileExpr(e, x.Graph().Labels())
-	res, cost := eval.IndexRPE(x.dk.IG, c)
+	tr := x.observer.SampleTrace("rpe", expr)
+	var begin time.Time
+	if x.observer != nil {
+		begin = time.Now()
+	}
+	res, cost := eval.IndexRPETraced(x.dk.IG, c, tr)
+	if x.observer != nil {
+		x.observer.ObserveQuery("rpe", time.Since(begin), costSample(cost), len(res))
+		x.observer.FinishTrace(tr)
+	}
 	return res, fromCost(cost), nil
 }
 
@@ -213,7 +254,11 @@ func (x *Index) QueryRPE(expr string) ([]NodeID, QueryStats, error) {
 // nodes labeled l answer queries up to length reqs[l] without validation.
 func (x *Index) SetRequirements(reqsByName map[string]int) {
 	g := x.Graph()
+	before, start := x.preOp()
 	x.dk = core.Build(g, core.ReqsFromNames(g.Labels(), reqsByName))
+	x.rewire()
+	x.emit(obs.Event{Type: obs.EventRetune, NodesBefore: before, Wall: opWall(start),
+		Detail: "explicit requirements"})
 }
 
 // Tune samples a synthetic query load of n paths (2..5 labels, as in the
@@ -232,8 +277,12 @@ func (x *Index) Tune(n int, seed int64) error {
 
 // TuneWith mines requirements from the given query load and rebuilds.
 func (x *Index) TuneWith(w *workload.Workload) {
+	before, start := x.preOp()
 	x.queries = w
 	x.dk = core.Build(x.Graph(), w.Requirements())
+	x.rewire()
+	x.emit(obs.Event{Type: obs.EventRetune, NodesBefore: before, Wall: opWall(start),
+		Detail: "mined from workload"})
 }
 
 // Workload returns the load the index was last tuned with, or nil.
@@ -247,7 +296,11 @@ func (x *Index) AddEdge(from, to NodeID) error {
 	if int(from) >= g.NumNodes() || int(to) >= g.NumNodes() || from < 0 || to < 0 {
 		return fmt.Errorf("dkindex: edge endpoints out of range")
 	}
-	x.dk.AddEdge(from, to)
+	before, start := x.preOp()
+	stats := x.dk.AddEdge(from, to)
+	x.emit(obs.Event{Type: obs.EventEdgeAdd, NodesBefore: before,
+		Visited: stats.IndexNodesVisited, Wall: opWall(start),
+		Detail: fmt.Sprintf("%d->%d", from, to)})
 	return nil
 }
 
@@ -259,7 +312,11 @@ func (x *Index) RemoveEdge(from, to NodeID) error {
 	if int(from) >= g.NumNodes() || int(to) >= g.NumNodes() || from < 0 || to < 0 {
 		return fmt.Errorf("dkindex: edge endpoints out of range")
 	}
-	x.dk.RemoveEdge(from, to)
+	before, start := x.preOp()
+	stats := x.dk.RemoveEdge(from, to)
+	x.emit(obs.Event{Type: obs.EventEdgeRemove, NodesBefore: before,
+		Visited: stats.IndexNodesVisited, Wall: opWall(start),
+		Detail: fmt.Sprintf("%d->%d", from, to)})
 	return nil
 }
 
@@ -270,11 +327,20 @@ func (x *Index) AddDocument(r io.Reader, opts *LoadOptions) ([]NodeID, error) {
 	if opts == nil {
 		opts = &LoadOptions{}
 	}
-	h, _, err := xmlgraph.Load(r, opts)
+	h, rep, err := xmlgraph.Load(r, opts)
 	if err != nil {
 		return nil, err
 	}
-	return x.dk.AddSubgraph(h)
+	x.observer.AddDanglingRefs(len(rep.DanglingRefs))
+	before, start := x.preOp()
+	mapping, err := x.dk.AddSubgraph(h)
+	if err != nil {
+		return nil, err
+	}
+	x.rewire()
+	x.emit(obs.Event{Type: obs.EventSubgraphAdd, NodesBefore: before, Wall: opWall(start),
+		Detail: fmt.Sprintf("%d document nodes grafted", len(mapping))})
+	return mapping, nil
 }
 
 // PromoteLabel raises every index node of the given label to local
@@ -285,14 +351,20 @@ func (x *Index) PromoteLabel(label string, k int) error {
 	if l == graph.InvalidLabel {
 		return fmt.Errorf("dkindex: unknown label %q", label)
 	}
-	x.dk.PromoteLabel(l, k)
+	before, start := x.preOp()
+	stats := x.dk.PromoteLabel(l, k)
+	x.emit(obs.Event{Type: obs.EventPromote, Label: label, K: k, NodesBefore: before,
+		Created: stats.IndexNodesCreated, Visited: stats.IndexNodesVisited, Wall: opWall(start)})
 	return nil
 }
 
 // Demote shrinks the index to lower per-label requirements (Section 5.4),
 // merging extents without touching the data graph.
 func (x *Index) Demote(reqsByName map[string]int) {
+	before, start := x.preOp()
 	x.dk.Demote(core.ReqsFromNames(x.Graph().Labels(), reqsByName))
+	x.rewire()
+	x.emit(obs.Event{Type: obs.EventDemote, NodesBefore: before, Wall: opWall(start)})
 }
 
 // LabelName returns the label of a data node; handy when printing results.
@@ -306,9 +378,19 @@ func (x *Index) LabelName(n NodeID) string { return x.Graph().LabelName(n) }
 func (x *Index) QueryTwig(q string) ([]NodeID, QueryStats, error) {
 	tw, err := eval.ParseTwig(x.Graph().Labels(), q)
 	if err != nil {
+		x.observer.ObserveQueryError("twig")
 		return nil, QueryStats{}, err
 	}
-	res, cost := eval.IndexTwig(x.dk.IG, tw)
+	tr := x.observer.SampleTrace("twig", q)
+	var begin time.Time
+	if x.observer != nil {
+		begin = time.Now()
+	}
+	res, cost := eval.IndexTwigTraced(x.dk.IG, tw, tr)
+	if x.observer != nil {
+		x.observer.ObserveQuery("twig", time.Since(begin), costSample(cost), len(res))
+		x.observer.FinishTrace(tr)
+	}
 	return res, fromCost(cost), nil
 }
 
@@ -441,6 +523,7 @@ func (x *Index) Summary() index.Summary {
 // mapping translates old ids to new ones (-1 for dropped nodes). The index
 // is rebuilt for the current requirements.
 func (x *Index) Compact() (dropped int, mapping []NodeID, err error) {
+	before, start := x.preOp()
 	g, mapping, err := x.Graph().CompactReachable()
 	if err != nil {
 		return 0, nil, err
@@ -456,6 +539,9 @@ func (x *Index) Compact() (dropped int, mapping []NodeID, err error) {
 		x.recorder = workload.NewRecorder(g.Labels())
 	}
 	x.queries = nil
+	x.rewire()
+	x.emit(obs.Event{Type: obs.EventCompact, NodesBefore: before, Wall: opWall(start),
+		Detail: fmt.Sprintf("%d data nodes dropped", dropped)})
 	return dropped, mapping, nil
 }
 
@@ -510,7 +596,13 @@ func (x *Index) noteValidation(last graph.LabelID, length int, validations int) 
 	}
 	x.validationHeat[last] = h
 	if h.count >= x.autoPromote {
-		x.dk.PromoteLabel(last, h.maxLen)
+		before, start := x.preOp()
+		stats := x.dk.PromoteLabel(last, h.maxLen)
+		x.emit(obs.Event{Type: obs.EventAutoPromote,
+			Label: x.Graph().Labels().Name(last), K: h.maxLen, NodesBefore: before,
+			Created: stats.IndexNodesCreated, Visited: stats.IndexNodesVisited,
+			Wall:   opWall(start),
+			Detail: fmt.Sprintf("%d validations crossed threshold %d", h.count, x.autoPromote)})
 		delete(x.validationHeat, last)
 	}
 }

@@ -15,6 +15,7 @@ import (
 
 	"dkindex/internal/graph"
 	"dkindex/internal/index"
+	"dkindex/internal/obs"
 )
 
 // Query is a simple path query: a sequence of labels, outermost first. A
@@ -108,11 +109,24 @@ func Data(g *graph.Graph, q Query) ([]graph.NodeID, Cost) {
 // Results are sorted data node ids and always equal Data(g, q): safety
 // guarantees no misses, validation removes false positives.
 func Index(ig *index.IndexGraph, q Query) ([]graph.NodeID, Cost) {
+	return IndexTraced(ig, q, nil)
+}
+
+// IndexTraced is Index with per-stage tracing: the index-graph match and the
+// validation loop are recorded as "match" and "validate" spans, and the cost
+// counters are copied onto the trace. A nil trace makes every tracing call a
+// no-op (StageStart then skips the clock read), so the uninstrumented path is
+// unchanged — and the counters themselves are computed identically either
+// way, keeping traced and untraced costs bit-for-bit equal.
+func IndexTraced(ig *index.IndexGraph, q Query, tr *obs.Trace) ([]graph.NodeID, Cost) {
 	var c Cost
+	st := tr.StageStart()
 	matched := evalOnIndex(ig, q, &c)
+	tr.EndStage("match", st)
 	need := q.Length()
 	data := ig.Data()
 	var res []graph.NodeID
+	st = tr.StageStart()
 	for _, m := range matched {
 		if ig.K(m) >= need {
 			res = ig.AppendExtent(res, m)
@@ -126,6 +140,8 @@ func Index(ig *index.IndexGraph, q Query) ([]graph.NodeID, Cost) {
 		res = append(res, hits...)
 	}
 	slices.Sort(res)
+	tr.EndStage("validate", st)
+	tr.RecordCost(c.IndexNodesVisited, c.DataNodesValidated, c.Validations, len(res))
 	return res, c
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"dkindex/internal/graph"
 	"dkindex/internal/index"
+	"dkindex/internal/obs"
 	"dkindex/internal/rpe"
 )
 
@@ -25,10 +26,19 @@ func DataRPE(g *graph.Graph, c *rpe.Compiled) ([]graph.NodeID, Cost) {
 // extents is spread across CPUs: each member's reversed-automaton search is
 // independent, so the per-chunk charges sum to the serial Cost exactly.
 func IndexRPE(ig *index.IndexGraph, c *rpe.Compiled) ([]graph.NodeID, Cost) {
+	return IndexRPETraced(ig, c, nil)
+}
+
+// IndexRPETraced is IndexRPE with per-stage tracing: the automaton run over
+// the index graph records "rpe_seed" and "rpe_fixpoint" spans (inside
+// Compiled.EvalTraced) and the validation loop a "validate" span. A nil trace
+// is free, and the cost counters are identical with tracing on or off.
+func IndexRPETraced(ig *index.IndexGraph, c *rpe.Compiled, tr *obs.Trace) ([]graph.NodeID, Cost) {
 	var cost Cost
-	matched := c.Eval(ig, func(graph.NodeID) { cost.IndexNodesVisited++ })
+	matched := c.EvalTraced(ig, func(graph.NodeID) { cost.IndexNodesVisited++ }, tr)
 	data := ig.Data()
 	var res []graph.NodeID
+	st := tr.StageStart()
 	for _, m := range matched {
 		if c.MaxLen >= 0 && c.MaxLen-1 <= ig.K(m) {
 			res = ig.AppendExtent(res, m)
@@ -42,5 +52,7 @@ func IndexRPE(ig *index.IndexGraph, c *rpe.Compiled) ([]graph.NodeID, Cost) {
 		res = append(res, hits...)
 	}
 	slices.Sort(res)
+	tr.EndStage("validate", st)
+	tr.RecordCost(cost.IndexNodesVisited, cost.DataNodesValidated, cost.Validations, len(res))
 	return res, cost
 }

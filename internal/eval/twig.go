@@ -8,6 +8,7 @@ import (
 
 	"dkindex/internal/graph"
 	"dkindex/internal/index"
+	"dkindex/internal/obs"
 )
 
 // Twig is a branching path query: a trunk of labels in which every step may
@@ -331,11 +332,21 @@ func DataTwig(g *graph.Graph, q *Twig) ([]graph.NodeID, Cost) {
 // extents are validated member by member against the data graph — backward
 // bisimilarity alone says nothing about child structure.
 func IndexTwig(ig *index.IndexGraph, q *Twig) ([]graph.NodeID, Cost) {
+	return IndexTwigTraced(ig, q, nil)
+}
+
+// IndexTwigTraced is IndexTwig with per-stage tracing ("match" and
+// "validate" spans, cost counters copied onto the trace). Nil traces are
+// free and never change the counters.
+func IndexTwigTraced(ig *index.IndexGraph, q *Twig, tr *obs.Trace) ([]graph.NodeID, Cost) {
 	var c Cost
 	e := newTwigEval(ig, q, func(graph.NodeID) { c.IndexNodesVisited++ })
+	st := tr.StageStart()
 	matched := e.eval()
+	tr.EndStage("match", st)
 	var res []graph.NodeID
 	data := ig.Data()
+	st = tr.StageStart()
 	for _, m := range matched {
 		if ig.FBStable() {
 			res = ig.AppendExtent(res, m)
@@ -352,6 +363,8 @@ func IndexTwig(ig *index.IndexGraph, q *Twig) ([]graph.NodeID, Cost) {
 		}
 	}
 	slices.Sort(res)
+	tr.EndStage("validate", st)
+	tr.RecordCost(c.IndexNodesVisited, c.DataNodesValidated, c.Validations, len(res))
 	return res, c
 }
 

@@ -48,6 +48,11 @@ type IndexGraph struct {
 	// (F&B classes): branching path queries are then sound on the index
 	// alone. Data mutations clear it.
 	fbStable bool
+	// onSplit, when set, observes every successful SplitNode: orig kept part
+	// of its extent, created received the rest. The facade wires this to the
+	// lifecycle event stream; construction runs on fresh graphs without the
+	// hook, so only post-build adaptation (promotion, updates) is observed.
+	onSplit func(orig, created graph.NodeID)
 }
 
 // FromPartition materializes the index graph induced by a partition of src.
@@ -154,6 +159,11 @@ func removeSortedIDs(s []graph.NodeID, id graph.NodeID) []graph.NodeID {
 
 // Data returns the underlying data graph.
 func (ig *IndexGraph) Data() *graph.Graph { return ig.data }
+
+// SetOnSplit installs (or clears, with nil) the split observation hook. The
+// hook runs synchronously inside SplitNode after the index is consistent
+// again; it must not mutate the index graph. Clone does not carry the hook.
+func (ig *IndexGraph) SetOnSplit(fn func(orig, created graph.NodeID)) { ig.onSplit = fn }
 
 // FBStable reports whether extents are known to be forward-and-backward
 // bisimilar (set by BuildFB, cleared by data mutations).

@@ -67,6 +67,9 @@ func (ig *IndexGraph) SplitNode(b graph.NodeID, inSet func(graph.NodeID) bool) (
 		ig.decEdge(oldOf(e.u), oldOf(e.v))
 		ig.incEdge(ig.nodeOf[e.u], ig.nodeOf[e.v])
 	}
+	if ig.onSplit != nil {
+		ig.onSplit(b, nb)
+	}
 	return nb, true
 }
 

@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// EventType names one kind of index lifecycle event.
+type EventType string
+
+// The lifecycle vocabulary. Extent splits are emitted per split (promotion
+// can fire many); the remaining types are one event per operation, carrying
+// before/after index node counts and the operation's wall time.
+const (
+	EventExtentSplit EventType = "extent_split"
+	EventPromote     EventType = "promote"
+	EventDemote      EventType = "demote"
+	EventAutoPromote EventType = "auto_promote"
+	EventEdgeAdd     EventType = "edge_add"
+	EventEdgeRemove  EventType = "edge_remove"
+	EventSubgraphAdd EventType = "subgraph_add"
+	EventOptimize    EventType = "optimize"
+	EventRetune      EventType = "retune"
+	EventCompact     EventType = "compact"
+	EventCodecReload EventType = "codec_reload"
+)
+
+// Event is one index lifecycle occurrence. Seq is assigned by the stream and
+// strictly increases; consumers resume with Since(seq).
+type Event struct {
+	Seq  uint64    `json:"seq"`
+	Time time.Time `json:"time"`
+	Type EventType `json:"type"`
+	// Label is the label name the operation targeted, when applicable.
+	Label string `json:"label,omitempty"`
+	// K is the similarity the operation targeted, when applicable.
+	K int `json:"k,omitempty"`
+	// NodesBefore/NodesAfter are index node counts around the operation.
+	NodesBefore int `json:"nodesBefore"`
+	NodesAfter  int `json:"nodesAfter"`
+	// Created counts index nodes created (extent splits) by the operation.
+	Created int `json:"created,omitempty"`
+	// Visited counts index nodes visited doing the work.
+	Visited int `json:"visited,omitempty"`
+	// Wall is the operation's wall time in nanoseconds.
+	Wall time.Duration `json:"wallNS,omitempty"`
+	// Detail carries free-form context ("edge 12->97", extent sizes, ...).
+	Detail string `json:"detail,omitempty"`
+}
+
+// Stream is a bounded, subscribable ring of lifecycle events. Publish never
+// blocks: the ring overwrites its oldest entry when full, and subscribers
+// with full channels drop events (counted per stream).
+type Stream struct {
+	mu      sync.Mutex
+	buf     []Event // ring, buf[(start+i)%cap] for i < size
+	start   int
+	size    int
+	nextSeq uint64
+	subs    map[int]chan Event
+	nextSub int
+	dropped uint64
+}
+
+// NewStream returns a stream retaining the last capacity events (minimum 1).
+func NewStream(capacity int) *Stream {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Stream{buf: make([]Event, capacity), subs: make(map[int]chan Event)}
+}
+
+// Publish assigns the event its sequence number (and timestamp, if unset),
+// appends it to the ring and fans it out to subscribers. It returns the
+// stamped event.
+func (s *Stream) Publish(e Event) Event {
+	s.mu.Lock()
+	s.nextSeq++
+	e.Seq = s.nextSeq
+	if e.Time.IsZero() {
+		e.Time = time.Now()
+	}
+	if s.size < len(s.buf) {
+		s.buf[(s.start+s.size)%len(s.buf)] = e
+		s.size++
+	} else {
+		s.buf[s.start] = e
+		s.start = (s.start + 1) % len(s.buf)
+	}
+	for _, ch := range s.subs {
+		select {
+		case ch <- e:
+		default:
+			s.dropped++
+		}
+	}
+	s.mu.Unlock()
+	return e
+}
+
+// Recent returns up to n retained events, oldest first (all retained events
+// when n <= 0 or exceeds the retention).
+func (s *Stream) Recent(n int) []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n <= 0 || n > s.size {
+		n = s.size
+	}
+	out := make([]Event, n)
+	for i := 0; i < n; i++ {
+		out[i] = s.buf[(s.start+s.size-n+i)%len(s.buf)]
+	}
+	return out
+}
+
+// Since returns up to max retained events with Seq > seq, oldest first
+// (max <= 0 for all). Events evicted from the ring are gone; callers detect
+// gaps by comparing the first returned Seq against seq+1.
+func (s *Stream) Since(seq uint64, max int) []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Event
+	for i := 0; i < s.size; i++ {
+		e := s.buf[(s.start+i)%len(s.buf)]
+		if e.Seq <= seq {
+			continue
+		}
+		out = append(out, e)
+		if max > 0 && len(out) == max {
+			break
+		}
+	}
+	return out
+}
+
+// Subscribe returns a channel receiving every subsequent event and a cancel
+// function. The channel has the given buffer (minimum 1); events that would
+// block are dropped, so slow consumers see gaps, never stalls.
+func (s *Stream) Subscribe(buffer int) (<-chan Event, func()) {
+	if buffer < 1 {
+		buffer = 1
+	}
+	ch := make(chan Event, buffer)
+	s.mu.Lock()
+	id := s.nextSub
+	s.nextSub++
+	s.subs[id] = ch
+	s.mu.Unlock()
+	cancel := func() {
+		s.mu.Lock()
+		if _, ok := s.subs[id]; ok {
+			delete(s.subs, id)
+			close(ch)
+		}
+		s.mu.Unlock()
+	}
+	return ch, cancel
+}
+
+// Len returns the number of retained events.
+func (s *Stream) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.size
+}
+
+// LastSeq returns the sequence number of the most recently published event.
+func (s *Stream) LastSeq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nextSeq
+}
+
+// Dropped returns how many events were dropped on full subscriber channels.
+func (s *Stream) Dropped() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}

@@ -1,0 +1,222 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metric names exposed by an Observer, collected here so servers, dashboards
+// and tests share one vocabulary.
+const (
+	MetricQueries            = "dk_queries_total"
+	MetricQueryErrors        = "dk_query_errors_total"
+	MetricQuerySeconds       = "dk_query_duration_seconds"
+	MetricQueryIndexVisited  = "dk_query_index_nodes_visited"
+	MetricQueryDataValidated = "dk_query_data_nodes_validated"
+	MetricQueryValidations   = "dk_query_validations"
+	MetricQueryResults       = "dk_query_results"
+	MetricLifecycleEvents    = "dk_lifecycle_events_total"
+	MetricIndexNodes         = "dk_index_nodes"
+	MetricIndexEdges         = "dk_index_edges"
+	MetricDataNodes          = "dk_data_nodes"
+	MetricDataEdges          = "dk_data_edges"
+	MetricIndexMaxK          = "dk_index_max_k"
+	MetricDanglingRefs       = "dk_load_dangling_refs_total"
+	MetricTracesSampled      = "dk_traces_sampled_total"
+	MetricHTTPRequests       = "dk_http_requests_total"
+)
+
+// CostSample carries the paper's per-query cost counters into histograms.
+type CostSample struct {
+	IndexNodesVisited  int
+	DataNodesValidated int
+	Validations        int
+}
+
+// queryMetrics is the per-kind bundle ObserveQuery updates; pre-registered so
+// the query hot path performs only atomic operations.
+type queryMetrics struct {
+	total     *Counter
+	errors    *Counter
+	seconds   *Histogram
+	visited   *Histogram
+	validated *Histogram
+	fanout    *Histogram
+	results   *Histogram
+}
+
+// Observer bundles the three observability surfaces — metrics registry,
+// lifecycle event stream and query tracer — behind nil-safe methods: a nil
+// *Observer accepts every call and does nothing, so instrumented code needs
+// no branches beyond the receiver check the calls themselves perform.
+type Observer struct {
+	Registry *Registry
+	Events   *Stream
+	Tracer   *Tracer
+
+	// queryKinds holds the per-kind metric bundles ("path", "rpe", "twig"
+	// pre-registered; others added copy-on-write), swapped atomically so
+	// ObserveQuery stays lock-free.
+	queryKinds atomic.Pointer[map[string]*queryMetrics]
+	mu         sync.Mutex
+	evCounters map[EventType]*Counter
+	gauges     struct {
+		indexNodes, indexEdges, dataNodes, dataEdges, maxK *Gauge
+	}
+	dangling *Counter
+	sampled  *Counter
+}
+
+// NewObserver builds an observer with a fresh registry, a 256-event stream
+// and a tracer sampling 1 query in 64 (keep 32). Replace Events or Tracer
+// before attaching to resize or retune; the struct is wired at construction,
+// so mutate fields only before first use.
+func NewObserver() *Observer {
+	return NewObserverWith(NewRegistry(), NewStream(256), NewTracer(64, 32))
+}
+
+// NewObserverWith builds an observer over the given parts (any may be shared
+// with other observers; events and tracer may be nil to disable them).
+func NewObserverWith(reg *Registry, events *Stream, tracer *Tracer) *Observer {
+	o := &Observer{
+		Registry:   reg,
+		Events:     events,
+		Tracer:     tracer,
+		evCounters: make(map[EventType]*Counter),
+	}
+	kinds := make(map[string]*queryMetrics, 3)
+	for _, kind := range []string{"path", "rpe", "twig"} {
+		kinds[kind] = newQueryMetrics(reg, kind)
+	}
+	o.queryKinds.Store(&kinds)
+	o.gauges.dataNodes = reg.Gauge(MetricDataNodes, "Data graph node count.")
+	o.gauges.dataEdges = reg.Gauge(MetricDataEdges, "Data graph edge count.")
+	o.gauges.indexNodes = reg.Gauge(MetricIndexNodes, "Index graph node count (the paper's index size).")
+	o.gauges.indexEdges = reg.Gauge(MetricIndexEdges, "Index graph edge count.")
+	o.gauges.maxK = reg.Gauge(MetricIndexMaxK, "Largest local similarity of any index node.")
+	o.dangling = reg.Counter(MetricDanglingRefs, "IDREF attributes that resolved to no element at load time.")
+	o.sampled = reg.Counter(MetricTracesSampled, "Query traces sampled.")
+	return o
+}
+
+// ObserveQuery records one evaluated query into the per-kind histograms.
+func (o *Observer) ObserveQuery(kind string, d time.Duration, c CostSample, results int) {
+	if o == nil {
+		return
+	}
+	m := o.kind(kind)
+	m.total.Inc()
+	m.seconds.Observe(d.Seconds())
+	m.visited.Observe(float64(c.IndexNodesVisited))
+	m.validated.Observe(float64(c.DataNodesValidated))
+	m.fanout.Observe(float64(c.Validations))
+	m.results.Observe(float64(results))
+}
+
+// ObserveQueryError counts a query rejected before evaluation.
+func (o *Observer) ObserveQueryError(kind string) {
+	if o == nil {
+		return
+	}
+	o.kind(kind).errors.Inc()
+}
+
+func newQueryMetrics(reg *Registry, kind string) *queryMetrics {
+	secondsBounds := ExpBuckets(1e-5, 2.5, 14) // 10µs .. ~1.5s
+	workBounds := ExpBuckets(1, 4, 10)         // 1 .. 262144
+	fanBounds := []float64{0, 1, 2, 4, 8, 16, 32, 64, 128}
+	l := L("kind", kind)
+	return &queryMetrics{
+		total:     reg.Counter(MetricQueries, "Queries evaluated, by query kind.", l),
+		errors:    reg.Counter(MetricQueryErrors, "Queries rejected at parse time, by query kind.", l),
+		seconds:   reg.Histogram(MetricQuerySeconds, "Query wall time in seconds.", secondsBounds, l),
+		visited:   reg.Histogram(MetricQueryIndexVisited, "Index nodes visited per query (the paper's traversal cost).", workBounds, l),
+		validated: reg.Histogram(MetricQueryDataValidated, "Data nodes inspected by validation per query (the paper's validation cost).", workBounds, l),
+		fanout:    reg.Histogram(MetricQueryValidations, "Matched index nodes requiring validation per query.", fanBounds, l),
+		results:   reg.Histogram(MetricQueryResults, "Result set size per query.", workBounds, l),
+	}
+}
+
+func (o *Observer) kind(kind string) *queryMetrics {
+	if m, ok := (*o.queryKinds.Load())[kind]; ok {
+		return m
+	}
+	// Unknown kinds register lazily, copy-on-write; never on the hot path.
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	cur := *o.queryKinds.Load()
+	if m, ok := cur[kind]; ok {
+		return m
+	}
+	next := make(map[string]*queryMetrics, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	m := newQueryMetrics(o.Registry, kind)
+	next[kind] = m
+	o.queryKinds.Store(&next)
+	return m
+}
+
+// SampleTrace begins a sampled trace (nil when not sampled) and counts it.
+func (o *Observer) SampleTrace(kind, query string) *Trace {
+	if o == nil {
+		return nil
+	}
+	t := o.Tracer.Sample(kind, query)
+	if t != nil {
+		o.sampled.Inc()
+	}
+	return t
+}
+
+// FinishTrace hands a trace back to the tracer; nil-safe on both.
+func (o *Observer) FinishTrace(t *Trace) {
+	if o == nil {
+		return
+	}
+	o.Tracer.Finish(t)
+}
+
+// RecordEvent publishes a lifecycle event and bumps its per-type counter.
+func (o *Observer) RecordEvent(e Event) {
+	if o == nil {
+		return
+	}
+	o.eventCounter(e.Type).Inc()
+	if o.Events != nil {
+		o.Events.Publish(e)
+	}
+}
+
+func (o *Observer) eventCounter(t EventType) *Counter {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	c, ok := o.evCounters[t]
+	if !ok {
+		c = o.Registry.Counter(MetricLifecycleEvents, "Index lifecycle events, by event type.", L("type", string(t)))
+		o.evCounters[t] = c
+	}
+	return c
+}
+
+// SetIndexSize refreshes the index size gauges; call after any mutation.
+func (o *Observer) SetIndexSize(dataNodes, dataEdges, indexNodes, indexEdges, maxK int) {
+	if o == nil {
+		return
+	}
+	o.gauges.dataNodes.Set(float64(dataNodes))
+	o.gauges.dataEdges.Set(float64(dataEdges))
+	o.gauges.indexNodes.Set(float64(indexNodes))
+	o.gauges.indexEdges.Set(float64(indexEdges))
+	o.gauges.maxK.Set(float64(maxK))
+}
+
+// AddDanglingRefs counts IDREFs that resolved to no element during a load.
+func (o *Observer) AddDanglingRefs(n int) {
+	if o == nil || n <= 0 {
+		return
+	}
+	o.dangling.Add(uint64(n))
+}

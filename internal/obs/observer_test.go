@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilObserver checks every Observer method is inert on a nil receiver.
+func TestNilObserver(t *testing.T) {
+	var o *Observer
+	o.ObserveQuery("path", time.Millisecond, CostSample{}, 1)
+	o.ObserveQueryError("rpe")
+	if o.SampleTrace("path", "q") != nil {
+		t.Fatal("nil observer sampled a trace")
+	}
+	o.FinishTrace(nil)
+	o.RecordEvent(Event{Type: EventPromote})
+	o.SetIndexSize(1, 2, 3, 4, 5)
+	o.AddDanglingRefs(3)
+}
+
+func TestObserverQueryMetrics(t *testing.T) {
+	o := NewObserver()
+	o.ObserveQuery("path", 2*time.Millisecond, CostSample{IndexNodesVisited: 10, DataNodesValidated: 4, Validations: 2}, 7)
+	o.ObserveQuery("path", time.Millisecond, CostSample{IndexNodesVisited: 3}, 0)
+	o.ObserveQueryError("rpe")
+	o.ObserveQuery("custom", time.Microsecond, CostSample{}, 1) // lazy kind
+
+	var sb strings.Builder
+	if err := o.Registry.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParsePrometheusText(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	totals := map[string]float64{}
+	for _, s := range fams[MetricQueries].Samples {
+		totals[s.Labels["kind"]] = s.Value
+	}
+	if totals["path"] != 2 || totals["custom"] != 1 {
+		t.Fatalf("totals = %v", totals)
+	}
+	var errPath, errRPE float64
+	for _, s := range fams[MetricQueryErrors].Samples {
+		switch s.Labels["kind"] {
+		case "path":
+			errPath = s.Value
+		case "rpe":
+			errRPE = s.Value
+		}
+	}
+	if errPath != 0 || errRPE != 1 {
+		t.Fatalf("errors path=%v rpe=%v", errPath, errRPE)
+	}
+	for _, fam := range []string{MetricQuerySeconds, MetricQueryIndexVisited, MetricQueryDataValidated, MetricQueryValidations, MetricQueryResults} {
+		if fams[fam] == nil || fams[fam].Type != "histogram" {
+			t.Errorf("family %s missing or not histogram", fam)
+		}
+	}
+}
+
+func TestObserverEventsAndGauges(t *testing.T) {
+	o := NewObserver()
+	o.RecordEvent(Event{Type: EventPromote, Label: "item"})
+	o.RecordEvent(Event{Type: EventPromote, Label: "name"})
+	o.RecordEvent(Event{Type: EventExtentSplit})
+	o.SetIndexSize(100, 200, 30, 40, 5)
+	o.AddDanglingRefs(2)
+
+	if got := o.Events.Len(); got != 3 {
+		t.Fatalf("stream len = %d, want 3", got)
+	}
+	var sb strings.Builder
+	if err := o.Registry.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParsePrometheusText(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byType := map[string]float64{}
+	for _, s := range fams[MetricLifecycleEvents].Samples {
+		byType[s.Labels["type"]] = s.Value
+	}
+	if byType["promote"] != 2 || byType["extent_split"] != 1 {
+		t.Fatalf("lifecycle counters = %v", byType)
+	}
+	for name, want := range map[string]float64{
+		MetricDataNodes: 100, MetricDataEdges: 200,
+		MetricIndexNodes: 30, MetricIndexEdges: 40, MetricIndexMaxK: 5,
+	} {
+		if f := fams[name]; f == nil || len(f.Samples) != 1 || f.Samples[0].Value != want {
+			t.Errorf("%s = %+v, want %v", name, f, want)
+		}
+	}
+	if f := fams[MetricDanglingRefs]; f == nil || f.Samples[0].Value != 2 {
+		t.Errorf("dangling = %+v, want 2", f)
+	}
+}
+
+// TestObserverConcurrent drives all observer surfaces concurrently; run with
+// -race. Exercises the copy-on-write lazy kind registration.
+func TestObserverConcurrent(t *testing.T) {
+	o := NewObserver()
+	kinds := []string{"path", "rpe", "twig", "k0", "k1", "k2"}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := kinds[(w+i)%len(kinds)]
+				o.ObserveQuery(k, time.Microsecond, CostSample{IndexNodesVisited: i}, i%5)
+				o.RecordEvent(Event{Type: EventEdgeAdd})
+				if tt := o.SampleTrace(k, "q"); tt != nil {
+					o.FinishTrace(tt)
+				}
+				if i%40 == 0 {
+					var sb strings.Builder
+					if err := o.Registry.WritePrometheus(&sb); err != nil {
+						t.Error(err)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total uint64
+	for _, k := range kinds {
+		total += o.kind(k).total.Value()
+	}
+	if total != 8*200 {
+		t.Fatalf("total queries = %d, want %d", total, 8*200)
+	}
+}

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one timed stage of a query trace ("match", "validate", "rpe_seed",
+// ...). Offset is measured from the trace start so concurrent stages render
+// unambiguously.
+type Span struct {
+	Name     string        `json:"name"`
+	Offset   time.Duration `json:"offsetNS"`
+	Duration time.Duration `json:"durationNS"`
+}
+
+// Trace is one sampled query execution. A nil *Trace is the uninstrumented
+// case: every method no-ops (and StageStart skips the clock read), so
+// evaluators can thread a trace unconditionally without perturbing the hot
+// path. Traces are single-goroutine: one query fills one trace.
+type Trace struct {
+	Kind  string        `json:"kind"` // "path", "rpe" or "twig"
+	Query string        `json:"query"`
+	Start time.Time     `json:"start"`
+	Total time.Duration `json:"totalNS"`
+	Spans []Span        `json:"spans,omitempty"`
+	// The paper's cost counters, copied from the evaluation verbatim —
+	// tracing observes the cost model, it never alters it.
+	IndexNodesVisited  int `json:"indexNodesVisited"`
+	DataNodesValidated int `json:"dataNodesValidated"`
+	Validations        int `json:"validations"`
+	Results            int `json:"results"`
+}
+
+// StageStart returns the stage start time, or the zero time without touching
+// the clock when the trace is nil.
+func (t *Trace) StageStart() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// EndStage records a completed stage begun at start (from StageStart). Nil
+// traces no-op.
+func (t *Trace) EndStage(name string, start time.Time) {
+	if t == nil {
+		return
+	}
+	now := time.Now()
+	t.Spans = append(t.Spans, Span{Name: name, Offset: start.Sub(t.Start), Duration: now.Sub(start)})
+}
+
+// RecordCost copies the paper's cost counters and the result count onto the
+// trace. Nil traces no-op. Tracing only observes the cost model — the values
+// recorded here are the evaluation's own counters, verbatim.
+func (t *Trace) RecordCost(indexVisited, dataValidated, validations, results int) {
+	if t == nil {
+		return
+	}
+	t.IndexNodesVisited = indexVisited
+	t.DataNodesValidated = dataValidated
+	t.Validations = validations
+	t.Results = results
+}
+
+// Tracer samples one query in every interval executions and retains the last
+// keep finished traces. A nil *Tracer never samples. All methods are safe for
+// concurrent use.
+type Tracer struct {
+	interval uint64
+	n        atomic.Uint64
+	sampled  atomic.Uint64
+	mu       sync.Mutex
+	recent   []*Trace // ring, oldest first after wrap
+	next     int
+	full     bool
+}
+
+// NewTracer samples one query in every interval (0 disables sampling) and
+// keeps the most recent keep traces (minimum 1).
+func NewTracer(interval, keep int) *Tracer {
+	if keep < 1 {
+		keep = 1
+	}
+	if interval < 0 {
+		interval = 0
+	}
+	return &Tracer{interval: uint64(interval), recent: make([]*Trace, keep)}
+}
+
+// Sample returns a fresh trace when this execution is sampled, nil otherwise.
+// The caller passes the trace (possibly nil) down the evaluation and hands it
+// back via Finish.
+func (tr *Tracer) Sample(kind, query string) *Trace {
+	if tr == nil || tr.interval == 0 {
+		return nil
+	}
+	if tr.n.Add(1)%tr.interval != 0 {
+		return nil
+	}
+	tr.sampled.Add(1)
+	return &Trace{Kind: kind, Query: query, Start: time.Now()}
+}
+
+// Finish stamps the total duration and retains the trace. Nil tracer or nil
+// trace no-op, so callers finish unconditionally.
+func (tr *Tracer) Finish(t *Trace) {
+	if tr == nil || t == nil {
+		return
+	}
+	t.Total = time.Since(t.Start)
+	tr.mu.Lock()
+	tr.recent[tr.next] = t
+	tr.next++
+	if tr.next == len(tr.recent) {
+		tr.next = 0
+		tr.full = true
+	}
+	tr.mu.Unlock()
+}
+
+// Sampled returns how many traces have been sampled since creation.
+func (tr *Tracer) Sampled() uint64 {
+	if tr == nil {
+		return 0
+	}
+	return tr.sampled.Load()
+}
+
+// Recent returns the retained traces, oldest first.
+func (tr *Tracer) Recent() []*Trace {
+	if tr == nil {
+		return nil
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	var out []*Trace
+	if tr.full {
+		out = append(out, tr.recent[tr.next:]...)
+	}
+	out = append(out, tr.recent[:tr.next]...)
+	return out
+}

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilTraceAndTracer checks that the whole tracing surface is inert on nil
+// receivers — the uninstrumented hot path relies on this.
+func TestNilTraceAndTracer(t *testing.T) {
+	var tr *Tracer
+	if got := tr.Sample("path", "q"); got != nil {
+		t.Fatalf("nil tracer sampled %+v", got)
+	}
+	tr.Finish(nil)
+	if tr.Sampled() != 0 || tr.Recent() != nil {
+		t.Fatal("nil tracer not inert")
+	}
+
+	var trace *Trace
+	if start := trace.StageStart(); !start.IsZero() {
+		t.Fatal("nil trace read the clock")
+	}
+	trace.EndStage("match", time.Time{}) // must not panic
+}
+
+func TestTracerSamplingInterval(t *testing.T) {
+	tr := NewTracer(4, 8)
+	var sampled int
+	for i := 0; i < 40; i++ {
+		if tt := tr.Sample("rpe", "a//b"); tt != nil {
+			sampled++
+			tt.IndexNodesVisited = i
+			tr.Finish(tt)
+		}
+	}
+	if sampled != 10 {
+		t.Fatalf("sampled = %d, want 10", sampled)
+	}
+	if tr.Sampled() != 10 {
+		t.Fatalf("Sampled() = %d, want 10", tr.Sampled())
+	}
+	recent := tr.Recent()
+	if len(recent) != 8 {
+		t.Fatalf("recent = %d traces, want 8", len(recent))
+	}
+	// Oldest-first: the 3rd..10th sampled iterations (i = 11, 15, ..., 39).
+	if recent[0].IndexNodesVisited != 11 || recent[7].IndexNodesVisited != 39 {
+		t.Fatalf("recent order wrong: first=%d last=%d", recent[0].IndexNodesVisited, recent[7].IndexNodesVisited)
+	}
+	if recent[7].Total <= 0 {
+		t.Fatal("Finish did not stamp Total")
+	}
+}
+
+func TestTracerDisabled(t *testing.T) {
+	tr := NewTracer(0, 4)
+	for i := 0; i < 10; i++ {
+		if tr.Sample("twig", "q") != nil {
+			t.Fatal("disabled tracer sampled")
+		}
+	}
+}
+
+func TestTraceSpans(t *testing.T) {
+	tr := NewTracer(1, 4)
+	tt := tr.Sample("path", "a/b")
+	if tt == nil {
+		t.Fatal("interval-1 tracer did not sample")
+	}
+	s1 := tt.StageStart()
+	tt.EndStage("match", s1)
+	s2 := tt.StageStart()
+	tt.EndStage("validate", s2)
+	tr.Finish(tt)
+	if len(tt.Spans) != 2 || tt.Spans[0].Name != "match" || tt.Spans[1].Name != "validate" {
+		t.Fatalf("spans = %+v", tt.Spans)
+	}
+	if tt.Spans[1].Offset < tt.Spans[0].Offset {
+		t.Fatal("span offsets not monotone")
+	}
+}
+
+// TestTracerConcurrent samples and finishes from many goroutines; run with
+// -race.
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(2, 16)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if tt := tr.Sample("path", "q"); tt != nil {
+					s := tt.StageStart()
+					tt.EndStage("match", s)
+					tr.Finish(tt)
+				}
+				tr.Recent()
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Sampled() != 8*200/2 {
+		t.Fatalf("Sampled = %d, want %d", tr.Sampled(), 8*200/2)
+	}
+}

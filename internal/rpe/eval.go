@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"dkindex/internal/graph"
+	"dkindex/internal/obs"
 )
 
 // Source is the graph view expression evaluation needs. Both the data graph
@@ -81,10 +82,19 @@ func reverseExpr(e Expr) Expr {
 // so the FIFO fixpoint performs the identical sequence of expansions and the
 // visited charges are unchanged.
 func (c *Compiled) Eval(g Source, visited func(graph.NodeID)) []graph.NodeID {
+	return c.EvalTraced(g, visited, nil)
+}
+
+// EvalTraced is Eval with per-stage tracing: posting-list seeding records an
+// "rpe_seed" span and the worklist fixpoint (plus accept collection) an
+// "rpe_fixpoint" span. A nil trace makes both free — StageStart skips the
+// clock read — and the visited charges are identical either way.
+func (c *Compiled) EvalTraced(g Source, visited func(graph.NodeID), tr *obs.Trace) []graph.NodeID {
 	n := g.NumNodes()
 	states := make([][]bool, n)
 	start := c.fwd.startSet()
 
+	st := tr.StageStart()
 	queue := make([]graph.NodeID, 0, 64)
 	inQueue := make([]bool, n)
 	push := func(id graph.NodeID) {
@@ -123,6 +133,8 @@ func (c *Compiled) Eval(g Source, visited func(graph.NodeID)) []graph.NodeID {
 			}
 		}
 	}
+	tr.EndStage("rpe_seed", st)
+	st = tr.StageStart()
 	for len(queue) > 0 {
 		cur := queue[0]
 		queue = queue[1:]
@@ -148,6 +160,7 @@ func (c *Compiled) Eval(g Source, visited func(graph.NodeID)) []graph.NodeID {
 		}
 	}
 	slices.Sort(out)
+	tr.EndStage("rpe_fixpoint", st)
 	return out
 }
 

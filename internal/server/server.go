@@ -11,10 +11,15 @@
 //	POST /demote   {"reqs":{"x":1}}     demoting process
 //	POST /optimize {"budget":1000}      re-tune from the observed load
 //	GET  /healthz                       liveness
+//	GET  /metrics                       Prometheus text exposition
+//	GET  /events?n=100&since=0          index lifecycle event stream
+//	GET  /traces                        recent sampled query traces
 //
 // Queries run concurrently under a read lock; updates serialize under the
 // write lock. Every query is recorded so /optimize can re-tune the index to
-// the live load.
+// the live load. The server adopts the index's observer (attaching a fresh
+// one when the index is unobserved), so /metrics and /events work out of the
+// box; EnablePprof optionally mounts net/http/pprof under /debug/pprof/.
 package server
 
 import (
@@ -27,6 +32,7 @@ import (
 	"sync"
 
 	"dkindex"
+	"dkindex/internal/obs"
 )
 
 // Server wraps an index with a lock and the HTTP handlers.
@@ -34,12 +40,20 @@ type Server struct {
 	mu  sync.RWMutex
 	idx *dkindex.Index
 	mux *http.ServeMux
+	obs *obs.Observer
 }
 
-// New wraps idx; the server starts watching the query load immediately.
+// New wraps idx; the server starts watching the query load immediately. The
+// index's observer, when attached, backs /metrics and /events; an unobserved
+// index gets a fresh observer so the endpoints always serve.
 func New(idx *dkindex.Index) *Server {
 	idx.WatchLoad()
-	s := &Server{idx: idx, mux: http.NewServeMux()}
+	o := idx.Observer()
+	if o == nil {
+		o = obs.NewObserver()
+		idx.Observe(o)
+	}
+	s := &Server{idx: idx, mux: http.NewServeMux(), obs: o}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /query", s.handleQuery)
@@ -50,11 +64,17 @@ func New(idx *dkindex.Index) *Server {
 	s.mux.HandleFunc("POST /promote", s.handlePromote)
 	s.mux.HandleFunc("POST /demote", s.handleDemote)
 	s.mux.HandleFunc("POST /optimize", s.handleOptimize)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /events", s.handleEvents)
+	s.mux.HandleFunc("GET /traces", s.handleTraces)
 	return s
 }
 
 // ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.countRequest(r)
+	s.mux.ServeHTTP(w, r)
+}
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})

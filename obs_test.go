@@ -1,0 +1,233 @@
+package dkindex
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dkindex/internal/obs"
+)
+
+func eventTypes(events []obs.Event) map[obs.EventType]int {
+	out := make(map[obs.EventType]int)
+	for _, e := range events {
+		out[e.Type]++
+	}
+	return out
+}
+
+// TestObserveLifecycleEvents runs every adaptation operation on an observed
+// index and checks the typed events each must emit.
+func TestObserveLifecycleEvents(t *testing.T) {
+	idx := open(t)
+	o := obs.NewObserver()
+	idx.Observe(o)
+
+	if err := idx.PromoteLabel("title", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.RemoveEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	idx.Demote(map[string]int{"title": 0})
+	idx.SetRequirements(map[string]int{"title": 1})
+	if _, err := idx.AddDocument(strings.NewReader("<movieDB><movie><title/></movie></movieDB>"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := idx.Compact(); err != nil {
+		t.Fatal(err)
+	}
+
+	counts := eventTypes(o.Events.Recent(0))
+	for _, want := range []obs.EventType{
+		obs.EventPromote, obs.EventEdgeAdd, obs.EventEdgeRemove,
+		obs.EventDemote, obs.EventRetune, obs.EventSubgraphAdd, obs.EventCompact,
+	} {
+		if counts[want] == 0 {
+			t.Errorf("no %s event emitted (got %v)", want, counts)
+		}
+	}
+	// Promoting "title" to 2 on the label-split index must split extents
+	// (title nodes have structurally different ancestries in moviesXML).
+	if counts[obs.EventExtentSplit] == 0 {
+		t.Errorf("promotion emitted no extent_split events (got %v)", counts)
+	}
+
+	var promote obs.Event
+	for _, e := range o.Events.Recent(0) {
+		if e.Type == obs.EventPromote {
+			promote = e
+			break
+		}
+	}
+	if promote.Label != "title" || promote.K != 2 {
+		t.Errorf("promote event = %+v, want label=title k=2", promote)
+	}
+	if promote.NodesAfter <= promote.NodesBefore {
+		t.Errorf("promote did not grow the index: %d -> %d", promote.NodesBefore, promote.NodesAfter)
+	}
+	if promote.Created == 0 || promote.Visited == 0 {
+		t.Errorf("promote event missing work counters: %+v", promote)
+	}
+}
+
+// TestObserveAutoPromoteEvent drives the auto-promoting index past its
+// threshold and expects the auto_promote lifecycle event.
+func TestObserveAutoPromoteEvent(t *testing.T) {
+	idx := open(t)
+	o := obs.NewObserver()
+	idx.Observe(o)
+	idx.SetAutoPromote(1)
+
+	// The label-split index validates this query, firing promotion at once.
+	if _, stats, err := idx.Query("director.movie.title"); err != nil {
+		t.Fatal(err)
+	} else if stats.Validations == 0 {
+		t.Fatal("expected a validating query to trigger auto-promotion")
+	}
+	counts := eventTypes(o.Events.Recent(0))
+	if counts[obs.EventAutoPromote] != 1 {
+		t.Fatalf("auto_promote events = %d, want 1 (%v)", counts[obs.EventAutoPromote], counts)
+	}
+	// Repeating the query now answers soundly from the summary.
+	if _, stats, err := idx.Query("director.movie.title"); err != nil {
+		t.Fatal(err)
+	} else if stats.Validations != 0 {
+		t.Error("query still validates after auto-promotion")
+	}
+}
+
+// TestObserveReloadEvent round-trips the index through Save/Reload and
+// expects a codec_reload event plus working instrumentation afterwards.
+func TestObserveReloadEvent(t *testing.T) {
+	idx := open(t)
+	var buf bytes.Buffer
+	if err := idx.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	o := obs.NewObserver()
+	idx.Observe(o)
+	if err := idx.Reload(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if counts := eventTypes(o.Events.Recent(0)); counts[obs.EventCodecReload] != 1 {
+		t.Fatalf("codec_reload events = %d, want 1", counts[obs.EventCodecReload])
+	}
+	// The reloaded graphs must be observed too: a promotion still emits.
+	if err := idx.PromoteLabel("title", 1); err != nil {
+		t.Fatal(err)
+	}
+	if counts := eventTypes(o.Events.Recent(0)); counts[obs.EventPromote] != 1 {
+		t.Fatal("promotion after reload not observed")
+	}
+}
+
+// TestObservedCostBitIdentical runs the same queries on an observed index
+// (trace sampling every query) and an unobserved twin, and requires identical
+// results and bit-identical cost counters.
+func TestObservedCostBitIdentical(t *testing.T) {
+	plain := open(t)
+	observed := open(t)
+	o := obs.NewObserverWith(obs.NewRegistry(), obs.NewStream(16), obs.NewTracer(1, 8))
+	observed.Observe(o)
+
+	type result struct {
+		res   []NodeID
+		stats QueryStats
+	}
+	runAll := func(x *Index) []result {
+		var out []result
+		for _, q := range []string{"director.movie.title", "name", "movieDB.movie"} {
+			res, stats, err := x.Query(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, result{res, stats})
+		}
+		res, stats, err := x.QueryRPE("movieDB//name")
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, result{res, stats})
+		res, stats, err = x.QueryTwig("movie[actor.name].title")
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, result{res, stats})
+		return out
+	}
+	got, want := runAll(observed), runAll(plain)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("observed runs = %+v\nwant (unobserved) %+v", got, want)
+	}
+	if o.Tracer.Sampled() != 5 {
+		t.Errorf("traces sampled = %d, want 5", o.Tracer.Sampled())
+	}
+	for _, tr := range o.Tracer.Recent() {
+		if len(tr.Spans) == 0 {
+			t.Errorf("trace %s %q has no spans", tr.Kind, tr.Query)
+		}
+	}
+}
+
+// TestObserveMetricsExposition checks the metrics the facade feeds: query
+// counters by kind, size gauges matching Stats, and dangling-ref counts from
+// document loads.
+func TestObserveMetricsExposition(t *testing.T) {
+	idx := open(t)
+	o := obs.NewObserver()
+	idx.Observe(o)
+
+	if _, _, err := idx.Query("director.movie.title"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := idx.Query(""); err == nil {
+		t.Fatal("empty query accepted")
+	}
+	// One dangling IDREF in the grafted document.
+	if _, err := idx.AddDocument(strings.NewReader(`<movieDB><actor movieref="nosuch"><name/></actor></movieDB>`), nil); err != nil {
+		t.Fatal(err)
+	}
+
+	var sb strings.Builder
+	if err := o.Registry.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := obs.ParsePrometheusText(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("metrics output unparsable: %v", err)
+	}
+	find := func(name, labelKey, labelVal string) float64 {
+		f := fams[name]
+		if f == nil {
+			t.Fatalf("family %s missing", name)
+		}
+		for _, s := range f.Samples {
+			if labelKey == "" || s.Labels[labelKey] == labelVal {
+				return s.Value
+			}
+		}
+		t.Fatalf("%s{%s=%q} missing", name, labelKey, labelVal)
+		return 0
+	}
+	if v := find(obs.MetricQueries, "kind", "path"); v != 1 {
+		t.Errorf("path queries = %v, want 1", v)
+	}
+	if v := find(obs.MetricQueryErrors, "kind", "path"); v != 1 {
+		t.Errorf("path query errors = %v, want 1", v)
+	}
+	if v := find(obs.MetricDanglingRefs, "", ""); v != 1 {
+		t.Errorf("dangling refs = %v, want 1", v)
+	}
+	s := idx.Stats()
+	if v := find(obs.MetricIndexNodes, "", ""); int(v) != s.IndexNodes {
+		t.Errorf("index nodes gauge = %v, Stats says %d", v, s.IndexNodes)
+	}
+	if v := find(obs.MetricDataNodes, "", ""); int(v) != s.DataNodes {
+		t.Errorf("data nodes gauge = %v, Stats says %d", v, s.DataNodes)
+	}
+}

@@ -1,0 +1,98 @@
+package dkindex
+
+import (
+	"time"
+
+	"dkindex/internal/eval"
+	"dkindex/internal/graph"
+	"dkindex/internal/obs"
+)
+
+// Observe attaches an observer to the index: queries feed the observer's
+// metrics and trace sampler, and every adaptation — promotion, demotion,
+// auto-promotion, edge and subgraph updates, retunes, codec reloads, and each
+// extent split they cause — is published to its lifecycle event stream.
+// Attach before sharing the index; a nil observer detaches. Unobserved
+// indexes pay only nil receiver checks on every instrumented path, and the
+// cost counters reported by queries are bit-identical with or without an
+// observer (tracing measures the cost model, it never participates in it).
+func (x *Index) Observe(o *obs.Observer) {
+	x.observer = o
+	if o == nil {
+		x.dk.IG.SetOnSplit(nil)
+		return
+	}
+	x.rewire()
+}
+
+// Observer returns the attached observer, or nil.
+func (x *Index) Observer() *obs.Observer { return x.observer }
+
+// rewire re-attaches the extent-split hook after any operation that replaced
+// the underlying index graph (rebuilds install fresh graphs without the
+// hook — which also keeps construction-time splits out of the event stream)
+// and refreshes the size gauges.
+func (x *Index) rewire() {
+	if x.observer == nil {
+		return
+	}
+	ig := x.dk.IG
+	ig.SetOnSplit(func(orig, created graph.NodeID) {
+		x.observer.RecordEvent(obs.Event{
+			Type:        obs.EventExtentSplit,
+			Label:       x.Graph().Labels().Name(ig.Label(orig)),
+			K:           ig.K(created),
+			NodesBefore: ig.NumNodes() - 1,
+			NodesAfter:  ig.NumNodes(),
+			Created:     1,
+		})
+	})
+	x.syncGauges()
+}
+
+// preOp captures the index node count and wall clock before a mutation, at
+// zero cost when unobserved.
+func (x *Index) preOp() (nodesBefore int, start time.Time) {
+	if x.observer == nil {
+		return 0, time.Time{}
+	}
+	return x.dk.IG.NumNodes(), time.Now()
+}
+
+// opWall converts a preOp start into the operation's wall time.
+func opWall(start time.Time) time.Duration {
+	if start.IsZero() {
+		return 0
+	}
+	return time.Since(start)
+}
+
+// emit stamps the post-operation node count onto a lifecycle event, publishes
+// it and refreshes the size gauges. No-op when unobserved.
+func (x *Index) emit(e obs.Event) {
+	if x.observer == nil {
+		return
+	}
+	e.NodesAfter = x.dk.IG.NumNodes()
+	x.observer.RecordEvent(e)
+	x.syncGauges()
+}
+
+// syncGauges pushes the current index size statistics into the observer's
+// gauges.
+func (x *Index) syncGauges() {
+	if x.observer == nil {
+		return
+	}
+	s := x.Stats()
+	x.observer.SetIndexSize(s.DataNodes, s.DataEdges, s.IndexNodes, s.IndexEdges, s.MaxK)
+}
+
+// costSample converts evaluation cost counters for the observer's histograms.
+func costSample(c eval.Cost) obs.CostSample {
+	return obs.CostSample{
+		IndexNodesVisited:  c.IndexNodesVisited,
+		DataNodesValidated: c.DataNodesValidated,
+		Validations:        c.Validations,
+	}
+}

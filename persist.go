@@ -5,6 +5,9 @@ import (
 	"os"
 
 	"dkindex/internal/codec"
+	"dkindex/internal/graph"
+	"dkindex/internal/obs"
+	"dkindex/internal/workload"
 )
 
 // Save writes the index — data graph, extents, similarities and tuned
@@ -44,4 +47,40 @@ func OpenFile(path string) (*Index, error) {
 	}
 	defer f.Close()
 	return Open(f)
+}
+
+// Reload replaces the live index with one persisted via Save, keeping the
+// attached observer: instrumentation is re-wired onto the fresh graphs and a
+// codec_reload lifecycle event is emitted. The load recorder, tuned-workload
+// association and auto-promote heat are reset — they refer to the replaced
+// graph's label table. On a decode error the index is left untouched.
+//
+// Reload needs the same external synchronization as any other mutation.
+func (x *Index) Reload(r io.Reader) error {
+	before, start := x.preOp()
+	dk, err := codec.LoadDK(r)
+	if err != nil {
+		return err
+	}
+	x.dk = dk
+	x.queries = nil
+	if x.recorder != nil {
+		x.recorder = workload.NewRecorder(x.Graph().Labels())
+	}
+	if x.validationHeat != nil {
+		x.validationHeat = make(map[graph.LabelID]heat)
+	}
+	x.rewire()
+	x.emit(obs.Event{Type: obs.EventCodecReload, NodesBefore: before, Wall: opWall(start)})
+	return nil
+}
+
+// ReloadFile is Reload from a file path.
+func (x *Index) ReloadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return x.Reload(f)
 }
