@@ -7,13 +7,14 @@ DK_BENCH_SCALE ?= 1.0
 BENCHTIME ?= 2s
 BENCHCOUNT ?= 1
 
-.PHONY: all build test race vet fmt-check bench bench2 ci clean
+.PHONY: all build test race vet fmt-check bench bench2 bench3 stress ci clean
 
 all: build test
 
-# ci chains every hygiene gate: compile, vet, formatting, and the race-enabled
-# test suite.
-ci: build vet fmt-check race
+# ci chains every hygiene gate: compile, vet, formatting, the race-enabled
+# test suite, and the snapshot stress test (readers racing a writer) under
+# the race detector.
+ci: build vet fmt-check race stress
 
 build:
 	$(GO) build ./...
@@ -23,6 +24,11 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# stress runs the snapshot-isolation stress test alone under -race with a
+# higher count, the configuration most likely to surface a torn publish.
+stress:
+	$(GO) test -race -count 2 -run TestSnapshotStressConcurrent .
 
 vet:
 	$(GO) vet ./...
@@ -49,5 +55,15 @@ bench2:
 		| tee BENCH_2.txt
 	$(GO) run ./cmd/dkbench -benchjson < BENCH_2.txt > BENCH_2.json
 
+# bench3 records the snapshot-serving pair: the lock-free Run hot path driven
+# serially and from all CPUs (BENCH_3.txt/BENCH_3.json). On multicore hardware
+# the parallel row's ns/op should be a per-core fraction of the serial row's.
+bench3:
+	DK_BENCH_SCALE=$(DK_BENCH_SCALE) $(GO) test -run '^$$' \
+		-bench 'BenchmarkSnapshotQuery(Serial|Parallel)$$' \
+		-benchmem -benchtime $(BENCHTIME) -count $(BENCHCOUNT) . \
+		| tee BENCH_3.txt
+	$(GO) run ./cmd/dkbench -benchjson < BENCH_3.txt > BENCH_3.json
+
 clean:
-	rm -f BENCH_1.txt BENCH_1.json BENCH_2.txt BENCH_2.json
+	rm -f BENCH_1.txt BENCH_1.json BENCH_2.txt BENCH_2.json BENCH_3.txt BENCH_3.json

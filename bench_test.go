@@ -14,6 +14,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -619,6 +620,79 @@ func BenchmarkQueryThroughputInstrumented(b *testing.B) {
 			i++
 		}
 	})
+}
+
+// benchSnapshotFacade builds the served-index facade over the tuned XMark
+// D(k)-index plus the mixed request set the snapshot benchmarks share, and
+// warms the result cache so the measured regime is the steady state dkserve
+// reaches under repeated traffic.
+func benchSnapshotFacade(b *testing.B) (*Index, []Request) {
+	b.Helper()
+	ds := benchXMark(b)
+	idx := newIndex(core.Build(ds.G, ds.W.Requirements()))
+	labels := ds.G.Labels()
+	reqs := make([]Request, 0, len(ds.W.Queries)+4)
+	for _, q := range ds.W.Queries {
+		reqs = append(reqs, Request{Kind: KindPath, Text: q.Format(labels)})
+	}
+	reqs = append(reqs,
+		Request{Kind: KindRPE, Text: "open_auction.itemref//name"},
+		Request{Kind: KindRPE, Text: "person.name|item.name"},
+		Request{Kind: KindTwig, Text: "item[mailbox].name"},
+		Request{Kind: KindTwig, Text: "person[name].emailaddress"},
+	)
+	for _, r := range reqs {
+		if _, err := idx.Run(r); err != nil {
+			b.Fatalf("%s %q: %v", r.Kind, r.Text, err)
+		}
+	}
+	return idx, reqs
+}
+
+// BenchmarkSnapshotQuerySerial drives the facade's Run hot path — snapshot
+// resolution, generation-keyed result cache, stat copy-out — one request at
+// a time. The pair with BenchmarkSnapshotQueryParallel is the PR 3 headline:
+// queries take no lock, so the parallel variant should approach a per-core
+// multiple of this one on multicore hardware (`make bench3` records both in
+// BENCH_3.txt/BENCH_3.json; on a single-core container the two converge).
+func BenchmarkSnapshotQuerySerial(b *testing.B) {
+	idx, reqs := benchSnapshotFacade(b)
+	b.ResetTimer()
+	hits := 0
+	for i := 0; i < b.N; i++ {
+		res, err := idx.Run(reqs[i%len(reqs)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.CacheHit {
+			hits++
+		}
+	}
+	b.ReportMetric(float64(hits)/float64(b.N), "cache_hit_rate")
+}
+
+// BenchmarkSnapshotQueryParallel is the same mixed load from all CPUs at
+// once, the way dkserve's handlers call Run under concurrent traffic.
+func BenchmarkSnapshotQueryParallel(b *testing.B) {
+	idx, reqs := benchSnapshotFacade(b)
+	b.ResetTimer()
+	var hits atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		i, h := 0, int64(0)
+		for pb.Next() {
+			res, err := idx.Run(reqs[i%len(reqs)])
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			if res.CacheHit {
+				h++
+			}
+			i++
+		}
+		hits.Add(h)
+	})
+	b.ReportMetric(float64(hits.Load())/float64(b.N), "cache_hit_rate")
 }
 
 // BenchmarkXMLLoad measures the XML-to-graph pipeline on the XMark document.

@@ -5,13 +5,18 @@
 // Usage:
 //
 //	dkserve -in doc.xml -req title=2 -addr :8080
-//	dkserve -index doc.dkx -addr :8080 -pprof -trace-sample 16
+//	dkserve -index doc.dkx -addr :8080 -pprof -trace-sample 16 -cache 8192
 //
-//	curl 'localhost:8080/query?path=director.movie.title'
-//	curl 'localhost:8080/query?twig=movie[actor].title'
-//	curl -X POST localhost:8080/promote -d '{"label":"title","k":3}'
-//	curl 'localhost:8080/metrics'
-//	curl 'localhost:8080/events?n=20'
+//	curl 'localhost:8080/v1/query?q=director.movie.title'
+//	curl 'localhost:8080/v1/query?kind=twig&q=movie[actor].title'
+//	curl -X POST localhost:8080/v1/query -d '{"queries":[{"q":"director.movie.title"}]}'
+//	curl -X POST localhost:8080/v1/promote -d '{"label":"title","k":3}'
+//	curl 'localhost:8080/v1/metrics'
+//	curl 'localhost:8080/v1/events?n=20'
+//
+// Every route is mounted both under /v1 and at the root (the pre-/v1 paths,
+// kept as aliases); /query at the root additionally accepts the legacy
+// path=/rpe=/twig= parameter forms.
 //
 // The process logs one structured line per request, serves Prometheus
 // metrics on /metrics and the index lifecycle event stream on /events, and
@@ -83,6 +88,7 @@ func setup(args []string, stdout, stderr io.Writer) (*config, int) {
 		seed        = fs.Int64("seed", 1, "seed for -tune")
 		pprofOn     = fs.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 		traceSample = fs.Int("trace-sample", 64, "sample 1 query in N for tracing (0 disables)")
+		cacheSize   = fs.Int("cache", dkindex.DefaultResultCacheSize, "result cache capacity in entries (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, 2
@@ -113,6 +119,9 @@ func setup(args []string, stdout, stderr io.Writer) (*config, int) {
 		return nil, 1
 	}
 	idx.Observe(observer)
+	if *cacheSize != dkindex.DefaultResultCacheSize {
+		idx.SetResultCache(*cacheSize)
+	}
 	if rep != nil && len(rep.DanglingRefs) > 0 {
 		observer.AddDanglingRefs(len(rep.DanglingRefs))
 		logger.Warn("document has dangling IDREF references",

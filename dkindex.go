@@ -19,24 +19,39 @@
 //	idx, err := dkindex.LoadXML(file, nil)
 //	if err != nil { ... }
 //	idx.Tune(100, 42)                         // mine a query load, or idx.SetRequirements
-//	res, stats, err := idx.Query("director.movie.title")
+//	res, err := idx.Run(dkindex.Request{Text: "director.movie.title"})
+//
+// # Concurrency
+//
+// The index serves reads from immutable snapshots: Run (and the deprecated
+// Query wrappers) resolve the current snapshot with one atomic load and
+// never take a lock, so any number of queries may run concurrently with each
+// other and with mutations. Mutations (AddEdge, AddDocument, PromoteLabel,
+// Optimize, Reload, ...) serialize on an internal writer mutex, build the
+// successor state on private copies and publish it atomically, bumping the
+// snapshot generation; in-flight queries keep reading the snapshot they
+// resolved. Repeated queries are answered from a generation-keyed result
+// cache that a mutation invalidates wholesale by virtue of the bump.
 //
 // The package is a facade over the internal packages; power users can reach
-// the underlying graph and index through Graph and IG.
+// the underlying graph and index through Graph and IG (both return the
+// current snapshot's objects — hold one handle across calls for a consistent
+// view).
 package dkindex
 
 import (
 	"fmt"
 	"io"
 	"strings"
-	"time"
+	"sync"
+	"sync/atomic"
 
 	"dkindex/internal/core"
 	"dkindex/internal/eval"
 	"dkindex/internal/graph"
 	"dkindex/internal/index"
 	"dkindex/internal/obs"
-	"dkindex/internal/rpe"
+	"dkindex/internal/qcache"
 	"dkindex/internal/workload"
 	"dkindex/internal/xmlgraph"
 )
@@ -47,24 +62,46 @@ type NodeID = graph.NodeID
 // LoadOptions re-exports the XML loader configuration.
 type LoadOptions = xmlgraph.Options
 
-// Index is a D(k)-index over one data graph. It is not safe for concurrent
-// mutation; concurrent queries are safe between mutations, except that after
-// WatchLoad the Query method also records into the load recorder and needs
-// external synchronization (internal/server wraps an Index with the
-// appropriate locking).
+// Index is a D(k)-index over one data graph, served through atomic
+// snapshots: reads are lock-free, mutations build-and-swap under a writer
+// mutex (see the package comment for the concurrency contract). The one
+// exception to "attach anything any time" is Observe, which must be called
+// before the index is shared.
 type Index struct {
-	dk      *core.DK
-	queries *workload.Workload // most recent tuned load, if any
-	// recorder observes executed path queries so Optimize can re-tune the
-	// index from its real load (the paper's query-pattern-mining direction).
-	recorder *workload.Recorder
+	// handle is the published snapshot; the only coordination point
+	// between readers and writers.
+	handle atomic.Pointer[snapshot]
+	// mu serializes mutations. Readers never take it.
+	mu sync.Mutex
+
+	// queries is the load the index was last tuned with, if any.
+	queries atomic.Pointer[workload.Workload]
+	// recorder, once WatchLoad installs it, observes executed path queries
+	// so Optimize can re-tune the index from its real load (the paper's
+	// query-pattern-mining direction). Lock-free; nil when not watching.
+	recorder atomic.Pointer[workload.Recorder]
+	// cache holds recent query results, keyed by snapshot generation so
+	// every mutation invalidates it wholesale. Nil when disabled.
+	cache atomic.Pointer[qcache.Cache]
+
 	// autoPromote, when positive, promotes a label once queries ending at
-	// it have validated that many times (see SetAutoPromote).
-	autoPromote    int
-	validationHeat map[graph.LabelID]heat
+	// it have validated that many times (see SetAutoPromote); heat holds
+	// the per-label pressure counters (LabelID -> *heatEntry).
+	autoPromote atomic.Int32
+	heat        atomic.Pointer[sync.Map]
+
 	// observer, when attached via Observe, receives query metrics, sampled
 	// traces and index lifecycle events. Nil costs only receiver checks.
 	observer *obs.Observer
+}
+
+// newIndex wraps a built D(k)-index into a facade with generation 0 and the
+// default result cache.
+func newIndex(dk *core.DK) *Index {
+	x := &Index{}
+	x.handle.Store(&snapshot{dk: dk})
+	x.cache.Store(qcache.New(DefaultResultCacheSize))
+	return x
 }
 
 // LoadReport re-exports the XML loader's diagnostics: node and reference-edge
@@ -99,17 +136,22 @@ func LoadXMLString(doc string, opts *LoadOptions) (*Index, error) {
 // per-label-name requirements (nil for none).
 func FromGraph(g *graph.Graph, reqsByName map[string]int) *Index {
 	reqs := core.ReqsFromNames(g.Labels(), reqsByName)
-	return &Index{dk: core.Build(g, reqs)}
+	return newIndex(core.Build(g, reqs))
 }
 
-// Graph exposes the underlying data graph.
-func (x *Index) Graph() *graph.Graph { return x.dk.IG.Data() }
+// Graph exposes the current snapshot's data graph.
+func (x *Index) Graph() *graph.Graph { return x.handle.Load().dk.IG.Data() }
 
-// IG exposes the underlying index graph for advanced use.
-func (x *Index) IG() *index.IndexGraph { return x.dk.IG }
+// IG exposes the current snapshot's index graph for advanced use.
+func (x *Index) IG() *index.IndexGraph { return x.handle.Load().dk.IG }
 
-// DK exposes the underlying D(k)-index handle for advanced use.
-func (x *Index) DK() *core.DK { return x.dk }
+// DK exposes the current snapshot's D(k)-index handle for advanced use.
+func (x *Index) DK() *core.DK { return x.handle.Load().dk }
+
+// publish installs dk as the next snapshot. Callers hold mu.
+func (x *Index) publish(dk *core.DK) {
+	x.handle.Store(&snapshot{dk: dk, gen: x.handle.Load().gen + 1})
+}
 
 // Stats summarizes the index.
 type Stats struct {
@@ -119,23 +161,31 @@ type Stats struct {
 	IndexEdges int
 	// MaxK is the largest local similarity of any index node.
 	MaxK int
+	// Generation counts published snapshots: how many mutations the index
+	// has absorbed since construction.
+	Generation uint64
+	// CachedResults is the result cache's occupancy for this generation.
+	CachedResults int
 }
 
-// Stats returns current index statistics.
+// Stats returns current index statistics, all from one snapshot.
 func (x *Index) Stats() Stats {
-	ig := x.dk.IG
-	s := Stats{
-		DataNodes:  ig.Data().NumNodes(),
-		DataEdges:  ig.Data().NumEdges(),
-		IndexNodes: ig.NumNodes(),
-		IndexEdges: ig.NumEdges(),
+	s := x.handle.Load()
+	ig := s.dk.IG
+	out := Stats{
+		DataNodes:     ig.Data().NumNodes(),
+		DataEdges:     ig.Data().NumEdges(),
+		IndexNodes:    ig.NumNodes(),
+		IndexEdges:    ig.NumEdges(),
+		Generation:    s.gen,
+		CachedResults: x.cache.Load().Len(),
 	}
 	for n := 0; n < ig.NumNodes(); n++ {
-		if k := ig.K(graph.NodeID(n)); k > s.MaxK {
-			s.MaxK = k
+		if k := ig.K(graph.NodeID(n)); k > out.MaxK {
+			out.MaxK = k
 		}
 	}
-	return s
+	return out
 }
 
 // QueryStats reports the cost of one query under the paper's model.
@@ -156,49 +206,21 @@ func fromCost(c eval.Cost) QueryStats {
 	}
 }
 
-// Query evaluates a simple dotted label path ("director.movie.title") with
-// partial-match semantics: a node matches if some node path ending in it
-// spells the query. Results are exact (validation removes index false
-// positives) and sorted.
-func (x *Index) Query(path string) ([]NodeID, QueryStats, error) {
-	q, err := eval.ParseQuery(x.Graph().Labels(), path)
-	if err != nil {
-		x.observer.ObserveQueryError("path")
-		return nil, QueryStats{}, err
-	}
-	if x.recorder != nil {
-		x.recorder.Record(q)
-	}
-	tr := x.observer.SampleTrace("path", path)
-	var begin time.Time
-	if x.observer != nil {
-		begin = time.Now()
-	}
-	res, cost := eval.IndexTraced(x.dk.IG, q, tr)
-	x.noteValidation(q[len(q)-1], q.Length(), cost.Validations)
-	if x.observer != nil {
-		x.observer.ObserveQuery("path", time.Since(begin), costSample(cost), len(res))
-		x.observer.FinishTrace(tr)
-	}
-	return res, fromCost(cost), nil
-}
-
 // WatchLoad starts recording every executed path query so that Optimize can
-// later re-tune the index from the observed load. Recording costs one map
-// update per query.
+// later re-tune the index from the observed load. Recording is lock-free:
+// one shard lookup and one atomic increment per query.
 func (x *Index) WatchLoad() {
-	if x.recorder == nil {
-		x.recorder = workload.NewRecorder(x.Graph().Labels())
-	}
+	x.recorder.CompareAndSwap(nil, workload.NewRecorder())
 }
 
 // ObservedQueries returns how many distinct path queries have been recorded
 // since WatchLoad (0 when not watching).
 func (x *Index) ObservedQueries() int {
-	if x.recorder == nil {
+	r := x.recorder.Load()
+	if r == nil {
 		return 0
 	}
-	return x.recorder.Len()
+	return r.Len()
 }
 
 // Optimize re-tunes the index from the load observed since WatchLoad,
@@ -207,56 +229,47 @@ func (x *Index) ObservedQueries() int {
 // unbounded). The recorder is reset afterwards so each epoch tunes to fresh
 // observations. It reports the chosen requirements by label name.
 func (x *Index) Optimize(sizeBudget int) (map[string]int, error) {
-	if x.recorder == nil || x.recorder.Len() == 0 {
+	rec := x.recorder.Load()
+	if rec == nil || rec.Len() == 0 {
 		return nil, fmt.Errorf("dkindex: no observed load (call WatchLoad and run queries first)")
 	}
-	res, err := workload.MineBudget(x.Graph(), x.recorder.Load(), sizeBudget)
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	cur := x.handle.Load()
+	g := cur.dk.IG.Data()
+	res, err := workload.MineBudget(g, rec.Load(), sizeBudget)
 	if err != nil {
 		return nil, err
 	}
-	before, start := x.preOp()
-	x.dk = core.Build(x.Graph(), res.Reqs)
-	x.recorder.Reset()
-	x.rewire()
+	before, start := x.preOp(cur)
+	// Build reads the graph only and the mined requirements are label ids,
+	// so the successor shares the data graph with the current snapshot.
+	nd := core.Build(g, res.Reqs)
+	x.instrument(nd)
+	rec.Reset()
+	x.publish(nd)
 	x.emit(obs.Event{Type: obs.EventOptimize, NodesBefore: before, Wall: opWall(start),
 		Detail: fmt.Sprintf("%d requirements mined", len(res.Reqs))})
 	out := make(map[string]int, len(res.Reqs))
 	for l, k := range res.Reqs {
-		out[x.Graph().Labels().Name(l)] = k
+		out[g.Labels().Name(l)] = k
 	}
 	return out, nil
-}
-
-// QueryRPE evaluates a regular path expression
-// (l, _, R.R, R|R, (R), R?, R*, and the a//b descendant shorthand).
-// Results are exact and sorted.
-func (x *Index) QueryRPE(expr string) ([]NodeID, QueryStats, error) {
-	e, err := rpe.Parse(expr)
-	if err != nil {
-		x.observer.ObserveQueryError("rpe")
-		return nil, QueryStats{}, err
-	}
-	c := rpe.CompileExpr(e, x.Graph().Labels())
-	tr := x.observer.SampleTrace("rpe", expr)
-	var begin time.Time
-	if x.observer != nil {
-		begin = time.Now()
-	}
-	res, cost := eval.IndexRPETraced(x.dk.IG, c, tr)
-	if x.observer != nil {
-		x.observer.ObserveQuery("rpe", time.Since(begin), costSample(cost), len(res))
-		x.observer.FinishTrace(tr)
-	}
-	return res, fromCost(cost), nil
 }
 
 // SetRequirements rebuilds the index for explicit per-label requirements:
 // nodes labeled l answer queries up to length reqs[l] without validation.
 func (x *Index) SetRequirements(reqsByName map[string]int) {
-	g := x.Graph()
-	before, start := x.preOp()
-	x.dk = core.Build(g, core.ReqsFromNames(g.Labels(), reqsByName))
-	x.rewire()
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	cur := x.handle.Load()
+	before, start := x.preOp(cur)
+	// Requirement names may intern new labels, so the successor gets a
+	// detached graph (private label table).
+	g := cur.dk.IG.Data().CloneDetached()
+	nd := core.Build(g, core.ReqsFromNames(g.Labels(), reqsByName))
+	x.instrument(nd)
+	x.publish(nd)
 	x.emit(obs.Event{Type: obs.EventRetune, NodesBefore: before, Wall: opWall(start),
 		Detail: "explicit requirements"})
 }
@@ -277,27 +290,37 @@ func (x *Index) Tune(n int, seed int64) error {
 
 // TuneWith mines requirements from the given query load and rebuilds.
 func (x *Index) TuneWith(w *workload.Workload) {
-	before, start := x.preOp()
-	x.queries = w
-	x.dk = core.Build(x.Graph(), w.Requirements())
-	x.rewire()
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	cur := x.handle.Load()
+	before, start := x.preOp(cur)
+	nd := core.Build(cur.dk.IG.Data(), w.Requirements())
+	x.instrument(nd)
+	x.queries.Store(w)
+	x.publish(nd)
 	x.emit(obs.Event{Type: obs.EventRetune, NodesBefore: before, Wall: opWall(start),
 		Detail: "mined from workload"})
 }
 
 // Workload returns the load the index was last tuned with, or nil.
-func (x *Index) Workload() *workload.Workload { return x.queries }
+func (x *Index) Workload() *workload.Workload { return x.queries.Load() }
 
 // AddEdge inserts a reference edge between two existing data nodes and
 // updates the index incrementally (Algorithms 4 and 5): no extent splits, no
 // data-graph traversal — only local similarities decay.
 func (x *Index) AddEdge(from, to NodeID) error {
-	g := x.Graph()
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	cur := x.handle.Load()
+	g := cur.dk.IG.Data()
 	if int(from) >= g.NumNodes() || int(to) >= g.NumNodes() || from < 0 || to < 0 {
 		return fmt.Errorf("dkindex: edge endpoints out of range")
 	}
-	before, start := x.preOp()
-	stats := x.dk.AddEdge(from, to)
+	before, start := x.preOp(cur)
+	nd := cur.dk.CloneForUpdate()
+	x.instrument(nd)
+	stats := nd.AddEdge(from, to)
+	x.publish(nd)
 	x.emit(obs.Event{Type: obs.EventEdgeAdd, NodesBefore: before,
 		Visited: stats.IndexNodesVisited, Wall: opWall(start),
 		Detail: fmt.Sprintf("%d->%d", from, to)})
@@ -308,12 +331,18 @@ func (x *Index) AddEdge(from, to NodeID) error {
 // similarities of the target's class and its index descendants are lowered
 // to what the deletion provably preserves; no splits, no data traversal.
 func (x *Index) RemoveEdge(from, to NodeID) error {
-	g := x.Graph()
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	cur := x.handle.Load()
+	g := cur.dk.IG.Data()
 	if int(from) >= g.NumNodes() || int(to) >= g.NumNodes() || from < 0 || to < 0 {
 		return fmt.Errorf("dkindex: edge endpoints out of range")
 	}
-	before, start := x.preOp()
-	stats := x.dk.RemoveEdge(from, to)
+	before, start := x.preOp(cur)
+	nd := cur.dk.CloneForUpdate()
+	x.instrument(nd)
+	stats := nd.RemoveEdge(from, to)
+	x.publish(nd)
 	x.emit(obs.Event{Type: obs.EventEdgeRemove, NodesBefore: before,
 		Visited: stats.IndexNodesVisited, Wall: opWall(start),
 		Detail: fmt.Sprintf("%d->%d", from, to)})
@@ -332,12 +361,19 @@ func (x *Index) AddDocument(r io.Reader, opts *LoadOptions) ([]NodeID, error) {
 		return nil, err
 	}
 	x.observer.AddDanglingRefs(len(rep.DanglingRefs))
-	before, start := x.preOp()
-	mapping, err := x.dk.AddSubgraph(h)
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	cur := x.handle.Load()
+	before, start := x.preOp(cur)
+	// Grafting interns the document's labels, so the successor is fully
+	// detached from the published snapshot.
+	nd := cur.dk.CloneDetached()
+	x.instrument(nd)
+	mapping, err := nd.AddSubgraph(h)
 	if err != nil {
 		return nil, err
 	}
-	x.rewire()
+	x.publish(nd)
 	x.emit(obs.Event{Type: obs.EventSubgraphAdd, NodesBefore: before, Wall: opWall(start),
 		Detail: fmt.Sprintf("%d document nodes grafted", len(mapping))})
 	return mapping, nil
@@ -347,12 +383,20 @@ func (x *Index) AddDocument(r io.Reader, opts *LoadOptions) ([]NodeID, error) {
 // similarity k (Algorithm 6) — queries of length <= k ending at that label
 // stop needing validation.
 func (x *Index) PromoteLabel(label string, k int) error {
-	l := x.Graph().Labels().Lookup(label)
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	cur := x.handle.Load()
+	l := cur.dk.IG.Data().Labels().Lookup(label)
 	if l == graph.InvalidLabel {
 		return fmt.Errorf("dkindex: unknown label %q", label)
 	}
-	before, start := x.preOp()
-	stats := x.dk.PromoteLabel(l, k)
+	before, start := x.preOp(cur)
+	// Promotion only touches the summary, so the successor shares the data
+	// graph.
+	nd := cur.dk.CloneIndex()
+	x.instrument(nd)
+	stats := nd.PromoteLabel(l, k)
+	x.publish(nd)
 	x.emit(obs.Event{Type: obs.EventPromote, Label: label, K: k, NodesBefore: before,
 		Created: stats.IndexNodesCreated, Visited: stats.IndexNodesVisited, Wall: opWall(start)})
 	return nil
@@ -361,38 +405,23 @@ func (x *Index) PromoteLabel(label string, k int) error {
 // Demote shrinks the index to lower per-label requirements (Section 5.4),
 // merging extents without touching the data graph.
 func (x *Index) Demote(reqsByName map[string]int) {
-	before, start := x.preOp()
-	x.dk.Demote(core.ReqsFromNames(x.Graph().Labels(), reqsByName))
-	x.rewire()
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	cur := x.handle.Load()
+	before, start := x.preOp(cur)
+	// Requirement names may intern, so detach (see SetRequirements).
+	nd := cur.dk.CloneDetached()
+	nd.Demote(core.ReqsFromNames(nd.IG.Data().Labels(), reqsByName))
+	// Demote replaced nd.IG wholesale; instrument the one being published.
+	x.instrument(nd)
+	x.publish(nd)
 	x.emit(obs.Event{Type: obs.EventDemote, NodesBefore: before, Wall: opWall(start)})
 }
 
 // LabelName returns the label of a data node; handy when printing results.
+// Prefer Result.LabelName when formatting query output — it resolves names
+// against the snapshot that produced the result.
 func (x *Index) LabelName(n NodeID) string { return x.Graph().LabelName(n) }
-
-// QueryTwig evaluates a branching path query such as
-// "movie[actor.name].title" — titles of movies having an actor child with a
-// name. Results are exact: on an F&B index they come straight off the
-// summary; on this adaptive index they are validated against the data
-// (backward bisimilarity cannot certify child existence).
-func (x *Index) QueryTwig(q string) ([]NodeID, QueryStats, error) {
-	tw, err := eval.ParseTwig(x.Graph().Labels(), q)
-	if err != nil {
-		x.observer.ObserveQueryError("twig")
-		return nil, QueryStats{}, err
-	}
-	tr := x.observer.SampleTrace("twig", q)
-	var begin time.Time
-	if x.observer != nil {
-		begin = time.Now()
-	}
-	res, cost := eval.IndexTwigTraced(x.dk.IG, tw, tr)
-	if x.observer != nil {
-		x.observer.ObserveQuery("twig", time.Since(begin), costSample(cost), len(res))
-		x.observer.FinishTrace(tr)
-	}
-	return res, fromCost(cost), nil
-}
 
 // ParseRequirements parses the "label=k,label=k" requirement syntax used by
 // the command-line tools into a requirements map for SetRequirements.
@@ -457,13 +486,16 @@ type MatchedNode struct {
 
 // Explain evaluates a simple path query and reports per-index-node detail:
 // which nodes matched, which were trusted outright, and which had to be
-// validated. Unlike Query it does not record into the load recorder.
+// validated. Unlike Run it bypasses the result cache and does not record
+// into the load recorder.
 func (x *Index) Explain(path string) (*Explanation, error) {
-	q, err := eval.ParseQuery(x.Graph().Labels(), path)
+	s := x.handle.Load()
+	ig := s.dk.IG
+	labels := ig.Data().Labels()
+	q, err := eval.ParseQuery(labels, path)
 	if err != nil {
 		return nil, err
 	}
-	ig := x.dk.IG
 	out := &Explanation{Query: path}
 	matched, cost := eval.MatchedIndexNodes(ig, q)
 	need := q.Length()
@@ -471,7 +503,7 @@ func (x *Index) Explain(path string) (*Explanation, error) {
 	for _, m := range matched {
 		mn := MatchedNode{
 			IndexNode:  m,
-			Label:      x.Graph().Labels().Name(ig.Label(m)),
+			Label:      labels.Name(ig.Label(m)),
 			K:          ig.K(m),
 			ExtentSize: ig.ExtentSize(m),
 		}
@@ -514,17 +546,23 @@ func (e *Explanation) String() string {
 // Summary returns the distribution view of the index (extent sizes and the
 // local-similarity histogram); its String method renders it for humans.
 func (x *Index) Summary() index.Summary {
-	return x.dk.IG.Summarize(x.Graph().Labels())
+	s := x.handle.Load()
+	return s.dk.IG.Summarize(s.dk.IG.Data().Labels())
 }
 
 // Compact drops every data node that is no longer reachable from the root —
 // the reclamation half of subtree deletion (delete a subtree by removing its
 // incoming edges, then Compact). Node ids are renumbered; the returned
 // mapping translates old ids to new ones (-1 for dropped nodes). The index
-// is rebuilt for the current requirements.
+// is rebuilt for the current requirements; the load recorder and tuned
+// workload are reset (their node and frequency context predates the
+// renumbering).
 func (x *Index) Compact() (dropped int, mapping []NodeID, err error) {
-	before, start := x.preOp()
-	g, mapping, err := x.Graph().CompactReachable()
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	cur := x.handle.Load()
+	before, start := x.preOp(cur)
+	g, mapping, err := cur.dk.IG.Data().CompactReachable()
 	if err != nil {
 		return 0, nil, err
 	}
@@ -533,13 +571,13 @@ func (x *Index) Compact() (dropped int, mapping []NodeID, err error) {
 			dropped++
 		}
 	}
-	reqs := x.dk.LabelReqs
-	x.dk = core.Build(g, reqs)
-	if x.recorder != nil {
-		x.recorder = workload.NewRecorder(g.Labels())
+	nd := core.Build(g, cur.dk.LabelReqs)
+	x.instrument(nd)
+	if x.recorder.Load() != nil {
+		x.recorder.Store(workload.NewRecorder())
 	}
-	x.queries = nil
-	x.rewire()
+	x.queries.Store(nil)
+	x.publish(nd)
 	x.emit(obs.Event{Type: obs.EventCompact, NodesBefore: before, Wall: opWall(start),
 		Detail: fmt.Sprintf("%d data nodes dropped", dropped)})
 	return dropped, mapping, nil
@@ -551,15 +589,17 @@ func (x *Index) Compact() (dropped int, mapping []NodeID, err error) {
 // checking that index paths of covered lengths match every extent member.
 // Returns nil when the index is provably exact for queries within the
 // audited budgets. Intended for operations (after restoring a persisted
-// index, or on suspicion of corruption), not hot paths.
+// index, or on suspicion of corruption), not hot paths. Audits one
+// snapshot; mutations may publish successors while it runs.
 func (x *Index) Audit(maxK int) error {
-	if err := x.dk.IG.Validate(); err != nil {
+	dk := x.handle.Load().dk
+	if err := dk.IG.Validate(); err != nil {
 		return err
 	}
-	if err := core.CheckInvariant(x.dk.IG); err != nil {
+	if err := core.CheckInvariant(dk.IG); err != nil {
 		return err
 	}
-	return core.Audit(x.dk.IG, maxK)
+	return core.Audit(dk.IG, maxK)
 }
 
 // SetAutoPromote makes the index crack itself: whenever queries ending at
@@ -569,40 +609,73 @@ func (x *Index) Audit(maxK int) error {
 // direction — combining the update and evaluation processes — with the
 // promoting machinery of Section 5.3. A threshold of 0 disables it.
 //
-// Auto-promotion mutates the index inside Query, so with it enabled Query
-// requires the same external synchronization as updates.
+// Pressure is counted lock-free on the query path (cache hits included);
+// the query that crosses the threshold performs the promotion as a regular
+// build-and-swap mutation, so queries stay safe to run concurrently.
 func (x *Index) SetAutoPromote(threshold int) {
-	x.autoPromote = threshold
-	if threshold > 0 && x.validationHeat == nil {
-		x.validationHeat = make(map[graph.LabelID]heat)
+	x.autoPromote.Store(int32(threshold))
+	if threshold > 0 {
+		x.heat.CompareAndSwap(nil, &sync.Map{})
 	}
 }
 
-type heat struct {
-	count  int
-	maxLen int
+// heatEntry accumulates validation pressure for one label. fired latches the
+// threshold crossing so exactly one query performs the promotion.
+type heatEntry struct {
+	count  atomic.Int64
+	maxLen atomic.Int64
+	fired  atomic.Bool
 }
 
 // noteValidation records validation pressure and fires promotion when the
-// threshold is crossed.
-func (x *Index) noteValidation(last graph.LabelID, length int, validations int) {
-	if x.autoPromote <= 0 || validations == 0 {
+// threshold is crossed. Called on the lock-free query path.
+func (x *Index) noteValidation(last graph.LabelID, length, validations int) {
+	threshold := int(x.autoPromote.Load())
+	if threshold <= 0 || validations == 0 || last == graph.InvalidLabel {
 		return
 	}
-	h := x.validationHeat[last]
-	h.count += validations
-	if length > h.maxLen {
-		h.maxLen = length
+	hm := x.heat.Load()
+	if hm == nil {
+		return
 	}
-	x.validationHeat[last] = h
-	if h.count >= x.autoPromote {
-		before, start := x.preOp()
-		stats := x.dk.PromoteLabel(last, h.maxLen)
-		x.emit(obs.Event{Type: obs.EventAutoPromote,
-			Label: x.Graph().Labels().Name(last), K: h.maxLen, NodesBefore: before,
-			Created: stats.IndexNodesCreated, Visited: stats.IndexNodesVisited,
-			Wall:   opWall(start),
-			Detail: fmt.Sprintf("%d validations crossed threshold %d", h.count, x.autoPromote)})
-		delete(x.validationHeat, last)
+	v, _ := hm.LoadOrStore(last, &heatEntry{})
+	h := v.(*heatEntry)
+	for {
+		m := h.maxLen.Load()
+		if int64(length) <= m || h.maxLen.CompareAndSwap(m, int64(length)) {
+			break
+		}
 	}
+	if h.count.Add(int64(validations)) >= int64(threshold) && h.fired.CompareAndSwap(false, true) {
+		x.autoPromoteLabel(hm, h, last, threshold)
+	}
+}
+
+// autoPromoteLabel performs the promotion decided by noteValidation, as a
+// normal mutation under the writer mutex.
+func (x *Index) autoPromoteLabel(hm *sync.Map, h *heatEntry, last graph.LabelID, threshold int) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if x.heat.Load() != hm {
+		// A Reload reset the heat (and possibly the label table) between
+		// counting and firing; the pressure belonged to the retired epoch.
+		return
+	}
+	cur := x.handle.Load()
+	if int(last) >= cur.dk.IG.Data().Labels().Len() {
+		return
+	}
+	maxLen := int(h.maxLen.Load())
+	count := int(h.count.Load())
+	before, start := x.preOp(cur)
+	nd := cur.dk.CloneIndex()
+	x.instrument(nd)
+	stats := nd.PromoteLabel(last, maxLen)
+	hm.Delete(last)
+	x.publish(nd)
+	x.emit(obs.Event{Type: obs.EventAutoPromote,
+		Label: cur.dk.IG.Data().Labels().Name(last), K: maxLen, NodesBefore: before,
+		Created: stats.IndexNodesCreated, Visited: stats.IndexNodesVisited,
+		Wall:   opWall(start),
+		Detail: fmt.Sprintf("%d validations crossed threshold %d", count, threshold)})
 }

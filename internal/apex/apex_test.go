@@ -13,7 +13,7 @@ import (
 func load(t *testing.T, g *graph.Graph, specs map[string]int) []workload.WeightedQuery {
 	t.Helper()
 	out := make([]workload.WeightedQuery, 0, len(specs))
-	rec := workload.NewRecorder(g.Labels())
+	rec := workload.NewRecorder()
 	for s, c := range specs {
 		q, err := eval.ParseQuery(g.Labels(), s)
 		if err != nil {
@@ -153,7 +153,7 @@ func TestRandomizedAgainstTruthOnWarmLoad(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rec := workload.NewRecorder(g.Labels())
+	rec := workload.NewRecorder()
 	rng := rand.New(rand.NewSource(1))
 	for _, q := range w.Queries {
 		for i := 0; i <= rng.Intn(4); i++ {

@@ -1,0 +1,30 @@
+package core
+
+// Copy-on-write support for snapshot-isolated serving: every mutating
+// operation of the facade works on a private copy of exactly the layers it
+// mutates, then publishes the finished copy atomically. Three grades keep
+// the copies as cheap as the operation allows.
+
+// CloneForUpdate returns a copy with private data and index graphs but the
+// label table still shared. Edge updates (AddEdge, RemoveEdge) mutate both
+// graph layers in place yet never intern labels, so sharing the table is
+// safe as long as every interning operation uses CloneDetached.
+func (dk *DK) CloneForUpdate() *DK {
+	g := dk.IG.Data().Clone()
+	return &DK{IG: dk.IG.CloneOnto(g), LabelReqs: dk.LabelReqs.Clone()}
+}
+
+// CloneDetached returns a copy sharing nothing with the receiver: label
+// table, data graph and index graph are all private. Required by operations
+// that may intern new labels (AddSubgraph, requirement resolution by name).
+func (dk *DK) CloneDetached() *DK {
+	g := dk.IG.Data().CloneDetached()
+	return &DK{IG: dk.IG.CloneOnto(g), LabelReqs: dk.LabelReqs.Clone()}
+}
+
+// CloneIndex returns a copy with a private index graph over the shared data
+// graph. Promotion mutates only the summary (splits and SetK), never the
+// data, so this is the cheap grade for Promote/PromoteLabel.
+func (dk *DK) CloneIndex() *DK {
+	return &DK{IG: dk.IG.Clone(), LabelReqs: dk.LabelReqs.Clone()}
+}

@@ -60,6 +60,17 @@ func (q Query) Format(t *graph.LabelTable) string {
 	return strings.Join(parts, ".")
 }
 
+// AppendKey appends a compact fixed-width binary encoding of q (4 bytes per
+// label, little-endian) to dst and returns the extended slice. Equal queries
+// produce equal keys and the encoding orders keys by label-id sequence; the
+// load recorder uses it as a map key that needs no label table to build.
+func (q Query) AppendKey(dst []byte) []byte {
+	for _, l := range q {
+		dst = append(dst, byte(l), byte(l>>8), byte(l>>16), byte(l>>24))
+	}
+	return dst
+}
+
 // labelName renders a label id defensively (parsing can produce
 // graph.InvalidLabel for labels the data never uses).
 func labelName(t *graph.LabelTable, l graph.LabelID) string {

@@ -263,7 +263,7 @@ func ApexComparison(ds *Dataset, edges int, seed int64) ([]ApexRow, error) {
 		return nil, err
 	}
 	// Skewed frequencies, as in the miner ablation.
-	rec := workload.NewRecorder(ds.G.Labels())
+	rec := workload.NewRecorder()
 	n := ds.W.Len()
 	for i, q := range ds.W.Queries {
 		for c := 0; c < 1+n/(i+1); c++ {

@@ -247,6 +247,16 @@ func (g *Graph) Clone() *Graph {
 	return c
 }
 
+// CloneDetached is Clone with a private copy of the label table as well, so
+// operations that intern new labels (document insertion, requirement
+// resolution) cannot be observed through previously shared graphs. Label ids
+// are preserved, so queries parsed against the original table stay valid.
+func (g *Graph) CloneDetached() *Graph {
+	c := g.Clone()
+	c.labels = g.labels.Clone()
+	return c
+}
+
 // ErrNoRoot is returned by operations that require a rooted graph.
 var ErrNoRoot = errors.New("graph: no root node set")
 

@@ -237,8 +237,17 @@ var _ Source = (*IndexGraph)(nil)
 
 // Clone returns an independent deep copy sharing only the data graph.
 func (ig *IndexGraph) Clone() *IndexGraph {
+	return ig.CloneOnto(ig.data)
+}
+
+// CloneOnto is Clone with the copy reading extents and labels against the
+// given data graph instead of the shared one. The caller must pass a graph
+// with identical node numbering (typically data.Clone()); it is how writers
+// build a fully detached index copy before mutating both layers in place.
+// The split hook is not copied — instrumentation re-attaches per mutation.
+func (ig *IndexGraph) CloneOnto(data *graph.Graph) *IndexGraph {
 	c := &IndexGraph{
-		data:       ig.data,
+		data:       data,
 		labels:     append([]graph.LabelID(nil), ig.labels...),
 		extents:    make([][]graph.NodeID, len(ig.extents)),
 		k:          append([]int(nil), ig.k...),

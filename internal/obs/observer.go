@@ -25,6 +25,10 @@ const (
 	MetricDanglingRefs       = "dk_load_dangling_refs_total"
 	MetricTracesSampled      = "dk_traces_sampled_total"
 	MetricHTTPRequests       = "dk_http_requests_total"
+	MetricCacheHits          = "dk_query_cache_hits_total"
+	MetricCacheMisses        = "dk_query_cache_misses_total"
+	MetricCacheEntries       = "dk_query_cache_entries"
+	MetricSnapshotGeneration = "dk_snapshot_generation"
 )
 
 // CostSample carries the paper's per-query cost counters into histograms.
@@ -37,13 +41,15 @@ type CostSample struct {
 // queryMetrics is the per-kind bundle ObserveQuery updates; pre-registered so
 // the query hot path performs only atomic operations.
 type queryMetrics struct {
-	total     *Counter
-	errors    *Counter
-	seconds   *Histogram
-	visited   *Histogram
-	validated *Histogram
-	fanout    *Histogram
-	results   *Histogram
+	total       *Counter
+	errors      *Counter
+	cacheHits   *Counter
+	cacheMisses *Counter
+	seconds     *Histogram
+	visited     *Histogram
+	validated   *Histogram
+	fanout      *Histogram
+	results     *Histogram
 }
 
 // Observer bundles the three observability surfaces — metrics registry,
@@ -63,6 +69,7 @@ type Observer struct {
 	evCounters map[EventType]*Counter
 	gauges     struct {
 		indexNodes, indexEdges, dataNodes, dataEdges, maxK *Gauge
+		generation, cacheEntries                           *Gauge
 	}
 	dangling *Counter
 	sampled  *Counter
@@ -95,6 +102,8 @@ func NewObserverWith(reg *Registry, events *Stream, tracer *Tracer) *Observer {
 	o.gauges.indexNodes = reg.Gauge(MetricIndexNodes, "Index graph node count (the paper's index size).")
 	o.gauges.indexEdges = reg.Gauge(MetricIndexEdges, "Index graph edge count.")
 	o.gauges.maxK = reg.Gauge(MetricIndexMaxK, "Largest local similarity of any index node.")
+	o.gauges.generation = reg.Gauge(MetricSnapshotGeneration, "Generation of the currently published index snapshot.")
+	o.gauges.cacheEntries = reg.Gauge(MetricCacheEntries, "Result cache entries for the current generation.")
 	o.dangling = reg.Counter(MetricDanglingRefs, "IDREF attributes that resolved to no element at load time.")
 	o.sampled = reg.Counter(MetricTracesSampled, "Query traces sampled.")
 	return o
@@ -122,19 +131,53 @@ func (o *Observer) ObserveQueryError(kind string) {
 	o.kind(kind).errors.Inc()
 }
 
+// ObserveCacheHit counts a query answered from the result cache.
+func (o *Observer) ObserveCacheHit(kind string) {
+	if o == nil {
+		return
+	}
+	o.kind(kind).cacheHits.Inc()
+}
+
+// ObserveCacheMiss counts a cacheable query the result cache could not serve.
+func (o *Observer) ObserveCacheMiss(kind string) {
+	if o == nil {
+		return
+	}
+	o.kind(kind).cacheMisses.Inc()
+}
+
+// SetSnapshotGeneration refreshes the published-snapshot generation gauge.
+func (o *Observer) SetSnapshotGeneration(gen uint64) {
+	if o == nil {
+		return
+	}
+	o.gauges.generation.Set(float64(gen))
+}
+
+// SetCacheEntries refreshes the result-cache occupancy gauge.
+func (o *Observer) SetCacheEntries(n int) {
+	if o == nil {
+		return
+	}
+	o.gauges.cacheEntries.Set(float64(n))
+}
+
 func newQueryMetrics(reg *Registry, kind string) *queryMetrics {
 	secondsBounds := ExpBuckets(1e-5, 2.5, 14) // 10µs .. ~1.5s
 	workBounds := ExpBuckets(1, 4, 10)         // 1 .. 262144
 	fanBounds := []float64{0, 1, 2, 4, 8, 16, 32, 64, 128}
 	l := L("kind", kind)
 	return &queryMetrics{
-		total:     reg.Counter(MetricQueries, "Queries evaluated, by query kind.", l),
-		errors:    reg.Counter(MetricQueryErrors, "Queries rejected at parse time, by query kind.", l),
-		seconds:   reg.Histogram(MetricQuerySeconds, "Query wall time in seconds.", secondsBounds, l),
-		visited:   reg.Histogram(MetricQueryIndexVisited, "Index nodes visited per query (the paper's traversal cost).", workBounds, l),
-		validated: reg.Histogram(MetricQueryDataValidated, "Data nodes inspected by validation per query (the paper's validation cost).", workBounds, l),
-		fanout:    reg.Histogram(MetricQueryValidations, "Matched index nodes requiring validation per query.", fanBounds, l),
-		results:   reg.Histogram(MetricQueryResults, "Result set size per query.", workBounds, l),
+		total:       reg.Counter(MetricQueries, "Queries evaluated, by query kind.", l),
+		errors:      reg.Counter(MetricQueryErrors, "Queries rejected at parse time, by query kind.", l),
+		cacheHits:   reg.Counter(MetricCacheHits, "Queries answered from the result cache, by query kind.", l),
+		cacheMisses: reg.Counter(MetricCacheMisses, "Cacheable queries that missed the result cache, by query kind.", l),
+		seconds:     reg.Histogram(MetricQuerySeconds, "Query wall time in seconds.", secondsBounds, l),
+		visited:     reg.Histogram(MetricQueryIndexVisited, "Index nodes visited per query (the paper's traversal cost).", workBounds, l),
+		validated:   reg.Histogram(MetricQueryDataValidated, "Data nodes inspected by validation per query (the paper's validation cost).", workBounds, l),
+		fanout:      reg.Histogram(MetricQueryValidations, "Matched index nodes requiring validation per query.", fanBounds, l),
+		results:     reg.Histogram(MetricQueryResults, "Result set size per query.", workBounds, l),
 	}
 }
 

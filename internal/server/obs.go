@@ -45,7 +45,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	if ns := q.Get("n"); ns != "" {
 		v, err := strconv.Atoi(ns)
 		if err != nil || v < 0 {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("n= must be a non-negative integer"))
+			writeError(w, http.StatusBadRequest, codeBadQuery, fmt.Errorf("n= must be a non-negative integer"))
 			return
 		}
 		n = v
@@ -55,7 +55,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	if ss := q.Get("since"); ss != "" {
 		seq, err := strconv.ParseUint(ss, 10, 64)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("since= must be a non-negative integer"))
+			writeError(w, http.StatusBadRequest, codeBadQuery, fmt.Errorf("since= must be a non-negative integer"))
 			return
 		}
 		events = s.obs.Events.Since(seq, n)
@@ -85,13 +85,22 @@ func (s *Server) handleTraces(w http.ResponseWriter, _ *http.Request) {
 }
 
 // requestRoutes is the bounded label set for the per-route request counter;
-// anything else (404s, pprof) counts under "other".
-var requestRoutes = map[string]bool{
-	"/healthz": true, "/stats": true, "/query": true, "/explain": true,
-	"/edges": true, "/edges/remove": true, "/documents": true,
-	"/promote": true, "/demote": true, "/optimize": true,
-	"/metrics": true, "/events": true, "/traces": true,
-}
+// anything else (404s, pprof) counts under "other". Built from the route
+// names mounted at the root and under /v1.
+var requestRoutes = func() map[string]bool {
+	routes := []string{
+		"/healthz", "/stats", "/query", "/explain",
+		"/edges", "/edges/remove", "/documents",
+		"/promote", "/demote", "/optimize",
+		"/metrics", "/events", "/traces",
+	}
+	m := make(map[string]bool, 2*len(routes))
+	for _, r := range routes {
+		m[r] = true
+		m["/v1"+r] = true
+	}
+	return m
+}()
 
 // countRequest bumps the HTTP request counter, with bounded route cardinality.
 func (s *Server) countRequest(r *http.Request) {

@@ -1,30 +1,39 @@
-// Package server exposes a D(k)-index over HTTP with a small JSON API:
+// Package server exposes a D(k)-index over HTTP with a small JSON API,
+// served in two versions: the versioned tree under /v1 and the original
+// routes, kept as aliases.
 //
-//	GET  /stats                         index statistics
-//	GET  /query?path=a.b.c              simple path query
-//	GET  /query?rpe=a//b                regular path expression
-//	GET  /query?twig=a[b].c             branching path query
-//	POST /edges    {"from":1,"to":2}    incremental edge addition
-//	POST /edges/remove {"from":1,"to":2} incremental edge removal
-//	POST /documents  (XML body)         incremental document insertion
-//	POST /promote  {"label":"x","k":2}  promoting process
-//	POST /demote   {"reqs":{"x":1}}     demoting process
-//	POST /optimize {"budget":1000}      re-tune from the observed load
-//	GET  /healthz                       liveness
-//	GET  /metrics                       Prometheus text exposition
-//	GET  /events?n=100&since=0          index lifecycle event stream
-//	GET  /traces                        recent sampled query traces
+//	GET  /v1/query?kind=path&q=a.b.c    unified query endpoint (kind: path|rpe|twig)
+//	POST /v1/query {"queries":[...]}    batch: every item answers from one snapshot
+//	GET  /v1/stats                      index statistics (incl. snapshot generation)
+//	POST /v1/edges    {"from":1,"to":2} incremental edge addition
+//	POST /v1/edges/remove {...}         incremental edge removal
+//	POST /v1/documents  (XML body)      incremental document insertion
+//	POST /v1/promote {"label":"x","k":2} promoting process
+//	POST /v1/demote  {"reqs":{"x":1}}   demoting process
+//	POST /v1/optimize {"budget":1000}   re-tune from the observed load
+//	GET  /v1/explain?path=a.b.c         per-index-node query explanation
+//	GET  /v1/healthz                    liveness
+//	GET  /v1/metrics                    Prometheus text exposition
+//	GET  /v1/events?n=100&since=0       index lifecycle event stream
+//	GET  /v1/traces                     recent sampled query traces
+//	GET  /query?path=a.b.c              legacy query endpoint (also rpe=, twig=)
 //
-// Queries run concurrently under a read lock; updates serialize under the
-// write lock. Every query is recorded so /optimize can re-tune the index to
-// the live load. The server adopts the index's observer (attaching a fresh
-// one when the index is unobserved), so /metrics and /events work out of the
-// box; EnablePprof optionally mounts net/http/pprof under /debug/pprof/.
+// Errors are structured: {"error": "...", "code": "bad_query|bad_request|conflict|too_large"}.
+//
+// The server carries no locks of its own: the index serves queries from
+// atomic snapshots and serializes mutations internally, so handlers call it
+// directly and queries are never blocked — not by each other and not by
+// updates. Every path query is recorded (lock-free) so /optimize can re-tune
+// the index to the live load. The server adopts the index's observer
+// (attaching a fresh one when the index is unobserved), so /metrics and
+// /events work out of the box; EnablePprof optionally mounts net/http/pprof
+// under /debug/pprof/.
 package server
 
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -35,9 +44,17 @@ import (
 	"dkindex/internal/obs"
 )
 
-// Server wraps an index with a lock and the HTTP handlers.
+// Error codes carried in structured error responses.
+const (
+	codeBadQuery   = "bad_query"
+	codeBadRequest = "bad_request"
+	codeConflict   = "conflict"
+	codeTooLarge   = "too_large"
+)
+
+// Server wraps an index with the HTTP handlers. It holds no locks: the
+// index's snapshot architecture makes every call safe concurrently.
 type Server struct {
-	mu  sync.RWMutex
 	idx *dkindex.Index
 	mux *http.ServeMux
 	obs *obs.Observer
@@ -54,19 +71,27 @@ func New(idx *dkindex.Index) *Server {
 		idx.Observe(o)
 	}
 	s := &Server{idx: idx, mux: http.NewServeMux(), obs: o}
-	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	s.mux.HandleFunc("GET /stats", s.handleStats)
-	s.mux.HandleFunc("GET /query", s.handleQuery)
-	s.mux.HandleFunc("GET /explain", s.handleExplain)
-	s.mux.HandleFunc("POST /edges", s.handleAddEdge)
-	s.mux.HandleFunc("POST /edges/remove", s.handleRemoveEdge)
-	s.mux.HandleFunc("POST /documents", s.handleAddDocument)
-	s.mux.HandleFunc("POST /promote", s.handlePromote)
-	s.mux.HandleFunc("POST /demote", s.handleDemote)
-	s.mux.HandleFunc("POST /optimize", s.handleOptimize)
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	s.mux.HandleFunc("GET /events", s.handleEvents)
-	s.mux.HandleFunc("GET /traces", s.handleTraces)
+	// Every route serves under /v1 and, as a legacy alias, at the root.
+	for _, p := range []string{"", "/v1"} {
+		s.mux.HandleFunc("GET "+p+"/healthz", s.handleHealth)
+		s.mux.HandleFunc("GET "+p+"/stats", s.handleStats)
+		s.mux.HandleFunc("GET "+p+"/explain", s.handleExplain)
+		s.mux.HandleFunc("POST "+p+"/edges", s.handleAddEdge)
+		s.mux.HandleFunc("POST "+p+"/edges/remove", s.handleRemoveEdge)
+		s.mux.HandleFunc("POST "+p+"/documents", s.handleAddDocument)
+		s.mux.HandleFunc("POST "+p+"/promote", s.handlePromote)
+		s.mux.HandleFunc("POST "+p+"/demote", s.handleDemote)
+		s.mux.HandleFunc("POST "+p+"/optimize", s.handleOptimize)
+		s.mux.HandleFunc("GET "+p+"/metrics", s.handleMetrics)
+		s.mux.HandleFunc("GET "+p+"/events", s.handleEvents)
+		s.mux.HandleFunc("GET "+p+"/traces", s.handleTraces)
+	}
+	// The query endpoint differs between versions: /v1 takes kind= + q=
+	// (one parameter scheme for all languages) and accepts batches by POST;
+	// the legacy route keeps the path=/rpe=/twig= parameter per language.
+	s.mux.HandleFunc("GET /query", s.handleLegacyQuery)
+	s.mux.HandleFunc("GET /v1/query", s.handleV1Query)
+	s.mux.HandleFunc("POST /v1/query", s.handleQueryBatch)
 	return s
 }
 
@@ -81,26 +106,28 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	s.mu.RLock()
 	st := s.idx.Stats()
-	observed := s.idx.ObservedQueries()
-	s.mu.RUnlock()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"dataNodes":       st.DataNodes,
 		"dataEdges":       st.DataEdges,
 		"indexNodes":      st.IndexNodes,
 		"indexEdges":      st.IndexEdges,
 		"maxK":            st.MaxK,
-		"observedQueries": observed,
+		"generation":      st.Generation,
+		"cachedResults":   st.CachedResults,
+		"observedQueries": s.idx.ObservedQueries(),
 	})
 }
 
 // queryResponse is the JSON shape of query results.
 type queryResponse struct {
-	Query   string             `json:"query"`
-	Count   int                `json:"count"`
-	Results []queryResult      `json:"results"`
-	Cost    dkindex.QueryStats `json:"cost"`
+	Query      string             `json:"query"`
+	Kind       string             `json:"kind"`
+	Count      int                `json:"count"`
+	Results    []queryResult      `json:"results"`
+	Cost       dkindex.QueryStats `json:"cost"`
+	CacheHit   bool               `json:"cacheHit"`
+	Generation uint64             `json:"generation"`
 }
 
 type queryResult struct {
@@ -117,74 +144,199 @@ const (
 	maxListed     = 10000
 )
 
-func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query()
-	limit := defaultListed
-	if ls := q.Get("limit"); ls != "" {
-		v, err := strconv.Atoi(ls)
-		if err != nil || v < 0 {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("limit= must be a non-negative integer"))
-			return
-		}
-		limit = min(v, maxListed)
+// maxBatchQueries bounds one POST /v1/query body.
+const maxBatchQueries = 256
+
+// parseLimit maps the HTTP limit parameter onto Request.Limit: absent means
+// defaultListed, an explicit 0 means "count only" (dkindex.Request uses a
+// negative limit for that), anything else is clamped to maxListed.
+func parseLimit(ls string) (int, error) {
+	if ls == "" {
+		return defaultListed, nil
 	}
-	var (
-		res   []dkindex.NodeID
-		stats dkindex.QueryStats
-		err   error
-		text  string
-	)
-	// Queries only read index structure; recording needs the write lock
-	// only for the path flavor (it mutates the recorder), so take the
-	// write lock there and the read lock elsewhere.
+	v, err := strconv.Atoi(ls)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("limit= must be a non-negative integer")
+	}
+	if v == 0 {
+		return -1, nil
+	}
+	return min(v, maxListed), nil
+}
+
+// runQuery executes one request and renders the response shape shared by
+// every query endpoint.
+func (s *Server) runQuery(req dkindex.Request) (*queryResponse, error) {
+	res, err := s.idx.Run(req)
+	if err != nil {
+		return nil, err
+	}
+	kind := req.Kind
+	if kind == "" {
+		kind = dkindex.KindPath
+	}
+	out := &queryResponse{
+		Query:      req.Text,
+		Kind:       string(kind),
+		Count:      res.Total,
+		Cost:       res.Stats,
+		CacheHit:   res.CacheHit,
+		Generation: res.Generation,
+		// Preallocate exactly: result sets can run to thousands of nodes
+		// and append-doubling churn showed up in serving profiles.
+		Results: make([]queryResult, 0, len(res.Nodes)),
+	}
+	for _, n := range res.Nodes {
+		out.Results = append(out.Results, queryResult{Node: n, Label: res.LabelName(n)})
+	}
+	return out, nil
+}
+
+func (s *Server) handleLegacyQuery(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	limit, err := parseLimit(q.Get("limit"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, codeBadQuery, err)
+		return
+	}
+	req := dkindex.Request{Limit: limit}
 	switch {
 	case q.Get("path") != "":
-		text = q.Get("path")
-		s.mu.Lock()
-		res, stats, err = s.idx.Query(text)
-		s.mu.Unlock()
+		req.Kind, req.Text = dkindex.KindPath, q.Get("path")
 	case q.Get("rpe") != "":
-		text = q.Get("rpe")
-		s.mu.RLock()
-		res, stats, err = s.idx.QueryRPE(text)
-		s.mu.RUnlock()
+		req.Kind, req.Text = dkindex.KindRPE, q.Get("rpe")
 	case q.Get("twig") != "":
-		text = q.Get("twig")
-		s.mu.RLock()
-		res, stats, err = s.idx.QueryTwig(text)
-		s.mu.RUnlock()
+		req.Kind, req.Text = dkindex.KindTwig, q.Get("twig")
 	default:
-		writeError(w, http.StatusBadRequest, fmt.Errorf("one of path=, rpe= or twig= is required"))
+		writeError(w, http.StatusBadRequest, codeBadQuery, fmt.Errorf("one of path=, rpe= or twig= is required"))
 		return
 	}
+	out, err := s.runQuery(req)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, codeBadQuery, err)
 		return
 	}
-	listed := min(len(res), limit)
-	// Preallocate exactly: result sets can run to thousands of nodes and
-	// append-doubling churn showed up in serving profiles.
-	out := queryResponse{Query: text, Count: len(res), Cost: stats,
-		Results: make([]queryResult, 0, listed)}
-	s.mu.RLock()
-	for _, n := range res[:listed] {
-		out.Results = append(out.Results, queryResult{Node: n, Label: s.idx.LabelName(n)})
-	}
-	s.mu.RUnlock()
 	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleV1Query(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	limit, err := parseLimit(q.Get("limit"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, codeBadQuery, err)
+		return
+	}
+	text := q.Get("q")
+	if text == "" {
+		writeError(w, http.StatusBadRequest, codeBadQuery, fmt.Errorf("q= is required"))
+		return
+	}
+	kind := dkindex.Kind(q.Get("kind"))
+	switch kind {
+	case "", dkindex.KindPath, dkindex.KindRPE, dkindex.KindTwig:
+	default:
+		writeError(w, http.StatusBadRequest, codeBadQuery, fmt.Errorf("kind= must be path, rpe or twig"))
+		return
+	}
+	out, err := s.runQuery(dkindex.Request{Kind: kind, Text: text, Limit: limit})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, codeBadQuery, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// batchQuery is one item of a POST /v1/query body.
+type batchQuery struct {
+	Kind  string `json:"kind"`
+	Q     string `json:"q"`
+	Limit *int   `json:"limit"`
+}
+
+// handleQueryBatch answers every query in the body from one snapshot: all
+// items carry the same generation even if mutations land mid-batch.
+// Per-item errors are reported in place so one bad query does not void the
+// rest of the batch.
+func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		Queries []batchQuery `json:"queries"`
+	}
+	if err := decodeJSON(r, &body); err != nil {
+		code, status := codeBadRequest, http.StatusBadRequest
+		if errors.Is(err, errTooLarge) {
+			code, status = codeTooLarge, http.StatusRequestEntityTooLarge
+		}
+		writeError(w, status, code, err)
+		return
+	}
+	if len(body.Queries) == 0 {
+		writeError(w, http.StatusBadRequest, codeBadRequest, fmt.Errorf("queries must not be empty"))
+		return
+	}
+	if len(body.Queries) > maxBatchQueries {
+		writeError(w, http.StatusRequestEntityTooLarge, codeTooLarge,
+			fmt.Errorf("at most %d queries per batch", maxBatchQueries))
+		return
+	}
+	reqs := make([]dkindex.Request, len(body.Queries))
+	for i, bq := range body.Queries {
+		limit := defaultListed
+		if bq.Limit != nil {
+			if *bq.Limit < 0 {
+				writeError(w, http.StatusBadRequest, codeBadRequest,
+					fmt.Errorf("queries[%d]: limit must be non-negative", i))
+				return
+			}
+			if *bq.Limit == 0 {
+				limit = -1
+			} else {
+				limit = min(*bq.Limit, maxListed)
+			}
+		}
+		reqs[i] = dkindex.Request{Kind: dkindex.Kind(bq.Kind), Text: bq.Q, Limit: limit}
+	}
+	batch := s.idx.RunBatch(reqs)
+	items := make([]any, len(batch))
+	var generation uint64
+	for i, br := range batch {
+		if br.Err != nil {
+			items[i] = map[string]string{"error": br.Err.Error(), "code": codeBadQuery}
+			continue
+		}
+		res := br.Result
+		generation = res.Generation
+		out := &queryResponse{
+			Query:      reqs[i].Text,
+			Kind:       string(reqs[i].Kind),
+			Count:      res.Total,
+			Cost:       res.Stats,
+			CacheHit:   res.CacheHit,
+			Generation: res.Generation,
+			Results:    make([]queryResult, 0, len(res.Nodes)),
+		}
+		if out.Kind == "" {
+			out.Kind = string(dkindex.KindPath)
+		}
+		for _, n := range res.Nodes {
+			out.Results = append(out.Results, queryResult{Node: n, Label: res.LabelName(n)})
+		}
+		items[i] = out
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"generation": generation,
+		"results":    items,
+	})
 }
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	path := r.URL.Query().Get("path")
 	if path == "" {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("path= is required"))
+		writeError(w, http.StatusBadRequest, codeBadQuery, fmt.Errorf("path= is required"))
 		return
 	}
-	s.mu.RLock()
 	e, err := s.idx.Explain(path)
-	s.mu.RUnlock()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, codeBadQuery, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, e)
@@ -198,14 +350,11 @@ type edgeRequest struct {
 func (s *Server) handleAddEdge(w http.ResponseWriter, r *http.Request) {
 	var req edgeRequest
 	if err := decodeJSON(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, codeBadRequest, err)
 		return
 	}
-	s.mu.Lock()
-	err := s.idx.AddEdge(req.From, req.To)
-	s.mu.Unlock()
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+	if err := s.idx.AddEdge(req.From, req.To); err != nil {
+		writeError(w, http.StatusBadRequest, codeBadRequest, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "added"})
@@ -214,14 +363,11 @@ func (s *Server) handleAddEdge(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleRemoveEdge(w http.ResponseWriter, r *http.Request) {
 	var req edgeRequest
 	if err := decodeJSON(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, codeBadRequest, err)
 		return
 	}
-	s.mu.Lock()
-	err := s.idx.RemoveEdge(req.From, req.To)
-	s.mu.Unlock()
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+	if err := s.idx.RemoveEdge(req.From, req.To); err != nil {
+		writeError(w, http.StatusBadRequest, codeBadRequest, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "removed"})
@@ -230,11 +376,14 @@ func (s *Server) handleRemoveEdge(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleAddDocument(w http.ResponseWriter, r *http.Request) {
 	body := http.MaxBytesReader(w, r.Body, 64<<20)
 	defer body.Close()
-	s.mu.Lock()
 	mapping, err := s.idx.AddDocument(body, nil)
-	s.mu.Unlock()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, codeTooLarge, err)
+			return
+		}
+		writeError(w, http.StatusBadRequest, codeBadRequest, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"status": "inserted", "nodes": len(mapping)})
@@ -246,22 +395,18 @@ func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
 		K     int    `json:"k"`
 	}
 	if err := decodeJSON(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, codeBadRequest, err)
 		return
 	}
 	if req.K < 0 || req.K > 64 {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("k out of range"))
+		writeError(w, http.StatusBadRequest, codeBadRequest, fmt.Errorf("k out of range"))
 		return
 	}
-	s.mu.Lock()
-	err := s.idx.PromoteLabel(req.Label, req.K)
-	st := s.idx.Stats()
-	s.mu.Unlock()
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+	if err := s.idx.PromoteLabel(req.Label, req.K); err != nil {
+		writeError(w, http.StatusBadRequest, codeBadRequest, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"status": "promoted", "indexNodes": st.IndexNodes})
+	writeJSON(w, http.StatusOK, map[string]any{"status": "promoted", "indexNodes": s.idx.Stats().IndexNodes})
 }
 
 func (s *Server) handleDemote(w http.ResponseWriter, r *http.Request) {
@@ -269,14 +414,11 @@ func (s *Server) handleDemote(w http.ResponseWriter, r *http.Request) {
 		Reqs map[string]int `json:"reqs"`
 	}
 	if err := decodeJSON(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, codeBadRequest, err)
 		return
 	}
-	s.mu.Lock()
 	s.idx.Demote(req.Reqs)
-	st := s.idx.Stats()
-	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]any{"status": "demoted", "indexNodes": st.IndexNodes})
+	writeJSON(w, http.StatusOK, map[string]any{"status": "demoted", "indexNodes": s.idx.Stats().IndexNodes})
 }
 
 func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
@@ -284,21 +426,18 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		Budget int `json:"budget"`
 	}
 	if err := decodeJSON(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, codeBadRequest, err)
 		return
 	}
-	s.mu.Lock()
 	reqs, err := s.idx.Optimize(req.Budget)
-	st := s.idx.Stats()
-	s.mu.Unlock()
 	if err != nil {
-		writeError(w, http.StatusConflict, err)
+		writeError(w, http.StatusConflict, codeConflict, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":       "optimized",
 		"requirements": reqs,
-		"indexNodes":   st.IndexNodes,
+		"indexNodes":   s.idx.Stats().IndexNodes,
 	})
 }
 
@@ -307,11 +446,21 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 // Write, so the JSON plumbing stops allocating per request.
 var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 
+// maxJSONBody bounds JSON request bodies (XML documents have their own,
+// larger bound in handleAddDocument).
+const maxJSONBody = 1 << 20
+
+// errTooLarge marks a JSON body that exceeded maxJSONBody.
+var errTooLarge = errors.New("request body too large")
+
 func decodeJSON(r *http.Request, v any) error {
 	buf := bufPool.Get().(*bytes.Buffer)
 	defer func() { buf.Reset(); bufPool.Put(buf) }()
-	if _, err := buf.ReadFrom(io.LimitReader(r.Body, 1<<20)); err != nil {
+	if _, err := buf.ReadFrom(io.LimitReader(r.Body, maxJSONBody+1)); err != nil {
 		return fmt.Errorf("bad request body: %w", err)
+	}
+	if buf.Len() > maxJSONBody {
+		return errTooLarge
 	}
 	dec := json.NewDecoder(bytes.NewReader(buf.Bytes()))
 	dec.DisallowUnknownFields()
@@ -325,7 +474,7 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	buf := bufPool.Get().(*bytes.Buffer)
 	defer func() { buf.Reset(); bufPool.Put(buf) }()
 	if err := json.NewEncoder(buf).Encode(v); err != nil {
-		http.Error(w, `{"error":"encoding failed"}`, http.StatusInternalServerError)
+		http.Error(w, `{"error":"encoding failed","code":"internal"}`, http.StatusInternalServerError)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -333,6 +482,6 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_, _ = w.Write(buf.Bytes())
 }
 
-func writeError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, map[string]string{"error": err.Error()})
+func writeError(w http.ResponseWriter, status int, code string, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error(), "code": code})
 }

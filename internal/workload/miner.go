@@ -11,77 +11,15 @@ import (
 
 // The paper's first future-work direction is mining query patterns from
 // query loads: the simple "longest query per result label" rule ignores
-// frequencies and index-size budgets. This file provides an online load
-// recorder and a greedy budget-aware miner that picks the requirements with
-// the best marginal cost-saved-per-node-added ratio.
+// frequencies and index-size budgets. This file provides a greedy
+// budget-aware miner that picks the requirements with the best marginal
+// cost-saved-per-node-added ratio; recorder.go provides the online load
+// recorder that feeds it.
 
 // WeightedQuery is a query with its observed frequency.
 type WeightedQuery struct {
 	Q     eval.Query
 	Count int
-}
-
-// Recorder accumulates an observed query load. It is the online counterpart
-// of the synthetic Generate: attach it to a live system, Record every
-// executed path query, and periodically mine requirements from the result.
-type Recorder struct {
-	labels *graph.LabelTable
-	counts map[string]int
-	querys map[string]eval.Query
-}
-
-// NewRecorder returns an empty recorder over the given label table.
-func NewRecorder(t *graph.LabelTable) *Recorder {
-	return &Recorder{
-		labels: t,
-		counts: make(map[string]int),
-		querys: make(map[string]eval.Query),
-	}
-}
-
-// Record notes one execution of q.
-func (r *Recorder) Record(q eval.Query) {
-	if len(q) == 0 {
-		return
-	}
-	key := q.Format(r.labels)
-	r.counts[key]++
-	if _, ok := r.querys[key]; !ok {
-		r.querys[key] = append(eval.Query(nil), q...)
-	}
-}
-
-// Len returns the number of distinct queries recorded.
-func (r *Recorder) Len() int { return len(r.counts) }
-
-// Total returns the number of recorded executions.
-func (r *Recorder) Total() int {
-	t := 0
-	for _, c := range r.counts {
-		t += c
-	}
-	return t
-}
-
-// Load returns the recorded queries with frequencies, in deterministic
-// (query-text) order.
-func (r *Recorder) Load() []WeightedQuery {
-	keys := make([]string, 0, len(r.counts))
-	for k := range r.counts {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	out := make([]WeightedQuery, len(keys))
-	for i, k := range keys {
-		out[i] = WeightedQuery{Q: r.querys[k], Count: r.counts[k]}
-	}
-	return out
-}
-
-// Reset clears the recorder (e.g. after each tuning epoch).
-func (r *Recorder) Reset() {
-	r.counts = make(map[string]int)
-	r.querys = make(map[string]eval.Query)
 }
 
 // TuneStep records one accepted move of the greedy miner.

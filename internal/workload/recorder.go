@@ -1,0 +1,134 @@
+package workload
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"dkindex/internal/eval"
+)
+
+// Recorder accumulates an observed query load. It is the online counterpart
+// of the synthetic Generate: attach it to a live system, Record every
+// executed path query, and periodically mine requirements from the result.
+//
+// Recording is lock-free so the query hot path stays read-only end to end:
+// queries are keyed by their binary label-id encoding into a fixed set of
+// shards, each shard a sync.Map of atomic counters. Record costs one shard
+// lookup and one atomic increment in the steady state (a repeated query);
+// the first sighting of a query allocates its entry. Reset swaps in a fresh
+// shard set atomically — executions racing a Reset may land in the retired
+// epoch and be dropped, which is harmless for load mining.
+type Recorder struct {
+	state atomic.Pointer[recState]
+}
+
+// recShards trades memory for contention; 32 keeps first-sighting inserts
+// from serializing on one sync.Map under parallel query load.
+const recShards = 32
+
+type recState struct {
+	shards [recShards]recShard
+}
+
+type recShard struct {
+	m        sync.Map // binary query key (string) -> *recEntry
+	distinct atomic.Int64
+}
+
+type recEntry struct {
+	q     eval.Query
+	count atomic.Int64
+}
+
+// NewRecorder returns an empty recorder. It no longer needs a label table:
+// queries are keyed by label ids, and Load returns the ids for the caller to
+// format against whatever table is current.
+func NewRecorder() *Recorder {
+	r := &Recorder{}
+	r.state.Store(new(recState))
+	return r
+}
+
+// shardOf spreads binary query keys over the shards (FNV-1a).
+func shardOf(key string) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return int(h % recShards)
+}
+
+// Record notes one execution of q. Safe for concurrent use.
+func (r *Recorder) Record(q eval.Query) {
+	if len(q) == 0 {
+		return
+	}
+	var buf [64]byte
+	key := string(q.AppendKey(buf[:0]))
+	sh := &r.state.Load().shards[shardOf(key)]
+	if v, ok := sh.m.Load(key); ok {
+		v.(*recEntry).count.Add(1)
+		return
+	}
+	e := &recEntry{q: append(eval.Query(nil), q...)}
+	e.count.Store(1)
+	if v, loaded := sh.m.LoadOrStore(key, e); loaded {
+		v.(*recEntry).count.Add(1)
+		return
+	}
+	sh.distinct.Add(1)
+}
+
+// Len returns the number of distinct queries recorded.
+func (r *Recorder) Len() int {
+	st := r.state.Load()
+	var n int64
+	for i := range st.shards {
+		n += st.shards[i].distinct.Load()
+	}
+	return int(n)
+}
+
+// Total returns the number of recorded executions.
+func (r *Recorder) Total() int {
+	st := r.state.Load()
+	var t int64
+	for i := range st.shards {
+		st.shards[i].m.Range(func(_, v any) bool {
+			t += v.(*recEntry).count.Load()
+			return true
+		})
+	}
+	return int(t)
+}
+
+// Load returns the recorded queries with frequencies, in deterministic
+// (label-id-sequence) order.
+func (r *Recorder) Load() []WeightedQuery {
+	type keyed struct {
+		key string
+		wq  WeightedQuery
+	}
+	st := r.state.Load()
+	var all []keyed
+	for i := range st.shards {
+		st.shards[i].m.Range(func(k, v any) bool {
+			e := v.(*recEntry)
+			all = append(all, keyed{k.(string), WeightedQuery{Q: e.q, Count: int(e.count.Load())}})
+			return true
+		})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].key < all[j].key })
+	out := make([]WeightedQuery, len(all))
+	for i := range all {
+		out[i] = all[i].wq
+	}
+	return out
+}
+
+// Reset clears the recorder (e.g. after each tuning epoch).
+func (r *Recorder) Reset() {
+	r.state.Store(new(recState))
+}

@@ -1,0 +1,54 @@
+package workload
+
+import (
+	"sync"
+	"testing"
+
+	"dkindex/internal/eval"
+	"dkindex/internal/graph"
+)
+
+// TestRecorderConcurrent hammers Record from many goroutines (run with -race)
+// and checks no execution of a surviving epoch is lost: counts are exact when
+// no Reset races the writers.
+func TestRecorderConcurrent(t *testing.T) {
+	g := graph.FigureOneMovies()
+	r := NewRecorder()
+	queries := make([]eval.Query, 0, 4)
+	for _, s := range []string{"movie.title", "director.movie.title", "director.movie", "name"} {
+		q, err := eval.ParseQuery(g.Labels(), s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		queries = append(queries, q)
+	}
+	const workers, perWorker = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Record(queries[(w+i)%len(queries)])
+			}
+		}(w)
+	}
+	wg.Wait()
+	if r.Len() != len(queries) {
+		t.Errorf("Len = %d, want %d", r.Len(), len(queries))
+	}
+	if got, want := r.Total(), workers*perWorker; got != want {
+		t.Errorf("Total = %d, want %d", got, want)
+	}
+	total := 0
+	for _, wq := range r.Load() {
+		total += wq.Count
+	}
+	if total != workers*perWorker {
+		t.Errorf("Load counts sum to %d, want %d", total, workers*perWorker)
+	}
+	r.Reset()
+	if r.Len() != 0 || r.Total() != 0 {
+		t.Error("Reset did not clear")
+	}
+}

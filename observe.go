@@ -3,6 +3,7 @@ package dkindex
 import (
 	"time"
 
+	"dkindex/internal/core"
 	"dkindex/internal/eval"
 	"dkindex/internal/graph"
 	"dkindex/internal/obs"
@@ -17,46 +18,50 @@ import (
 // cost counters reported by queries are bit-identical with or without an
 // observer (tracing measures the cost model, it never participates in it).
 func (x *Index) Observe(o *obs.Observer) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
 	x.observer = o
-	if o == nil {
-		x.dk.IG.SetOnSplit(nil)
-		return
+	if o != nil {
+		x.syncGauges()
 	}
-	x.rewire()
 }
 
 // Observer returns the attached observer, or nil.
 func (x *Index) Observer() *obs.Observer { return x.observer }
 
-// rewire re-attaches the extent-split hook after any operation that replaced
-// the underlying index graph (rebuilds install fresh graphs without the
-// hook — which also keeps construction-time splits out of the event stream)
-// and refreshes the size gauges.
-func (x *Index) rewire() {
+// instrument attaches the extent-split hook to a successor state before (or,
+// for operations that replace the index graph wholesale, after) its
+// mutation. Clones never inherit the hook — published snapshots must not
+// fire events for work done on their successors — so every mutation
+// instruments the copy it is about to publish. The closure captures the
+// successor's graphs directly; it must not read the published handle, which
+// still points at the predecessor while the mutation runs.
+func (x *Index) instrument(dk *core.DK) {
 	if x.observer == nil {
 		return
 	}
-	ig := x.dk.IG
+	ig := dk.IG
+	labels := ig.Data().Labels()
 	ig.SetOnSplit(func(orig, created graph.NodeID) {
 		x.observer.RecordEvent(obs.Event{
 			Type:        obs.EventExtentSplit,
-			Label:       x.Graph().Labels().Name(ig.Label(orig)),
+			Label:       labels.Name(ig.Label(orig)),
 			K:           ig.K(created),
 			NodesBefore: ig.NumNodes() - 1,
 			NodesAfter:  ig.NumNodes(),
 			Created:     1,
 		})
 	})
-	x.syncGauges()
 }
 
 // preOp captures the index node count and wall clock before a mutation, at
-// zero cost when unobserved.
-func (x *Index) preOp() (nodesBefore int, start time.Time) {
+// zero cost when unobserved. Callers hold mu and pass the snapshot they
+// resolved.
+func (x *Index) preOp(cur *snapshot) (nodesBefore int, start time.Time) {
 	if x.observer == nil {
 		return 0, time.Time{}
 	}
-	return x.dk.IG.NumNodes(), time.Now()
+	return cur.dk.IG.NumNodes(), time.Now()
 }
 
 // opWall converts a preOp start into the operation's wall time.
@@ -68,24 +73,27 @@ func opWall(start time.Time) time.Duration {
 }
 
 // emit stamps the post-operation node count onto a lifecycle event, publishes
-// it and refreshes the size gauges. No-op when unobserved.
+// it and refreshes the gauges. Callers hold mu and have already published
+// the successor snapshot. No-op when unobserved.
 func (x *Index) emit(e obs.Event) {
 	if x.observer == nil {
 		return
 	}
-	e.NodesAfter = x.dk.IG.NumNodes()
+	e.NodesAfter = x.handle.Load().dk.IG.NumNodes()
 	x.observer.RecordEvent(e)
 	x.syncGauges()
 }
 
-// syncGauges pushes the current index size statistics into the observer's
-// gauges.
+// syncGauges pushes the current size, generation and cache statistics into
+// the observer's gauges.
 func (x *Index) syncGauges() {
 	if x.observer == nil {
 		return
 	}
 	s := x.Stats()
 	x.observer.SetIndexSize(s.DataNodes, s.DataEdges, s.IndexNodes, s.IndexEdges, s.MaxK)
+	x.observer.SetSnapshotGeneration(s.Generation)
+	x.observer.SetCacheEntries(s.CachedResults)
 }
 
 // costSample converts evaluation cost counters for the observer's histograms.

@@ -3,17 +3,19 @@ package dkindex
 import (
 	"io"
 	"os"
+	"sync"
 
 	"dkindex/internal/codec"
-	"dkindex/internal/graph"
 	"dkindex/internal/obs"
 	"dkindex/internal/workload"
 )
 
 // Save writes the index — data graph, extents, similarities and tuned
 // requirements — to a compact versioned binary stream. Open restores it.
+// Save reads one snapshot; it is safe concurrently with queries and
+// mutations.
 func (x *Index) Save(w io.Writer) error {
-	return codec.SaveDK(w, x.dk)
+	return codec.SaveDK(w, x.DK())
 }
 
 // SaveFile is Save to a file path.
@@ -36,7 +38,7 @@ func Open(r io.Reader) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Index{dk: dk}, nil
+	return newIndex(dk), nil
 }
 
 // OpenFile is Open from a file path.
@@ -55,22 +57,26 @@ func OpenFile(path string) (*Index, error) {
 // association and auto-promote heat are reset — they refer to the replaced
 // graph's label table. On a decode error the index is left untouched.
 //
-// Reload needs the same external synchronization as any other mutation.
+// Decoding happens outside the writer mutex; only the swap itself blocks
+// other mutations, and queries are never blocked at all.
 func (x *Index) Reload(r io.Reader) error {
-	before, start := x.preOp()
 	dk, err := codec.LoadDK(r)
 	if err != nil {
 		return err
 	}
-	x.dk = dk
-	x.queries = nil
-	if x.recorder != nil {
-		x.recorder = workload.NewRecorder(x.Graph().Labels())
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	cur := x.handle.Load()
+	before, start := x.preOp(cur)
+	x.queries.Store(nil)
+	if x.recorder.Load() != nil {
+		x.recorder.Store(workload.NewRecorder())
 	}
-	if x.validationHeat != nil {
-		x.validationHeat = make(map[graph.LabelID]heat)
+	if x.heat.Load() != nil {
+		x.heat.Store(&sync.Map{})
 	}
-	x.rewire()
+	x.instrument(dk)
+	x.publish(dk)
 	x.emit(obs.Event{Type: obs.EventCodecReload, NodesBefore: before, Wall: opWall(start)})
 	return nil
 }
