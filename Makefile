@@ -7,14 +7,14 @@ DK_BENCH_SCALE ?= 1.0
 BENCHTIME ?= 2s
 BENCHCOUNT ?= 1
 
-.PHONY: all build test race vet fmt-check bench bench2 bench3 stress ci clean
+.PHONY: all build test race vet fmt-check bench bench2 bench3 stress fuzz-smoke ci clean
 
 all: build test
 
 # ci chains every hygiene gate: compile, vet, formatting, the race-enabled
-# test suite, and the snapshot stress test (readers racing a writer) under
-# the race detector.
-ci: build vet fmt-check race stress
+# test suite, short fuzz runs of the decoders, and the stress pair (snapshot
+# races + crash-point sweep) under the race detector.
+ci: build vet fmt-check race fuzz-smoke stress
 
 build:
 	$(GO) build ./...
@@ -25,10 +25,21 @@ test:
 race:
 	$(GO) test -race ./...
 
-# stress runs the snapshot-isolation stress test alone under -race with a
-# higher count, the configuration most likely to surface a torn publish.
+# stress runs the snapshot-isolation stress test and the crash-point sweep
+# under -race: the first hammers a torn publish, the second injects a crash
+# at every I/O operation of a mutation scenario and proves recovery lands on
+# exactly the acknowledged state.
 stress:
 	$(GO) test -race -count 2 -run TestSnapshotStressConcurrent .
+	$(GO) test -race -count 1 -run TestStoreCrashPointSweep .
+
+# fuzz-smoke gives each untrusted-input decoder a short fuzzing burst: the
+# checkpoint codec, the write-ahead log replayer, and the XML loader. Long
+# exploratory runs stay manual (go test -fuzz=... -fuzztime=5m).
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzLoadDK -fuzztime 5s ./internal/codec
+	$(GO) test -run '^$$' -fuzz FuzzWALReplay -fuzztime 5s ./internal/wal
+	$(GO) test -run '^$$' -fuzz FuzzLoad -fuzztime 5s ./internal/xmlgraph
 
 vet:
 	$(GO) vet ./...

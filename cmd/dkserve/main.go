@@ -6,6 +6,14 @@
 //
 //	dkserve -in doc.xml -req title=2 -addr :8080
 //	dkserve -index doc.dkx -addr :8080 -pprof -trace-sample 16 -cache 8192
+//	dkserve -in doc.xml -data-dir /var/lib/dk -checkpoint-interval 30s
+//
+// With -data-dir every mutation is write-ahead logged before it is
+// acknowledged and folded into checksummed checkpoints in the background; on
+// restart the directory is recovered (newest readable checkpoint + log
+// replay) and -in/-index/-req/-tune are ignored in favor of the durable
+// state. Repeated checkpoint failures shut the process down with a non-zero
+// exit instead of serving with silently degraded durability.
 //
 //	curl 'localhost:8080/v1/query?q=director.movie.title'
 //	curl 'localhost:8080/v1/query?kind=twig&q=movie[actor].title'
@@ -37,6 +45,8 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -72,6 +82,19 @@ type config struct {
 	handler  http.Handler
 	logger   *slog.Logger
 	observer *obs.Observer
+
+	// Durability: store is non-nil when -data-dir armed the write-ahead log;
+	// ckptEvery > 0 runs the background checkpoint loop.
+	store     *dkindex.Store
+	ckptEvery time.Duration
+
+	// HTTP hygiene.
+	readHeaderTimeout time.Duration
+	idleTimeout       time.Duration
+
+	// ready backs /readyz: true once setup finished, false again the moment
+	// a shutdown starts draining, so load balancers stop routing here first.
+	ready atomic.Bool
 }
 
 // setup parses flags, loads and tunes the index, and returns the ready
@@ -89,6 +112,12 @@ func setup(args []string, stdout, stderr io.Writer) (*config, int) {
 		pprofOn     = fs.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 		traceSample = fs.Int("trace-sample", 64, "sample 1 query in N for tracing (0 disables)")
 		cacheSize   = fs.Int("cache", dkindex.DefaultResultCacheSize, "result cache capacity in entries (0 disables)")
+
+		dataDir     = fs.String("data-dir", "", "durable store directory (WAL + checkpoints); recovered on start, created from -in/-index when empty")
+		ckptEvery   = fs.Duration("checkpoint-interval", time.Minute, "background checkpoint interval with -data-dir (0 disables)")
+		maxInflight = fs.Int("max-inflight", 0, "bound on concurrently served requests; excess shed with 503 (0 = unbounded)")
+		readHdrTO   = fs.Duration("read-header-timeout", 5*time.Second, "bound on reading a request's headers (0 disables)")
+		idleTO      = fs.Duration("idle-timeout", 2*time.Minute, "bound on idle keep-alive connections (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, 2
@@ -97,11 +126,31 @@ func setup(args []string, stdout, stderr io.Writer) (*config, int) {
 	observer := obs.NewObserverWith(obs.NewRegistry(), obs.NewStream(256), obs.NewTracer(*traceSample, 32))
 
 	var (
-		idx *dkindex.Index
-		rep *dkindex.LoadReport
-		err error
+		idx   *dkindex.Index
+		store *dkindex.Store
+		rep   *dkindex.LoadReport
+		err   error
 	)
+	haveStore := *dataDir != "" && dkindex.StoreExists(nil, *dataDir)
 	switch {
+	case haveStore:
+		// The durable state wins over -in/-index: recovery replays the
+		// newest checkpoint plus its write-ahead log chain.
+		if *in != "" || *load != "" {
+			logger.Warn("existing store takes precedence; -in/-index ignored", "dataDir", *dataDir)
+		}
+		var rec *dkindex.RecoveryReport
+		store, rec, err = dkindex.OpenStore(*dataDir, &dkindex.StoreOptions{Observer: observer})
+		if err == nil {
+			idx = store.Index()
+			logger.Info("store recovered",
+				"checkpoint", rec.Checkpoint,
+				"epoch", rec.Epoch,
+				"replayed", rec.Replayed,
+				"truncatedTail", rec.TruncatedTail,
+				"chainBroken", rec.ChainBroken,
+				"corruptCheckpoints", strings.Join(rec.CorruptCheckpoints, ","))
+		}
 	case *load != "":
 		idx, err = dkindex.OpenFile(*load)
 	case *in != "":
@@ -128,7 +177,13 @@ func setup(args []string, stdout, stderr io.Writer) (*config, int) {
 			"count", len(rep.DanglingRefs),
 			"refs", strings.Join(firstN(rep.DanglingRefs, 5), ","))
 	}
-	if *tune > 0 {
+	// Tuning applies only to fresh indexes: a recovered store's requirements
+	// are part of its durable state and re-tuning every restart would drift.
+	if haveStore {
+		if *tune > 0 || *req != "" {
+			logger.Warn("store carries its own tuned requirements; -tune/-req ignored")
+		}
+	} else if *tune > 0 {
 		if err := idx.Tune(*tune, *seed); err != nil {
 			fmt.Fprintf(stderr, "dkserve: %v\n", err)
 			return nil, 1
@@ -139,21 +194,47 @@ func setup(args []string, stdout, stderr io.Writer) (*config, int) {
 			fmt.Fprintf(stderr, "dkserve: %v\n", err)
 			return nil, 1
 		}
-		idx.SetRequirements(reqs)
+		if err := idx.SetRequirements(reqs); err != nil {
+			fmt.Fprintf(stderr, "dkserve: %v\n", err)
+			return nil, 1
+		}
+	}
+	// A fresh store is created only after tuning so checkpoint 0 already
+	// carries the requirements and the log starts empty.
+	if *dataDir != "" && store == nil {
+		store, err = dkindex.CreateStore(*dataDir, idx, &dkindex.StoreOptions{Observer: observer})
+		if err != nil {
+			fmt.Fprintf(stderr, "dkserve: %v\n", err)
+			return nil, 1
+		}
+		logger.Info("store created", "dataDir", *dataDir)
 	}
 	srv := server.New(idx)
 	if *pprofOn {
 		srv.EnablePprof()
 	}
+	srv.SetMaxInFlight(*maxInflight)
+	cfg := &config{
+		addr:              *addr,
+		logger:            logger,
+		observer:          observer,
+		store:             store,
+		ckptEvery:         *ckptEvery,
+		readHeaderTimeout: *readHdrTO,
+		idleTimeout:       *idleTO,
+	}
+	srv.SetReadyCheck(func() error {
+		if !cfg.ready.Load() {
+			return fmt.Errorf("not serving (starting up or draining)")
+		}
+		return nil
+	})
+	cfg.handler = logRequests(srv, logger)
+	cfg.ready.Store(true)
 	s := idx.Stats()
 	fmt.Fprintf(stdout, "dkserve: %d data nodes, index %d nodes (max k=%d), listening on %s\n",
 		s.DataNodes, s.IndexNodes, s.MaxK, *addr)
-	return &config{
-		addr:     *addr,
-		handler:  logRequests(srv, logger),
-		logger:   logger,
-		observer: observer,
-	}, 0
+	return cfg, 0
 }
 
 func firstN(s []string, n int) []string {
@@ -167,31 +248,108 @@ func firstN(s []string, n int) []string {
 // termination signal.
 const shutdownGrace = 10 * time.Second
 
-// serve runs the HTTP server on ln until it fails or ctx is cancelled (the
-// signal path); on cancellation in-flight requests drain within
-// shutdownGrace and a final metrics snapshot is flushed to the log.
+// maxCheckpointFailures bounds consecutive background checkpoint failures
+// before the process gives up and exits non-zero: a server that can no longer
+// persist is degraded in a way an operator must see, not paper over.
+const maxCheckpointFailures = 3
+
+// serve runs the HTTP server on ln until it fails, ctx is cancelled (the
+// signal path), or durability is lost (repeated checkpoint failures). On the
+// way out in-flight requests drain within shutdownGrace, a final checkpoint
+// captures the log's tail, and a final metrics snapshot is flushed to the log.
 func serve(ctx context.Context, ln net.Listener, cfg *config) int {
-	hs := &http.Server{Handler: cfg.handler}
+	hs := &http.Server{
+		Handler:           cfg.handler,
+		ReadHeaderTimeout: cfg.readHeaderTimeout,
+		IdleTimeout:       cfg.idleTimeout,
+	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.Serve(ln) }()
-	select {
-	case err := <-errCh:
-		if err != nil && !errors.Is(err, http.ErrServerClosed) {
-			cfg.logger.Error("server failed", "err", err)
-			return 1
-		}
-		return 0
-	case <-ctx.Done():
-		cfg.logger.Info("shutdown signal received, draining requests", "grace", shutdownGrace)
+
+	fatal := make(chan error, 1)
+	stopCkpt := make(chan struct{})
+	var ckptWG sync.WaitGroup
+	if cfg.store != nil && cfg.ckptEvery > 0 {
+		ckptWG.Add(1)
+		go func() {
+			defer ckptWG.Done()
+			checkpointLoop(cfg, stopCkpt, fatal)
+		}()
+	}
+
+	shutdown := func(code int) int {
+		cfg.ready.Store(false)
 		shutCtx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
 		defer cancel()
-		code := 0
 		if err := hs.Shutdown(shutCtx); err != nil {
 			cfg.logger.Error("shutdown did not drain cleanly", "err", err)
 			code = 1
 		}
+		close(stopCkpt)
+		ckptWG.Wait()
+		if cfg.store != nil {
+			// Capture mutations still only in the log as a final checkpoint,
+			// so the next start replays nothing on the happy path.
+			if cfg.store.Appended() > 0 {
+				if err := cfg.store.Checkpoint(); err != nil {
+					cfg.logger.Error("final checkpoint failed (log chain still recovers on restart)", "err", err)
+					code = 1
+				}
+			}
+			if err := cfg.store.Close(); err != nil {
+				cfg.logger.Error("store close failed", "err", err)
+				code = 1
+			}
+		}
 		flushFinalMetrics(cfg)
 		return code
+	}
+
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			cfg.logger.Error("server failed", "err", err)
+			return shutdown(1)
+		}
+		return shutdown(0)
+	case <-ctx.Done():
+		cfg.logger.Info("shutdown signal received, draining requests", "grace", shutdownGrace)
+		return shutdown(0)
+	case err := <-fatal:
+		cfg.logger.Error("durability lost, shutting down", "err", err)
+		return shutdown(1)
+	}
+}
+
+// checkpointLoop periodically folds the write-ahead log into a fresh
+// checkpoint. A quiet index (no appended records) skips the cycle. A failed
+// checkpoint is retried next tick — the log chain keeps every acknowledged
+// mutation durable meanwhile — but maxCheckpointFailures consecutive failures
+// escalate to fatal.
+func checkpointLoop(cfg *config, stop <-chan struct{}, fatal chan<- error) {
+	t := time.NewTicker(cfg.ckptEvery)
+	defer t.Stop()
+	failures := 0
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			if cfg.store.Appended() == 0 {
+				continue
+			}
+			if err := cfg.store.Checkpoint(); err != nil {
+				failures++
+				cfg.logger.Error("checkpoint failed", "err", err, "consecutive", failures)
+				if failures >= maxCheckpointFailures {
+					fatal <- fmt.Errorf("%d consecutive checkpoint failures, last: %w", failures, err)
+					return
+				}
+				continue
+			}
+			failures = 0
+			cfg.logger.Info("checkpoint written", "epoch", cfg.store.Epoch())
+		}
 	}
 }
 

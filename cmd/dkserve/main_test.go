@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
@@ -133,6 +134,89 @@ func TestSetupDanglingWarning(t *testing.T) {
 	}
 	if !strings.Contains(sb.String(), "dk_load_dangling_refs_total 1") {
 		t.Errorf("dangling-ref counter not set:\n%s", sb.String())
+	}
+}
+
+// TestDataDirDurableRestart drives the full lifecycle twice: the first run
+// creates a store from -in, mutates through the API and shuts down (folding
+// the log into a final checkpoint); the second run recovers from -data-dir
+// alone and must still carry the mutation.
+func TestDataDirDurableRestart(t *testing.T) {
+	path := writeDoc(t, doc)
+	dir := filepath.Join(t.TempDir(), "store")
+
+	// First run: create the store and promote title to k=2.
+	errb := &syncBuffer{}
+	cfg, code := setup([]string{"-in", path, "-data-dir", dir, "-addr", ":0"}, &bytes.Buffer{}, errb)
+	if code != 0 {
+		t.Fatalf("setup exit %d: %s", code, errb.String())
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan int, 1)
+	go func() { done <- serve(ctx, ln, cfg) }()
+	resp, err := http.Post(fmt.Sprintf("http://%s/v1/promote", ln.Addr()),
+		"application/json", strings.NewReader(`{"label":"title","k":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("promote status = %d", resp.StatusCode)
+	}
+	cancel()
+	select {
+	case exit := <-done:
+		if exit != 0 {
+			t.Fatalf("serve exit = %d: %s", exit, errb.String())
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serve did not shut down")
+	}
+
+	// Second run: -data-dir alone recovers, and -in/-req are reported as
+	// overridden by the durable state.
+	errb2 := &syncBuffer{}
+	cfg2, code := setup([]string{"-data-dir", dir, "-in", path, "-req", "name=1", "-addr", ":0"},
+		&bytes.Buffer{}, errb2)
+	if code != 0 {
+		t.Fatalf("restart setup exit %d: %s", code, errb2.String())
+	}
+	defer cfg2.store.Close()
+	log := errb2.String()
+	if !strings.Contains(log, "store recovered") {
+		t.Errorf("no recovery log line:\n%s", log)
+	}
+	if !strings.Contains(log, "ignored") {
+		t.Errorf("no override warning for -in/-req:\n%s", log)
+	}
+	ts := httptest.NewServer(cfg2.handler)
+	defer ts.Close()
+	resp, err = ts.Client().Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		MaxK int `json:"maxK"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.MaxK != 2 {
+		t.Errorf("recovered maxK = %d, want 2 (promotion lost)", stats.MaxK)
+	}
+	// Readiness reflects the serving state.
+	rr, err := ts.Client().Get(ts.URL + "/v1/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr.Body.Close()
+	if rr.StatusCode != 200 {
+		t.Errorf("readyz = %d after setup", rr.StatusCode)
 	}
 }
 

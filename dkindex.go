@@ -40,6 +40,7 @@
 package dkindex
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"strings"
@@ -52,6 +53,7 @@ import (
 	"dkindex/internal/index"
 	"dkindex/internal/obs"
 	"dkindex/internal/qcache"
+	"dkindex/internal/wal"
 	"dkindex/internal/workload"
 	"dkindex/internal/xmlgraph"
 )
@@ -93,6 +95,39 @@ type Index struct {
 	// observer, when attached via Observe, receives query metrics, sampled
 	// traces and index lifecycle events. Nil costs only receiver checks.
 	observer *obs.Observer
+
+	// jr, when a Store attaches it, write-ahead-logs every mutation: the
+	// record is appended and fsynced before the successor snapshot is
+	// published, and the mutation aborts (unpublished) if the append fails.
+	// Guarded by mu.
+	jr mutationJournal
+}
+
+// mutationJournal is the write-ahead hook a Store installs. logMutation must
+// make the record durable before returning nil.
+type mutationJournal interface {
+	logMutation(op wal.Op, payload []byte) error
+}
+
+// logMutation journals a mutation about to be published. Callers hold mu; on
+// error the successor snapshot must not be published.
+func (x *Index) logMutation(op wal.Op, payload []byte) error {
+	if x.jr == nil {
+		return nil
+	}
+	return x.jr.logMutation(op, payload)
+}
+
+// attachJournal installs (or, with nil, removes) the store's write-ahead
+// hook. At most one journal may be attached.
+func (x *Index) attachJournal(j mutationJournal) error {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if x.jr != nil && j != nil {
+		return fmt.Errorf("dkindex: index is already managed by a store")
+	}
+	x.jr = j
+	return nil
 }
 
 // newIndex wraps a built D(k)-index into a facade with generation 0 and the
@@ -246,20 +281,25 @@ func (x *Index) Optimize(sizeBudget int) (map[string]int, error) {
 	// so the successor shares the data graph with the current snapshot.
 	nd := core.Build(g, res.Reqs)
 	x.instrument(nd)
-	rec.Reset()
-	x.publish(nd)
-	x.emit(obs.Event{Type: obs.EventOptimize, NodesBefore: before, Wall: opWall(start),
-		Detail: fmt.Sprintf("%d requirements mined", len(res.Reqs))})
 	out := make(map[string]int, len(res.Reqs))
 	for l, k := range res.Reqs {
 		out[g.Labels().Name(l)] = k
 	}
+	if err := x.logMutation(opSetReqs, encodeReqsPayload(out)); err != nil {
+		return nil, err
+	}
+	rec.Reset()
+	x.publish(nd)
+	x.emit(obs.Event{Type: obs.EventOptimize, NodesBefore: before, Wall: opWall(start),
+		Detail: fmt.Sprintf("%d requirements mined", len(res.Reqs))})
 	return out, nil
 }
 
 // SetRequirements rebuilds the index for explicit per-label requirements:
 // nodes labeled l answer queries up to length reqs[l] without validation.
-func (x *Index) SetRequirements(reqsByName map[string]int) {
+// The error is always nil unless a store manages the index and its
+// write-ahead log rejects the record, in which case nothing changes.
+func (x *Index) SetRequirements(reqsByName map[string]int) error {
 	x.mu.Lock()
 	defer x.mu.Unlock()
 	cur := x.handle.Load()
@@ -269,9 +309,13 @@ func (x *Index) SetRequirements(reqsByName map[string]int) {
 	g := cur.dk.IG.Data().CloneDetached()
 	nd := core.Build(g, core.ReqsFromNames(g.Labels(), reqsByName))
 	x.instrument(nd)
+	if err := x.logMutation(opSetReqs, encodeReqsPayload(reqsByName)); err != nil {
+		return err
+	}
 	x.publish(nd)
 	x.emit(obs.Event{Type: obs.EventRetune, NodesBefore: before, Wall: opWall(start),
 		Detail: "explicit requirements"})
+	return nil
 }
 
 // Tune samples a synthetic query load of n paths (2..5 labels, as in the
@@ -284,22 +328,39 @@ func (x *Index) Tune(n int, seed int64) error {
 	if err != nil {
 		return err
 	}
-	x.TuneWith(w)
-	return nil
+	return x.TuneWith(w)
 }
 
-// TuneWith mines requirements from the given query load and rebuilds.
-func (x *Index) TuneWith(w *workload.Workload) {
+// TuneWith mines requirements from the given query load and rebuilds. The
+// error is always nil unless a store manages the index and its write-ahead
+// log rejects the record, in which case nothing changes.
+func (x *Index) TuneWith(w *workload.Workload) error {
 	x.mu.Lock()
 	defer x.mu.Unlock()
 	cur := x.handle.Load()
 	before, start := x.preOp(cur)
-	nd := core.Build(cur.dk.IG.Data(), w.Requirements())
+	reqs := w.Requirements()
+	nd := core.Build(cur.dk.IG.Data(), reqs)
 	x.instrument(nd)
+	if err := x.logMutation(opSetReqs, encodeReqsPayload(reqsByLabelName(cur.dk, reqs))); err != nil {
+		return err
+	}
 	x.queries.Store(w)
 	x.publish(nd)
 	x.emit(obs.Event{Type: obs.EventRetune, NodesBefore: before, Wall: opWall(start),
 		Detail: "mined from workload"})
+	return nil
+}
+
+// reqsByLabelName translates label-id requirements into the by-name form the
+// write-ahead log records (names survive rebuilds; ids do not).
+func reqsByLabelName(dk *core.DK, reqs core.Requirements) map[string]int {
+	labels := dk.IG.Data().Labels()
+	out := make(map[string]int, len(reqs))
+	for l, k := range reqs {
+		out[labels.Name(l)] = k
+	}
+	return out
 }
 
 // Workload returns the load the index was last tuned with, or nil.
@@ -320,6 +381,9 @@ func (x *Index) AddEdge(from, to NodeID) error {
 	nd := cur.dk.CloneForUpdate()
 	x.instrument(nd)
 	stats := nd.AddEdge(from, to)
+	if err := x.logMutation(opEdgeAdd, encodeEdgePayload(from, to)); err != nil {
+		return err
+	}
 	x.publish(nd)
 	x.emit(obs.Event{Type: obs.EventEdgeAdd, NodesBefore: before,
 		Visited: stats.IndexNodesVisited, Wall: opWall(start),
@@ -342,6 +406,9 @@ func (x *Index) RemoveEdge(from, to NodeID) error {
 	nd := cur.dk.CloneForUpdate()
 	x.instrument(nd)
 	stats := nd.RemoveEdge(from, to)
+	if err := x.logMutation(opEdgeRemove, encodeEdgePayload(from, to)); err != nil {
+		return err
+	}
 	x.publish(nd)
 	x.emit(obs.Event{Type: obs.EventEdgeRemove, NodesBefore: before,
 		Visited: stats.IndexNodesVisited, Wall: opWall(start),
@@ -356,7 +423,13 @@ func (x *Index) AddDocument(r io.Reader, opts *LoadOptions) ([]NodeID, error) {
 	if opts == nil {
 		opts = &LoadOptions{}
 	}
-	h, rep, err := xmlgraph.Load(r, opts)
+	// Buffer the document so the journal can log the raw bytes; replaying
+	// the parse is what makes the record portable across label tables.
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	h, rep, err := xmlgraph.Load(bytes.NewReader(raw), opts)
 	if err != nil {
 		return nil, err
 	}
@@ -371,6 +444,9 @@ func (x *Index) AddDocument(r io.Reader, opts *LoadOptions) ([]NodeID, error) {
 	x.instrument(nd)
 	mapping, err := nd.AddSubgraph(h)
 	if err != nil {
+		return nil, err
+	}
+	if err := x.logMutation(opDocument, encodeDocumentPayload(opts, raw)); err != nil {
 		return nil, err
 	}
 	x.publish(nd)
@@ -396,6 +472,9 @@ func (x *Index) PromoteLabel(label string, k int) error {
 	nd := cur.dk.CloneIndex()
 	x.instrument(nd)
 	stats := nd.PromoteLabel(l, k)
+	if err := x.logMutation(opPromote, encodePromotePayload(label, k)); err != nil {
+		return err
+	}
 	x.publish(nd)
 	x.emit(obs.Event{Type: obs.EventPromote, Label: label, K: k, NodesBefore: before,
 		Created: stats.IndexNodesCreated, Visited: stats.IndexNodesVisited, Wall: opWall(start)})
@@ -403,8 +482,10 @@ func (x *Index) PromoteLabel(label string, k int) error {
 }
 
 // Demote shrinks the index to lower per-label requirements (Section 5.4),
-// merging extents without touching the data graph.
-func (x *Index) Demote(reqsByName map[string]int) {
+// merging extents without touching the data graph. The error is always nil
+// unless a store manages the index and its write-ahead log rejects the
+// record, in which case nothing changes.
+func (x *Index) Demote(reqsByName map[string]int) error {
 	x.mu.Lock()
 	defer x.mu.Unlock()
 	cur := x.handle.Load()
@@ -414,8 +495,12 @@ func (x *Index) Demote(reqsByName map[string]int) {
 	nd.Demote(core.ReqsFromNames(nd.IG.Data().Labels(), reqsByName))
 	// Demote replaced nd.IG wholesale; instrument the one being published.
 	x.instrument(nd)
+	if err := x.logMutation(opDemote, encodeReqsPayload(reqsByName)); err != nil {
+		return err
+	}
 	x.publish(nd)
 	x.emit(obs.Event{Type: obs.EventDemote, NodesBefore: before, Wall: opWall(start)})
+	return nil
 }
 
 // LabelName returns the label of a data node; handy when printing results.
@@ -573,6 +658,9 @@ func (x *Index) Compact() (dropped int, mapping []NodeID, err error) {
 	}
 	nd := core.Build(g, cur.dk.LabelReqs)
 	x.instrument(nd)
+	if err := x.logMutation(opCompact, nil); err != nil {
+		return 0, nil, err
+	}
 	if x.recorder.Load() != nil {
 		x.recorder.Store(workload.NewRecorder())
 	}
@@ -671,6 +759,13 @@ func (x *Index) autoPromoteLabel(hm *sync.Map, h *heatEntry, last graph.LabelID,
 	nd := cur.dk.CloneIndex()
 	x.instrument(nd)
 	stats := nd.PromoteLabel(last, maxLen)
+	name := cur.dk.IG.Data().Labels().Name(last)
+	if x.logMutation(opPromote, encodePromotePayload(name, maxLen)) != nil {
+		// Auto-promotion is opportunistic; if the log rejects the record the
+		// promotion is simply skipped, leaving the heat latched so the store
+		// is not hammered while its log is broken.
+		return
+	}
 	hm.Delete(last)
 	x.publish(nd)
 	x.emit(obs.Event{Type: obs.EventAutoPromote,

@@ -3,12 +3,22 @@
 // local similarities, and the query-load requirements. Index adjacency is
 // re-derived on load rather than stored.
 //
+// Version 2 frames every section with a length prefix and a CRC32 checksum,
+// so truncation and corruption are detected — and reported with the section
+// name and byte offset via *CorruptError — instead of decoding into garbage.
+// Version 1 streams (unframed) remain readable.
+//
 // Layout (all integers are unsigned varints unless noted):
 //
 //	magic "DKIX", version byte
-//	label table:   count, then length-prefixed strings
-//	data graph:    node count, per-node label id, root+1 (0 = none),
-//	               edge count, edges as (from, to) pairs delta-coded by from
+//	then, per section: section id byte, payload length, payload,
+//	                   CRC32/IEEE of the payload (4 bytes little-endian)
+//
+// Section payloads, in file order:
+//
+//	labels:        count, then length-prefixed strings
+//	graph:         node count, per-node label id, root+1 (0 = none),
+//	               edge count, edges as (from, to) pairs
 //	index:         node count, per-node: local similarity, extent size,
 //	               extent node ids delta-coded
 //	requirements:  count, (label id, k) pairs
@@ -16,9 +26,11 @@ package codec
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 
 	"dkindex/internal/core"
@@ -28,13 +40,54 @@ import (
 
 var magic = [4]byte{'D', 'K', 'I', 'X'}
 
-// Version is the current format version.
-const Version = 1
+// Version is the current format version (checksummed frames).
+const Version = 2
 
-// ErrBadFormat reports a corrupt or foreign file.
+// versionLegacy is the unframed, checksum-free original format; still
+// readable.
+const versionLegacy = 1
+
+// ErrBadFormat reports a foreign file: wrong magic or unknown version.
 var ErrBadFormat = errors.New("codec: not a D(k)-index file")
 
-// SaveDK writes the index and everything needed to restore it.
+// Section ids of the version-2 framing, in file order.
+const (
+	sectionLabels byte = 1 + iota
+	sectionGraph
+	sectionIndex
+	sectionReqs
+)
+
+var sectionNames = map[byte]string{
+	sectionLabels: "labels",
+	sectionGraph:  "graph",
+	sectionIndex:  "index",
+	sectionReqs:   "requirements",
+}
+
+// CorruptError reports a stream that carries the D(k)-index magic but whose
+// content is truncated, checksum-damaged or semantically impossible. Offset
+// is the byte position in the stream where the damage was detected; Section
+// names the framing section being read.
+type CorruptError struct {
+	Section string
+	Offset  int64
+	Err     error
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("codec: corrupt stream in section %q at byte %d: %v", e.Section, e.Offset, e.Err)
+}
+
+func (e *CorruptError) Unwrap() error { return e.Err }
+
+// corrupt wraps err with section and offset context.
+func corrupt(section string, offset int64, err error) error {
+	return &CorruptError{Section: section, Offset: offset, Err: err}
+}
+
+// SaveDK writes the index and everything needed to restore it, in the
+// current (checksummed) format.
 func SaveDK(w io.Writer, dk *core.DK) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(magic[:]); err != nil {
@@ -43,17 +96,56 @@ func SaveDK(w io.Writer, dk *core.DK) error {
 	if err := bw.WriteByte(Version); err != nil {
 		return err
 	}
-	enc := &encoder{w: bw}
+	var buf bytes.Buffer
+	enc := &encoder{w: &buf}
 	g := dk.IG.Data()
 
-	// Label table.
+	for _, sec := range []struct {
+		id     byte
+		encode func()
+	}{
+		{sectionLabels, func() { encodeLabels(enc, g) }},
+		{sectionGraph, func() { encodeGraph(enc, g) }},
+		{sectionIndex, func() { encodeIndex(enc, dk.IG) }},
+		{sectionReqs, func() { encodeReqs(enc, dk) }},
+	} {
+		buf.Reset()
+		sec.encode()
+		if err := writeFrame(bw, sec.id, buf.Bytes()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// writeFrame emits one section: id, length, payload, checksum.
+func writeFrame(bw *bufio.Writer, id byte, payload []byte) error {
+	if err := bw.WriteByte(id); err != nil {
+		return err
+	}
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenBuf[:], uint64(len(payload)))
+	if _, err := bw.Write(lenBuf[:n]); err != nil {
+		return err
+	}
+	if _, err := bw.Write(payload); err != nil {
+		return err
+	}
+	var sumBuf [4]byte
+	binary.LittleEndian.PutUint32(sumBuf[:], crc32.ChecksumIEEE(payload))
+	_, err := bw.Write(sumBuf[:])
+	return err
+}
+
+func encodeLabels(enc *encoder, g *graph.Graph) {
 	tab := g.Labels()
 	enc.uint(uint64(tab.Len()))
 	for l := 0; l < tab.Len(); l++ {
 		enc.str(tab.Name(graph.LabelID(l)))
 	}
+}
 
-	// Data graph.
+func encodeGraph(enc *encoder, g *graph.Graph) {
 	enc.uint(uint64(g.NumNodes()))
 	for n := 0; n < g.NumNodes(); n++ {
 		enc.uint(uint64(g.Label(graph.NodeID(n))))
@@ -66,9 +158,9 @@ func SaveDK(w io.Writer, dk *core.DK) error {
 			enc.uint(uint64(c))
 		}
 	}
+}
 
-	// Index nodes.
-	ig := dk.IG
+func encodeIndex(enc *encoder, ig *index.IndexGraph) {
 	enc.uint(uint64(ig.NumNodes()))
 	for b := 0; b < ig.NumNodes(); b++ {
 		enc.uint(uint64(ig.K(graph.NodeID(b))))
@@ -80,163 +172,271 @@ func SaveDK(w io.Writer, dk *core.DK) error {
 			prev = d
 		}
 	}
+}
 
-	// Requirements.
+func encodeReqs(enc *encoder, dk *core.DK) {
 	labels := dk.LabelReqs.SortedLabels()
 	enc.uint(uint64(len(labels)))
 	for _, l := range labels {
 		enc.uint(uint64(l))
 		enc.uint(uint64(dk.LabelReqs[l]))
 	}
-	if enc.err != nil {
-		return enc.err
-	}
-	return bw.Flush()
 }
 
-// LoadDK restores an index written by SaveDK.
+// LoadDK restores an index written by SaveDK: the current checksummed
+// format or the legacy unframed one. Damage is reported as *CorruptError.
 func LoadDK(r io.Reader) (*core.DK, error) {
-	br := bufio.NewReader(r)
+	cr := &countingReader{r: bufio.NewReader(r)}
 	var m [5]byte
-	if _, err := io.ReadFull(br, m[:]); err != nil {
+	if _, err := io.ReadFull(cr, m[:]); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
 	}
 	if [4]byte{m[0], m[1], m[2], m[3]} != magic {
 		return nil, ErrBadFormat
 	}
-	if m[4] != Version {
-		return nil, fmt.Errorf("codec: unsupported version %d", m[4])
+	st := &loadState{}
+	switch m[4] {
+	case versionLegacy:
+		if err := st.loadLegacy(cr); err != nil {
+			return nil, err
+		}
+	case Version:
+		if err := st.loadFramed(cr); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, m[4])
 	}
-	dec := &decoder{r: br}
+	ig, err := index.Reconstruct(st.g, st.extents, st.ks)
+	if err != nil {
+		return nil, corrupt("index", cr.n, err)
+	}
+	return &core.DK{IG: ig, LabelReqs: st.reqs}, nil
+}
 
-	// Label table.
-	tab := graph.NewLabelTable()
-	nLabels := dec.uint()
-	if nLabels > 1<<24 {
-		return nil, fmt.Errorf("codec: implausible label count %d", nLabels)
+// loadFramed reads the version-2 section frames.
+func (st *loadState) loadFramed(cr *countingReader) error {
+	for _, want := range []byte{sectionLabels, sectionGraph, sectionIndex, sectionReqs} {
+		name := sectionNames[want]
+		frameStart := cr.n
+		id, err := cr.ReadByte()
+		if err != nil {
+			return corrupt(name, frameStart, fmt.Errorf("truncated frame header: %w", err))
+		}
+		if id != want {
+			return corrupt(name, frameStart, fmt.Errorf("unexpected section id %d (want %d)", id, want))
+		}
+		plen, err := binary.ReadUvarint(cr)
+		if err != nil {
+			return corrupt(name, frameStart, fmt.Errorf("truncated frame length: %w", err))
+		}
+		if plen > 1<<31 {
+			return corrupt(name, frameStart, fmt.Errorf("implausible section length %d", plen))
+		}
+		payload := make([]byte, plen)
+		if _, err := io.ReadFull(cr, payload); err != nil {
+			return corrupt(name, frameStart, fmt.Errorf("truncated section payload: %w", err))
+		}
+		var sumBuf [4]byte
+		if _, err := io.ReadFull(cr, sumBuf[:]); err != nil {
+			return corrupt(name, frameStart, fmt.Errorf("truncated section checksum: %w", err))
+		}
+		if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(sumBuf[:]); got != want {
+			return corrupt(name, frameStart, fmt.Errorf("checksum mismatch (computed %08x, stored %08x)", got, want))
+		}
+		dec := &decoder{r: bytes.NewReader(payload)}
+		if err := st.decodeSection(want, dec); err != nil {
+			return corrupt(name, frameStart, err)
+		}
 	}
-	for i := uint64(0); i < nLabels; i++ {
+	return nil
+}
+
+// loadLegacy reads the unframed version-1 stream, tracking which logical
+// section it is in so errors still carry section context.
+func (st *loadState) loadLegacy(cr *countingReader) error {
+	dec := &decoder{r: cr}
+	for _, id := range []byte{sectionLabels, sectionGraph, sectionIndex, sectionReqs} {
+		start := cr.n
+		if err := st.decodeSection(id, dec); err != nil {
+			return corrupt(sectionNames[id], start, err)
+		}
+	}
+	return nil
+}
+
+// loadState accumulates decoded sections until the index is reassembled.
+type loadState struct {
+	tab     *graph.LabelTable
+	g       *graph.Graph
+	nLabels uint64
+	nNodes  uint64
+	ks      []int
+	extents [][]graph.NodeID
+	reqs    core.Requirements
+}
+
+func (st *loadState) decodeSection(id byte, dec *decoder) error {
+	switch id {
+	case sectionLabels:
+		return st.decodeLabels(dec)
+	case sectionGraph:
+		return st.decodeGraph(dec)
+	case sectionIndex:
+		return st.decodeIndex(dec)
+	case sectionReqs:
+		return st.decodeReqs(dec)
+	}
+	return fmt.Errorf("unknown section id %d", id)
+}
+
+func (st *loadState) decodeLabels(dec *decoder) error {
+	st.tab = graph.NewLabelTable()
+	st.nLabels = dec.uint()
+	if st.nLabels > 1<<24 {
+		return fmt.Errorf("implausible label count %d", st.nLabels)
+	}
+	for i := uint64(0); i < st.nLabels; i++ {
 		name := dec.str()
 		if dec.err != nil {
-			return nil, dec.err
+			return dec.err
 		}
-		if got := tab.Intern(name); got != graph.LabelID(i) {
-			return nil, fmt.Errorf("codec: duplicate label %q", name)
+		if got := st.tab.Intern(name); got != graph.LabelID(i) {
+			return fmt.Errorf("duplicate label %q", name)
 		}
 	}
+	return dec.err
+}
 
-	// Data graph.
-	g := graph.NewWithLabels(tab)
-	nNodes := dec.uint()
-	if nNodes > 1<<31 {
-		return nil, fmt.Errorf("codec: implausible node count %d", nNodes)
+func (st *loadState) decodeGraph(dec *decoder) error {
+	st.g = graph.NewWithLabels(st.tab)
+	st.nNodes = dec.uint()
+	if st.nNodes > 1<<31 {
+		return fmt.Errorf("implausible node count %d", st.nNodes)
 	}
-	for i := uint64(0); i < nNodes; i++ {
+	for i := uint64(0); i < st.nNodes; i++ {
 		l := dec.uint()
 		if dec.err != nil {
-			return nil, dec.err
+			return dec.err
 		}
-		if l >= nLabels {
-			return nil, fmt.Errorf("codec: node %d has label %d out of range", i, l)
+		if l >= st.nLabels {
+			return fmt.Errorf("node %d has label %d out of range", i, l)
 		}
-		g.AddNodeID(graph.LabelID(l))
+		st.g.AddNodeID(graph.LabelID(l))
 	}
 	if root := dec.uint(); root > 0 {
-		if root > nNodes {
-			return nil, fmt.Errorf("codec: root %d out of range", root-1)
+		if root > st.nNodes {
+			return fmt.Errorf("root %d out of range", root-1)
 		}
-		g.SetRoot(graph.NodeID(root - 1))
+		st.g.SetRoot(graph.NodeID(root - 1))
 	}
 	nEdges := dec.uint()
 	if nEdges > 1<<32 {
-		return nil, fmt.Errorf("codec: implausible edge count %d", nEdges)
+		return fmt.Errorf("implausible edge count %d", nEdges)
 	}
 	for i := uint64(0); i < nEdges; i++ {
 		from, to := dec.uint(), dec.uint()
 		if dec.err != nil {
-			return nil, dec.err
+			return dec.err
 		}
-		if from >= nNodes || to >= nNodes {
-			return nil, fmt.Errorf("codec: edge %d-%d out of range", from, to)
+		if from >= st.nNodes || to >= st.nNodes {
+			return fmt.Errorf("edge %d-%d out of range", from, to)
 		}
-		g.AddEdge(graph.NodeID(from), graph.NodeID(to))
+		st.g.AddEdge(graph.NodeID(from), graph.NodeID(to))
 	}
+	return dec.err
+}
 
-	// Index nodes.
+func (st *loadState) decodeIndex(dec *decoder) error {
 	nIdx := dec.uint()
-	if nIdx > nNodes {
-		return nil, fmt.Errorf("codec: more index nodes (%d) than data nodes (%d)", nIdx, nNodes)
+	if nIdx > st.nNodes {
+		return fmt.Errorf("more index nodes (%d) than data nodes (%d)", nIdx, st.nNodes)
 	}
-	ks := make([]int, nIdx)
-	extents := make([][]graph.NodeID, nIdx)
+	st.ks = make([]int, nIdx)
+	st.extents = make([][]graph.NodeID, nIdx)
 	for b := uint64(0); b < nIdx; b++ {
-		ks[b] = int(dec.uint())
+		st.ks[b] = int(dec.uint())
 		sz := dec.uint()
 		if dec.err != nil {
-			return nil, dec.err
+			return dec.err
 		}
-		if sz == 0 || sz > nNodes {
-			return nil, fmt.Errorf("codec: extent %d has implausible size %d", b, sz)
+		if sz == 0 || sz > st.nNodes {
+			return fmt.Errorf("extent %d has implausible size %d", b, sz)
 		}
 		ext := make([]graph.NodeID, sz)
 		cur := uint64(0)
 		for i := uint64(0); i < sz; i++ {
 			cur += dec.uint()
-			if cur >= nNodes {
-				return nil, fmt.Errorf("codec: extent %d references node %d out of range", b, cur)
+			if cur >= st.nNodes {
+				return fmt.Errorf("extent %d references node %d out of range", b, cur)
 			}
 			ext[i] = graph.NodeID(cur)
 		}
-		extents[b] = ext
+		st.extents[b] = ext
 	}
+	return dec.err
+}
 
-	// Requirements.
-	reqs := make(core.Requirements)
+func (st *loadState) decodeReqs(dec *decoder) error {
+	st.reqs = make(core.Requirements)
 	nReqs := dec.uint()
-	if nReqs > nLabels {
-		return nil, fmt.Errorf("codec: more requirements (%d) than labels", nReqs)
+	if nReqs > st.nLabels {
+		return fmt.Errorf("more requirements (%d) than labels", nReqs)
 	}
 	for i := uint64(0); i < nReqs; i++ {
 		l, k := dec.uint(), dec.uint()
-		if l >= nLabels {
-			return nil, fmt.Errorf("codec: requirement label %d out of range", l)
+		if l >= st.nLabels {
+			return fmt.Errorf("requirement label %d out of range", l)
 		}
-		reqs[graph.LabelID(l)] = int(k)
+		st.reqs[graph.LabelID(l)] = int(k)
 	}
-	if dec.err != nil {
-		return nil, dec.err
-	}
+	return dec.err
+}
 
-	ig, err := index.Reconstruct(g, extents, ks)
-	if err != nil {
-		return nil, fmt.Errorf("codec: %w", err)
+// countingReader tracks the byte offset for error reporting.
+type countingReader struct {
+	r *bufio.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func (c *countingReader) ReadByte() (byte, error) {
+	b, err := c.r.ReadByte()
+	if err == nil {
+		c.n++
 	}
-	return &core.DK{IG: ig, LabelReqs: reqs}, nil
+	return b, err
 }
 
 type encoder struct {
-	w   *bufio.Writer
-	err error
+	w   *bytes.Buffer
 	buf [binary.MaxVarintLen64]byte
 }
 
 func (e *encoder) uint(v uint64) {
-	if e.err != nil {
-		return
-	}
 	n := binary.PutUvarint(e.buf[:], v)
-	_, e.err = e.w.Write(e.buf[:n])
+	e.w.Write(e.buf[:n])
 }
 
 func (e *encoder) str(s string) {
 	e.uint(uint64(len(s)))
-	if e.err == nil {
-		_, e.err = e.w.WriteString(s)
-	}
+	e.w.WriteString(s)
+}
+
+// byteReader is what the decoder consumes: payload buffers (bytes.Reader) in
+// the framed format, the counting stream in the legacy one.
+type byteReader interface {
+	io.Reader
+	io.ByteReader
 }
 
 type decoder struct {
-	r   *bufio.Reader
+	r   byteReader
 	err error
 }
 
@@ -246,7 +446,7 @@ func (d *decoder) uint() uint64 {
 	}
 	v, err := binary.ReadUvarint(d.r)
 	if err != nil {
-		d.err = fmt.Errorf("codec: truncated file: %w", err)
+		d.err = fmt.Errorf("truncated stream: %w", err)
 		return 0
 	}
 	return v
@@ -258,12 +458,12 @@ func (d *decoder) str() string {
 		return ""
 	}
 	if n > 1<<20 {
-		d.err = fmt.Errorf("codec: implausible string length %d", n)
+		d.err = fmt.Errorf("implausible string length %d", n)
 		return ""
 	}
 	buf := make([]byte, n)
 	if _, err := io.ReadFull(d.r, buf); err != nil {
-		d.err = fmt.Errorf("codec: truncated string: %w", err)
+		d.err = fmt.Errorf("truncated string: %w", err)
 		return ""
 	}
 	return string(buf)

@@ -2,6 +2,7 @@ package codec
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
@@ -155,6 +156,119 @@ func TestLoadRejectsTruncation(t *testing.T) {
 	for _, cut := range []int{5, len(full) / 4, len(full) / 2, len(full) - 1} {
 		if _, err := LoadDK(bytes.NewReader(full[:cut])); err == nil {
 			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+// saveLegacy encodes dk in the unframed version-1 format: the same section
+// payloads, concatenated without length prefixes or checksums.
+func saveLegacy(dk *core.DK) []byte {
+	var buf bytes.Buffer
+	buf.Write(magic[:])
+	buf.WriteByte(versionLegacy)
+	enc := &encoder{w: &buf}
+	g := dk.IG.Data()
+	encodeLabels(enc, g)
+	encodeGraph(enc, g)
+	encodeIndex(enc, dk.IG)
+	encodeReqs(enc, dk)
+	return buf.Bytes()
+}
+
+func TestLegacyVersion1StillLoads(t *testing.T) {
+	dk := buildSample(t)
+	got, err := LoadDK(bytes.NewReader(saveLegacy(dk)))
+	if err != nil {
+		t.Fatalf("legacy stream rejected: %v", err)
+	}
+	if err := got.IG.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got.IG.NumNodes() != dk.IG.NumNodes() {
+		t.Fatalf("index shape changed: %d -> %d", dk.IG.NumNodes(), got.IG.NumNodes())
+	}
+	for b := 0; b < dk.IG.NumNodes(); b++ {
+		if got.IG.K(graph.NodeID(b)) != dk.IG.K(graph.NodeID(b)) {
+			t.Fatalf("similarity of index node %d changed", b)
+		}
+	}
+}
+
+// frameRanges walks a version-2 stream and returns the byte ranges
+// [start,end) of each section frame, keyed by section name.
+func frameRanges(t *testing.T, data []byte) map[string][2]int {
+	t.Helper()
+	out := make(map[string][2]int)
+	off := 5 // magic + version
+	for off < len(data) {
+		start := off
+		id := data[off]
+		off++
+		plen, n := binaryUvarint(data[off:])
+		if n <= 0 {
+			t.Fatalf("bad frame length at %d", off)
+		}
+		off += n + int(plen) + 4
+		out[sectionNames[id]] = [2]int{start, off}
+	}
+	return out
+}
+
+func binaryUvarint(b []byte) (uint64, int) {
+	var v uint64
+	var s uint
+	for i, c := range b {
+		if c < 0x80 {
+			return v | uint64(c)<<s, i + 1
+		}
+		v |= uint64(c&0x7f) << s
+		s += 7
+	}
+	return 0, 0
+}
+
+func TestCorruptionReportsSectionAndOffset(t *testing.T) {
+	dk := buildSample(t)
+	var buf bytes.Buffer
+	if err := SaveDK(&buf, dk); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	frames := frameRanges(t, full)
+
+	for _, section := range []string{"labels", "graph", "index", "requirements"} {
+		r, ok := frames[section]
+		if !ok {
+			t.Fatalf("stream has no %s frame", section)
+		}
+		cp := append([]byte(nil), full...)
+		cp[(r[0]+r[1])/2] ^= 0x5a // flip a payload byte mid-frame
+		_, err := LoadDK(bytes.NewReader(cp))
+		var ce *CorruptError
+		if !errors.As(err, &ce) {
+			t.Fatalf("%s corruption: want *CorruptError, got %v", section, err)
+		}
+		if ce.Section != section {
+			t.Errorf("%s corruption reported in section %q", section, ce.Section)
+		}
+		if ce.Offset != int64(r[0]) {
+			t.Errorf("%s corruption reported at %d, frame starts at %d", section, ce.Offset, r[0])
+		}
+	}
+}
+
+func TestTruncationReportsCorruptError(t *testing.T) {
+	dk := buildSample(t)
+	var buf bytes.Buffer
+	if err := SaveDK(&buf, dk); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 5; cut < len(full); cut += len(full) / 17 {
+		_, err := LoadDK(bytes.NewReader(full[:cut]))
+		var ce *CorruptError
+		if !errors.As(err, &ce) {
+			t.Fatalf("truncation at %d: want *CorruptError, got %v", cut, err)
 		}
 	}
 }

@@ -1,0 +1,472 @@
+// Package faultfs is a fault-injecting in-memory filesystem for crash-safety
+// tests. It implements fsx.FS with an explicit durability model:
+//
+//   - every file has a visible content (what reads see) and a durable
+//     content (what survives a crash); Sync promotes visible to durable;
+//   - the namespace likewise has a visible and a durable view: creations,
+//     renames and removals become crash-durable only on SyncDir.
+//
+// A test arms one fault with FailAt(n, mode): the nth mutating operation
+// (1-based; Create, Write, Sync, Truncate, Rename, Remove, SyncDir) either
+// returns an injected error and keeps the filesystem alive (ModeError), or
+// simulates a power cut (ModeCrash / ModeTorn): the operation does not take
+// effect (ModeTorn first applies a prefix of the write), all volatile state
+// is dropped, and every subsequent operation fails with ErrCrashed until
+// Reset. After Reset the filesystem serves exactly the durable state, which
+// is what recovery code would find on disk after the crash.
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	stdfs "io/fs"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"dkindex/internal/fsx"
+)
+
+// ErrInjected is returned by the operation selected with ModeError.
+var ErrInjected = errors.New("faultfs: injected I/O error")
+
+// ErrCrashed is returned by every operation after a simulated power cut.
+var ErrCrashed = errors.New("faultfs: filesystem crashed")
+
+// Mode selects what happens at the armed fault point.
+type Mode int
+
+const (
+	// ModeError fails the selected operation; the filesystem keeps working.
+	ModeError Mode = iota
+	// ModeCrash simulates a power cut at the selected operation: it does not
+	// take effect and all unsynced state is lost.
+	ModeCrash
+	// ModeTorn is ModeCrash, except a selected Write first applies a prefix
+	// of its buffer — the torn-write case.
+	ModeTorn
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeError:
+		return "error"
+	case ModeCrash:
+		return "crash"
+	case ModeTorn:
+		return "torn"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+type memFile struct {
+	visible []byte
+	durable []byte
+}
+
+// MemFS is the in-memory filesystem. The zero value is not usable; call New.
+type MemFS struct {
+	mu      sync.Mutex
+	files   map[string]*memFile // visible namespace
+	dur     map[string]*memFile // durable namespace
+	dirs    map[string]bool
+	ops     int
+	failAt  int
+	mode    Mode
+	crashed bool
+}
+
+// New returns an empty filesystem with no fault armed.
+func New() *MemFS {
+	return &MemFS{
+		files: make(map[string]*memFile),
+		dur:   make(map[string]*memFile),
+		dirs:  make(map[string]bool),
+	}
+}
+
+// FailAt arms one fault: the nth subsequent mutating operation fails with
+// the given mode. n <= 0 disarms.
+func (m *MemFS) FailAt(n int, mode Mode) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.ops = 0
+	m.failAt = n
+	m.mode = mode
+}
+
+// Ops returns how many mutating operations ran since the last FailAt/New.
+func (m *MemFS) Ops() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ops
+}
+
+// Crashed reports whether the simulated power cut has happened.
+func (m *MemFS) Crashed() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.crashed
+}
+
+// Crash simulates a power cut now: all unsynced file content and all
+// non-dir-synced namespace changes are dropped. Operations fail with
+// ErrCrashed until Reset.
+func (m *MemFS) Crash() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.crashLocked()
+}
+
+func (m *MemFS) crashLocked() {
+	m.crashed = true
+	vis := make(map[string]*memFile, len(m.dur))
+	for name, f := range m.dur {
+		f.visible = append([]byte(nil), f.durable...)
+		vis[name] = f
+	}
+	m.files = vis
+}
+
+// Reset clears the crashed state and any armed fault, so recovery code can
+// reopen the filesystem and see exactly the durable state.
+func (m *MemFS) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.crashed = false
+	m.failAt = 0
+	m.ops = 0
+}
+
+// step accounts one mutating operation and reports whether it must fail:
+// inject is non-nil for a plain injected error, crashNow means a power cut
+// fires at this operation. Callers hold mu.
+func (m *MemFS) step() (inject error, crashNow bool) {
+	if m.crashed {
+		return ErrCrashed, false
+	}
+	m.ops++
+	if m.failAt > 0 && m.ops == m.failAt {
+		if m.mode == ModeError {
+			return ErrInjected, false
+		}
+		return nil, true
+	}
+	return nil, false
+}
+
+// Create implements fsx.FS.
+func (m *MemFS) Create(path string) (fsx.File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err, crash := m.step(); err != nil {
+		return nil, err
+	} else if crash {
+		m.crashLocked()
+		return nil, ErrCrashed
+	}
+	f := &memFile{}
+	// If the name is already durably linked, the inode survives a crash with
+	// its durable content; a fresh create only becomes durable on SyncDir.
+	if old, ok := m.dur[path]; ok {
+		f.durable = old.durable
+		m.dur[path] = f
+	}
+	m.files[path] = f
+	return &handle{fs: m, f: f, path: path}, nil
+}
+
+// Open implements fsx.FS.
+func (m *MemFS) Open(path string) (fsx.File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return nil, ErrCrashed
+	}
+	f, ok := m.files[path]
+	if !ok {
+		return nil, &notExistError{path: path}
+	}
+	return &handle{fs: m, f: f, path: path, ro: true}, nil
+}
+
+// OpenRW implements fsx.FS.
+func (m *MemFS) OpenRW(path string) (fsx.File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return nil, ErrCrashed
+	}
+	f, ok := m.files[path]
+	if !ok {
+		return nil, &notExistError{path: path}
+	}
+	return &handle{fs: m, f: f, path: path}, nil
+}
+
+// Rename implements fsx.FS.
+func (m *MemFS) Rename(oldpath, newpath string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err, crash := m.step(); err != nil {
+		return err
+	} else if crash {
+		m.crashLocked()
+		return ErrCrashed
+	}
+	f, ok := m.files[oldpath]
+	if !ok {
+		return &notExistError{path: oldpath}
+	}
+	delete(m.files, oldpath)
+	m.files[newpath] = f
+	return nil
+}
+
+// Remove implements fsx.FS.
+func (m *MemFS) Remove(path string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err, crash := m.step(); err != nil {
+		return err
+	} else if crash {
+		m.crashLocked()
+		return ErrCrashed
+	}
+	if _, ok := m.files[path]; !ok {
+		return &notExistError{path: path}
+	}
+	delete(m.files, path)
+	return nil
+}
+
+// MkdirAll implements fsx.FS. Directories are tracked only so ReadDir on a
+// created-but-empty directory succeeds; creation is not a counted fault
+// point.
+func (m *MemFS) MkdirAll(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return ErrCrashed
+	}
+	m.dirs[filepath.Clean(dir)] = true
+	return nil
+}
+
+// ReadDir implements fsx.FS.
+func (m *MemFS) ReadDir(dir string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return nil, ErrCrashed
+	}
+	dir = filepath.Clean(dir)
+	var names []string
+	for path := range m.files {
+		if filepath.Dir(path) == dir {
+			names = append(names, filepath.Base(path))
+		}
+	}
+	if names == nil && !m.dirs[dir] {
+		return nil, &notExistError{path: dir}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// SyncDir implements fsx.FS: every visible namespace entry under dir becomes
+// crash-durable (with its current durable content), and removals and
+// renames away from dir become durable too.
+func (m *MemFS) SyncDir(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err, crash := m.step(); err != nil {
+		return err
+	} else if crash {
+		m.crashLocked()
+		return ErrCrashed
+	}
+	dir = filepath.Clean(dir)
+	for path := range m.dur {
+		if filepath.Dir(path) == dir {
+			if _, ok := m.files[path]; !ok {
+				delete(m.dur, path)
+			}
+		}
+	}
+	for path, f := range m.files {
+		if filepath.Dir(path) == dir {
+			m.dur[path] = f
+		}
+	}
+	m.dirs[dir] = true
+	return nil
+}
+
+// Corrupt overwrites len(garbage) bytes of path's content at off, in both
+// the visible and durable views — simulating at-rest corruption (bitrot) for
+// recovery tests. It bypasses fault accounting.
+func (m *MemFS) Corrupt(path string, off int, garbage []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[path]
+	if !ok {
+		return &notExistError{path: path}
+	}
+	for _, buf := range [][]byte{f.visible, f.durable} {
+		for i, b := range garbage {
+			if off+i < len(buf) {
+				buf[off+i] = b
+			}
+		}
+	}
+	return nil
+}
+
+// Size returns the visible size of path.
+func (m *MemFS) Size(path string) (int64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[path]
+	if !ok {
+		return 0, &notExistError{path: path}
+	}
+	return int64(len(f.visible)), nil
+}
+
+// handle is an open file. Offsets are per-handle, like real descriptors.
+type handle struct {
+	fs   *MemFS
+	f    *memFile
+	path string
+	off  int64
+	ro   bool
+}
+
+func (h *handle) Read(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.fs.crashed {
+		return 0, ErrCrashed
+	}
+	if h.off >= int64(len(h.f.visible)) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.f.visible[h.off:])
+	h.off += int64(n)
+	return n, nil
+}
+
+func (h *handle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.ro {
+		return 0, errors.New("faultfs: write on read-only handle")
+	}
+	if err, crash := h.fs.step(); err != nil {
+		return 0, err
+	} else if crash {
+		n := 0
+		if h.fs.mode == ModeTorn {
+			// Apply a prefix before the power cut: the torn-write case.
+			n = h.applyLocked(p[:len(p)/2])
+		}
+		h.fs.crashLocked()
+		return n, ErrCrashed
+	}
+	return h.applyLocked(p), nil
+}
+
+// applyLocked writes p at the handle offset, growing the file as needed.
+func (h *handle) applyLocked(p []byte) int {
+	end := h.off + int64(len(p))
+	if int64(len(h.f.visible)) < end {
+		grown := make([]byte, end)
+		copy(grown, h.f.visible)
+		h.f.visible = grown
+	}
+	copy(h.f.visible[h.off:end], p)
+	h.off = end
+	return len(p)
+}
+
+func (h *handle) Seek(offset int64, whence int) (int64, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.fs.crashed {
+		return 0, ErrCrashed
+	}
+	switch whence {
+	case io.SeekStart:
+		h.off = offset
+	case io.SeekCurrent:
+		h.off += offset
+	case io.SeekEnd:
+		h.off = int64(len(h.f.visible)) + offset
+	default:
+		return 0, fmt.Errorf("faultfs: bad whence %d", whence)
+	}
+	if h.off < 0 {
+		h.off = 0
+	}
+	return h.off, nil
+}
+
+func (h *handle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.ro {
+		return nil
+	}
+	if err, crash := h.fs.step(); err != nil {
+		return err
+	} else if crash {
+		h.fs.crashLocked()
+		return ErrCrashed
+	}
+	h.f.durable = append([]byte(nil), h.f.visible...)
+	return nil
+}
+
+func (h *handle) Truncate(size int64) error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.ro {
+		return errors.New("faultfs: truncate on read-only handle")
+	}
+	if err, crash := h.fs.step(); err != nil {
+		return err
+	} else if crash {
+		h.fs.crashLocked()
+		return ErrCrashed
+	}
+	if size < 0 {
+		return fmt.Errorf("faultfs: bad truncate size %d", size)
+	}
+	for int64(len(h.f.visible)) < size {
+		h.f.visible = append(h.f.visible, 0)
+	}
+	h.f.visible = h.f.visible[:size]
+	return nil
+}
+
+func (h *handle) Close() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.fs.crashed {
+		return ErrCrashed
+	}
+	return nil
+}
+
+// notExistError matches errors.Is(err, fs.ErrNotExist), like the real
+// filesystem's not-found errors.
+type notExistError struct{ path string }
+
+func (e *notExistError) Error() string {
+	return fmt.Sprintf("faultfs: %s: file does not exist", e.path)
+}
+
+// Is reports fs.ErrNotExist equivalence so callers can use errors.Is.
+func (e *notExistError) Is(target error) bool { return target == stdfs.ErrNotExist }

@@ -1,0 +1,222 @@
+package faultfs
+
+import (
+	"errors"
+	"io"
+	stdfs "io/fs"
+	"strings"
+	"testing"
+
+	"dkindex/internal/fsx"
+)
+
+func writeFile(t *testing.T, m *MemFS, path, content string) {
+	t.Helper()
+	f, err := m.Create(path)
+	if err != nil {
+		t.Fatalf("create %s: %v", path, err)
+	}
+	if _, err := f.Write([]byte(content)); err != nil {
+		t.Fatalf("write %s: %v", path, err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync %s: %v", path, err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("close %s: %v", path, err)
+	}
+}
+
+func readFile(t *testing.T, m *MemFS, path string) string {
+	t.Helper()
+	b, err := fsx.ReadAll(m, path)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return string(b)
+}
+
+func TestDurabilityModel(t *testing.T) {
+	m := New()
+	writeFile(t, m, "d/a", "synced")
+	if err := m.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Unsynced content and un-dir-synced names vanish on crash.
+	f, _ := m.Create("d/b")
+	f.Write([]byte("volatile"))
+	f.Close()
+	fa, _ := m.OpenRW("d/a")
+	fa.Seek(0, io.SeekEnd)
+	fa.Write([]byte(" plus unsynced tail"))
+	fa.Close()
+
+	m.Crash()
+	m.Reset()
+
+	if got := readFile(t, m, "d/a"); got != "synced" {
+		t.Fatalf("durable content = %q, want %q", got, "synced")
+	}
+	if _, err := m.Open("d/b"); !errors.Is(err, stdfs.ErrNotExist) {
+		t.Fatalf("un-dir-synced file should be gone, got err=%v", err)
+	}
+}
+
+func TestRenameDurability(t *testing.T) {
+	m := New()
+	writeFile(t, m, "d/old", "v1")
+	m.SyncDir("d")
+	writeFile(t, m, "d/new.tmp", "v2")
+	if err := m.Rename("d/new.tmp", "d/old"); err != nil {
+		t.Fatal(err)
+	}
+	// Visible view sees the rename immediately.
+	if got := readFile(t, m, "d/old"); got != "v2" {
+		t.Fatalf("visible after rename = %q, want v2", got)
+	}
+	// Crash before SyncDir: the durable namespace still has the old layout.
+	m.Crash()
+	m.Reset()
+	if got := readFile(t, m, "d/old"); got != "v1" {
+		t.Fatalf("durable after crash = %q, want v1", got)
+	}
+	// The tmp name was never dir-synced, so it is legitimately gone.
+	if _, err := m.Open("d/new.tmp"); !errors.Is(err, stdfs.ErrNotExist) {
+		t.Fatalf("un-dir-synced tmp should be gone, got err=%v", err)
+	}
+}
+
+func TestRenameDurableAfterSyncDir(t *testing.T) {
+	m := New()
+	writeFile(t, m, "d/old", "v1")
+	m.SyncDir("d")
+	writeFile(t, m, "d/new.tmp", "v2")
+	m.Rename("d/new.tmp", "d/old")
+	if err := m.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+	m.Crash()
+	m.Reset()
+	if got := readFile(t, m, "d/old"); got != "v2" {
+		t.Fatalf("after dir-synced rename = %q, want v2", got)
+	}
+	if _, err := m.Open("d/new.tmp"); !errors.Is(err, stdfs.ErrNotExist) {
+		t.Fatalf("renamed-away tmp should be gone, got err=%v", err)
+	}
+}
+
+func TestFailAtModes(t *testing.T) {
+	// ModeError: the op fails, the filesystem lives on.
+	m := New()
+	m.FailAt(2, ModeError) // Create is op 1, the Write is op 2
+	f, err := m.Create("d/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("boom")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	if _, err := f.Write([]byte("ok")); err != nil {
+		t.Fatalf("fs should survive ModeError: %v", err)
+	}
+
+	// ModeCrash: the op does not apply and everything after fails.
+	m = New()
+	writeFile(t, m, "d/x", "before")
+	m.SyncDir("d")
+	m.FailAt(1, ModeCrash)
+	g, err := m.OpenRW("d/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Write([]byte("after!")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("want ErrCrashed, got %v", err)
+	}
+	if !m.Crashed() {
+		t.Fatal("fs should be crashed")
+	}
+	m.Reset()
+	if got := readFile(t, m, "d/x"); got != "before" {
+		t.Fatalf("crashed write applied: %q", got)
+	}
+
+	// ModeTorn: half the write lands.
+	m = New()
+	writeFile(t, m, "d/x", "")
+	m.SyncDir("d")
+	m.FailAt(1, ModeTorn)
+	h, _ := m.OpenRW("d/x")
+	if _, err := h.Write([]byte("abcdefgh")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("want ErrCrashed, got %v", err)
+	}
+	m.Reset()
+	// The torn prefix was volatile — content had been synced as "".
+	if got := readFile(t, m, "d/x"); got != "" {
+		t.Fatalf("torn volatile write survived crash: %q", got)
+	}
+}
+
+func TestTornWriteSurvivesWhenSynced(t *testing.T) {
+	// A torn write followed by recovery sees the prefix only if something
+	// made it durable; here we model a sync racing the cut by syncing the
+	// file in the same epoch and verifying the torn prefix is visible
+	// pre-crash.
+	m := New()
+	writeFile(t, m, "d/x", "")
+	m.SyncDir("d")
+	m.FailAt(1, ModeTorn)
+	h, _ := m.OpenRW("d/x")
+	h.Write([]byte("abcdefgh"))
+	// Visible state before the crash dropped it held the prefix; after the
+	// crash the volatile prefix is gone (tested above). Reset and confirm
+	// the filesystem is consistent.
+	m.Reset()
+	if got := readFile(t, m, "d/x"); got != "" {
+		t.Fatalf("want empty, got %q", got)
+	}
+}
+
+func TestWriteAtomicCrashSweep(t *testing.T) {
+	// Sweep every fault point of fsx.WriteAtomic: recovery must observe
+	// either the old or the new content, never a mix.
+	for n := 1; ; n++ {
+		m := New()
+		m.MkdirAll("d")
+		writeFile(t, m, "d/f", "old")
+		m.SyncDir("d")
+		m.FailAt(n, ModeTorn)
+		_, err := fsx.WriteAtomic(m, "d/f", func(w io.Writer) error {
+			_, werr := w.Write([]byte("new-content"))
+			return werr
+		})
+		faulted := m.Crashed()
+		m.Crash()
+		m.Reset()
+		got := readFile(t, m, "d/f")
+		if got != "old" && got != "new-content" {
+			t.Fatalf("fault point %d: torn result %q", n, got)
+		}
+		if err == nil && got != "new-content" {
+			// SyncDir failures may be reported after the rename landed; only
+			// a fully successful WriteAtomic guarantees the new content.
+			t.Fatalf("fault point %d: reported success but content %q", n, got)
+		}
+		if !faulted {
+			// The sweep ran past the last operation; done.
+			break
+		}
+	}
+}
+
+func TestReader(t *testing.T) {
+	src := strings.NewReader("0123456789")
+	r := &Reader{R: src, FailAfter: 4}
+	buf, err := io.ReadAll(r)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	if string(buf) != "0123" {
+		t.Fatalf("delivered %q, want 0123", buf)
+	}
+}

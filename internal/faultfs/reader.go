@@ -1,0 +1,39 @@
+package faultfs
+
+import "io"
+
+// Reader wraps an io.Reader and injects an error once FailAfter bytes have
+// been delivered — for testing loaders against sources that die partway
+// (network resets, truncated pipes). A FailAfter of 0 fails the first Read.
+type Reader struct {
+	R io.Reader
+	// FailAfter is how many bytes to deliver before failing.
+	FailAfter int
+	// Err is the injected error; ErrInjected when nil.
+	Err error
+
+	read int
+}
+
+func (r *Reader) Read(p []byte) (int, error) {
+	if r.read >= r.FailAfter {
+		return 0, r.err()
+	}
+	if rem := r.FailAfter - r.read; len(p) > rem {
+		p = p[:rem]
+	}
+	n, err := r.R.Read(p)
+	r.read += n
+	if err == io.EOF && r.read >= r.FailAfter {
+		// The source ended exactly at the boundary; still inject.
+		err = r.err()
+	}
+	return n, err
+}
+
+func (r *Reader) err() error {
+	if r.Err != nil {
+		return r.Err
+	}
+	return ErrInjected
+}

@@ -1,0 +1,164 @@
+// Package fsx abstracts the filesystem operations the durability layer
+// performs — create, rename, remove, per-file fsync and directory fsync —
+// behind a small interface, so the same checkpoint and WAL code runs against
+// the real filesystem in production and against the fault-injecting
+// in-memory filesystem (internal/faultfs) in crash tests.
+//
+// It also provides WriteAtomic, the one sanctioned way to persist a file:
+// temp file in the same directory → write → fsync → close → rename over the
+// target → fsync the directory. A crash at any point leaves either the old
+// file or the new one, never a torn mix.
+package fsx
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// File is an open file handle. The durability layer needs reads, writes,
+// seeking (to resume appending after a truncation), truncation (to chop a
+// torn WAL tail) and Sync (the durability barrier).
+type File interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	io.Closer
+	// Sync makes previously written data durable (fsync).
+	Sync() error
+	// Truncate cuts the file to size bytes.
+	Truncate(size int64) error
+}
+
+// FS is the filesystem surface the durability layer uses. Paths follow the
+// host convention (use filepath.Join).
+type FS interface {
+	// Create opens path read-write, creating it and truncating any previous
+	// content.
+	Create(path string) (File, error)
+	// Open opens path read-only.
+	Open(path string) (File, error)
+	// OpenRW opens an existing path read-write without truncating.
+	OpenRW(path string) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes path.
+	Remove(path string) error
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(dir string) error
+	// ReadDir lists the names (not full paths) of dir's entries, sorted.
+	ReadDir(dir string) ([]string, error)
+	// SyncDir fsyncs the directory itself, making renames, creations and
+	// removals in it durable.
+	SyncDir(dir string) error
+}
+
+// OS is the real filesystem.
+type OS struct{}
+
+// Create implements FS.
+func (OS) Create(path string) (File, error) {
+	return os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+}
+
+// Open implements FS.
+func (OS) Open(path string) (File, error) { return os.Open(path) }
+
+// OpenRW implements FS.
+func (OS) OpenRW(path string) (File, error) { return os.OpenFile(path, os.O_RDWR, 0o644) }
+
+// Rename implements FS.
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove implements FS.
+func (OS) Remove(path string) error { return os.Remove(path) }
+
+// MkdirAll implements FS.
+func (OS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+// ReadDir implements FS.
+func (OS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// SyncDir implements FS. Some platforms reject fsync on directories; those
+// errors are ignored — the rename itself was still atomic.
+func (OS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// countingWriter counts bytes handed to the underlying file.
+type countingWriter struct {
+	f File
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.f.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// WriteAtomic durably replaces path with the bytes produced by write, using
+// the temp-file → fsync → rename → directory-fsync protocol. On error the
+// target is untouched (a stray .tmp file may remain; writers reusing the
+// path overwrite it, and recovery sweeps ignore the .tmp suffix). It returns
+// the number of payload bytes written.
+func WriteAtomic(fs FS, path string, write func(io.Writer) error) (int64, error) {
+	tmp := path + ".tmp"
+	f, err := fs.Create(tmp)
+	if err != nil {
+		return 0, err
+	}
+	cw := &countingWriter{f: f}
+	if err := write(cw); err != nil {
+		f.Close()
+		fs.Remove(tmp)
+		return 0, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		fs.Remove(tmp)
+		return 0, err
+	}
+	if err := f.Close(); err != nil {
+		fs.Remove(tmp)
+		return 0, err
+	}
+	if err := fs.Rename(tmp, path); err != nil {
+		fs.Remove(tmp)
+		return 0, err
+	}
+	if err := fs.SyncDir(filepath.Dir(path)); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+// ReadAll reads the whole file at path.
+func ReadAll(fs FS, path string) ([]byte, error) {
+	f, err := fs.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}

@@ -1,0 +1,80 @@
+package fsx
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteAtomicOS(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f.bin")
+	n, err := WriteAtomic(OS{}, path, func(w io.Writer) error {
+		_, werr := w.Write([]byte("hello"))
+		return werr
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("wrote %d bytes, want 5", n)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+	// Overwrite replaces atomically and leaves no temp file behind.
+	if _, err := WriteAtomic(OS{}, path, func(w io.Writer) error {
+		_, werr := w.Write([]byte("v2"))
+		return werr
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = os.ReadFile(path)
+	if string(got) != "v2" {
+		t.Fatalf("after overwrite: %q", got)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file left behind: %v", err)
+	}
+}
+
+func TestWriteAtomicWriterError(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f.bin")
+	if err := os.WriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	if _, err := WriteAtomic(OS{}, path, func(io.Writer) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("want boom, got %v", err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "old" {
+		t.Fatalf("target touched on failed write: %q", got)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file left behind: %v", err)
+	}
+}
+
+func TestOSReadDirAndSyncDir(t *testing.T) {
+	dir := t.TempDir()
+	for _, n := range []string{"b", "a"} {
+		if err := os.WriteFile(filepath.Join(dir, n), nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names, err := OS{}.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("ReadDir = %v", names)
+	}
+	if err := (OS{}).SyncDir(dir); err != nil {
+		t.Fatalf("SyncDir: %v", err)
+	}
+}

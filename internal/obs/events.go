@@ -23,6 +23,14 @@ const (
 	EventRetune      EventType = "retune"
 	EventCompact     EventType = "compact"
 	EventCodecReload EventType = "codec_reload"
+
+	// Durability lifecycle: checkpoint writes, write-ahead-log appends and
+	// startup recovery (see the dkindex Store).
+	EventCheckpointBegin  EventType = "checkpoint_begin"
+	EventCheckpointOK     EventType = "checkpoint_ok"
+	EventCheckpointFail   EventType = "checkpoint_fail"
+	EventWALAppend        EventType = "wal_append"
+	EventRecoveryReplayed EventType = "recovery_replayed"
 )
 
 // Event is one index lifecycle occurrence. Seq is assigned by the stream and

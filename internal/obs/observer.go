@@ -29,6 +29,18 @@ const (
 	MetricCacheMisses        = "dk_query_cache_misses_total"
 	MetricCacheEntries       = "dk_query_cache_entries"
 	MetricSnapshotGeneration = "dk_snapshot_generation"
+
+	// Durability metrics, fed by the dkindex Store.
+	MetricWALRecords            = "dk_wal_records_total"
+	MetricWALBytes              = "dk_wal_bytes_total"
+	MetricCheckpoints           = "dk_checkpoints_total"
+	MetricCheckpointBytes       = "dk_checkpoint_bytes_total"
+	MetricRecoveryReplayed      = "dk_recovery_replayed_records_total"
+	MetricRecoveryTruncatedTail = "dk_recovery_truncated_tail_total"
+
+	// HTTP resilience metrics, fed by the server middleware.
+	MetricHTTPShed   = "dk_http_shed_total"
+	MetricHTTPPanics = "dk_http_panics_total"
 )
 
 // CostSample carries the paper's per-query cost counters into histograms.
@@ -73,6 +85,12 @@ type Observer struct {
 	}
 	dangling *Counter
 	sampled  *Counter
+	durable  struct {
+		walRecords, walBytes                *Counter
+		checkpoints, checkpointBytes        *Counter
+		recoveryReplayed, recoveryTruncated *Counter
+		httpShed, httpPanics                *Counter
+	}
 }
 
 // NewObserver builds an observer with a fresh registry, a 256-event stream
@@ -106,7 +124,67 @@ func NewObserverWith(reg *Registry, events *Stream, tracer *Tracer) *Observer {
 	o.gauges.cacheEntries = reg.Gauge(MetricCacheEntries, "Result cache entries for the current generation.")
 	o.dangling = reg.Counter(MetricDanglingRefs, "IDREF attributes that resolved to no element at load time.")
 	o.sampled = reg.Counter(MetricTracesSampled, "Query traces sampled.")
+	o.durable.walRecords = reg.Counter(MetricWALRecords, "Write-ahead-log records appended and fsynced.")
+	o.durable.walBytes = reg.Counter(MetricWALBytes, "Bytes appended to the write-ahead log.")
+	o.durable.checkpoints = reg.Counter(MetricCheckpoints, "Checkpoints written successfully.")
+	o.durable.checkpointBytes = reg.Counter(MetricCheckpointBytes, "Bytes written by successful checkpoints.")
+	o.durable.recoveryReplayed = reg.Counter(MetricRecoveryReplayed, "WAL records replayed during startup recovery.")
+	o.durable.recoveryTruncated = reg.Counter(MetricRecoveryTruncatedTail, "Recoveries that truncated a torn WAL tail.")
+	o.durable.httpShed = reg.Counter(MetricHTTPShed, "HTTP requests shed with 503 because the in-flight limit was reached.")
+	o.durable.httpPanics = reg.Counter(MetricHTTPPanics, "HTTP handler panics recovered by the middleware.")
 	return o
+}
+
+// ObserveWALAppend counts one durable write-ahead-log append of n bytes.
+func (o *Observer) ObserveWALAppend(n int) {
+	if o == nil {
+		return
+	}
+	o.durable.walRecords.Inc()
+	if n > 0 {
+		o.durable.walBytes.Add(uint64(n))
+	}
+}
+
+// ObserveCheckpoint counts one successful checkpoint of n bytes.
+func (o *Observer) ObserveCheckpoint(n int64) {
+	if o == nil {
+		return
+	}
+	o.durable.checkpoints.Inc()
+	if n > 0 {
+		o.durable.checkpointBytes.Add(uint64(n))
+	}
+}
+
+// ObserveRecovery records a completed startup recovery: how many WAL records
+// were replayed and whether a torn tail had to be truncated.
+func (o *Observer) ObserveRecovery(replayed int, truncatedTail bool) {
+	if o == nil {
+		return
+	}
+	if replayed > 0 {
+		o.durable.recoveryReplayed.Add(uint64(replayed))
+	}
+	if truncatedTail {
+		o.durable.recoveryTruncated.Inc()
+	}
+}
+
+// ObserveHTTPShed counts a request rejected by the in-flight limiter.
+func (o *Observer) ObserveHTTPShed() {
+	if o == nil {
+		return
+	}
+	o.durable.httpShed.Inc()
+}
+
+// ObserveHTTPPanic counts a handler panic recovered by the middleware.
+func (o *Observer) ObserveHTTPPanic() {
+	if o == nil {
+		return
+	}
+	o.durable.httpPanics.Inc()
 }
 
 // ObserveQuery records one evaluated query into the per-kind histograms.

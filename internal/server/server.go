@@ -35,7 +35,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"net/http"
 	"strconv"
 	"sync"
@@ -50,6 +49,9 @@ const (
 	codeBadRequest = "bad_request"
 	codeConflict   = "conflict"
 	codeTooLarge   = "too_large"
+	codeOverloaded = "overloaded"
+	codeNotReady   = "not_ready"
+	codeInternal   = "internal"
 )
 
 // Server wraps an index with the HTTP handlers. It holds no locks: the
@@ -58,6 +60,14 @@ type Server struct {
 	idx *dkindex.Index
 	mux *http.ServeMux
 	obs *obs.Observer
+
+	// inflight, when SetMaxInFlight arms it, bounds concurrently served
+	// requests; requests beyond the bound are shed with 503 + Retry-After
+	// instead of queueing without limit. Probe routes bypass it.
+	inflight chan struct{}
+	// readyCheck, when SetReadyCheck installs it, backs /v1/readyz: nil
+	// error means ready. Liveness (/healthz) stays unconditional.
+	readyCheck func() error
 }
 
 // New wraps idx; the server starts watching the query load immediately. The
@@ -74,6 +84,7 @@ func New(idx *dkindex.Index) *Server {
 	// Every route serves under /v1 and, as a legacy alias, at the root.
 	for _, p := range []string{"", "/v1"} {
 		s.mux.HandleFunc("GET "+p+"/healthz", s.handleHealth)
+		s.mux.HandleFunc("GET "+p+"/readyz", s.handleReady)
 		s.mux.HandleFunc("GET "+p+"/stats", s.handleStats)
 		s.mux.HandleFunc("GET "+p+"/explain", s.handleExplain)
 		s.mux.HandleFunc("POST "+p+"/edges", s.handleAddEdge)
@@ -95,14 +106,74 @@ func New(idx *dkindex.Index) *Server {
 	return s
 }
 
-// ServeHTTP implements http.Handler.
+// SetMaxInFlight bounds how many requests are served concurrently; excess
+// requests are shed immediately with 503 and a Retry-After hint rather than
+// piling up. n <= 0 removes the bound. Probe routes (healthz, readyz) are
+// never shed. Call before serving traffic.
+func (s *Server) SetMaxInFlight(n int) {
+	if n <= 0 {
+		s.inflight = nil
+		return
+	}
+	s.inflight = make(chan struct{}, n)
+}
+
+// SetReadyCheck installs the readiness probe behind /v1/readyz: a nil error
+// means ready to serve. Call before serving traffic; without a check the
+// endpoint always reports ready.
+func (s *Server) SetReadyCheck(f func() error) { s.readyCheck = f }
+
+// probeRoute reports whether the request is a liveness/readiness probe,
+// which must answer even when the server is saturated.
+func probeRoute(path string) bool {
+	switch path {
+	case "/healthz", "/v1/healthz", "/readyz", "/v1/readyz":
+		return true
+	}
+	return false
+}
+
+// ServeHTTP implements http.Handler: it counts the request, sheds it if the
+// in-flight bound is hit, and converts handler panics into 500s instead of
+// letting one poisoned request tear down the connection (and, with it, the
+// process's ability to drain the rest).
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.countRequest(r)
+	if s.inflight != nil && !probeRoute(r.URL.Path) {
+		select {
+		case s.inflight <- struct{}{}:
+			defer func() { <-s.inflight }()
+		default:
+			s.obs.ObserveHTTPShed()
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, codeOverloaded,
+				fmt.Errorf("server at capacity, retry shortly"))
+			return
+		}
+	}
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.obs.ObserveHTTPPanic()
+			// The handler may have written already; this is best-effort.
+			writeError(w, http.StatusInternalServerError, codeInternal,
+				fmt.Errorf("internal error"))
+		}
+	}()
 	s.mux.ServeHTTP(w, r)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	if s.readyCheck != nil {
+		if err := s.readyCheck(); err != nil {
+			writeError(w, http.StatusServiceUnavailable, codeNotReady, err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -261,12 +332,8 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 	var body struct {
 		Queries []batchQuery `json:"queries"`
 	}
-	if err := decodeJSON(r, &body); err != nil {
-		code, status := codeBadRequest, http.StatusBadRequest
-		if errors.Is(err, errTooLarge) {
-			code, status = codeTooLarge, http.StatusRequestEntityTooLarge
-		}
-		writeError(w, status, code, err)
+	if err := decodeJSON(w, r, &body); err != nil {
+		writeDecodeError(w, err)
 		return
 	}
 	if len(body.Queries) == 0 {
@@ -349,8 +416,8 @@ type edgeRequest struct {
 
 func (s *Server) handleAddEdge(w http.ResponseWriter, r *http.Request) {
 	var req edgeRequest
-	if err := decodeJSON(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, codeBadRequest, err)
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeDecodeError(w, err)
 		return
 	}
 	if err := s.idx.AddEdge(req.From, req.To); err != nil {
@@ -362,8 +429,8 @@ func (s *Server) handleAddEdge(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleRemoveEdge(w http.ResponseWriter, r *http.Request) {
 	var req edgeRequest
-	if err := decodeJSON(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, codeBadRequest, err)
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeDecodeError(w, err)
 		return
 	}
 	if err := s.idx.RemoveEdge(req.From, req.To); err != nil {
@@ -394,8 +461,8 @@ func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
 		Label string `json:"label"`
 		K     int    `json:"k"`
 	}
-	if err := decodeJSON(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, codeBadRequest, err)
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeDecodeError(w, err)
 		return
 	}
 	if req.K < 0 || req.K > 64 {
@@ -413,11 +480,14 @@ func (s *Server) handleDemote(w http.ResponseWriter, r *http.Request) {
 	var req struct {
 		Reqs map[string]int `json:"reqs"`
 	}
-	if err := decodeJSON(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, codeBadRequest, err)
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeDecodeError(w, err)
 		return
 	}
-	s.idx.Demote(req.Reqs)
+	if err := s.idx.Demote(req.Reqs); err != nil {
+		writeError(w, http.StatusInternalServerError, codeInternal, err)
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{"status": "demoted", "indexNodes": s.idx.Stats().IndexNodes})
 }
 
@@ -425,8 +495,8 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	var req struct {
 		Budget int `json:"budget"`
 	}
-	if err := decodeJSON(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, codeBadRequest, err)
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeDecodeError(w, err)
 		return
 	}
 	reqs, err := s.idx.Optimize(req.Budget)
@@ -453,14 +523,18 @@ const maxJSONBody = 1 << 20
 // errTooLarge marks a JSON body that exceeded maxJSONBody.
 var errTooLarge = errors.New("request body too large")
 
-func decodeJSON(r *http.Request, v any) error {
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
 	buf := bufPool.Get().(*bytes.Buffer)
 	defer func() { buf.Reset(); bufPool.Put(buf) }()
-	if _, err := buf.ReadFrom(io.LimitReader(r.Body, maxJSONBody+1)); err != nil {
+	// MaxBytesReader (rather than a bare LimitReader) also closes the body
+	// and tells the HTTP server to stop reading the connection, so an
+	// oversized body cannot be streamed in indefinitely.
+	if _, err := buf.ReadFrom(http.MaxBytesReader(w, r.Body, maxJSONBody)); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return errTooLarge
+		}
 		return fmt.Errorf("bad request body: %w", err)
-	}
-	if buf.Len() > maxJSONBody {
-		return errTooLarge
 	}
 	dec := json.NewDecoder(bytes.NewReader(buf.Bytes()))
 	dec.DisallowUnknownFields()
@@ -484,4 +558,14 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 func writeError(w http.ResponseWriter, status int, code string, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error(), "code": code})
+}
+
+// writeDecodeError renders a decodeJSON failure: 413 for oversized bodies,
+// 400 for everything else.
+func writeDecodeError(w http.ResponseWriter, err error) {
+	if errors.Is(err, errTooLarge) {
+		writeError(w, http.StatusRequestEntityTooLarge, codeTooLarge, err)
+		return
+	}
+	writeError(w, http.StatusBadRequest, codeBadRequest, err)
 }

@@ -1,0 +1,249 @@
+// Package wal is a checksummed, append-only write-ahead log for index
+// mutations. One log file covers one checkpoint epoch: every record appended
+// after checkpoint N lands in wal-N, and recovery replays the chain of logs
+// on top of the newest loadable checkpoint.
+//
+// File layout:
+//
+//	header: magic "DKWL", version byte
+//	record: uvarint seq (1-based, contiguous), op byte,
+//	        uvarint payload length, payload,
+//	        crc32/IEEE over (seq|op|len|payload), 4 bytes little-endian
+//
+// Append is write-ahead durable: the record is written and fsynced before
+// Append returns. A failed append rolls the file back to the previous record
+// boundary so a later append cannot strand readable records behind garbage;
+// if even the rollback fails the writer latches ErrWriterBroken and refuses
+// further appends — the store recovers by rotating to a fresh log at the
+// next checkpoint.
+//
+// Replay tolerates a torn tail: it applies every intact record and reports
+// the number of valid bytes so the caller can truncate the garbage and keep
+// appending. A checksum mismatch, a short frame or a sequence gap all end
+// the replay the same way — records beyond that point were never
+// acknowledged durable in an order that could matter.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"dkindex/internal/fsx"
+)
+
+// Op tags one record type. The WAL does not interpret payloads; the facade
+// defines the vocabulary.
+type Op byte
+
+// Magic identifies a WAL file; Version its format revision.
+var magic = [4]byte{'D', 'K', 'W', 'L'}
+
+// Version is the current WAL format version.
+const Version = 1
+
+const headerSize = 5
+
+// ErrWriterBroken reports a writer that failed to roll back a bad append;
+// nothing more can be safely appended to its file.
+var ErrWriterBroken = errors.New("wal: writer broken (failed rollback after bad append)")
+
+// ErrBadHeader reports a file that is not a WAL (or whose header was torn).
+var ErrBadHeader = errors.New("wal: bad file header")
+
+// Record is one replayed entry.
+type Record struct {
+	Seq     uint64
+	Op      Op
+	Payload []byte
+}
+
+// Writer appends records to one WAL file.
+type Writer struct {
+	f      fsx.File
+	path   string
+	seq    uint64 // last acknowledged sequence number
+	off    int64  // durable end of file
+	bytes  int64  // payload+frame bytes acknowledged
+	broken bool
+	buf    []byte
+}
+
+// Create creates (or truncates) a WAL file and durably writes its header.
+// The caller is responsible for dir-syncing the parent directory if the file
+// is new.
+func Create(fs fsx.FS, path string) (*Writer, error) {
+	f, err := fs.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	hdr := append(magic[:], Version)
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Writer{f: f, path: path, off: headerSize}, nil
+}
+
+// OpenAt reopens an existing WAL for appending after a replay: the file is
+// truncated to validSize (chopping any torn tail durably) and appends resume
+// with sequence numbers after lastSeq.
+func OpenAt(fs fsx.FS, path string, validSize int64, lastSeq uint64) (*Writer, error) {
+	f, err := fs.OpenRW(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Truncate(validSize); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(validSize, 0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Writer{f: f, path: path, seq: lastSeq, off: validSize}, nil
+}
+
+// Path returns the file path the writer appends to.
+func (w *Writer) Path() string { return w.path }
+
+// Seq returns the last acknowledged sequence number.
+func (w *Writer) Seq() uint64 { return w.seq }
+
+// Bytes returns how many bytes of acknowledged records (frames included)
+// this writer has appended in its lifetime (not counting replayed ones).
+func (w *Writer) Bytes() int64 { return w.bytes }
+
+// Append durably appends one record: it returns only after the bytes are
+// written and fsynced. On failure the record is not acknowledged and the
+// file is rolled back to the previous record boundary.
+func (w *Writer) Append(op Op, payload []byte) (int, error) {
+	if w.broken {
+		return 0, ErrWriterBroken
+	}
+	frame := w.buf[:0]
+	frame = binary.AppendUvarint(frame, w.seq+1)
+	frame = append(frame, byte(op))
+	frame = binary.AppendUvarint(frame, uint64(len(payload)))
+	frame = append(frame, payload...)
+	frame = binary.LittleEndian.AppendUint32(frame, crc32.ChecksumIEEE(frame))
+	w.buf = frame
+
+	if _, err := w.f.Write(frame); err != nil {
+		w.rollback()
+		return 0, err
+	}
+	if err := w.f.Sync(); err != nil {
+		w.rollback()
+		return 0, err
+	}
+	w.seq++
+	w.off += int64(len(frame))
+	w.bytes += int64(len(frame))
+	return len(frame), nil
+}
+
+// rollback chops a partially written frame so the file ends at the last
+// acknowledged record. If the chop cannot be made durable the writer is
+// latched broken.
+func (w *Writer) rollback() {
+	if w.f.Truncate(w.off) != nil || w.f.Sync() != nil {
+		w.broken = true
+		return
+	}
+	if _, err := w.f.Seek(w.off, 0); err != nil {
+		w.broken = true
+	}
+}
+
+// Broken reports whether the writer has latched ErrWriterBroken.
+func (w *Writer) Broken() bool { return w.broken }
+
+// Close closes the underlying file.
+func (w *Writer) Close() error { return w.f.Close() }
+
+// ReplayResult describes what Replay found.
+type ReplayResult struct {
+	// Records is how many intact records were applied.
+	Records int
+	// LastSeq is the sequence number of the last applied record.
+	LastSeq uint64
+	// ValidSize is the byte offset of the end of the last intact record;
+	// everything after it is a torn or corrupt tail.
+	ValidSize int64
+	// Truncated reports whether a torn/corrupt tail was found.
+	Truncated bool
+}
+
+// Replay reads the WAL at path and calls apply for every intact record, in
+// order. A torn or corrupt tail ends the replay and is reported, not an
+// error; an apply error aborts the replay and is returned as-is. A missing
+// or header-corrupt file returns ErrBadHeader (wrapped for context).
+func Replay(fs fsx.FS, path string, apply func(Record) error) (*ReplayResult, error) {
+	data, err := fsx.ReadAll(fs, path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < headerSize || [4]byte(data[:4]) != magic {
+		return nil, fmt.Errorf("%w: %s", ErrBadHeader, path)
+	}
+	if data[4] != Version {
+		return nil, fmt.Errorf("wal: %s: unsupported version %d", path, data[4])
+	}
+	res := &ReplayResult{ValidSize: headerSize}
+	off := headerSize
+	for off < len(data) {
+		rec, end, ok := parseRecord(data, off, res.LastSeq)
+		if !ok {
+			res.Truncated = true
+			return res, nil
+		}
+		if err := apply(rec); err != nil {
+			return res, err
+		}
+		res.Records++
+		res.LastSeq = rec.Seq
+		res.ValidSize = int64(end)
+		off = end
+	}
+	return res, nil
+}
+
+// parseRecord decodes one frame at off. ok is false for any torn, corrupt
+// or out-of-sequence frame.
+func parseRecord(data []byte, off int, prevSeq uint64) (rec Record, end int, ok bool) {
+	seq, n := binary.Uvarint(data[off:])
+	if n <= 0 || seq != prevSeq+1 {
+		return rec, 0, false
+	}
+	p := off + n
+	if p >= len(data) {
+		return rec, 0, false
+	}
+	op := data[p]
+	p++
+	plen, n := binary.Uvarint(data[p:])
+	if n <= 0 || plen > uint64(len(data)) {
+		return rec, 0, false
+	}
+	p += n
+	if p+int(plen)+4 > len(data) {
+		return rec, 0, false
+	}
+	payload := data[p : p+int(plen)]
+	p += int(plen)
+	sum := binary.LittleEndian.Uint32(data[p : p+4])
+	if crc32.ChecksumIEEE(data[off:p]) != sum {
+		return rec, 0, false
+	}
+	return Record{Seq: seq, Op: Op(op), Payload: payload}, p + 4, true
+}

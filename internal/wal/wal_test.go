@@ -1,0 +1,184 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"dkindex/internal/faultfs"
+	"dkindex/internal/fsx"
+)
+
+func collect(t *testing.T, fs fsx.FS, path string) ([]Record, *ReplayResult) {
+	t.Helper()
+	var recs []Record
+	res, err := Replay(fs, path, func(r Record) error {
+		recs = append(recs, Record{Seq: r.Seq, Op: r.Op, Payload: append([]byte(nil), r.Payload...)})
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return recs, res
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	fs := fsx.OS{}
+	path := filepath.Join(t.TempDir(), "wal-1.log")
+	w, err := Create(fs, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloads := [][]byte{[]byte("a"), {}, []byte("long payload with \x00 bytes \xff")}
+	for i, p := range payloads {
+		if _, err := w.Append(Op(i+1), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, res := collect(t, fs, path)
+	if len(recs) != len(payloads) || res.Truncated {
+		t.Fatalf("got %d records (truncated=%v), want %d", len(recs), res.Truncated, len(payloads))
+	}
+	for i, r := range recs {
+		if r.Seq != uint64(i+1) || r.Op != Op(i+1) || !bytes.Equal(r.Payload, payloads[i]) {
+			t.Fatalf("record %d mismatch: %+v", i, r)
+		}
+	}
+	if res.LastSeq != 3 {
+		t.Fatalf("LastSeq = %d", res.LastSeq)
+	}
+}
+
+func TestTornTailIsTruncatedAndAppendable(t *testing.T) {
+	fs := fsx.OS{}
+	path := filepath.Join(t.TempDir(), "wal-1.log")
+	w, _ := Create(fs, path)
+	w.Append(1, []byte("first"))
+	w.Append(2, []byte("second"))
+	w.Close()
+
+	// Tear the tail: chop the last 3 bytes of the file.
+	f, err := fs.OpenRW(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	end, _ := f.Seek(0, 2)
+	if err := f.Truncate(end - 3); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	recs, res := collect(t, fs, path)
+	if len(recs) != 1 || !res.Truncated {
+		t.Fatalf("after tear: %d records, truncated=%v", len(recs), res.Truncated)
+	}
+
+	// Resume appending after the valid prefix; the log stays fully readable.
+	w2, err := OpenAt(fs, path, res.ValidSize, res.LastSeq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w2.Append(7, []byte("third")); err != nil {
+		t.Fatal(err)
+	}
+	w2.Close()
+	recs, res = collect(t, fs, path)
+	if len(recs) != 2 || res.Truncated {
+		t.Fatalf("after resume: %d records, truncated=%v", len(recs), res.Truncated)
+	}
+	if recs[1].Seq != 2 || string(recs[1].Payload) != "third" {
+		t.Fatalf("resumed record wrong: %+v", recs[1])
+	}
+}
+
+func TestCorruptMiddleStopsReplay(t *testing.T) {
+	fs := faultfs.New()
+	fs.MkdirAll("d")
+	path := "d/wal-1.log"
+	w, _ := Create(fs, path)
+	w.Append(1, []byte("aaaa"))
+	n2, _ := w.Append(2, []byte("bbbb"))
+	w.Append(3, []byte("cccc"))
+	w.Close()
+
+	// Flip a byte inside the second record's payload.
+	sz, _ := fs.Size(path)
+	mid := int(sz) - n2 - 6
+	if err := fs.Corrupt(path, mid, []byte{0xEE}); err != nil {
+		t.Fatal(err)
+	}
+	recs, res := collect(t, nil2fs(fs), path)
+	if len(recs) != 1 || !res.Truncated {
+		t.Fatalf("corrupt middle: %d records, truncated=%v", len(recs), res.Truncated)
+	}
+}
+
+// nil2fs adapts *faultfs.MemFS to fsx.FS (it already implements it; this
+// keeps the call sites explicit about the interface crossing).
+func nil2fs(m *faultfs.MemFS) fsx.FS { return m }
+
+func TestFailedAppendRollsBack(t *testing.T) {
+	fs := faultfs.New()
+	fs.MkdirAll("d")
+	w, err := Create(fs, "d/wal-1.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append(1, []byte("keep")); err != nil {
+		t.Fatal(err)
+	}
+	// Fail the next write; the rollback (truncate+sync) must leave the file
+	// ending at record 1, and a subsequent append must still work.
+	fs.FailAt(1, faultfs.ModeError)
+	if _, err := w.Append(2, []byte("lost")); !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("want injected error, got %v", err)
+	}
+	if w.Broken() {
+		t.Fatal("writer should have rolled back, not broken")
+	}
+	if _, err := w.Append(2, []byte("second-try")); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	recs, res := collect(t, fs, "d/wal-1.log")
+	if len(recs) != 2 || res.Truncated {
+		t.Fatalf("%d records, truncated=%v", len(recs), res.Truncated)
+	}
+	if string(recs[1].Payload) != "second-try" {
+		t.Fatalf("record 2 = %q", recs[1].Payload)
+	}
+}
+
+func TestWriterBreaksWhenRollbackFails(t *testing.T) {
+	fs := faultfs.New()
+	fs.MkdirAll("d")
+	w, _ := Create(fs, "d/wal-1.log")
+	w.Append(1, []byte("keep"))
+	// Fail the write AND the rollback's truncate (ops 1 and 2 counted from
+	// here): arm a crash so every subsequent op fails.
+	fs.FailAt(1, faultfs.ModeCrash)
+	if _, err := w.Append(2, []byte("lost")); err == nil {
+		t.Fatal("append should fail")
+	}
+	if !w.Broken() {
+		t.Fatal("writer should be broken after failed rollback")
+	}
+	if _, err := w.Append(3, nil); !errors.Is(err, ErrWriterBroken) {
+		t.Fatalf("want ErrWriterBroken, got %v", err)
+	}
+}
+
+func TestBadHeader(t *testing.T) {
+	fs := faultfs.New()
+	fs.MkdirAll("d")
+	f, _ := fs.Create("d/x")
+	f.Write([]byte("NOPE"))
+	f.Close()
+	if _, err := Replay(fs, "d/x", func(Record) error { return nil }); !errors.Is(err, ErrBadHeader) {
+		t.Fatalf("want ErrBadHeader, got %v", err)
+	}
+}

@@ -1,11 +1,13 @@
 package dkindex
 
 import (
+	"fmt"
 	"io"
 	"os"
 	"sync"
 
 	"dkindex/internal/codec"
+	"dkindex/internal/fsx"
 	"dkindex/internal/obs"
 	"dkindex/internal/workload"
 )
@@ -18,17 +20,12 @@ func (x *Index) Save(w io.Writer) error {
 	return codec.SaveDK(w, x.DK())
 }
 
-// SaveFile is Save to a file path.
+// SaveFile is Save to a file path, written atomically and durably: the bytes
+// go to a temp file that is fsynced and renamed over the target, so a crash
+// mid-save leaves either the old file or the new one, never a torn mix.
 func (x *Index) SaveFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := x.Save(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	_, err := fsx.WriteAtomic(fsx.OS{}, path, x.Save)
+	return err
 }
 
 // Open restores an index persisted with Save. Queries on the restored index
@@ -56,6 +53,8 @@ func OpenFile(path string) (*Index, error) {
 // codec_reload lifecycle event is emitted. The load recorder, tuned-workload
 // association and auto-promote heat are reset — they refer to the replaced
 // graph's label table. On a decode error the index is left untouched.
+// A store-managed index refuses to Reload: a wholesale swap would bypass the
+// write-ahead log and diverge the durable state from the served one.
 //
 // Decoding happens outside the writer mutex; only the swap itself blocks
 // other mutations, and queries are never blocked at all.
@@ -66,6 +65,9 @@ func (x *Index) Reload(r io.Reader) error {
 	}
 	x.mu.Lock()
 	defer x.mu.Unlock()
+	if x.jr != nil {
+		return fmt.Errorf("dkindex: index is managed by a store; Reload would bypass its write-ahead log")
+	}
 	cur := x.handle.Load()
 	before, start := x.preOp(cur)
 	x.queries.Store(nil)
