@@ -7,7 +7,7 @@ DK_BENCH_SCALE ?= 1.0
 BENCHTIME ?= 2s
 BENCHCOUNT ?= 1
 
-.PHONY: all build test race vet fmt-check bench bench2 bench3 stress fuzz-smoke ci clean
+.PHONY: all build test race vet fmt-check bench bench2 bench3 bench5 profile-build stress fuzz-smoke ci clean
 
 all: build test
 
@@ -25,13 +25,16 @@ test:
 race:
 	$(GO) test -race ./...
 
-# stress runs the snapshot-isolation stress test and the crash-point sweep
-# under -race: the first hammers a torn publish, the second injects a crash
-# at every I/O operation of a mutation scenario and proves recovery lands on
-# exactly the acknowledged state.
+# stress runs the snapshot-isolation stress test, the crash-point sweep, and
+# the construction audit under -race: the first hammers a torn publish, the
+# second injects a crash at every I/O operation of a mutation scenario and
+# proves recovery lands on exactly the acknowledged state, and the third
+# proves the parallel counting-sort refinement is block-identical to the
+# preserved reference implementation on every experiment dataset.
 stress:
 	$(GO) test -race -count 2 -run TestSnapshotStressConcurrent .
 	$(GO) test -race -count 1 -run TestStoreCrashPointSweep .
+	$(GO) test -race -count 1 -run TestBuildPartitionIdentity ./internal/experiments/
 
 # fuzz-smoke gives each untrusted-input decoder a short fuzzing burst: the
 # checkpoint codec, the write-ahead log replayer, and the XML loader. Long
@@ -76,5 +79,24 @@ bench3:
 		| tee BENCH_3.txt
 	$(GO) run ./cmd/dkbench -benchjson < BENCH_3.txt > BENCH_3.json
 
+# bench5 records construction cost for the full dataset family: 1-index,
+# A(2), and load-tuned D(k) builds on XMark, NASA, and DBLP
+# (BENCH_5.txt/BENCH_5.json).
+bench5:
+	DK_BENCH_SCALE=$(DK_BENCH_SCALE) $(GO) test -run '^$$' \
+		-bench 'BenchmarkBuild(XMark|Nasa|Dblp)' \
+		-benchmem -benchtime $(BENCHTIME) -count $(BENCHCOUNT) . \
+		| tee BENCH_5.txt
+	$(GO) run ./cmd/dkbench -benchjson < BENCH_5.txt > BENCH_5.json
+
+# profile-build captures CPU and heap profiles of the large-XMark 1-index
+# construction (the heaviest refinement workload). Inspect with
+# `go tool pprof build_cpu.prof` / `go tool pprof build_mem.prof`.
+profile-build:
+	DK_BENCH_SCALE=$(DK_BENCH_SCALE) $(GO) test -run '^$$' \
+		-bench 'BenchmarkBuildXMark/1index' -benchtime $(BENCHTIME) \
+		-cpuprofile build_cpu.prof -memprofile build_mem.prof .
+
 clean:
 	rm -f BENCH_1.txt BENCH_1.json BENCH_2.txt BENCH_2.json BENCH_3.txt BENCH_3.json
+	rm -f BENCH_5.txt BENCH_5.json build_cpu.prof build_mem.prof dkindex.test

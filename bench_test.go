@@ -44,6 +44,8 @@ var (
 	xmarkDS   *experiments.Dataset
 	nasaOnce  sync.Once
 	nasaDS    *experiments.Dataset
+	dblpOnce  sync.Once
+	dblpDS    *experiments.Dataset
 )
 
 func benchXMark(b *testing.B) *experiments.Dataset {
@@ -69,6 +71,63 @@ func benchNasa(b *testing.B) *experiments.Dataset {
 	})
 	return nasaDS
 }
+
+func benchDblp(b *testing.B) *experiments.Dataset {
+	b.Helper()
+	dblpOnce.Do(func() {
+		ds, err := experiments.DblpDataset(benchScale(), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dblpDS = ds
+	})
+	return dblpDS
+}
+
+// benchBuild measures the construction trio on one dataset: the 1-index
+// (full backward bisimulation to a fixpoint), the A(2)-index (two refinement
+// rounds), and the load-tuned D(k)-index (Algorithms 1+2). These are the
+// build-pipeline headline benchmarks: every facade mutation that rebuilds
+// (Tune, SetRequirements, Optimize, Compact) pays exactly these paths, so
+// construction latency is mutation-publish latency. `make bench5` records
+// the trio for XMark, NASA and DBLP in BENCH_5.txt/BENCH_5.json.
+func benchBuild(b *testing.B, ds *experiments.Dataset) {
+	b.Helper()
+	reqs := ds.W.Requirements()
+	b.Run("1index", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			index.Build1Index(ds.G)
+		}
+	})
+	b.Run("AK2", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			index.BuildAK(ds.G, 2)
+		}
+	})
+	b.Run("DK", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.Build(ds.G, reqs)
+		}
+	})
+}
+
+// Construction hot-path overhaul (DK_BENCH_SCALE=1.0, -benchtime 1s, same
+// machine; CSR adjacency snapshots + counting-sort refinement + parallel
+// rounds vs the map-of-byte-string baseline):
+//
+//	BuildXMark/1index  before: 168.0ms 108MB 2.07M allocs   after: 78.5ms 43MB 233K allocs   (2.1x)
+//	BuildXMark/AK2     before:  19.0ms  10MB  181K allocs   after: 13.8ms  7MB 5.4K allocs   (1.4x)
+//	BuildXMark/DK      before:  37.2ms  18MB  370K allocs   after: 21.8ms  8MB  14K allocs   (1.7x)
+//	BuildNasa/1index   before: 428.6ms 204MB 3.77M allocs   after: 208ms  97MB 659K allocs   (2.1x)
+//	BuildDblp/1index   before: 375.8ms 198MB 3.82M allocs   after: 156ms  73MB 332K allocs   (2.4x)
+func BenchmarkBuildXMark(b *testing.B) { benchBuild(b, benchXMark(b)) }
+
+// BenchmarkBuildNasa is the construction trio on the NASA dataset.
+func BenchmarkBuildNasa(b *testing.B) { benchBuild(b, benchNasa(b)) }
+
+// BenchmarkBuildDblp is the construction trio on the DBLP dataset, whose
+// dense citation structure stresses signature grouping hardest.
+func BenchmarkBuildDblp(b *testing.B) { benchBuild(b, benchDblp(b)) }
 
 // reportSeries logs the rendered series and reports the D(k) headline
 // numbers as metrics.

@@ -8,6 +8,7 @@
 //	fig7      Evaluation cost vs index size, NASA, after 100 edge additions
 //	ablation  D(k) decay under updates and recovery via promotion
 //	alg4      Algorithm 4 probe vs naive reset on edge addition
+//	build     construction cost: 1-index / A(k) / D(k) build times and counters
 //	family    full summary family (label-split..F&B) on path and twig loads
 //	docinsert incremental document insertion vs baseline vs rebuild
 //	apex      the APEX workload-aware competitor: cost and update handling
@@ -46,7 +47,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	fs := flag.NewFlagSet("dkbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp       = fs.String("exp", "all", "experiment: fig4, fig5, tab1, fig6, fig7, ablation, alg4, family, docinsert, apex, miner, all")
+		exp       = fs.String("exp", "all", "experiment: fig4, fig5, tab1, fig6, fig7, ablation, alg4, build, family, docinsert, apex, miner, all")
 		scale     = fs.Float64("scale", 1.0, "dataset scale (1.0 = paper size)")
 		edges     = fs.Int("edges", 100, "edge additions for tab1/fig6/fig7/ablation")
 		seed      = fs.Int64("seed", 1, "random seed for workloads and edges")
@@ -233,6 +234,17 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 			a := must(experiments.AblationAlg4(loadXMark(), cfg))
 			check(experiments.RenderAlg4Ablation(stdout,
 				"Ablation (Xmark): Algorithm 4 probe vs naive reset on edge addition", a))
+		})
+	}
+	if run("build") {
+		ran = true
+		timed("build", func() {
+			check(experiments.RenderBuildCost(stdout,
+				"Construction cost (Xmark): 1-index, A(k), load-tuned D(k)",
+				experiments.ConstructionCost(loadXMark(), *maxK)))
+			check(experiments.RenderBuildCost(stdout,
+				"Construction cost (NASA): 1-index, A(k), load-tuned D(k)",
+				experiments.ConstructionCost(loadNasa(), *maxK)))
 		})
 	}
 	if !ran {

@@ -292,6 +292,7 @@ func (x *Index) Optimize(sizeBudget int) (map[string]int, error) {
 	x.publish(nd)
 	x.emit(obs.Event{Type: obs.EventOptimize, NodesBefore: before, Wall: opWall(start),
 		Detail: fmt.Sprintf("%d requirements mined", len(res.Reqs))})
+	x.observeBuild("optimize", nd)
 	return out, nil
 }
 
@@ -315,6 +316,7 @@ func (x *Index) SetRequirements(reqsByName map[string]int) error {
 	x.publish(nd)
 	x.emit(obs.Event{Type: obs.EventRetune, NodesBefore: before, Wall: opWall(start),
 		Detail: "explicit requirements"})
+	x.observeBuild("set_requirements", nd)
 	return nil
 }
 
@@ -349,6 +351,7 @@ func (x *Index) TuneWith(w *workload.Workload) error {
 	x.publish(nd)
 	x.emit(obs.Event{Type: obs.EventRetune, NodesBefore: before, Wall: opWall(start),
 		Detail: "mined from workload"})
+	x.observeBuild("retune", nd)
 	return nil
 }
 
@@ -452,6 +455,7 @@ func (x *Index) AddDocument(r io.Reader, opts *LoadOptions) ([]NodeID, error) {
 	x.publish(nd)
 	x.emit(obs.Event{Type: obs.EventSubgraphAdd, NodesBefore: before, Wall: opWall(start),
 		Detail: fmt.Sprintf("%d document nodes grafted", len(mapping))})
+	x.observeBuild("subgraph_add", nd)
 	return mapping, nil
 }
 
@@ -500,6 +504,7 @@ func (x *Index) Demote(reqsByName map[string]int) error {
 	}
 	x.publish(nd)
 	x.emit(obs.Event{Type: obs.EventDemote, NodesBefore: before, Wall: opWall(start)})
+	x.observeBuild("demote", nd)
 	return nil
 }
 
@@ -668,6 +673,7 @@ func (x *Index) Compact() (dropped int, mapping []NodeID, err error) {
 	x.publish(nd)
 	x.emit(obs.Event{Type: obs.EventCompact, NodesBefore: before, Wall: opWall(start),
 		Detail: fmt.Sprintf("%d data nodes dropped", dropped)})
+	x.observeBuild("compact", nd)
 	return dropped, mapping, nil
 }
 

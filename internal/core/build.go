@@ -2,10 +2,12 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"dkindex/internal/graph"
 	"dkindex/internal/index"
 	"dkindex/internal/partition"
+	"dkindex/internal/workpool"
 )
 
 // DK is a D(k)-index: a structural summary whose index nodes carry
@@ -20,6 +22,30 @@ type DK struct {
 	// LabelReqs records the query-load requirements (pre-broadcast) the
 	// index currently targets.
 	LabelReqs Requirements
+	// Stats describes the construction that produced this index. Zero for
+	// indexes that were cloned or decoded rather than built.
+	Stats BuildStats
+}
+
+// BuildStats are the construction-cost counters of one build job, surfaced
+// through the observability layer (/metrics, build events) and dkbench.
+type BuildStats struct {
+	// Rounds is the number of refinement rounds executed (k_max after
+	// broadcast; 0 when the label-split partition already satisfies every
+	// requirement).
+	Rounds int
+	// Splits is the number of index nodes created by refinement: final
+	// blocks minus label-split blocks. Refinement only splits, so this also
+	// bounds the per-round split total.
+	Splits int
+	// PeakBlocks is the largest block count reached during refinement; the
+	// partition only grows, so it equals the final pre-merge block count.
+	PeakBlocks int
+	// CSRBuild is the time spent snapshotting adjacency into CSR form.
+	CSRBuild time.Duration
+	// Total is the wall time of the whole build (partition, broadcast,
+	// rounds, index-graph materialization).
+	Total time.Duration
 }
 
 // Build constructs the D(k)-index of the data graph g for the given
@@ -35,8 +61,8 @@ type DK struct {
 // The result's node local similarities equal the broadcast requirements, and
 // the structural invariant of Definition 3 holds. Runs in O(k_max * m).
 func Build(g *graph.Graph, reqs Requirements) *DK {
-	ig := buildFromSource(index.DataSource{G: g}, reqs, nil)
-	return &DK{IG: ig, LabelReqs: reqs.Clone()}
+	ig, stats := buildFromSource(index.DataSource{G: g}, reqs, nil, false)
+	return &DK{IG: ig, LabelReqs: reqs.Clone(), Stats: stats}
 }
 
 // BuildFromIndex constructs a D(k)-index using an existing index graph as
@@ -50,16 +76,36 @@ func Build(g *graph.Graph, reqs Requirements) *DK {
 // always sound. This is the engine behind subgraph addition (Algorithm 3)
 // and the demoting process (Section 5.4).
 func BuildFromIndex(src *index.IndexGraph, reqs Requirements) *DK {
-	ig := buildFromSource(src, reqs, src.K)
-	return &DK{IG: ig, LabelReqs: reqs.Clone()}
+	ig, stats := buildFromSource(src, reqs, src.K, false)
+	return &DK{IG: ig, LabelReqs: reqs.Clone(), Stats: stats}
+}
+
+// BuildReference is Build on the preserved reference refinement path
+// (partition.ReferenceRefineRound). It exists for the build audit, which
+// asserts the fast pipeline is block-identical to it over every experiment
+// dataset; it is never the production path.
+func BuildReference(g *graph.Graph, reqs Requirements) *DK {
+	ig, stats := buildFromSource(index.DataSource{G: g}, reqs, nil, true)
+	return &DK{IG: ig, LabelReqs: reqs.Clone(), Stats: stats}
+}
+
+// BuildFromIndexReference is BuildFromIndex on the reference refinement
+// path; for the build audit.
+func BuildFromIndexReference(src *index.IndexGraph, reqs Requirements) *DK {
+	ig, stats := buildFromSource(src, reqs, src.K, true)
+	return &DK{IG: ig, LabelReqs: reqs.Clone(), Stats: stats}
 }
 
 // buildFromSource is the shared Algorithm 2 engine. memberK, when non-nil,
 // supplies the local similarity already established for each source node;
 // result nodes take the min of their broadcast requirement and their merged
-// members' similarities.
-func buildFromSource(src index.Source, reqs Requirements, memberK func(graph.NodeID) int) *index.IndexGraph {
+// members' similarities. With reference set, rounds run on the preserved
+// reference refiner instead of the CSR pipeline (for the build audit).
+func buildFromSource(src index.Source, reqs Requirements, memberK func(graph.NodeID) int, reference bool) (*index.IndexGraph, BuildStats) {
+	var stats BuildStats
+	start := time.Now()
 	p := partition.NewByLabel(src)
+	labelBlocks := p.NumBlocks()
 
 	// Per-block requirements from the query load.
 	blockReq := make([]int, p.NumBlocks())
@@ -73,22 +119,43 @@ func buildFromSource(src index.Source, reqs Requirements, memberK func(graph.Nod
 	blockReq = broadcast(bg, blockReq)
 
 	// Algorithm 2 main loop: round k refines blocks requiring >= k against
-	// the previous round's partition (RefineRound snapshots it internally).
+	// the previous round's partition. The adjacency is fixed for the whole
+	// job, so it is snapshotted into CSR form exactly once; each round's
+	// signature and regrouping phases then fan out over the shared workpool
+	// inside Refiner.Round, and the requirement inheritance for the new
+	// blocks fans out here. All merges are in node/block order, so the
+	// result does not depend on the fan-out width.
 	kmax := 0
 	for _, r := range blockReq {
 		if r > kmax {
 			kmax = r
 		}
 	}
+	var refiner *partition.Refiner
+	if kmax > 0 && !reference {
+		refiner = partition.NewRefiner(src)
+		stats.CSRBuild = refiner.CSRBuild
+	}
 	for k := 1; k <= kmax; k++ {
 		req := blockReq // capture this round's values
-		res := p.RefineRound(src, func(b partition.BlockID) bool { return req[b] >= k })
-		next := make([]int, p.NumBlocks())
-		for nb := range next {
-			next[nb] = req[res.Origin[nb]] // inheritance
+		sel := func(b partition.BlockID) bool { return req[b] >= k }
+		var res partition.RefineResult
+		if reference {
+			res = p.ReferenceRefineRound(src, sel)
+		} else {
+			res = refiner.Round(p, sel)
 		}
+		next := make([]int, p.NumBlocks())
+		workpool.Chunks(len(next), workpool.Workers(len(next), 1<<15, 16), func(_, lo, hi int) {
+			for nb := lo; nb < hi; nb++ {
+				next[nb] = req[res.Origin[nb]] // inheritance
+			}
+		})
 		blockReq = next
 	}
+	stats.Rounds = kmax
+	stats.PeakBlocks = p.NumBlocks()
+	stats.Splits = p.NumBlocks() - labelBlocks
 
 	ig := index.FromPartition(src, p, func(b partition.BlockID) int { return blockReq[b] })
 
@@ -112,7 +179,8 @@ func buildFromSource(src index.Source, reqs Requirements, memberK func(graph.Nod
 			LowerToInvariant(ig)
 		}
 	}
-	return ig
+	stats.Total = time.Since(start)
+	return ig, stats
 }
 
 // blockGraph materializes the quotient parent-adjacency of a partition: the

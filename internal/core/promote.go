@@ -208,4 +208,5 @@ func (dk *DK) Demote(newReqs Requirements) {
 	nd := BuildFromIndex(dk.IG, newReqs)
 	dk.IG = nd.IG
 	dk.LabelReqs = nd.LabelReqs
+	dk.Stats = nd.Stats
 }

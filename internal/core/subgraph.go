@@ -59,14 +59,14 @@ func (dk *DK) AddSubgraph(h *graph.Graph) ([]graph.NodeID, error) {
 	// Step 1: D(k)-index of the new subgraph, with the same per-label
 	// requirements ("index nodes with the same label should have the same
 	// local similarity").
-	ih := buildFromSource(index.DataSource{G: hg}, dk.LabelReqs, nil)
+	ih, _ := buildFromSource(index.DataSource{G: hg}, dk.LabelReqs, nil, false)
 
 	// Steps 2+3: rebuild over the composite of I_G and I_H.
 	comp, err := newCompositeSource(dk.IG, ih, hgToG)
 	if err != nil {
 		return nil, err
 	}
-	dk.IG = buildFromSource(comp, dk.LabelReqs, comp.memberK)
+	dk.IG, dk.Stats = buildFromSource(comp, dk.LabelReqs, comp.memberK, false)
 	return mapping, nil
 }
 

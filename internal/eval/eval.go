@@ -16,6 +16,7 @@ import (
 	"dkindex/internal/graph"
 	"dkindex/internal/index"
 	"dkindex/internal/obs"
+	"dkindex/internal/workpool"
 )
 
 // Query is a simple path query: a sequence of labels, outermost first. A
@@ -185,8 +186,7 @@ var validateParallelThreshold = 1 << 11
 // Large extents are validated by a bounded worker pool; results and charges
 // are merged in chunk order so the outcome is identical to the serial loop.
 func validateMembers(ext []graph.NodeID, check func(d graph.NodeID, charge func(graph.NodeID)) bool) ([]graph.NodeID, int) {
-	workers := runtime.GOMAXPROCS(0)
-	if len(ext) < validateParallelThreshold || workers <= 1 {
+	if len(ext) < validateParallelThreshold || runtime.GOMAXPROCS(0) <= 1 {
 		var hits []graph.NodeID
 		charged := 0
 		for _, d := range ext {
@@ -196,37 +196,25 @@ func validateMembers(ext []graph.NodeID, check func(d graph.NodeID, charge func(
 		}
 		return hits, charged
 	}
-	if workers > 8 {
-		workers = 8
-	}
+	// Fan out over the shared workpool budget (the same pool construction
+	// rounds draw from, so concurrent query + build traffic cannot
+	// oversubscribe the machine). Chunk boundaries and the chunk-order merge
+	// are unchanged from the dedicated pool this replaced: per-member charges
+	// are deterministic, so the summed Cost stays bit-identical to serial.
 	type chunkResult struct {
 		hits    []graph.NodeID
 		charged int
 	}
-	chunk := (len(ext) + workers - 1) / workers
+	workers := workpool.Workers(len(ext), 0, 8)
 	results := make([]chunkResult, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		if lo >= len(ext) {
-			break
-		}
-		hi := lo + chunk
-		if hi > len(ext) {
-			hi = len(ext)
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			r := &results[w]
-			for _, d := range ext[lo:hi] {
-				if check(d, func(graph.NodeID) { r.charged++ }) {
-					r.hits = append(r.hits, d)
-				}
+	workpool.Chunks(len(ext), workers, func(w, lo, hi int) {
+		r := &results[w]
+		for _, d := range ext[lo:hi] {
+			if check(d, func(graph.NodeID) { r.charged++ }) {
+				r.hits = append(r.hits, d)
 			}
-		}(w, lo, hi)
-	}
-	wg.Wait()
+		}
+	})
 	var hits []graph.NodeID
 	charged := 0
 	for w := range results {

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"dkindex/internal/core"
+	"dkindex/internal/index"
+)
+
+// BuildCostRow reports what one index construction cost on a dataset.
+// Rounds/Splits/PeakBlocks/CSRBuild are only populated for the D(k) build,
+// whose engine exports its counters; the family builders report wall time
+// and result size alone.
+type BuildCostRow struct {
+	Index      string
+	Nodes      int
+	Rounds     int
+	Splits     int
+	PeakBlocks int
+	CSRBuild   time.Duration
+	Wall       time.Duration
+}
+
+// ConstructionCost measures construction wall time (and, for D(k), the
+// engine's internal counters) for the family of summaries the experiments
+// report: the 1-index, A(maxK), and the load-tuned D(k). It is the dkbench
+// face of the construction benchmarks (BenchmarkBuild*), giving one-shot
+// numbers without the bench harness.
+func ConstructionCost(ds *Dataset, maxK int) []BuildCostRow {
+	if maxK <= 0 {
+		maxK = ds.W.MaxLength()
+	}
+	var rows []BuildCostRow
+
+	start := time.Now()
+	ig := index.Build1Index(ds.G)
+	rows = append(rows, BuildCostRow{Index: "1-index", Nodes: ig.NumNodes(), Wall: time.Since(start)})
+
+	start = time.Now()
+	ig = index.BuildAK(ds.G, maxK)
+	rows = append(rows, BuildCostRow{Index: fmt.Sprintf("A(%d)", maxK), Nodes: ig.NumNodes(), Wall: time.Since(start)})
+
+	dk := core.Build(ds.G, ds.W.Requirements())
+	rows = append(rows, BuildCostRow{
+		Index:      "D(k)",
+		Nodes:      dk.IG.NumNodes(),
+		Rounds:     dk.Stats.Rounds,
+		Splits:     dk.Stats.Splits,
+		PeakBlocks: dk.Stats.PeakBlocks,
+		CSRBuild:   dk.Stats.CSRBuild,
+		Wall:       dk.Stats.Total,
+	})
+	return rows
+}

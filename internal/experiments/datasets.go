@@ -85,6 +85,31 @@ func NasaDataset(scale float64, seed int64) (*Dataset, error) {
 	}, nil
 }
 
+// DblpDataset generates the DBLP-like bibliography and its load: a third
+// structural regime — shallow but heavily cross-linked — where bisimulation
+// classes fragment through citations rather than nesting. Construction
+// benchmarks and the build audit run over it alongside XMark and NASA.
+func DblpDataset(scale float64, seed int64) (*Dataset, error) {
+	g, _, err := datagen.Graph(datagen.DBLP(datagen.DBLPScale(scale)))
+	if err != nil {
+		return nil, err
+	}
+	w, err := workload.Generate(g, workload.DefaultConfig(seed))
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{
+		Name: "Dblp",
+		G:    g,
+		W:    w,
+		RefPairs: [][2]string{
+			{"cite", "article"},
+			{"cite", "inproceedings"},
+			{"crossref", "proceedings"},
+		},
+	}, nil
+}
+
 // RandomEdges draws n random reference-edge insertions: a random ID/IDREF
 // label pair, then one data node from each label group, skipping self-loops
 // and existing edges. The returned node ids are valid on any clone of ds.G.

@@ -139,3 +139,20 @@ func RenderApexComparison(w io.Writer, title string, rows []ApexRow) error {
 	}
 	return tw.Flush()
 }
+
+// RenderBuildCost prints the construction-cost table: wall time per family
+// member, with the D(k) engine's internal counters where available.
+func RenderBuildCost(w io.Writer, title string, rows []BuildCostRow) error {
+	if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "index\tsize(nodes)\trounds\tsplits\tpeak blocks\tcsr(ms)\tbuild(ms)")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%.2f\t%.1f\n",
+			r.Index, r.Nodes, r.Rounds, r.Splits, r.PeakBlocks,
+			float64(r.CSRBuild.Microseconds())/1000.0,
+			float64(r.Wall.Microseconds())/1000.0)
+	}
+	return tw.Flush()
+}

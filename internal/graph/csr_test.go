@@ -1,0 +1,115 @@
+package graph
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+	"testing/quick"
+)
+
+// csrSpec is a compact, generatable description of a random labeled graph
+// plus a mutation schedule; testing/quick produces values of it and the CSR
+// property tests expand them.
+type csrSpec struct {
+	Seed    int64
+	Nodes   uint8
+	Labels  uint8
+	Extra   uint8
+	Mutates uint8
+}
+
+func (s csrSpec) build() *Graph {
+	rng := rand.New(rand.NewSource(s.Seed))
+	nodes := int(s.Nodes%120) + 2
+	labels := int(s.Labels%5) + 1
+	extra := int(s.Extra % 60)
+	g := New()
+	r := g.AddRoot()
+	ids := []NodeID{r}
+	for i := 1; i < nodes; i++ {
+		n := g.AddNode(string(rune('a' + rng.Intn(labels))))
+		g.AddEdge(ids[rng.Intn(len(ids))], n)
+		ids = append(ids, n)
+	}
+	for i := 0; i < extra; i++ {
+		from := ids[rng.Intn(len(ids))]
+		to := ids[rng.Intn(len(ids))]
+		if from != to && to != r {
+			g.AddEdge(from, to)
+		}
+	}
+	return g
+}
+
+// csrMatches checks that a CSR snapshot is element-identical to the
+// adjacency it was built from: same row per node, same order, and offsets
+// consistent with row lengths.
+func csrMatches(t *testing.T, c *CSR, numNodes int, neighbors func(NodeID) []NodeID) bool {
+	t.Helper()
+	if c.NumNodes() != numNodes {
+		t.Logf("CSR covers %d nodes, want %d", c.NumNodes(), numNodes)
+		return false
+	}
+	total := 0
+	for i := 0; i < numNodes; i++ {
+		n := NodeID(i)
+		want := neighbors(n)
+		if !slices.Equal(c.Row(n), want) {
+			t.Logf("node %d: CSR row %v, want %v", i, c.Row(n), want)
+			return false
+		}
+		if c.Degree(n) != len(want) {
+			t.Logf("node %d: degree %d, want %d", i, c.Degree(n), len(want))
+			return false
+		}
+		lo, hi := c.RowBounds(n)
+		if int(hi-lo) != len(want) || int(lo) != total {
+			t.Logf("node %d: bounds [%d,%d), want len %d at %d", i, lo, hi, len(want), total)
+			return false
+		}
+		total += len(want)
+	}
+	return c.NumEdges() == total
+}
+
+// Property: parent and child CSR snapshots are element-identical to
+// Parents/Children on random graphs, including after random edge inserts and
+// removes (snapshots are rebuilt after each mutation — a CSR is a snapshot,
+// not a view).
+func TestQuickCSRMatchesAdjacency(t *testing.T) {
+	f := func(s csrSpec) bool {
+		g := s.build()
+		if !csrMatches(t, g.ParentCSR(), g.NumNodes(), g.Parents) ||
+			!csrMatches(t, g.ChildCSR(), g.NumNodes(), g.Children) {
+			return false
+		}
+		// Mutate: random edge inserts and removes, re-snapshot, re-check.
+		rng := rand.New(rand.NewSource(s.Seed ^ 0x5eed))
+		for m := 0; m < int(s.Mutates%8)+1; m++ {
+			from := NodeID(rng.Intn(g.NumNodes()))
+			to := NodeID(rng.Intn(g.NumNodes()))
+			if rng.Intn(2) == 0 {
+				if from != to && to != g.Root() {
+					g.AddEdge(from, to)
+				}
+			} else if ch := g.Children(from); len(ch) > 0 {
+				g.RemoveEdge(from, ch[rng.Intn(len(ch))])
+			}
+			if !csrMatches(t, g.ParentCSR(), g.NumNodes(), g.Parents) ||
+				!csrMatches(t, g.ChildCSR(), g.NumNodes(), g.Children) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCSREmptyGraph(t *testing.T) {
+	c := NewCSR(0, func(NodeID) []NodeID { return nil })
+	if c.NumNodes() != 0 || c.NumEdges() != 0 {
+		t.Fatalf("empty CSR: %d nodes, %d edges", c.NumNodes(), c.NumEdges())
+	}
+}

@@ -1,0 +1,16 @@
+package index
+
+import "dkindex/internal/graph"
+
+// ParentCSR snapshots the index graph's parent adjacency in CSR form: flat
+// offsets + edges arrays that refinement jobs (and evaluators that opt in)
+// scan contiguously instead of chasing per-node slices. The snapshot is
+// detached — splits and edge updates after the call are not reflected.
+func (ig *IndexGraph) ParentCSR() *graph.CSR {
+	return graph.NewCSR(ig.NumNodes(), ig.Parents)
+}
+
+// ChildCSR snapshots the index graph's child adjacency in CSR form.
+func (ig *IndexGraph) ChildCSR() *graph.CSR {
+	return graph.NewCSR(ig.NumNodes(), ig.Children)
+}

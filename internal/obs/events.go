@@ -24,6 +24,11 @@ const (
 	EventCompact     EventType = "compact"
 	EventCodecReload EventType = "codec_reload"
 
+	// EventBuild is one full index construction (Algorithm 2): initial build,
+	// optimize, retune, compaction or bulk replacement. Detail carries the
+	// trigger and the construction counters (rounds, splits, CSR time).
+	EventBuild EventType = "build"
+
 	// Durability lifecycle: checkpoint writes, write-ahead-log appends and
 	// startup recovery (see the dkindex Store).
 	EventCheckpointBegin  EventType = "checkpoint_begin"

@@ -41,7 +41,26 @@ const (
 	// HTTP resilience metrics, fed by the server middleware.
 	MetricHTTPShed   = "dk_http_shed_total"
 	MetricHTTPPanics = "dk_http_panics_total"
+
+	// Construction metrics, fed by every index (re)build: initial
+	// construction, optimize, retune, compaction, bulk edge replacement.
+	MetricBuilds          = "dk_builds_total"
+	MetricBuildSeconds    = "dk_build_duration_seconds"
+	MetricBuildCSRSeconds = "dk_build_csr_duration_seconds"
+	MetricBuildRounds     = "dk_build_rounds"
+	MetricBuildSplits     = "dk_build_splits_total"
+	MetricBuildPeakBlocks = "dk_build_peak_blocks"
 )
+
+// BuildSample carries one build job's cost counters (core.BuildStats, kept
+// decoupled so obs depends on no other package).
+type BuildSample struct {
+	Rounds     int
+	Splits     int
+	PeakBlocks int
+	CSRBuild   time.Duration
+	Total      time.Duration
+}
 
 // CostSample carries the paper's per-query cost counters into histograms.
 type CostSample struct {
@@ -85,7 +104,15 @@ type Observer struct {
 	}
 	dangling *Counter
 	sampled  *Counter
-	durable  struct {
+	build    struct {
+		triggers   map[string]*Counter // guarded by mu; builds are rare
+		seconds    *Histogram
+		csrSeconds *Histogram
+		rounds     *Histogram
+		splits     *Counter
+		peakBlocks *Gauge
+	}
+	durable struct {
 		walRecords, walBytes                *Counter
 		checkpoints, checkpointBytes        *Counter
 		recoveryReplayed, recoveryTruncated *Counter
@@ -132,7 +159,36 @@ func NewObserverWith(reg *Registry, events *Stream, tracer *Tracer) *Observer {
 	o.durable.recoveryTruncated = reg.Counter(MetricRecoveryTruncatedTail, "Recoveries that truncated a torn WAL tail.")
 	o.durable.httpShed = reg.Counter(MetricHTTPShed, "HTTP requests shed with 503 because the in-flight limit was reached.")
 	o.durable.httpPanics = reg.Counter(MetricHTTPPanics, "HTTP handler panics recovered by the middleware.")
+	o.build.triggers = make(map[string]*Counter)
+	o.build.seconds = reg.Histogram(MetricBuildSeconds, "Index construction wall time in seconds.", ExpBuckets(1e-4, 2.5, 14))
+	o.build.csrSeconds = reg.Histogram(MetricBuildCSRSeconds, "Time spent snapshotting adjacency into CSR form per build.", ExpBuckets(1e-5, 2.5, 14))
+	o.build.rounds = reg.Histogram(MetricBuildRounds, "Refinement rounds per build (k_max after broadcast).", []float64{0, 1, 2, 3, 4, 6, 8, 12, 16, 24})
+	o.build.splits = reg.Counter(MetricBuildSplits, "Index nodes created by refinement across all builds.")
+	o.build.peakBlocks = reg.Gauge(MetricBuildPeakBlocks, "Partition blocks at the end of the most recent build's refinement.")
 	return o
+}
+
+// ObserveBuild records one completed construction job under its trigger
+// ("initial", "optimize", "retune", "compact", ...).
+func (o *Observer) ObserveBuild(trigger string, s BuildSample) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	c, ok := o.build.triggers[trigger]
+	if !ok {
+		c = o.Registry.Counter(MetricBuilds, "Index constructions, by trigger.", L("trigger", trigger))
+		o.build.triggers[trigger] = c
+	}
+	o.mu.Unlock()
+	c.Inc()
+	o.build.seconds.Observe(s.Total.Seconds())
+	o.build.csrSeconds.Observe(s.CSRBuild.Seconds())
+	o.build.rounds.Observe(float64(s.Rounds))
+	if s.Splits > 0 {
+		o.build.splits.Add(uint64(s.Splits))
+	}
+	o.build.peakBlocks.Set(float64(s.PeakBlocks))
 }
 
 // ObserveWALAppend counts one durable write-ahead-log append of n bytes.

@@ -19,6 +19,60 @@ func TestNilObserver(t *testing.T) {
 	o.RecordEvent(Event{Type: EventPromote})
 	o.SetIndexSize(1, 2, 3, 4, 5)
 	o.AddDanglingRefs(3)
+	o.ObserveBuild("retune", BuildSample{Rounds: 2, Total: time.Millisecond})
+}
+
+// TestObserverBuildMetrics exercises the construction metrics end to end:
+// ObserveBuild feeds the per-trigger counters and histograms, the text
+// exposition parses back, and the build lifecycle event lands in the stream
+// with its counter.
+func TestObserverBuildMetrics(t *testing.T) {
+	o := NewObserver()
+	o.ObserveBuild("optimize", BuildSample{
+		Rounds: 3, Splits: 120, PeakBlocks: 450,
+		CSRBuild: 2 * time.Millisecond, Total: 40 * time.Millisecond,
+	})
+	o.ObserveBuild("optimize", BuildSample{Rounds: 1, Splits: 10, PeakBlocks: 460, Total: 5 * time.Millisecond})
+	o.ObserveBuild("retune", BuildSample{Rounds: 4, Splits: 7, PeakBlocks: 200, Total: 9 * time.Millisecond})
+	o.RecordEvent(Event{Type: EventBuild, Detail: "trigger=retune rounds=4"})
+
+	var sb strings.Builder
+	if err := o.Registry.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParsePrometheusText(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	byTrigger := map[string]float64{}
+	for _, s := range fams[MetricBuilds].Samples {
+		byTrigger[s.Labels["trigger"]] = s.Value
+	}
+	if byTrigger["optimize"] != 2 || byTrigger["retune"] != 1 {
+		t.Fatalf("build counters = %v", byTrigger)
+	}
+	for _, fam := range []string{MetricBuildSeconds, MetricBuildCSRSeconds, MetricBuildRounds} {
+		if fams[fam] == nil || fams[fam].Type != "histogram" {
+			t.Errorf("family %s missing or not histogram", fam)
+		}
+	}
+	if f := fams[MetricBuildSplits]; f == nil || f.Samples[0].Value != 137 {
+		t.Errorf("splits = %+v, want 137", f)
+	}
+	if f := fams[MetricBuildPeakBlocks]; f == nil || f.Samples[0].Value != 200 {
+		t.Errorf("peak blocks = %+v, want 200 (most recent build)", f)
+	}
+	byType := map[string]float64{}
+	for _, s := range fams[MetricLifecycleEvents].Samples {
+		byType[s.Labels["type"]] = s.Value
+	}
+	if byType[string(EventBuild)] != 1 {
+		t.Fatalf("lifecycle counters = %v, want one %q", byType, EventBuild)
+	}
+	ev := o.Events.Recent(1)
+	if len(ev) != 1 || ev[0].Type != EventBuild || !strings.Contains(ev[0].Detail, "trigger=retune") {
+		t.Fatalf("build event = %+v", ev)
+	}
 }
 
 func TestObserverQueryMetrics(t *testing.T) {

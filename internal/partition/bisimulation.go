@@ -8,8 +8,12 @@ import "dkindex/internal/graph"
 // it is also the full bisimulation partition, and rounds == r.
 func KBisimulation(g Labeled, k int) (p *Partition, rounds int) {
 	p = NewByLabel(g)
+	if k <= 0 {
+		return p, 0
+	}
+	r := NewRefiner(g)
 	for i := 0; i < k; i++ {
-		if !p.RefineRound(g, nil).Changed {
+		if !r.Round(p, nil).Changed {
 			return p, i
 		}
 		rounds = i + 1
@@ -23,8 +27,9 @@ func KBisimulation(g Labeled, k int) (p *Partition, rounds int) {
 // graph) is returned alongside.
 func Bisimulation(g Labeled) (p *Partition, depth int) {
 	p = NewByLabel(g)
+	r := NewRefiner(g)
 	for {
-		if !p.RefineRound(g, nil).Changed {
+		if !r.Round(p, nil).Changed {
 			return p, depth
 		}
 		depth++
@@ -108,9 +113,11 @@ func BisimulationSplitter(g ChildrenAccess) *Partition {
 // than the 1-index.
 func FBBisimulation(g ChildrenAccess) (p *Partition, rounds int) {
 	p = NewByLabel(g)
+	rb := NewRefiner(g)        // backward rounds: parent adjacency
+	rf := NewRefinerForward(g) // forward rounds: child adjacency
 	for {
-		back := p.RefineRound(g, nil).Changed
-		fwd := p.RefineRoundForward(g, nil).Changed
+		back := rb.Round(p, nil).Changed
+		fwd := rf.Round(p, nil).Changed
 		if !back && !fwd {
 			return p, rounds
 		}

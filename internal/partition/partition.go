@@ -13,11 +13,7 @@
 package partition
 
 import (
-	"encoding/binary"
 	"fmt"
-	"runtime"
-	"slices"
-	"sync"
 
 	"dkindex/internal/graph"
 )
@@ -82,14 +78,22 @@ func (p *Partition) BlockOf(n graph.NodeID) BlockID { return p.blockOf[n] }
 // owned by the partition and must not be mutated.
 func (p *Partition) Members(b BlockID) []graph.NodeID { return p.members[b] }
 
-// Clone returns an independent copy.
+// Clone returns an independent copy. All member slices are carved out of one
+// flat backing array (their total length is exactly the node count), so a
+// clone costs three allocations however many blocks there are; slices are
+// capacity-clipped so an append to one can never bleed into its neighbor.
 func (p *Partition) Clone() *Partition {
 	c := &Partition{
 		blockOf: append([]BlockID(nil), p.blockOf...),
 		members: make([][]graph.NodeID, len(p.members)),
 	}
-	for i := range p.members {
-		c.members[i] = append([]graph.NodeID(nil), p.members[i]...)
+	flat := make([]graph.NodeID, len(p.blockOf))
+	pos := 0
+	for i, m := range p.members {
+		end := pos + len(m)
+		copy(flat[pos:end], m)
+		c.members[i] = flat[pos:end:end]
+		pos = end
 	}
 	return c
 }
@@ -139,8 +143,12 @@ type RefineResult struct {
 // pairwise splits (the resulting partition is identical, because stability
 // against every previous block is equivalent to grouping by the full set of
 // parent blocks).
+//
+// RefineRound snapshots g's adjacency on every call; jobs that run many
+// rounds against fixed adjacency should create a Refiner once and call
+// Round, which amortizes the snapshot and reuses all round scratch.
 func (p *Partition) RefineRound(g Labeled, selected func(BlockID) bool) RefineResult {
-	return p.refineRoundOn(g.Parents, selected)
+	return NewRefiner(g).Round(p, selected)
 }
 
 // RefineRoundForward is RefineRound with the edge direction flipped: nodes
@@ -149,103 +157,7 @@ func (p *Partition) RefineRound(g Labeled, selected func(BlockID) bool) RefineRe
 // backward bisimulation), the equivalence needed to answer branching path
 // queries on the index alone (Kaushik et al., SIGMOD 2002).
 func (p *Partition) RefineRoundForward(g ChildrenAccess, selected func(BlockID) bool) RefineResult {
-	return p.refineRoundOn(g.Children, selected)
-}
-
-// parallelThreshold is the node count above which signature computation is
-// spread across CPUs. Signatures only read the pre-round snapshot, so the
-// parallel phase is trivially race-free, and block ids are still assigned
-// by a sequential scan in node order, keeping results bit-identical to the
-// serial path.
-const parallelThreshold = 1 << 14
-
-func (p *Partition) refineRoundOn(neighbors func(graph.NodeID) []graph.NodeID, selected func(BlockID) bool) RefineResult {
-	n := len(p.blockOf)
-	prev := p.blockOf // snapshot semantics: all signatures read pre-round blocks
-
-	// Phase 1: per-node signature keys.
-	keys := make([]string, n)
-	computeRange := func(lo, hi int) {
-		var key []byte
-		parentBlocks := make([]BlockID, 0, 16)
-		for i := lo; i < hi; i++ {
-			node := graph.NodeID(i)
-			b := prev[node]
-			key = key[:0]
-			key = appendBlock(key, b)
-			if selected == nil || selected(b) {
-				parentBlocks = parentBlocks[:0]
-				for _, nb := range neighbors(node) {
-					parentBlocks = append(parentBlocks, prev[nb])
-				}
-				sortBlocks(parentBlocks)
-				last := InvalidBlock
-				for _, pb := range parentBlocks {
-					if pb != last {
-						key = appendBlock(key, pb)
-						last = pb
-					}
-				}
-			} else {
-				// Unselected blocks keep exactly their old grouping: the key
-				// is the old block alone, so all members land together.
-				key = append(key, 0xFF)
-			}
-			keys[i] = string(key)
-		}
-	}
-	if workers := runtime.GOMAXPROCS(0); n >= parallelThreshold && workers > 1 {
-		var wg sync.WaitGroup
-		chunk := (n + workers - 1) / workers
-		for lo := 0; lo < n; lo += chunk {
-			hi := lo + chunk
-			if hi > n {
-				hi = n
-			}
-			wg.Add(1)
-			go func(lo, hi int) {
-				defer wg.Done()
-				computeRange(lo, hi)
-			}(lo, hi)
-		}
-		wg.Wait()
-	} else {
-		computeRange(0, n)
-	}
-
-	// Phase 2: sequential id assignment in node order (deterministic).
-	newBlockOf := make([]BlockID, n)
-	sigToBlock := make(map[string]BlockID, len(p.members))
-	var origin []BlockID
-	for i := 0; i < n; i++ {
-		nb, ok := sigToBlock[keys[i]]
-		if !ok {
-			nb = BlockID(len(origin))
-			sigToBlock[keys[i]] = nb
-			origin = append(origin, prev[i])
-		}
-		newBlockOf[i] = nb
-	}
-
-	changed := len(origin) != len(p.members)
-	p.blockOf = newBlockOf
-	p.members = make([][]graph.NodeID, len(origin))
-	for i := 0; i < n; i++ {
-		b := newBlockOf[i]
-		p.members[b] = append(p.members[b], graph.NodeID(i))
-	}
-	return RefineResult{Origin: origin, Changed: changed}
-}
-
-// appendBlock encodes a block id into the signature key.
-func appendBlock(key []byte, b BlockID) []byte {
-	var buf [4]byte
-	binary.LittleEndian.PutUint32(buf[:], uint32(b))
-	return append(key, buf[:]...)
-}
-
-func sortBlocks(s []BlockID) {
-	slices.Sort(s)
+	return NewRefinerForward(g).Round(p, selected)
 }
 
 // SplitBlock splits block b into the sub-block of members satisfying inSet

@@ -1,0 +1,181 @@
+package partition
+
+import (
+	"encoding/binary"
+	"runtime"
+	"slices"
+	"sync"
+
+	"dkindex/internal/graph"
+)
+
+// This file preserves the original map-of-byte-string refinement
+// implementation, exactly as it shipped before the CSR + counting-sort
+// overhaul. It is the semantic baseline: the fast refiner must produce
+// partitions block-identical to it — same membership AND same canonical
+// block numbering — which the build audit verifies over every experiment
+// dataset (see internal/experiments). Keep it simple and obviously correct;
+// never optimize it.
+
+// ReferenceRefineRound advances the partition by one bisimulation level
+// using the original signature-string implementation. Semantics are those of
+// Refiner.Round / RefineRound: nodes of selected blocks regroup by (current
+// block, set of current parent blocks), unselected blocks keep their
+// grouping, and new block ids are assigned by first occurrence in node
+// order.
+func (p *Partition) ReferenceRefineRound(g Labeled, selected func(BlockID) bool) RefineResult {
+	return p.referenceRefineRoundOn(g.Parents, selected)
+}
+
+// ReferenceRefineRoundForward is ReferenceRefineRound over children.
+func (p *Partition) ReferenceRefineRoundForward(g ChildrenAccess, selected func(BlockID) bool) RefineResult {
+	return p.referenceRefineRoundOn(g.Children, selected)
+}
+
+// referenceParallelThreshold is the node count above which the reference
+// implementation spreads signature computation across CPUs (preserved from
+// the original; block ids are still assigned by a sequential scan in node
+// order, keeping results bit-identical to the serial path).
+const referenceParallelThreshold = 1 << 14
+
+func (p *Partition) referenceRefineRoundOn(neighbors func(graph.NodeID) []graph.NodeID, selected func(BlockID) bool) RefineResult {
+	n := len(p.blockOf)
+	prev := p.blockOf // snapshot semantics: all signatures read pre-round blocks
+
+	// Phase 1: per-node signature keys.
+	keys := make([]string, n)
+	computeRange := func(lo, hi int) {
+		var key []byte
+		parentBlocks := make([]BlockID, 0, 16)
+		for i := lo; i < hi; i++ {
+			node := graph.NodeID(i)
+			b := prev[node]
+			key = key[:0]
+			key = refAppendBlock(key, b)
+			if selected == nil || selected(b) {
+				parentBlocks = parentBlocks[:0]
+				for _, nb := range neighbors(node) {
+					parentBlocks = append(parentBlocks, prev[nb])
+				}
+				slices.Sort(parentBlocks)
+				last := InvalidBlock
+				for _, pb := range parentBlocks {
+					if pb != last {
+						key = refAppendBlock(key, pb)
+						last = pb
+					}
+				}
+			} else {
+				// Unselected blocks keep exactly their old grouping: the key
+				// is the old block alone, so all members land together.
+				key = append(key, 0xFF)
+			}
+			keys[i] = string(key)
+		}
+	}
+	if workers := runtime.GOMAXPROCS(0); n >= referenceParallelThreshold && workers > 1 {
+		var wg sync.WaitGroup
+		chunk := (n + workers - 1) / workers
+		for lo := 0; lo < n; lo += chunk {
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				computeRange(lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
+	} else {
+		computeRange(0, n)
+	}
+
+	// Phase 2: sequential id assignment in node order (deterministic).
+	newBlockOf := make([]BlockID, n)
+	sigToBlock := make(map[string]BlockID, len(p.members))
+	var origin []BlockID
+	for i := 0; i < n; i++ {
+		nb, ok := sigToBlock[keys[i]]
+		if !ok {
+			nb = BlockID(len(origin))
+			sigToBlock[keys[i]] = nb
+			origin = append(origin, prev[i])
+		}
+		newBlockOf[i] = nb
+	}
+
+	changed := len(origin) != len(p.members)
+	p.blockOf = newBlockOf
+	p.members = make([][]graph.NodeID, len(origin))
+	for i := 0; i < n; i++ {
+		b := newBlockOf[i]
+		p.members[b] = append(p.members[b], graph.NodeID(i))
+	}
+	return RefineResult{Origin: origin, Changed: changed}
+}
+
+// refAppendBlock encodes a block id into the reference signature key.
+func refAppendBlock(key []byte, b BlockID) []byte {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], uint32(b))
+	return append(key, buf[:]...)
+}
+
+// ReferenceKBisimulation is KBisimulation on the reference refiner.
+func ReferenceKBisimulation(g Labeled, k int) (p *Partition, rounds int) {
+	p = NewByLabel(g)
+	for i := 0; i < k; i++ {
+		if !p.ReferenceRefineRound(g, nil).Changed {
+			return p, i
+		}
+		rounds = i + 1
+	}
+	return p, rounds
+}
+
+// ReferenceBisimulation is Bisimulation on the reference refiner.
+func ReferenceBisimulation(g Labeled) (p *Partition, depth int) {
+	p = NewByLabel(g)
+	for {
+		if !p.ReferenceRefineRound(g, nil).Changed {
+			return p, depth
+		}
+		depth++
+	}
+}
+
+// ReferenceFBBisimulation is FBBisimulation on the reference refiner.
+func ReferenceFBBisimulation(g ChildrenAccess) (p *Partition, rounds int) {
+	p = NewByLabel(g)
+	for {
+		back := p.ReferenceRefineRound(g, nil).Changed
+		fwd := p.ReferenceRefineRoundForward(g, nil).Changed
+		if !back && !fwd {
+			return p, rounds
+		}
+		rounds++
+	}
+}
+
+// Identical reports whether two partitions are block-identical: same
+// membership and the same canonical block numbering. This is the property
+// the build audit asserts between the fast and reference pipelines (stronger
+// than inducing the same equivalence relation).
+func Identical(a, b *Partition) bool {
+	if a.NumNodes() != b.NumNodes() || a.NumBlocks() != b.NumBlocks() {
+		return false
+	}
+	for n := range a.blockOf {
+		if a.blockOf[n] != b.blockOf[n] {
+			return false
+		}
+	}
+	for i := range a.members {
+		if !slices.Equal(a.members[i], b.members[i]) {
+			return false
+		}
+	}
+	return true
+}

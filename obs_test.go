@@ -231,3 +231,58 @@ func TestObserveMetricsExposition(t *testing.T) {
 		t.Errorf("data nodes gauge = %v, Stats says %d", v, s.DataNodes)
 	}
 }
+
+// TestObserveBuildMetrics checks the construction observability the facade
+// feeds on every rebuild: a build lifecycle event with the trigger in its
+// detail, the per-trigger build counter, and the construction histograms.
+func TestObserveBuildMetrics(t *testing.T) {
+	idx := open(t)
+	o := obs.NewObserver()
+	idx.Observe(o)
+
+	if err := idx.SetRequirements(map[string]int{"title": 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.Demote(map[string]int{"title": 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	types := eventTypes(o.Events.Recent(0))
+	if types[obs.EventBuild] != 2 {
+		t.Fatalf("build events = %d, want 2 (events: %v)", types[obs.EventBuild], types)
+	}
+	var detail string
+	for _, e := range o.Events.Recent(0) {
+		if e.Type == obs.EventBuild {
+			detail = e.Detail
+			break
+		}
+	}
+	if !strings.Contains(detail, "trigger=set_requirements") || !strings.Contains(detail, "rounds=") {
+		t.Fatalf("build event detail = %q", detail)
+	}
+
+	var sb strings.Builder
+	if err := o.Registry.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := obs.ParsePrometheusText(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("metrics output unparsable: %v", err)
+	}
+	byTrigger := map[string]float64{}
+	for _, s := range fams[obs.MetricBuilds].Samples {
+		byTrigger[s.Labels["trigger"]] = s.Value
+	}
+	if byTrigger["set_requirements"] != 1 || byTrigger["demote"] != 1 {
+		t.Fatalf("build counters = %v", byTrigger)
+	}
+	for _, fam := range []string{obs.MetricBuildSeconds, obs.MetricBuildRounds, obs.MetricBuildCSRSeconds} {
+		if fams[fam] == nil || fams[fam].Type != "histogram" {
+			t.Errorf("family %s missing or not histogram", fam)
+		}
+	}
+	if fams[obs.MetricBuildPeakBlocks] == nil {
+		t.Error("peak blocks gauge missing")
+	}
+}

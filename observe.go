@@ -1,6 +1,7 @@
 package dkindex
 
 import (
+	"fmt"
 	"time"
 
 	"dkindex/internal/core"
@@ -82,6 +83,32 @@ func (x *Index) emit(e obs.Event) {
 	e.NodesAfter = x.handle.Load().dk.IG.NumNodes()
 	x.observer.RecordEvent(e)
 	x.syncGauges()
+}
+
+// observeBuild records a completed construction job — Optimize, retune,
+// compaction, demotion, subgraph addition — into the observer's build
+// metrics and publishes its span as a lifecycle event. Callers hold mu and
+// have already published the snapshot carrying dk. No-op when unobserved or
+// when dk carries no construction statistics (clones, decoded snapshots).
+func (x *Index) observeBuild(trigger string, dk *core.DK) {
+	if x.observer == nil || dk.Stats.Total == 0 {
+		return
+	}
+	st := dk.Stats
+	x.observer.ObserveBuild(trigger, obs.BuildSample{
+		Rounds:     st.Rounds,
+		Splits:     st.Splits,
+		PeakBlocks: st.PeakBlocks,
+		CSRBuild:   st.CSRBuild,
+		Total:      st.Total,
+	})
+	x.observer.RecordEvent(obs.Event{
+		Type:       obs.EventBuild,
+		NodesAfter: dk.IG.NumNodes(),
+		Created:    st.Splits,
+		Wall:       st.Total,
+		Detail:     fmt.Sprintf("trigger=%s rounds=%d peak_blocks=%d csr=%s", trigger, st.Rounds, st.PeakBlocks, st.CSRBuild),
+	})
 }
 
 // syncGauges pushes the current size, generation and cache statistics into
