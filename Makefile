@@ -7,14 +7,15 @@ DK_BENCH_SCALE ?= 1.0
 BENCHTIME ?= 2s
 BENCHCOUNT ?= 1
 
-.PHONY: all build test race vet fmt-check bench bench2 bench3 bench5 profile-build stress fuzz-smoke ci clean
+.PHONY: all build test race vet fmt-check bench bench2 bench3 bench5 bench6 bench-baseline bench-guard profile-build stress fuzz-smoke ci clean
 
 all: build test
 
 # ci chains every hygiene gate: compile, vet, formatting, the race-enabled
-# test suite, short fuzz runs of the decoders, and the stress pair (snapshot
-# races + crash-point sweep) under the race detector.
-ci: build vet fmt-check race fuzz-smoke stress
+# test suite, short fuzz runs of the decoders, the stress pair (snapshot
+# races + crash-point sweep) under the race detector, and the benchmark
+# regression guard against the recorded baseline.
+ci: build vet fmt-check race fuzz-smoke stress bench-guard
 
 build:
 	$(GO) build ./...
@@ -43,6 +44,8 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzLoadDK -fuzztime 5s ./internal/codec
 	$(GO) test -run '^$$' -fuzz FuzzWALReplay -fuzztime 5s ./internal/wal
 	$(GO) test -run '^$$' -fuzz FuzzLoad -fuzztime 5s ./internal/xmlgraph
+	$(GO) test -run '^$$' -fuzz FuzzDecodeBlock -fuzztime 5s ./internal/nodeset
+	$(GO) test -run '^$$' -fuzz FuzzFromSortedAlgebra -fuzztime 5s ./internal/nodeset
 
 vet:
 	$(GO) vet ./...
@@ -89,6 +92,32 @@ bench5:
 		| tee BENCH_5.txt
 	$(GO) run ./cmd/dkbench -benchjson < BENCH_5.txt > BENCH_5.json
 
+# bench6 records the succinct-set memory experiment: query throughput plus
+# the extent/posting footprint (resident vs raw bytes, compression ratio,
+# bytes per node) on XMark, NASA, and DBLP (BENCH_6.txt/BENCH_6.json).
+bench6:
+	DK_BENCH_SCALE=$(DK_BENCH_SCALE) $(GO) test -run '^$$' \
+		-bench 'BenchmarkQueryThroughput$$|BenchmarkMemFootprint(XMark|Nasa|Dblp)' \
+		-benchmem -benchtime $(BENCHTIME) . \
+		| tee BENCH_6.txt
+	$(GO) run ./cmd/dkbench -benchjson < BENCH_6.txt > BENCH_6.json
+
+# bench-baseline records the regression-guard baseline: several short
+# repetitions of the query-throughput benchmark, parsed to JSON. bench-guard
+# compares future runs against it per benchmark name on best-of-N ns/op.
+bench-baseline:
+	DK_BENCH_SCALE=$(DK_BENCH_SCALE) $(GO) test -run '^$$' \
+		-bench 'BenchmarkQueryThroughput$$' -benchtime 1s -count 5 . \
+		| $(GO) run ./cmd/dkbench -benchjson > BENCH_BASELINE.json
+
+# bench-guard fails when the fastest of five query-throughput runs regresses
+# more than 10% against the recorded BENCH_BASELINE.json. Skips with a notice
+# when no baseline has been recorded yet.
+bench-guard:
+	DK_BENCH_SCALE=$(DK_BENCH_SCALE) $(GO) test -run '^$$' \
+		-bench 'BenchmarkQueryThroughput$$' -benchtime 1s -count 5 . \
+		| $(GO) run ./cmd/dkbench -benchguard BENCH_BASELINE.json
+
 # profile-build captures CPU and heap profiles of the large-XMark 1-index
 # construction (the heaviest refinement workload). Inspect with
 # `go tool pprof build_cpu.prof` / `go tool pprof build_mem.prof`.
@@ -99,4 +128,4 @@ profile-build:
 
 clean:
 	rm -f BENCH_1.txt BENCH_1.json BENCH_2.txt BENCH_2.json BENCH_3.txt BENCH_3.json
-	rm -f BENCH_5.txt BENCH_5.json build_cpu.prof build_mem.prof dkindex.test
+	rm -f BENCH_5.txt BENCH_5.json BENCH_6.txt BENCH_6.json build_cpu.prof build_mem.prof dkindex.test

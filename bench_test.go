@@ -129,6 +129,39 @@ func BenchmarkBuildNasa(b *testing.B) { benchBuild(b, benchNasa(b)) }
 // dense citation structure stresses signature grouping hardest.
 func BenchmarkBuildDblp(b *testing.B) { benchBuild(b, benchDblp(b)) }
 
+// benchMemFootprint measures the succinct-set memory experiment on one
+// dataset and reports the D(k) row's headline numbers — resident and raw set
+// bytes, the compression ratio, and resident bytes per data node — as custom
+// metrics. `make bench6` records all three datasets alongside the query
+// throughput benchmark in BENCH_6.txt/BENCH_6.json.
+func benchMemFootprint(b *testing.B, ds *experiments.Dataset) {
+	b.Helper()
+	var rows []experiments.MemRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.MemoryFootprint(ds, 0)
+	}
+	var sb strings.Builder
+	if err := experiments.RenderMemRows(&sb, "Memory footprint ("+ds.Name+")", rows); err != nil {
+		b.Fatal(err)
+	}
+	b.Log("\n" + sb.String())
+	dk := rows[len(rows)-1]
+	b.ReportMetric(float64(dk.Resident()), "dk_set_bytes")
+	b.ReportMetric(float64(dk.Raw()), "dk_raw_bytes")
+	b.ReportMetric(dk.Ratio(), "dk_compression_x")
+	b.ReportMetric(dk.BytesPerNode(), "dk_bytes/node")
+}
+
+// BenchmarkMemFootprintXMark measures extent/posting footprint on XMark.
+func BenchmarkMemFootprintXMark(b *testing.B) { benchMemFootprint(b, benchXMark(b)) }
+
+// BenchmarkMemFootprintNasa measures extent/posting footprint on NASA.
+func BenchmarkMemFootprintNasa(b *testing.B) { benchMemFootprint(b, benchNasa(b)) }
+
+// BenchmarkMemFootprintDblp measures extent/posting footprint on DBLP, whose
+// citation-fragmented extents are the sparse-encoding stress case.
+func BenchmarkMemFootprintDblp(b *testing.B) { benchMemFootprint(b, benchDblp(b)) }
+
 // reportSeries logs the rendered series and reports the D(k) headline
 // numbers as metrics.
 func reportSeries(b *testing.B, title string, points []experiments.EvalPoint) {

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -61,10 +62,10 @@ func parseBenchLine(line string) (benchResult, bool) {
 	return r, true
 }
 
-// benchToJSON converts `go test -bench` text on r into a JSON report on w.
-// Non-benchmark lines other than the goos/goarch/pkg/cpu preamble are
-// ignored, so the input can be a full verbose test log.
-func benchToJSON(r io.Reader, w io.Writer) error {
+// parseBenchReport reads `go test -bench` text into a report. Non-benchmark
+// lines other than the goos/goarch/pkg/cpu preamble are ignored, so the input
+// can be a full verbose test log.
+func parseBenchReport(r io.Reader) (benchReport, error) {
 	var rep benchReport
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
@@ -86,12 +87,81 @@ func benchToJSON(r io.Reader, w io.Writer) error {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return err
+		return rep, err
 	}
 	if len(rep.Results) == 0 {
-		return fmt.Errorf("no benchmark result lines found in input")
+		return rep, fmt.Errorf("no benchmark result lines found in input")
+	}
+	return rep, nil
+}
+
+// benchToJSON converts `go test -bench` text on r into a JSON report on w.
+func benchToJSON(r io.Reader, w io.Writer) error {
+	rep, err := parseBenchReport(r)
+	if err != nil {
+		return err
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rep)
+}
+
+// minNsPerOp collapses repeated runs of each benchmark to the fastest ns/op —
+// the most noise-resistant summary a single machine gives (regressions slow
+// the floor; scheduling noise only raises individual runs).
+func minNsPerOp(rep benchReport) map[string]float64 {
+	best := map[string]float64{}
+	for _, r := range rep.Results {
+		ns, ok := r.Metrics["ns/op"]
+		if !ok {
+			continue
+		}
+		if cur, seen := best[r.Name]; !seen || ns < cur {
+			best[r.Name] = ns
+		}
+	}
+	return best
+}
+
+// benchGuard compares `go test -bench` text on r against a recorded baseline
+// JSON report: for every benchmark present in both, the fastest current ns/op
+// must not exceed the fastest baseline ns/op by more than maxPct percent.
+// Returns an error listing every regression; benchmarks present on only one
+// side are ignored (the baseline scopes what is guarded).
+func benchGuard(baseline io.Reader, r io.Reader, w io.Writer, maxPct float64) error {
+	var base benchReport
+	if err := json.NewDecoder(baseline).Decode(&base); err != nil {
+		return fmt.Errorf("parse baseline: %w", err)
+	}
+	cur, err := parseBenchReport(r)
+	if err != nil {
+		return err
+	}
+	baseBest, curBest := minNsPerOp(base), minNsPerOp(cur)
+	names := make([]string, 0, len(baseBest))
+	for name := range baseBest {
+		if _, ok := curBest[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return fmt.Errorf("no benchmark shared between baseline and current run")
+	}
+	var failures []string
+	for _, name := range names {
+		b, c := baseBest[name], curBest[name]
+		delta := (c - b) / b * 100
+		status := "ok"
+		if delta > maxPct {
+			status = "REGRESSION"
+			failures = append(failures, fmt.Sprintf("%s: %.0f -> %.0f ns/op (%+.1f%% > %.0f%%)", name, b, c, delta, maxPct))
+		}
+		fmt.Fprintf(w, "benchguard %-40s baseline %12.0f ns/op  current %12.0f ns/op  %+6.1f%%  %s\n",
+			name, b, c, delta, status)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("throughput regression beyond %.0f%%:\n  %s", maxPct, strings.Join(failures, "\n  "))
+	}
+	return nil
 }

@@ -9,6 +9,7 @@
 //	ablation  D(k) decay under updates and recovery via promotion
 //	alg4      Algorithm 4 probe vs naive reset on edge addition
 //	build     construction cost: 1-index / A(k) / D(k) build times and counters
+//	mem       set footprint: succinct extents/postings vs raw slices, all datasets
 //	family    full summary family (label-split..F&B) on path and twig loads
 //	docinsert incremental document insertion vs baseline vs rebuild
 //	apex      the APEX workload-aware competitor: cost and update handling
@@ -47,14 +48,16 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	fs := flag.NewFlagSet("dkbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp       = fs.String("exp", "all", "experiment: fig4, fig5, tab1, fig6, fig7, ablation, alg4, build, family, docinsert, apex, miner, all")
-		scale     = fs.Float64("scale", 1.0, "dataset scale (1.0 = paper size)")
-		edges     = fs.Int("edges", 100, "edge additions for tab1/fig6/fig7/ablation")
-		seed      = fs.Int64("seed", 1, "random seed for workloads and edges")
-		maxK      = fs.Int("maxk", 0, "largest A(k) in the series (0 = longest query length)")
-		csv       = fs.String("csv", "", "also write each series as CSV files under this directory")
-		metrics   = fs.String("metrics", "", "write a Prometheus text snapshot of the run's metrics to this file")
-		benchjson = fs.Bool("benchjson", false, "read `go test -bench` text on stdin, write a JSON report on stdout, and exit")
+		exp        = fs.String("exp", "all", "experiment: fig4, fig5, tab1, fig6, fig7, ablation, alg4, build, mem, family, docinsert, apex, miner, all")
+		scale      = fs.Float64("scale", 1.0, "dataset scale (1.0 = paper size)")
+		edges      = fs.Int("edges", 100, "edge additions for tab1/fig6/fig7/ablation")
+		seed       = fs.Int64("seed", 1, "random seed for workloads and edges")
+		maxK       = fs.Int("maxk", 0, "largest A(k) in the series (0 = longest query length)")
+		csv        = fs.String("csv", "", "also write each series as CSV files under this directory")
+		metrics    = fs.String("metrics", "", "write a Prometheus text snapshot of the run's metrics to this file")
+		benchjson  = fs.Bool("benchjson", false, "read `go test -bench` text on stdin, write a JSON report on stdout, and exit")
+		benchguard = fs.String("benchguard", "", "read `go test -bench` text on stdin, fail if any benchmark in this baseline JSON `file` regressed beyond -maxregress, and exit")
+		maxregress = fs.Float64("maxregress", 10, "benchguard failure threshold: max ns/op regression vs baseline, percent")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -62,6 +65,22 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	if *benchjson {
 		if err := benchToJSON(os.Stdin, stdout); err != nil {
 			fmt.Fprintf(stderr, "dkbench: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	if *benchguard != "" {
+		f, err := os.Open(*benchguard)
+		if err != nil {
+			// A missing baseline is not a regression: first runs (and fresh
+			// clones that never recorded one) pass with a notice telling the
+			// developer how to create it.
+			fmt.Fprintf(stderr, "dkbench: benchguard: no baseline at %s (record one with `make bench-baseline`); skipping\n", *benchguard)
+			return 0
+		}
+		defer f.Close()
+		if err := benchGuard(f, os.Stdin, stdout, *maxregress); err != nil {
+			fmt.Fprintf(stderr, "dkbench: benchguard: %v\n", err)
 			return 1
 		}
 		return 0
@@ -119,7 +138,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	run := func(id string) bool { return *exp == "all" || *exp == id }
 	cfg := experiments.AfterUpdateConfig{Edges: *edges, MaxK: *maxK, Seed: *seed}
 
-	var xmark, nasa *experiments.Dataset
+	var xmark, nasa, dblp *experiments.Dataset
 	loadXMark := func() *experiments.Dataset {
 		if xmark == nil {
 			xmark = mustDataset(experiments.XMarkDataset(*scale, *seed))
@@ -134,6 +153,13 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 			describe(nasa)
 		}
 		return nasa
+	}
+	loadDblp := func() *experiments.Dataset {
+		if dblp == nil {
+			dblp = mustDataset(experiments.DblpDataset(*scale, *seed))
+			describe(dblp)
+		}
+		return dblp
 	}
 
 	ran := false
@@ -234,6 +260,17 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 			a := must(experiments.AblationAlg4(loadXMark(), cfg))
 			check(experiments.RenderAlg4Ablation(stdout,
 				"Ablation (Xmark): Algorithm 4 probe vs naive reset on edge addition", a))
+		})
+	}
+	if run("mem") {
+		ran = true
+		timed("mem", func() {
+			for _, ds := range []*experiments.Dataset{loadXMark(), loadNasa(), loadDblp()} {
+				rows := experiments.MemoryFootprint(ds, *maxK)
+				check(experiments.RenderMemRows(stdout,
+					fmt.Sprintf("Memory footprint (%s): succinct extents and postings vs raw node slices", ds.Name), rows))
+				writeCSV(fmt.Sprintf("mem_%s.csv", ds.Name), func(w *os.File) error { return experiments.WriteMemRowsCSV(w, rows) })
+			}
 		})
 	}
 	if run("build") {

@@ -106,3 +106,53 @@ ok  	dkindex	5.1s
 		t.Error("want error for input without benchmark lines")
 	}
 }
+
+// TestBenchGuard exercises the regression guard: best-of-N collapsing, the
+// pass/fail threshold, scoping to benchmarks present in the baseline, and
+// the missing-baseline skip path of the -benchguard flag.
+func TestBenchGuard(t *testing.T) {
+	baseline := `{"results": [
+		{"name": "BenchmarkQueryThroughput", "iterations": 100, "metrics": {"ns/op": 1100000}},
+		{"name": "BenchmarkQueryThroughput", "iterations": 100, "metrics": {"ns/op": 1000000}}
+	]}`
+	current := func(ns string) string {
+		return "BenchmarkQueryThroughput-8 100 " + ns + " ns/op\n" +
+			"BenchmarkUnguardedExtra-8 100 9999999 ns/op\nPASS\n"
+	}
+
+	var out strings.Builder
+	// 5% above the baseline's best run: passes at the 10% threshold.
+	if err := benchGuard(strings.NewReader(baseline), strings.NewReader(current("1050000")), &out, 10); err != nil {
+		t.Errorf("5%% regression at 10%% threshold: %v", err)
+	}
+	if !strings.Contains(out.String(), "ok") || strings.Contains(out.String(), "Unguarded") {
+		t.Errorf("guard output = %q", out.String())
+	}
+	// 20% above: fails, naming the benchmark.
+	err := benchGuard(strings.NewReader(baseline), strings.NewReader(current("1200000")), &out, 10)
+	if err == nil || !strings.Contains(err.Error(), "BenchmarkQueryThroughput") {
+		t.Errorf("20%% regression: err = %v", err)
+	}
+	// Repeated current runs collapse to the fastest: a slow outlier next to a
+	// fast run passes.
+	noisy := current("2000000") + "BenchmarkQueryThroughput-8 100 1010000 ns/op\n"
+	if err := benchGuard(strings.NewReader(baseline), strings.NewReader(noisy), &out, 10); err != nil {
+		t.Errorf("best-of-N: %v", err)
+	}
+	// No shared benchmark is an error, not a silent pass.
+	if err := benchGuard(strings.NewReader(baseline), strings.NewReader("BenchmarkOther-8 1 5 ns/op\n"), &out, 10); err == nil {
+		t.Error("want error when baseline and current share no benchmark")
+	}
+	if err := benchGuard(strings.NewReader("not json"), strings.NewReader(current("1000000")), &out, 10); err == nil {
+		t.Error("want error for malformed baseline")
+	}
+
+	// The flag path: a missing baseline file skips with exit 0 and a notice.
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-benchguard", filepath.Join(t.TempDir(), "nope.json")}, &stdout, &stderr); code != 0 {
+		t.Errorf("missing baseline exit = %d, want 0 (stderr: %s)", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "skipping") {
+		t.Errorf("missing baseline notice = %q", stderr.String())
+	}
+}

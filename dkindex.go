@@ -602,12 +602,13 @@ func (x *Index) Explain(path string) (*Explanation, error) {
 		} else {
 			mn.Validated = true
 			cost.Validations++
-			for _, d := range ig.Extent(m) {
+			ig.ExtentSet(m).Iterate(func(d graph.NodeID) bool {
 				ok := data.LabelPathMatchesNode(q, d, func(graph.NodeID) { cost.DataNodesValidated++ })
 				if ok {
 					mn.Kept++
 				}
-			}
+				return true
+			})
 		}
 		out.Results += mn.Kept
 		out.Matched = append(out.Matched, mn)

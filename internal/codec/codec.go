@@ -164,13 +164,14 @@ func encodeIndex(enc *encoder, ig *index.IndexGraph) {
 	enc.uint(uint64(ig.NumNodes()))
 	for b := 0; b < ig.NumNodes(); b++ {
 		enc.uint(uint64(ig.K(graph.NodeID(b))))
-		ext := ig.Extent(graph.NodeID(b))
-		enc.uint(uint64(len(ext)))
+		ext := ig.ExtentSet(graph.NodeID(b))
+		enc.uint(uint64(ext.Len()))
 		prev := graph.NodeID(0)
-		for _, d := range ext {
+		ext.Iterate(func(d graph.NodeID) bool {
 			enc.uint(uint64(d - prev)) // extents are sorted ascending
 			prev = d
-		}
+			return true
+		})
 	}
 }
 

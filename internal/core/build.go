@@ -278,6 +278,9 @@ func Audit(ig *index.IndexGraph, maxK int) error {
 			n    graph.NodeID
 			path []graph.LabelID
 		}
+		// Materialize b's extent once; Extent now copies out of the
+		// succinct set, so calling it per discovered path would re-decode.
+		ext := ig.Extent(graph.NodeID(b))
 		stack := []frame{{graph.NodeID(b), []graph.LabelID{ig.Label(graph.NodeID(b))}}}
 		seen := make(map[string]bool)
 		for len(stack) > 0 {
@@ -287,7 +290,7 @@ func Audit(ig *index.IndexGraph, maxK int) error {
 				key := encodePath(cur.path)
 				if !seen[key] {
 					seen[key] = true
-					for _, d := range ig.Extent(graph.NodeID(b)) {
+					for _, d := range ext {
 						if !g.LabelPathMatchesNode(cur.path, d, nil) {
 							return fmt.Errorf("core: audit failed: index node %d claims k=%d but a length-%d path does not match data node %d",
 								b, ig.K(graph.NodeID(b)), len(cur.path)-1, d)

@@ -166,9 +166,12 @@ func (c *compositeSource) AppendExtent(dst []graph.NodeID, n graph.NodeID) []gra
 	if int(n) < c.base {
 		return c.ig.AppendExtent(dst, n)
 	}
-	for _, hn := range c.ih.Extent(c.toIH(n)) {
+	// Iterate the compressed extent directly; the hgToG remap means the
+	// appended run may be unsorted, and construction sorts before encoding.
+	c.ih.ExtentSet(c.toIH(n)).Iterate(func(hn graph.NodeID) bool {
 		dst = append(dst, c.hgToG[hn])
-	}
+		return true
+	})
 	return dst
 }
 

@@ -15,6 +15,7 @@ import (
 
 	"dkindex/internal/graph"
 	"dkindex/internal/index"
+	"dkindex/internal/nodeset"
 	"dkindex/internal/obs"
 	"dkindex/internal/workpool"
 )
@@ -137,21 +138,30 @@ func IndexTraced(ig *index.IndexGraph, q Query, tr *obs.Trace) ([]graph.NodeID, 
 	tr.EndStage("match", st)
 	need := q.Length()
 	data := ig.Data()
-	var res []graph.NodeID
 	st = tr.StageStart()
+	// Sound matches stay compressed until the final merge; validated hits
+	// accumulate uncompressed. Extents are disjoint (they partition the data
+	// nodes), so the container-level merge emits the same sorted result the
+	// old append-everything-then-sort produced.
+	var sound []nodeset.Set
+	var extra []graph.NodeID
 	for _, m := range matched {
 		if ig.K(m) >= need {
-			res = ig.AppendExtent(res, m)
+			sound = append(sound, ig.ExtentSet(m))
 			continue
 		}
 		c.Validations++
-		hits, charged := validateMembers(ig.Extent(m), func(d graph.NodeID, charge func(graph.NodeID)) bool {
+		ext := evalExtentGet()
+		ext = ig.AppendExtent(ext, m)
+		hits, charged := validateMembers(ext, func(d graph.NodeID, charge func(graph.NodeID)) bool {
 			return data.LabelPathMatchesNode(q, d, charge)
 		})
+		evalExtentPut(ext)
 		c.DataNodesValidated += charged
-		res = append(res, hits...)
+		extra = append(extra, hits...)
 	}
-	slices.Sort(res)
+	slices.Sort(extra)
+	res := nodeset.MergeAppend(nil, sound, extra)
 	tr.EndStage("validate", st)
 	tr.RecordCost(c.IndexNodesVisited, c.DataNodesValidated, c.Validations, len(res))
 	return res, c
@@ -165,13 +175,22 @@ func IndexTraced(ig *index.IndexGraph, q Query, tr *obs.Trace) ([]graph.NodeID, 
 func IndexNoValidation(ig *index.IndexGraph, q Query) ([]graph.NodeID, Cost) {
 	var c Cost
 	matched := evalOnIndex(ig, q, &c)
-	var res []graph.NodeID
-	for _, m := range matched {
-		res = ig.AppendExtent(res, m)
+	sets := make([]nodeset.Set, len(matched))
+	for i, m := range matched {
+		sets[i] = ig.ExtentSet(m)
 	}
-	slices.Sort(res)
-	return res, c
+	return nodeset.MergeAppend(nil, sets, nil), c
 }
+
+// evalExtent pools decompression buffers for the validation paths: unsound
+// matches materialize their extent once, validate it, and return the buffer.
+var evalExtent = sync.Pool{New: func() any {
+	b := make([]graph.NodeID, 0, 512)
+	return &b
+}}
+
+func evalExtentGet() []graph.NodeID  { return (*evalExtent.Get().(*[]graph.NodeID))[:0] }
+func evalExtentPut(b []graph.NodeID) { evalExtent.Put(&b) }
 
 // validateParallelThreshold is the extent size above which validation fans
 // out across CPUs (mirroring partition's parallel refinement threshold, tuned
@@ -228,48 +247,63 @@ func validateMembers(ext []graph.NodeID, check func(d graph.NodeID, charge func(
 type idxScratch struct {
 	seen graph.VisitSet
 	a, b []graph.NodeID
+	cand []graph.NodeID
 }
 
 var idxScratchPool = sync.Pool{New: func() any { return new(idxScratch) }}
 
 // evalOnIndex runs the label-path traversal over the index graph, charging
 // one visit per (node, position) expansion, and returns the matched index
-// nodes in ascending order. Seeding reads the label posting list —
-// O(|matches|), not O(index size) — and frontiers are pooled dense slices
-// deduplicated by an epoch-stamped visit set, so steady-state evaluation
-// allocates only the result. The charges are exactly those of the map-based
-// evaluator: posting lists hold precisely the label-matching nodes, and each
-// (node, position) pair is still charged at most once.
+// nodes in ascending order. Each step is pure set algebra over the
+// compressed posting lists: the frontier's distinct children (deduplicated
+// by an epoch-stamped visit set) are intersected with the next label's
+// posting set, either by probing the visit set while walking the compressed
+// list (when the posting list is the smaller side) or by a container-skipping
+// sorted intersection. Frontiers come out ascending, so no final sort is
+// needed. The charges are exactly those of the per-child label-check
+// evaluator: a step charges one visit per distinct frontier child carrying
+// the wanted label — precisely |children(frontier) ∩ posting(label)| — and
+// charge totals are independent of frontier order.
 func evalOnIndex(ig *index.IndexGraph, q Query, c *Cost) []graph.NodeID {
 	if len(q) == 0 {
 		return nil
 	}
 	sc := idxScratchPool.Get().(*idxScratch)
-	cur, next := sc.a[:0], sc.b[:0]
-	for _, n := range ig.NodesWithLabel(q[0]) {
-		cur = append(cur, n)
-		c.IndexNodesVisited++
-	}
+	seed := ig.PostingSet(q[0])
+	cur := seed.AppendTo(sc.a[:0])
+	c.IndexNodesVisited += seed.Len()
+	next, cand := sc.b[:0], sc.cand[:0]
 	for pos := 1; pos < len(q) && len(cur) > 0; pos++ {
 		sc.seen.Reset(ig.NumNodes())
-		next = next[:0]
-		want := q[pos]
+		cand = cand[:0]
 		for _, n := range cur {
 			for _, ch := range ig.Children(n) {
-				if ig.Label(ch) == want && sc.seen.Add(ch) {
-					next = append(next, ch)
-					c.IndexNodesVisited++
+				if sc.seen.Add(ch) {
+					cand = append(cand, ch)
 				}
 			}
 		}
+		next = next[:0]
+		post := ig.PostingSet(q[pos])
+		if post.Len() <= 2*len(cand) {
+			post.Iterate(func(id graph.NodeID) bool {
+				if sc.seen.Contains(id) {
+					next = append(next, id)
+				}
+				return true
+			})
+		} else {
+			slices.Sort(cand)
+			next = nodeset.IntersectSortedAppend(post, cand, next)
+		}
+		c.IndexNodesVisited += len(next)
 		cur, next = next, cur
 	}
 	var out []graph.NodeID
 	if len(cur) > 0 {
 		out = append([]graph.NodeID(nil), cur...)
-		slices.Sort(out)
 	}
-	sc.a, sc.b = cur, next
+	sc.a, sc.b, sc.cand = cur, next, cand
 	idxScratchPool.Put(sc)
 	return out
 }

@@ -5,6 +5,7 @@ import (
 
 	"dkindex/internal/graph"
 	"dkindex/internal/index"
+	"dkindex/internal/nodeset"
 	"dkindex/internal/obs"
 	"dkindex/internal/rpe"
 )
@@ -37,21 +38,28 @@ func IndexRPETraced(ig *index.IndexGraph, c *rpe.Compiled, tr *obs.Trace) ([]gra
 	var cost Cost
 	matched := c.EvalTraced(ig, func(graph.NodeID) { cost.IndexNodesVisited++ }, tr)
 	data := ig.Data()
-	var res []graph.NodeID
 	st := tr.StageStart()
+	// As in IndexTraced: sound extents stay compressed until the final
+	// disjoint-set merge, unsound ones decompress into a pooled buffer.
+	var sound []nodeset.Set
+	var extra []graph.NodeID
 	for _, m := range matched {
 		if c.MaxLen >= 0 && c.MaxLen-1 <= ig.K(m) {
-			res = ig.AppendExtent(res, m)
+			sound = append(sound, ig.ExtentSet(m))
 			continue
 		}
 		cost.Validations++
-		hits, charged := validateMembers(ig.Extent(m), func(d graph.NodeID, charge func(graph.NodeID)) bool {
+		ext := evalExtentGet()
+		ext = ig.AppendExtent(ext, m)
+		hits, charged := validateMembers(ext, func(d graph.NodeID, charge func(graph.NodeID)) bool {
 			return c.MatchesNode(data, d, charge)
 		})
+		evalExtentPut(ext)
 		cost.DataNodesValidated += charged
-		res = append(res, hits...)
+		extra = append(extra, hits...)
 	}
-	slices.Sort(res)
+	slices.Sort(extra)
+	res := nodeset.MergeAppend(nil, sound, extra)
 	tr.EndStage("validate", st)
 	tr.RecordCost(cost.IndexNodesVisited, cost.DataNodesValidated, cost.Validations, len(res))
 	return res, cost

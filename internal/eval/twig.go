@@ -8,6 +8,7 @@ import (
 
 	"dkindex/internal/graph"
 	"dkindex/internal/index"
+	"dkindex/internal/nodeset"
 	"dkindex/internal/obs"
 )
 
@@ -144,11 +145,17 @@ type twigSource interface {
 }
 
 // labelIndexed is the optional posting-list view: sources that provide it
-// (data graphs and index graphs both do) seed evaluation in O(|matches|)
-// instead of a full node scan. The returned slice must be the label's nodes
-// in ascending order.
+// (data graphs do) seed evaluation in O(|matches|) instead of a full node
+// scan. The returned slice must be the label's nodes in ascending order.
 type labelIndexed interface {
 	NodesWithLabel(l graph.LabelID) []graph.NodeID
+}
+
+// postingIndexed is the succinct posting-list view: index graphs provide it,
+// and the evaluator then seeds and advances predicate-free trunk steps by
+// compressed set intersection instead of per-child label checks.
+type postingIndexed interface {
+	PostingSet(l graph.LabelID) nodeset.Set
 }
 
 // twigEval carries the per-query memo tables.
@@ -219,62 +226,115 @@ func (e *twigEval) matchDown(n graph.NodeID, pred *Twig, i int) bool {
 type twigScratch struct {
 	inNext graph.VisitSet
 	a, b   []graph.NodeID
+	cand   []graph.NodeID
 }
 
 var twigScratchPool = sync.Pool{New: func() any { return new(twigScratch) }}
 
 // eval runs the trunk forward and returns matched nodes, ascending. Seeding
-// reads the source's label posting list when available; frontiers are pooled
-// dense slices deduplicated by an epoch-stamped visit set. The charge
-// pattern of the map-based evaluator is preserved exactly: a child that
-// passes stepOK is charged once (it enters the dedupe set), while a child
-// that fails is charged again by every frontier parent that reaches it —
-// both counts are properties of the frontier set, not of iteration order.
+// reads the source's posting list (the compressed set for index graphs, the
+// slice view for data graphs); frontiers are pooled dense slices
+// deduplicated by an epoch-stamped visit set. On posting-indexed sources,
+// predicate-FREE steps advance by pure set algebra — the frontier's distinct
+// children intersected with the label's compressed posting set — while
+// predicate-bearing steps keep the per-child loop, whose stepOK calls drive
+// the memoized downward matching. The charge pattern of the per-child
+// evaluator is preserved exactly either way: on a predicate-free step every
+// label-matching distinct child passes stepOK, so the old loop charged
+// precisely |children(frontier) ∩ posting(label)| — the kernel's |next| —
+// and on predicate-bearing steps charge totals are properties of the
+// frontier set and the memo DAG, not of iteration order.
 func (e *twigEval) eval() []graph.NodeID {
 	sc := twigScratchPool.Get().(*twigScratch)
-	cur, next := sc.a[:0], sc.b[:0]
-	if li, ok := e.src.(labelIndexed); ok {
-		for _, id := range li.NodesWithLabel(e.q.Steps[0].Label) {
+	cur, next, cand := sc.a[:0], sc.b[:0], sc.cand[:0]
+	pi, piOK := e.src.(postingIndexed)
+	switch {
+	case piOK:
+		pi.PostingSet(e.q.Steps[0].Label).Iterate(func(id graph.NodeID) bool {
 			e.see(id)
 			if e.stepOK(id, &e.q.Steps[0]) {
 				cur = append(cur, id)
 			}
-		}
-	} else {
-		for n := 0; n < e.src.NumNodes(); n++ {
-			id := graph.NodeID(n)
-			if e.src.Label(id) == e.q.Steps[0].Label {
+			return true
+		})
+	default:
+		if li, ok := e.src.(labelIndexed); ok {
+			for _, id := range li.NodesWithLabel(e.q.Steps[0].Label) {
 				e.see(id)
 				if e.stepOK(id, &e.q.Steps[0]) {
 					cur = append(cur, id)
 				}
 			}
+		} else {
+			for n := 0; n < e.src.NumNodes(); n++ {
+				id := graph.NodeID(n)
+				if e.src.Label(id) == e.q.Steps[0].Label {
+					e.see(id)
+					if e.stepOK(id, &e.q.Steps[0]) {
+						cur = append(cur, id)
+					}
+				}
+			}
 		}
 	}
+	sorted := true // posting-seeded frontiers are ascending
 	for pos := 1; pos < len(e.q.Steps) && len(cur) > 0; pos++ {
 		sc.inNext.Reset(e.src.NumNodes())
 		next = next[:0]
-		want := e.q.Steps[pos].Label
-		for _, n := range cur {
-			for _, c := range e.src.Children(n) {
-				if e.src.Label(c) != want || sc.inNext.Contains(c) {
-					continue
-				}
-				e.see(c)
-				if e.stepOK(c, &e.q.Steps[pos]) {
-					sc.inNext.Add(c)
-					next = append(next, c)
+		step := &e.q.Steps[pos]
+		if piOK && len(step.Preds) == 0 {
+			// Set-algebra kernel: dedupe the frontier's children, intersect
+			// with the compressed posting list of the wanted label.
+			cand = cand[:0]
+			for _, n := range cur {
+				for _, c := range e.src.Children(n) {
+					if sc.inNext.Add(c) {
+						cand = append(cand, c)
+					}
 				}
 			}
+			post := pi.PostingSet(step.Label)
+			if post.Len() <= 2*len(cand) {
+				post.Iterate(func(id graph.NodeID) bool {
+					if sc.inNext.Contains(id) {
+						next = append(next, id)
+					}
+					return true
+				})
+			} else {
+				slices.Sort(cand)
+				next = nodeset.IntersectSortedAppend(post, cand, next)
+			}
+			for _, id := range next {
+				e.see(id)
+			}
+			sorted = true
+		} else {
+			want := step.Label
+			for _, n := range cur {
+				for _, c := range e.src.Children(n) {
+					if e.src.Label(c) != want || sc.inNext.Contains(c) {
+						continue
+					}
+					e.see(c)
+					if e.stepOK(c, step) {
+						sc.inNext.Add(c)
+						next = append(next, c)
+					}
+				}
+			}
+			sorted = false
 		}
 		cur, next = next, cur
 	}
 	var out []graph.NodeID
 	if len(cur) > 0 {
 		out = append([]graph.NodeID(nil), cur...)
-		slices.Sort(out)
+		if !sorted {
+			slices.Sort(out)
+		}
 	}
-	sc.a, sc.b = cur, next
+	sc.a, sc.b, sc.cand = cur, next, cand
 	twigScratchPool.Put(sc)
 	return out
 }
@@ -344,25 +404,32 @@ func IndexTwigTraced(ig *index.IndexGraph, q *Twig, tr *obs.Trace) ([]graph.Node
 	st := tr.StageStart()
 	matched := e.eval()
 	tr.EndStage("match", st)
-	var res []graph.NodeID
 	data := ig.Data()
 	st = tr.StageStart()
+	// F&B-stable extents stay compressed until the disjoint-set merge;
+	// unsound matches decompress into a pooled buffer for validation.
+	var sound []nodeset.Set
+	var extra []graph.NodeID
 	for _, m := range matched {
 		if ig.FBStable() {
-			res = ig.AppendExtent(res, m)
+			sound = append(sound, ig.ExtentSet(m))
 			continue
 		}
 		c.Validations++
 		// Validation stays serial: extent members share ev's predicate memo,
 		// so later members ride on charges already paid by earlier ones.
 		ev := newTwigEval(data, q, func(graph.NodeID) { c.DataNodesValidated++ })
-		for _, d := range ig.Extent(m) {
+		ext := evalExtentGet()
+		ext = ig.AppendExtent(ext, m)
+		for _, d := range ext {
 			if ev.matchesEndingAt(d) {
-				res = append(res, d)
+				extra = append(extra, d)
 			}
 		}
+		evalExtentPut(ext)
 	}
-	slices.Sort(res)
+	slices.Sort(extra)
+	res := nodeset.MergeAppend(nil, sound, extra)
 	tr.EndStage("validate", st)
 	tr.RecordCost(c.IndexNodesVisited, c.DataNodesValidated, c.Validations, len(res))
 	return res, c

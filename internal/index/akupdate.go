@@ -81,12 +81,12 @@ func AKEdgeUpdate(ig *IndexGraph, k int, u, v graph.NodeID) UpdateStats {
 		}
 	}
 	intersectsAffected := func(b graph.NodeID) bool {
-		for _, d := range ig.extents[b] {
-			if affected[d] {
-				return true
-			}
-		}
-		return false
+		hit := false
+		ig.extents[b].Iterate(func(d graph.NodeID) bool {
+			hit = affected[d]
+			return !hit
+		})
+		return hit
 	}
 	for d := range affected {
 		push(ig.nodeOf[d])
@@ -123,11 +123,13 @@ func AKEdgeUpdate(ig *IndexGraph, k int, u, v graph.NodeID) UpdateStats {
 // the ids of all fragments (including b itself) if any split happened, or
 // nil when the extent was already homogeneous.
 func (ig *IndexGraph) repartitionByParents(b graph.NodeID, stats *UpdateStats) []graph.NodeID {
-	ext := ig.extents[b]
-	if len(ext) == 1 {
+	if ig.extents[b].Len() == 1 {
 		stats.DataNodesTouched++
 		return nil
 	}
+	ext := extentScratchGet()
+	ext = ig.extents[b].AppendTo(ext)
+	defer extentScratchPut(ext)
 	groups := make(map[string][]graph.NodeID)
 	var order []string
 	var key []byte
@@ -322,9 +324,12 @@ func (c *graftSource) AppendExtent(dst []graph.NodeID, n graph.NodeID) []graph.N
 	if int(n) < c.base {
 		return c.ig.AppendExtent(dst, n)
 	}
-	for _, hn := range c.ih.Extent(c.toIH(n)) {
+	// Grafted nodes map through hgToG, so the appended run is not
+	// necessarily ascending; FromPartition sorts before encoding.
+	c.ih.ExtentSet(c.toIH(n)).Iterate(func(hn graph.NodeID) bool {
 		dst = append(dst, c.hgToG[hn])
-	}
+		return true
+	})
 	return dst
 }
 

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"math"
 	"slices"
+	"sync"
 
 	"dkindex/internal/graph"
+	"dkindex/internal/nodeset"
 	"dkindex/internal/partition"
 )
 
@@ -25,9 +27,14 @@ const Exact = math.MaxInt32 / 4
 // Adjacency is maintained with data-edge counts so that extent splits and
 // incremental edge additions update the index graph without global rebuilds.
 type IndexGraph struct {
-	data    *graph.Graph
-	labels  []graph.LabelID
-	extents [][]graph.NodeID
+	data   *graph.Graph
+	labels []graph.LabelID
+	// extents holds each node's extent as an immutable succinct set
+	// (internal/nodeset): clones share them, and query-side set algebra
+	// operates on the compressed form directly. Mutation paths (splits,
+	// repartitioning) decompress through extentScratch, recombine, and
+	// swap in fresh sets.
+	extents []nodeset.Set
 	k       []int
 	// children[a][b] = number of data edges from extent(a) into extent(b);
 	// parents is the mirror. An index edge exists iff its count is > 0.
@@ -40,8 +47,10 @@ type IndexGraph struct {
 	parentList [][]graph.NodeID
 	// byLabel[l] lists index nodes carrying label l in ascending order (new
 	// nodes always receive the largest id, so appending keeps lists sorted).
-	// Query seeding reads these posting lists instead of scanning all nodes.
-	byLabel  [][]graph.NodeID
+	// Each posting list is a succinct-set builder: the sealed prefix is
+	// compressed, the open chunk stays as raw low-16 values, and query
+	// seeding reads PostingSet views instead of scanning all nodes.
+	byLabel  []*nodeset.Builder
 	numEdges int
 	nodeOf   []graph.NodeID // data node -> index node
 	// fbStable records that extents are forward-and-backward bisimilar
@@ -64,7 +73,7 @@ func FromPartition(src Source, p *partition.Partition, kOf func(partition.BlockI
 	ig := &IndexGraph{
 		data:       data,
 		labels:     make([]graph.LabelID, nb),
-		extents:    make([][]graph.NodeID, nb),
+		extents:    make([]nodeset.Set, nb),
 		k:          make([]int, nb),
 		children:   make([]map[graph.NodeID]int, nb),
 		parents:    make([]map[graph.NodeID]int, nb),
@@ -79,15 +88,16 @@ func FromPartition(src Source, p *partition.Partition, kOf func(partition.BlockI
 		ig.children[b] = make(map[graph.NodeID]int)
 		ig.parents[b] = make(map[graph.NodeID]int)
 		ig.appendPosting(ig.labels[b], graph.NodeID(b))
-		var ext []graph.NodeID
+		ext := extentScratchGet()
 		for _, m := range mem {
 			ext = src.AppendExtent(ext, m)
 		}
 		slices.Sort(ext)
-		ig.extents[b] = ext
+		ig.extents[b] = nodeset.FromSorted(ext)
 		for _, d := range ext {
 			ig.nodeOf[d] = graph.NodeID(b)
 		}
+		extentScratchPut(ext)
 	}
 	// Derive index edges from data edges, counting multiplicities.
 	for u := 0; u < data.NumNodes(); u++ {
@@ -105,7 +115,25 @@ func (ig *IndexGraph) appendPosting(l graph.LabelID, n graph.NodeID) {
 	for int(l) >= len(ig.byLabel) {
 		ig.byLabel = append(ig.byLabel, nil)
 	}
-	ig.byLabel[l] = append(ig.byLabel[l], n)
+	if ig.byLabel[l] == nil {
+		ig.byLabel[l] = new(nodeset.Builder)
+	}
+	ig.byLabel[l].Append(n)
+}
+
+// extentScratch recycles the decompression buffers the mutation and
+// persistence paths use to materialize extents.
+var extentScratch = sync.Pool{New: func() any {
+	b := make([]graph.NodeID, 0, 256)
+	return &b
+}}
+
+func extentScratchGet() []graph.NodeID {
+	return (*extentScratch.Get().(*[]graph.NodeID))[:0]
+}
+
+func extentScratchPut(b []graph.NodeID) {
+	extentScratch.Put(&b)
 }
 
 func (ig *IndexGraph) incEdge(a, b graph.NodeID) {
@@ -187,12 +215,21 @@ func (ig *IndexGraph) K(n graph.NodeID) int { return ig.k[n] }
 // SetK sets the local similarity of index node n.
 func (ig *IndexGraph) SetK(n graph.NodeID, k int) { ig.k[n] = k }
 
-// Extent returns the sorted data nodes represented by index node n. The
-// slice is owned by the index graph.
-func (ig *IndexGraph) Extent(n graph.NodeID) []graph.NodeID { return ig.extents[n] }
+// Extent returns the sorted data nodes represented by index node n as a
+// freshly allocated slice owned by the caller. Earlier versions returned the
+// index's backing slice, which callers could alias and mutate undetected;
+// the copy makes the read-only contract structural. Hot paths should prefer
+// ExtentSet (no decompression) or AppendExtent (caller-managed buffer).
+func (ig *IndexGraph) Extent(n graph.NodeID) []graph.NodeID {
+	return ig.extents[n].AppendTo(nil)
+}
 
-// ExtentSize returns len(Extent(n)) without exposing the slice.
-func (ig *IndexGraph) ExtentSize(n graph.NodeID) int { return len(ig.extents[n]) }
+// ExtentSet returns index node n's extent in its succinct immutable form —
+// the zero-copy accessor for set-algebra query primitives.
+func (ig *IndexGraph) ExtentSet(n graph.NodeID) nodeset.Set { return ig.extents[n] }
+
+// ExtentSize returns the extent cardinality without decompressing it.
+func (ig *IndexGraph) ExtentSize(n graph.NodeID) int { return ig.extents[n].Len() }
 
 // IndexOf returns the index node whose extent contains data node d.
 func (ig *IndexGraph) IndexOf(d graph.NodeID) graph.NodeID { return ig.nodeOf[d] }
@@ -213,24 +250,36 @@ func (ig *IndexGraph) Parents(n graph.NodeID) []graph.NodeID {
 // HasEdge reports whether the index edge a -> b exists.
 func (ig *IndexGraph) HasEdge(a, b graph.NodeID) bool { return ig.children[a][b] > 0 }
 
-// NodesWithLabel returns the index nodes carrying label l in ascending order:
-// the posting list that seeds query evaluation in O(|matches|) instead of a
-// full node scan. The slice is owned by the index graph and must not be
-// mutated. Unknown labels (including graph.InvalidLabel) return nil.
+// NodesWithLabel returns the index nodes carrying label l in ascending order
+// as a freshly allocated slice owned by the caller. Query evaluation seeds
+// from PostingSet instead, which exposes the compressed list without
+// materializing it. Unknown labels (including graph.InvalidLabel) return nil.
 func (ig *IndexGraph) NodesWithLabel(l graph.LabelID) []graph.NodeID {
-	if l < 0 || int(l) >= len(ig.byLabel) {
+	s := ig.PostingSet(l)
+	if s.IsEmpty() {
 		return nil
 	}
-	return ig.byLabel[l]
+	return s.AppendTo(nil)
+}
+
+// PostingSet returns the posting list for label l as a succinct set view:
+// the ascending index nodes carrying l. The view is immutable — later node
+// creation never mutates it. Unknown labels return the empty set.
+func (ig *IndexGraph) PostingSet(l graph.LabelID) nodeset.Set {
+	if l < 0 || int(l) >= len(ig.byLabel) || ig.byLabel[l] == nil {
+		return nodeset.Set{}
+	}
+	return ig.byLabel[l].View()
 }
 
 // NumLabels returns the number of labels interned in the shared table.
 func (ig *IndexGraph) NumLabels() int { return ig.data.Labels().Len() }
 
 // AppendExtent implements Source, allowing an IndexGraph to serve as the
-// construction source for another index (subgraph addition, demotion).
+// construction source for another index (subgraph addition, demotion). The
+// extent is decompressed directly into dst in ascending order.
 func (ig *IndexGraph) AppendExtent(dst []graph.NodeID, n graph.NodeID) []graph.NodeID {
-	return append(dst, ig.extents[n]...)
+	return ig.extents[n].AppendTo(dst)
 }
 
 var _ Source = (*IndexGraph)(nil)
@@ -247,28 +296,32 @@ func (ig *IndexGraph) Clone() *IndexGraph {
 // The split hook is not copied — instrumentation re-attaches per mutation.
 func (ig *IndexGraph) CloneOnto(data *graph.Graph) *IndexGraph {
 	c := &IndexGraph{
-		data:       data,
-		labels:     append([]graph.LabelID(nil), ig.labels...),
-		extents:    make([][]graph.NodeID, len(ig.extents)),
+		data:   data,
+		labels: append([]graph.LabelID(nil), ig.labels...),
+		// Extent sets are immutable: the clone shares their payloads and
+		// pays only a slice-header copy per node. Mutations swap in fresh
+		// sets without touching the shared ones.
+		extents:    append([]nodeset.Set(nil), ig.extents...),
 		k:          append([]int(nil), ig.k...),
 		children:   make([]map[graph.NodeID]int, len(ig.children)),
 		parents:    make([]map[graph.NodeID]int, len(ig.parents)),
 		childList:  make([][]graph.NodeID, len(ig.childList)),
 		parentList: make([][]graph.NodeID, len(ig.parentList)),
-		byLabel:    make([][]graph.NodeID, len(ig.byLabel)),
+		byLabel:    make([]*nodeset.Builder, len(ig.byLabel)),
 		numEdges:   ig.numEdges,
 		nodeOf:     append([]graph.NodeID(nil), ig.nodeOf...),
 		fbStable:   ig.fbStable,
 	}
 	for i := range ig.extents {
-		c.extents[i] = append([]graph.NodeID(nil), ig.extents[i]...)
 		c.children[i] = cloneCounts(ig.children[i])
 		c.parents[i] = cloneCounts(ig.parents[i])
 		c.childList[i] = append([]graph.NodeID(nil), ig.childList[i]...)
 		c.parentList[i] = append([]graph.NodeID(nil), ig.parentList[i]...)
 	}
-	for l := range ig.byLabel {
-		c.byLabel[l] = append([]graph.NodeID(nil), ig.byLabel[l]...)
+	for l, b := range ig.byLabel {
+		if b != nil {
+			c.byLabel[l] = b.Clone()
+		}
 	}
 	return c
 }
@@ -287,20 +340,28 @@ func cloneCounts(m map[graph.NodeID]int) map[graph.NodeID]int {
 func (ig *IndexGraph) Validate() error {
 	seen := make([]bool, ig.data.NumNodes())
 	for b := range ig.extents {
-		if len(ig.extents[b]) == 0 {
+		if ig.extents[b].IsEmpty() {
 			return fmt.Errorf("index: empty extent at node %d", b)
 		}
-		for _, d := range ig.extents[b] {
+		var extErr error
+		ig.extents[b].Iterate(func(d graph.NodeID) bool {
 			if seen[d] {
-				return fmt.Errorf("index: data node %d in two extents", d)
+				extErr = fmt.Errorf("index: data node %d in two extents", d)
+				return false
 			}
 			seen[d] = true
 			if ig.nodeOf[d] != graph.NodeID(b) {
-				return fmt.Errorf("index: nodeOf[%d]=%d, listed in %d", d, ig.nodeOf[d], b)
+				extErr = fmt.Errorf("index: nodeOf[%d]=%d, listed in %d", d, ig.nodeOf[d], b)
+				return false
 			}
 			if ig.data.Label(d) != ig.labels[b] {
-				return fmt.Errorf("index: node %d extent mixes labels", b)
+				extErr = fmt.Errorf("index: node %d extent mixes labels", b)
+				return false
 			}
+			return true
+		})
+		if extErr != nil {
+			return extErr
 		}
 	}
 	for d, ok := range seen {
@@ -355,12 +416,48 @@ func (ig *IndexGraph) Validate() error {
 		wantPost[l] = append(wantPost[l], graph.NodeID(n))
 	}
 	for l := range wantPost {
-		if !slices.Equal(wantPost[l], ig.byLabel[l]) {
+		if got := ig.NodesWithLabel(graph.LabelID(l)); !slices.Equal(wantPost[l], got) {
 			return fmt.Errorf("index: posting list for label %d is %v, want %v",
-				l, ig.byLabel[l], wantPost[l])
+				l, got, wantPost[l])
 		}
 	}
 	return nil
+}
+
+// MemStats reports the physical memory held by the succinct extents and
+// posting lists, alongside the bytes an uncompressed [][]graph.NodeID
+// representation would occupy (one slice header plus 4 bytes per member for
+// each list) — the compression-ratio denominators exported to observability.
+type MemStats struct {
+	Extents  nodeset.Stats
+	Postings nodeset.Stats
+	// ExtentRawBytes / PostingRawBytes are the raw-slice equivalents.
+	ExtentRawBytes  int
+	PostingRawBytes int
+}
+
+// ExtentBytes returns the resident bytes of all extent sets.
+func (m MemStats) ExtentBytes() int { return m.Extents.Bytes() }
+
+// PostingBytes returns the resident bytes of all posting lists.
+func (m MemStats) PostingBytes() int { return m.Postings.Bytes() }
+
+const sliceHeaderBytes = 24
+
+// MemStats computes the current footprint in one pass over the containers.
+func (ig *IndexGraph) MemStats() MemStats {
+	var m MemStats
+	for b := range ig.extents {
+		ig.extents[b].AddStats(&m.Extents)
+		m.ExtentRawBytes += sliceHeaderBytes + 4*ig.extents[b].Len()
+	}
+	for _, pb := range ig.byLabel {
+		if pb != nil {
+			pb.AddStats(&m.Postings)
+			m.PostingRawBytes += sliceHeaderBytes + 4*pb.Len()
+		}
+	}
+	return m
 }
 
 // checkMirror verifies that list holds exactly the keys of m in ascending

@@ -5,6 +5,7 @@ import (
 	"slices"
 
 	"dkindex/internal/graph"
+	"dkindex/internal/nodeset"
 )
 
 // Reconstruct rebuilds an IndexGraph from its persisted parts: the data
@@ -19,7 +20,7 @@ func Reconstruct(data *graph.Graph, extents [][]graph.NodeID, ks []int) (*IndexG
 	ig := &IndexGraph{
 		data:       data,
 		labels:     make([]graph.LabelID, len(extents)),
-		extents:    make([][]graph.NodeID, len(extents)),
+		extents:    make([]nodeset.Set, len(extents)),
 		k:          append([]int(nil), ks...),
 		children:   make([]map[graph.NodeID]int, len(extents)),
 		parents:    make([]map[graph.NodeID]int, len(extents)),
@@ -34,7 +35,6 @@ func Reconstruct(data *graph.Graph, extents [][]graph.NodeID, ks []int) (*IndexG
 		}
 		cp := append([]graph.NodeID(nil), ext...)
 		slices.Sort(cp)
-		ig.extents[b] = cp
 		ig.labels[b] = data.Label(cp[0])
 		ig.children[b] = make(map[graph.NodeID]int)
 		ig.parents[b] = make(map[graph.NodeID]int)
@@ -52,6 +52,9 @@ func Reconstruct(data *graph.Graph, extents [][]graph.NodeID, ks []int) (*IndexG
 			seen[d] = true
 			ig.nodeOf[d] = graph.NodeID(b)
 		}
+		// Encode after validation: FromSorted requires the strictly
+		// ascending, duplicate-free input the checks above establish.
+		ig.extents[b] = nodeset.FromSorted(cp)
 	}
 	for d, ok := range seen {
 		if !ok {

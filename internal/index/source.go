@@ -22,7 +22,12 @@ import (
 type Source interface {
 	partition.Labeled
 	Children(n graph.NodeID) []graph.NodeID
-	// AppendExtent appends the data nodes represented by source node n.
+	// AppendExtent appends the data nodes represented by source node n to
+	// dst and returns the extended slice. Implementations never retain dst
+	// and never hand out internal storage: callers own the result and may
+	// mutate it freely (IndexGraph decompresses its succinct extent sets,
+	// DataSource appends the node itself, graft/composite sources remap
+	// sub-index extents through their node mappings).
 	AppendExtent(dst []graph.NodeID, n graph.NodeID) []graph.NodeID
 	// Data returns the underlying data graph that extents refer to.
 	Data() *graph.Graph

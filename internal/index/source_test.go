@@ -1,0 +1,169 @@
+package index
+
+import (
+	"slices"
+	"testing"
+
+	"dkindex/internal/graph"
+	"dkindex/internal/nodeset"
+)
+
+// TestDataSourceAppendExtent checks the identity source: every node's extent
+// is itself, dst prefixes survive, and nil and empty dst both work.
+func TestDataSourceAppendExtent(t *testing.T) {
+	g := graph.FigureOneMovies()
+	s := DataSource{G: g}
+	for n := 0; n < g.NumNodes(); n++ {
+		id := graph.NodeID(n)
+		if got := s.AppendExtent(nil, id); len(got) != 1 || got[0] != id {
+			t.Fatalf("AppendExtent(nil, %d) = %v", n, got)
+		}
+		if got := s.AppendExtent([]graph.NodeID{}, id); len(got) != 1 || got[0] != id {
+			t.Fatalf("AppendExtent(empty, %d) = %v", n, got)
+		}
+	}
+	prefix := []graph.NodeID{7, 3}
+	got := s.AppendExtent(prefix, 5)
+	if want := []graph.NodeID{7, 3, 5}; !slices.Equal(got, want) {
+		t.Fatalf("prefix run = %v, want %v", got, want)
+	}
+}
+
+// TestIndexGraphAppendExtent checks the succinct-set source against the
+// Extent copy for every index node — including singleton extents — plus
+// prefix preservation and the caller-owns-result contract.
+func TestIndexGraphAppendExtent(t *testing.T) {
+	g := graph.FigureOneMovies()
+	for name, ig := range map[string]*IndexGraph{
+		"1-index":    Build1Index(g),
+		"labelsplit": BuildLabelSplit(g),
+	} {
+		singles := 0
+		for n := 0; n < ig.NumNodes(); n++ {
+			id := graph.NodeID(n)
+			want := ig.Extent(id)
+			if len(want) == 1 {
+				singles++
+			}
+			got := ig.AppendExtent(nil, id)
+			if !slices.Equal(got, want) {
+				t.Fatalf("%s node %d: AppendExtent = %v, want %v", name, n, got, want)
+			}
+			// dst prefix survives and the extent lands after it.
+			prefix := []graph.NodeID{99, 98}
+			got = ig.AppendExtent(prefix, id)
+			if !slices.Equal(got[:2], prefix) || !slices.Equal(got[2:], want) {
+				t.Fatalf("%s node %d: prefixed AppendExtent = %v", name, n, got)
+			}
+			// Callers own the result: scribbling over it must not reach the
+			// index's compressed storage.
+			for i := range got {
+				got[i] = -1
+			}
+			if again := ig.AppendExtent(nil, id); !slices.Equal(again, want) {
+				t.Fatalf("%s node %d: extent corrupted by caller mutation: %v", name, n, again)
+			}
+		}
+		if singles == 0 {
+			t.Fatalf("%s: no singleton extent exercised", name)
+		}
+		if err := ig.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+// TestIndexGraphAppendExtentEmpty checks the empty-extent edge directly:
+// no construction path produces an empty extent (partition blocks are
+// non-empty by invariant), so the case is planted white-box to pin the
+// contract that AppendExtent returns dst unchanged.
+func TestIndexGraphAppendExtentEmpty(t *testing.T) {
+	g := graph.FigureOneMovies()
+	ig := Build1Index(g)
+	ig.extents = append(ig.extents, nodeset.Set{})
+	empty := graph.NodeID(len(ig.extents) - 1)
+	if got := ig.AppendExtent(nil, empty); len(got) != 0 {
+		t.Fatalf("empty extent appended %v", got)
+	}
+	prefix := []graph.NodeID{4, 2}
+	if got := ig.AppendExtent(prefix, empty); !slices.Equal(got, prefix) {
+		t.Fatalf("empty extent mangled prefix: %v", got)
+	}
+}
+
+// buildGraft constructs a graftSource the way AKSubgraphAdd does: a document
+// sub-index grafted under the base index's root class, with the mapping from
+// sub-graph node ids to (freshly added) data-graph ids.
+func buildGraft(t *testing.T) (*graftSource, *IndexGraph, *IndexGraph, []graph.NodeID) {
+	t.Helper()
+	g := graph.FigureOneMovies()
+	ig := BuildAK(g, 2)
+	h := graph.FigureOneMovies()
+	hg := graph.NewWithLabels(g.Labels())
+	hgRoot := hg.AddRoot()
+	hgOf := make([]graph.NodeID, h.NumNodes())
+	hgToG := []graph.NodeID{g.Root()}
+	for n := 0; n < h.NumNodes(); n++ {
+		hn := graph.NodeID(n)
+		if hn == h.Root() {
+			hgOf[n] = hgRoot
+			continue
+		}
+		l := g.Labels().Intern(h.LabelName(hn))
+		id := g.AddNodeID(l)
+		hgOf[n] = hg.AddNodeID(l)
+		hgToG = append(hgToG, id)
+	}
+	for n := 0; n < h.NumNodes(); n++ {
+		for _, c := range h.Children(graph.NodeID(n)) {
+			hg.AddEdge(hgOf[n], hgOf[c])
+		}
+	}
+	ih := BuildAK(hg, 1)
+	gs, err := newGraftSource(ig, ih, hgToG)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gs, ig, ih, hgToG
+}
+
+// TestGraftSourceAppendExtent checks both halves of the composite: base
+// nodes delegate to the base index, grafted nodes remap the sub-index's
+// extents through the node mapping. Order of a grafted run is unspecified
+// (FromPartition sorts before encoding), so runs compare as sorted sets.
+func TestGraftSourceAppendExtent(t *testing.T) {
+	gs, ig, ih, hgToG := buildGraft(t)
+
+	for n := 0; n < ig.NumNodes(); n++ {
+		id := graph.NodeID(n)
+		want := ig.Extent(id)
+		if got := gs.AppendExtent(nil, id); !slices.Equal(got, want) {
+			t.Fatalf("base node %d: %v, want %v", n, got, want)
+		}
+	}
+	singles := 0
+	for n := ig.NumNodes(); n < gs.NumNodes(); n++ {
+		id := graph.NodeID(n)
+		var want []graph.NodeID
+		for _, hn := range ih.Extent(gs.toIH(id)) {
+			want = append(want, hgToG[hn])
+		}
+		slices.Sort(want)
+		if len(want) == 1 {
+			singles++
+		}
+		got := gs.AppendExtent(nil, id)
+		slices.Sort(got)
+		if !slices.Equal(got, want) {
+			t.Fatalf("grafted node %d: %v, want %v", n, got, want)
+		}
+		// Prefix preservation with a non-empty dst.
+		prefixed := gs.AppendExtent([]graph.NodeID{42}, id)
+		if prefixed[0] != 42 || len(prefixed) != len(want)+1 {
+			t.Fatalf("grafted node %d: prefixed run %v", n, prefixed)
+		}
+	}
+	if singles == 0 {
+		t.Fatal("no singleton grafted extent exercised")
+	}
+}

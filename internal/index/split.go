@@ -2,6 +2,7 @@ package index
 
 import (
 	"dkindex/internal/graph"
+	"dkindex/internal/nodeset"
 )
 
 // SplitNode divides index node b: extent members satisfying inSet move to a
@@ -15,7 +16,10 @@ import (
 // It returns the new node id and true, or InvalidNode and false when the
 // split is degenerate (no member or every member satisfies inSet).
 func (ig *IndexGraph) SplitNode(b graph.NodeID, inSet func(graph.NodeID) bool) (graph.NodeID, bool) {
-	ext := ig.extents[b]
+	// Decompress b's extent and partition it; both halves inherit its
+	// ascending order, so re-encoding needs no sort.
+	ext := extentScratchGet()
+	ext = ig.extents[b].AppendTo(ext)
 	var ins, outs []graph.NodeID
 	for _, d := range ext {
 		if inSet(d) {
@@ -25,13 +29,15 @@ func (ig *IndexGraph) SplitNode(b graph.NodeID, inSet func(graph.NodeID) bool) (
 		}
 	}
 	if len(ins) == 0 || len(outs) == 0 {
+		extentScratchPut(ext)
 		return graph.InvalidNode, false
 	}
 	nb := graph.NodeID(len(ig.labels))
 	ig.labels = append(ig.labels, ig.labels[b])
 	ig.k = append(ig.k, ig.k[b])
-	ig.extents[b] = outs
-	ig.extents = append(ig.extents, ins)
+	ig.extents[b] = nodeset.FromSorted(outs)
+	ig.extents = append(ig.extents, nodeset.FromSorted(ins))
+	extentScratchPut(ext)
 	ig.children = append(ig.children, make(map[graph.NodeID]int))
 	ig.parents = append(ig.parents, make(map[graph.NodeID]int))
 	ig.childList = append(ig.childList, nil)
@@ -79,11 +85,12 @@ func (ig *IndexGraph) SplitNode(b graph.NodeID, inSet func(graph.NodeID) bool) (
 // intersection part) and whether a split happened.
 func (ig *IndexGraph) SplitBySuccOf(v, w graph.NodeID) (graph.NodeID, bool) {
 	succ := make(map[graph.NodeID]bool)
-	for _, d := range ig.extents[w] {
+	ig.extents[w].Iterate(func(d graph.NodeID) bool {
 		for _, c := range ig.data.Children(d) {
 			succ[c] = true
 		}
-	}
+		return true
+	})
 	return ig.SplitNode(v, func(d graph.NodeID) bool { return succ[d] })
 }
 
@@ -92,7 +99,7 @@ func (ig *IndexGraph) SplitBySuccOf(v, w graph.NodeID) (graph.NodeID, bool) {
 // unchanged.
 func (ig *IndexGraph) IsolateDataNode(d graph.NodeID) graph.NodeID {
 	b := ig.nodeOf[d]
-	if len(ig.extents[b]) == 1 {
+	if ig.extents[b].Len() == 1 {
 		return b
 	}
 	nb, ok := ig.SplitNode(b, func(n graph.NodeID) bool { return n == d })

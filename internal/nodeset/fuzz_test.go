@@ -1,0 +1,94 @@
+package nodeset
+
+import (
+	"bytes"
+	"slices"
+	"testing"
+
+	"dkindex/internal/graph"
+)
+
+// FuzzDecodeBlock drives the defensive varint-delta decoder with arbitrary
+// bytes: it must either return a valid strictly ascending sequence of the
+// requested cardinality or an error — never panic, never accept a malformed
+// block. Valid blocks must round-trip.
+func FuzzDecodeBlock(f *testing.F) {
+	// Seeds: valid blocks of several shapes plus classic corruptions.
+	seed := func(lows []uint16) {
+		f.Add(EncodeBlock(lows), len(lows))
+	}
+	seed(nil)
+	seed([]uint16{0})
+	seed([]uint16{65535})
+	seed([]uint16{0, 1, 2, 3})
+	seed([]uint16{5, 200, 4000, 65535})
+	run := make([]uint16, 4096)
+	for i := range run {
+		run[i] = uint16(i * 16)
+	}
+	seed(run)
+	valid := EncodeBlock([]uint16{5, 200, 4000, 65535})
+	f.Add(valid[:len(valid)-1], 4)                 // truncated
+	f.Add(append(valid, 0x01), 4)                  // trailing byte
+	f.Add([]byte{0x80, 0x80, 0x80, 0x80, 0x80}, 1) // unterminated uvarint
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0x7f}, 1) // 35-bit value
+	f.Add([]byte{0x05, 0x00}, 2)                   // zero gap
+	f.Add([]byte{0xff, 0xff, 0x03, 0x01}, 2)       // 16-bit overflow mid-walk
+
+	f.Fuzz(func(t *testing.T, blk []byte, card int) {
+		lows, err := DecodeBlock(blk, card)
+		if err != nil {
+			return
+		}
+		if len(lows) != card {
+			t.Fatalf("decoded %d values, want %d", len(lows), card)
+		}
+		if !slices.IsSorted(lows) {
+			t.Fatalf("decoded values not ascending: %v", lows)
+		}
+		for i := 1; i < len(lows); i++ {
+			if lows[i] == lows[i-1] {
+				t.Fatalf("duplicate value %d", lows[i])
+			}
+		}
+		// Accepted blocks must be canonical: re-encoding reproduces them.
+		if re := EncodeBlock(lows); !bytes.Equal(re, blk) {
+			t.Fatalf("round trip mismatch: %x -> %v -> %x", blk, lows, re)
+		}
+	})
+}
+
+// FuzzFromSortedAlgebra cross-checks the set kernels against slice oracles on
+// fuzzer-chosen inputs.
+func FuzzFromSortedAlgebra(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, []byte{2, 3, 4}, uint16(1))
+	f.Add([]byte{0}, []byte{}, uint16(9))
+	f.Add([]byte{255, 255, 255}, []byte{1}, uint16(300))
+	f.Fuzz(func(t *testing.T, rawA, rawB []byte, stride uint16) {
+		a := idsFromBytes(rawA, stride)
+		b := idsFromBytes(rawB, stride)
+		A, B := FromSorted(a), FromSorted(b)
+		if got, want := toSlice(Intersect(A, B)), refIntersect(a, b); !slices.Equal(got, want) {
+			t.Fatalf("Intersect mismatch")
+		}
+		if got, want := toSlice(Union(A, B)), refUnion(a, b); !slices.Equal(got, want) {
+			t.Fatalf("Union mismatch")
+		}
+		if got, want := toSlice(Difference(A, B)), refDifference(a, b); !slices.Equal(got, want) {
+			t.Fatalf("Difference mismatch")
+		}
+	})
+}
+
+// idsFromBytes turns fuzz bytes into a strictly ascending id slice: each byte
+// advances the cursor by 1..256 scaled by stride, crossing chunk boundaries
+// when stride is large.
+func idsFromBytes(raw []byte, stride uint16) []graph.NodeID {
+	ids := make([]graph.NodeID, 0, len(raw))
+	cur := graph.NodeID(-1)
+	for _, c := range raw {
+		cur += graph.NodeID(c)*graph.NodeID(stride%512+1) + 1
+		ids = append(ids, cur)
+	}
+	return ids
+}

@@ -1,0 +1,326 @@
+// Package nodeset implements succinct immutable sets of sorted node ids —
+// the storage form of index extents and label posting lists. A set is split
+// into 2^16-id chunks (roaring-style); each chunk picks the cheaper of two
+// physical encodings at build time:
+//
+//   - sparse: a varint-delta block. The chunk's members are stored as the
+//     uvarint of the first low-16 value followed by uvarints of the strictly
+//     positive gaps. Tree-shaped documents place bisimilar nodes at regular
+//     small strides, so most gaps fit one byte.
+//   - dense: a 1024-word (8 KiB) bitmap, chosen when the chunk holds more
+//     than denseThreshold members (beyond that point the bitmap is smaller
+//     than any delta block and set algebra degenerates to word ops).
+//
+// Sets are immutable after construction, so clones and snapshots share them
+// freely; Builder grows a set by strictly ascending appends (the posting
+// list case). All kernels operate container-at-a-time without decompressing
+// into intermediate node slices.
+package nodeset
+
+import (
+	"fmt"
+	"math/bits"
+
+	"dkindex/internal/graph"
+)
+
+// denseThreshold is the container cardinality above which a chunk switches
+// from the varint-delta block to the bitmap: 4096 members cost 8 KiB as a
+// bitmap, i.e. 2 bytes per member, the worst case of a delta block.
+const denseThreshold = 4096
+
+// containerWords is the bitmap size in uint64 words (2^16 bits).
+const containerWords = 1 << 10
+
+// container is one 2^16-id chunk. Exactly one of bits and blk is non-nil.
+type container struct {
+	card int      // members in this chunk, 1..65536
+	bits []uint64 // dense bitmap, containerWords long
+	blk  []byte   // sparse varint-delta block
+}
+
+// Set is an immutable sorted set of non-negative node ids.
+// The zero value is the empty set.
+type Set struct {
+	keys []uint16 // chunk numbers (id >> 16), ascending
+	cons []container
+	n    int
+}
+
+func key16(id graph.NodeID) uint16 { return uint16(uint32(id) >> 16) }
+func low16(id graph.NodeID) uint16 { return uint16(uint32(id)) }
+
+// FromSorted builds a set from strictly ascending non-negative ids. The
+// input slice is not retained; callers may reuse it. It panics on unsorted
+// or duplicate input — extents and postings are sorted by invariant, so a
+// violation is a programming error, not data corruption.
+func FromSorted(ids []graph.NodeID) Set {
+	var s Set
+	if len(ids) == 0 {
+		return s
+	}
+	if ids[0] < 0 {
+		panic("nodeset: FromSorted with negative id")
+	}
+	for i := 0; i < len(ids); {
+		k := key16(ids[i])
+		j := i + 1
+		for j < len(ids) && key16(ids[j]) == k {
+			if ids[j] <= ids[j-1] {
+				panic("nodeset: FromSorted input not strictly ascending")
+			}
+			j++
+		}
+		if j < len(ids) && ids[j] <= ids[j-1] {
+			panic("nodeset: FromSorted input not strictly ascending")
+		}
+		s.keys = append(s.keys, k)
+		s.cons = append(s.cons, makeContainer(ids[i:j]))
+		i = j
+	}
+	s.n = len(ids)
+	return s
+}
+
+// makeContainer encodes one chunk's worth of ascending ids (all sharing the
+// same high 16 bits).
+func makeContainer(run []graph.NodeID) container {
+	if len(run) > denseThreshold {
+		bits := make([]uint64, containerWords)
+		for _, id := range run {
+			l := low16(id)
+			bits[l>>6] |= 1 << (l & 63)
+		}
+		return container{card: len(run), bits: bits}
+	}
+	blk := make([]byte, 0, len(run)+len(run)/4+2)
+	prev := uint32(low16(run[0]))
+	blk = appendUvarint(blk, prev)
+	for _, id := range run[1:] {
+		v := uint32(low16(id))
+		blk = appendUvarint(blk, v-prev)
+		prev = v
+	}
+	return container{card: len(run), blk: blk}
+}
+
+// makeContainerLows is makeContainer over ascending low-16 values.
+func makeContainerLows(lows []uint16) container {
+	if len(lows) > denseThreshold {
+		bits := make([]uint64, containerWords)
+		for _, l := range lows {
+			bits[l>>6] |= 1 << (l & 63)
+		}
+		return container{card: len(lows), bits: bits}
+	}
+	blk := make([]byte, 0, len(lows)+len(lows)/4+2)
+	prev := uint32(lows[0])
+	blk = appendUvarint(blk, prev)
+	for _, l := range lows[1:] {
+		blk = appendUvarint(blk, uint32(l)-prev)
+		prev = uint32(l)
+	}
+	return container{card: len(lows), blk: blk}
+}
+
+// Len returns the number of members.
+func (s Set) Len() int { return s.n }
+
+// IsEmpty reports whether the set has no members.
+func (s Set) IsEmpty() bool { return s.n == 0 }
+
+// findKey returns the container index for chunk k, or -1.
+func (s Set) findKey(k uint16) int {
+	lo, hi := 0, len(s.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.keys[mid] < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(s.keys) && s.keys[lo] == k {
+		return lo
+	}
+	return -1
+}
+
+// Contains reports membership of id.
+func (s Set) Contains(id graph.NodeID) bool {
+	if id < 0 {
+		return false
+	}
+	i := s.findKey(key16(id))
+	if i < 0 {
+		return false
+	}
+	c := &s.cons[i]
+	l := low16(id)
+	if c.bits != nil {
+		return c.bits[l>>6]&(1<<(l&63)) != 0
+	}
+	// Sparse: linear delta walk (containers hold at most denseThreshold
+	// members; Contains is not on the query hot path).
+	cur, off := uint32(0), 0
+	for i := 0; i < c.card; i++ {
+		d, n := decodeUvarint(c.blk[off:])
+		if n <= 0 {
+			panic("nodeset: corrupt sparse block")
+		}
+		off += n
+		if i == 0 {
+			cur = d
+		} else {
+			cur += d
+		}
+		if cur == uint32(l) {
+			return true
+		}
+		if cur > uint32(l) {
+			return false
+		}
+	}
+	return false
+}
+
+// AppendTo appends all members to dst in ascending order and returns the
+// extended slice — the decompression escape hatch for callers that need a
+// plain node slice.
+func (s Set) AppendTo(dst []graph.NodeID) []graph.NodeID {
+	if cap(dst)-len(dst) < s.n {
+		grown := make([]graph.NodeID, len(dst), len(dst)+s.n)
+		copy(grown, dst)
+		dst = grown
+	}
+	for i := range s.cons {
+		dst = s.cons[i].appendTo(dst, graph.NodeID(uint32(s.keys[i])<<16))
+	}
+	return dst
+}
+
+func (c *container) appendTo(dst []graph.NodeID, base graph.NodeID) []graph.NodeID {
+	if c.bits != nil {
+		for w, word := range c.bits {
+			for word != 0 {
+				dst = append(dst, base+graph.NodeID(w<<6)+graph.NodeID(bits.TrailingZeros64(word)))
+				word &= word - 1
+			}
+		}
+		return dst
+	}
+	cur, off := uint32(0), 0
+	for i := 0; i < c.card; i++ {
+		d, n := decodeUvarint(c.blk[off:])
+		if n <= 0 {
+			panic("nodeset: corrupt sparse block")
+		}
+		off += n
+		if i == 0 {
+			cur = d
+		} else {
+			cur += d
+		}
+		dst = append(dst, base+graph.NodeID(cur))
+	}
+	return dst
+}
+
+// Iterate calls f on every member in ascending order until f returns false.
+// It allocates nothing.
+func (s Set) Iterate(f func(graph.NodeID) bool) {
+	for i := range s.cons {
+		if !s.cons[i].iterate(graph.NodeID(uint32(s.keys[i])<<16), f) {
+			return
+		}
+	}
+}
+
+func (c *container) iterate(base graph.NodeID, f func(graph.NodeID) bool) bool {
+	if c.bits != nil {
+		for w, word := range c.bits {
+			for word != 0 {
+				if !f(base + graph.NodeID(w<<6) + graph.NodeID(bits.TrailingZeros64(word))) {
+					return false
+				}
+				word &= word - 1
+			}
+		}
+		return true
+	}
+	cur, off := uint32(0), 0
+	for i := 0; i < c.card; i++ {
+		d, n := decodeUvarint(c.blk[off:])
+		if n <= 0 {
+			panic("nodeset: corrupt sparse block")
+		}
+		off += n
+		if i == 0 {
+			cur = d
+		} else {
+			cur += d
+		}
+		if !f(base + graph.NodeID(cur)) {
+			return false
+		}
+	}
+	return true
+}
+
+// Stats describes a set's physical layout for memory accounting.
+type Stats struct {
+	// SparseContainers / DenseContainers count chunks by encoding.
+	SparseContainers int
+	DenseContainers  int
+	// SparseBytes / DenseBytes are the payload bytes held by each encoding.
+	SparseBytes int
+	DenseBytes  int
+}
+
+// SparseTotal is the sparse-side resident memory: delta-block payloads plus
+// per-container bookkeeping.
+func (st Stats) SparseTotal() int {
+	return st.SparseBytes + st.SparseContainers*containerOverhead
+}
+
+// DenseTotal is the bitmap-side resident memory including bookkeeping.
+func (st Stats) DenseTotal() int {
+	return st.DenseBytes + st.DenseContainers*containerOverhead
+}
+
+// Bytes is the total payload memory of the set (container payloads plus the
+// per-container bookkeeping: key, cardinality and slice headers).
+func (st Stats) Bytes() int { return st.SparseTotal() + st.DenseTotal() }
+
+// containerOverhead approximates per-container bookkeeping: the key entry,
+// the container struct (card + two slice headers) and keys-slice share.
+const containerOverhead = 2 + 8 + 2*24
+
+// AddStats accumulates the set's layout into st.
+func (s Set) AddStats(st *Stats) {
+	for i := range s.cons {
+		c := &s.cons[i]
+		if c.bits != nil {
+			st.DenseContainers++
+			st.DenseBytes += len(c.bits) * 8
+		} else {
+			st.SparseContainers++
+			st.SparseBytes += len(c.blk)
+		}
+	}
+}
+
+// MemBytes returns the set's resident payload bytes (see Stats.Bytes).
+func (s Set) MemBytes() int {
+	var st Stats
+	s.AddStats(&st)
+	return st.Bytes()
+}
+
+// String renders a compact summary for debugging.
+func (s Set) String() string {
+	var st Stats
+	s.AddStats(&st)
+	return fmt.Sprintf("nodeset.Set{n=%d containers=%d(sparse)+%d(dense) bytes=%d}",
+		s.n, st.SparseContainers, st.DenseContainers, st.Bytes())
+}

@@ -1,0 +1,476 @@
+package nodeset
+
+import (
+	"math/bits"
+	"sync"
+
+	"dkindex/internal/graph"
+)
+
+// Set-algebra kernels. All operate container-at-a-time: matching 2^16-id
+// chunks are combined in their physical encodings (word ops for bitmaps,
+// delta walks for varint blocks) without decompressing either operand into
+// node slices. Chunks present in only one operand are shared structurally —
+// containers are immutable — so disjoint unions cost O(#containers), not
+// O(#members).
+
+// wordsPool recycles the 8 KiB bitmap scratch the merge kernels use.
+var wordsPool = sync.Pool{New: func() any {
+	b := make([]uint64, containerWords)
+	return &b
+}}
+
+// lowsPool recycles sparse-container decode buffers.
+var lowsPool = sync.Pool{New: func() any {
+	b := make([]uint16, 0, denseThreshold)
+	return &b
+}}
+
+// toLows decodes a sparse container into dst (reset to length 0 first).
+func (c *container) toLows(dst []uint16) []uint16 {
+	dst = dst[:0]
+	cur, off := uint32(0), 0
+	for i := 0; i < c.card; i++ {
+		d, n := decodeUvarint(c.blk[off:])
+		if n <= 0 {
+			panic("nodeset: corrupt sparse block")
+		}
+		off += n
+		if i == 0 {
+			cur = d
+		} else {
+			cur += d
+		}
+		dst = append(dst, uint16(cur))
+	}
+	return dst
+}
+
+// orInto ORs the container's members into words.
+func (c *container) orInto(words []uint64) {
+	if c.bits != nil {
+		for w, word := range c.bits {
+			words[w] |= word
+		}
+		return
+	}
+	cur, off := uint32(0), 0
+	for i := 0; i < c.card; i++ {
+		d, n := decodeUvarint(c.blk[off:])
+		if n <= 0 {
+			panic("nodeset: corrupt sparse block")
+		}
+		off += n
+		if i == 0 {
+			cur = d
+		} else {
+			cur += d
+		}
+		words[cur>>6] |= 1 << (cur & 63)
+	}
+}
+
+// containerFromBits builds the canonical container for the chunk bitmap:
+// dense above the threshold, otherwise re-encoded as a varint-delta block.
+// The bitmap is copied, never retained; card must be its population count.
+func containerFromBits(words []uint64, card int) container {
+	if card > denseThreshold {
+		return container{card: card, bits: append([]uint64(nil), words...)}
+	}
+	blk := make([]byte, 0, card+card/4+2)
+	prev, first := uint32(0), true
+	for w, word := range words {
+		for word != 0 {
+			v := uint32(w<<6 + bits.TrailingZeros64(word))
+			word &= word - 1
+			if first {
+				blk = appendUvarint(blk, v)
+				first = false
+			} else {
+				blk = appendUvarint(blk, v-prev)
+			}
+			prev = v
+		}
+	}
+	return container{card: card, blk: blk}
+}
+
+// shareContainer returns a copy of the container struct sharing its payload
+// (payloads are immutable).
+func shareContainer(c *container) container { return *c }
+
+// Intersect returns the members present in both sets.
+func Intersect(a, b Set) Set {
+	var out Set
+	i, j := 0, 0
+	for i < len(a.keys) && j < len(b.keys) {
+		switch {
+		case a.keys[i] < b.keys[j]:
+			i++
+		case a.keys[i] > b.keys[j]:
+			j++
+		default:
+			if c, ok := intersectContainers(&a.cons[i], &b.cons[j]); ok {
+				out.keys = append(out.keys, a.keys[i])
+				out.cons = append(out.cons, c)
+				out.n += c.card
+			}
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+func intersectContainers(a, b *container) (container, bool) {
+	switch {
+	case a.bits != nil && b.bits != nil:
+		wp := wordsPool.Get().(*[]uint64)
+		words := *wp
+		card := 0
+		for w := range words {
+			words[w] = a.bits[w] & b.bits[w]
+			card += bits.OnesCount64(words[w])
+		}
+		if card == 0 {
+			clearWords(words)
+			wordsPool.Put(wp)
+			return container{}, false
+		}
+		c := containerFromBits(words, card)
+		clearWords(words)
+		wordsPool.Put(wp)
+		return c, true
+	case a.bits == nil && b.bits == nil:
+		lp, lq := lowsPool.Get().(*[]uint16), lowsPool.Get().(*[]uint16)
+		la, lb := a.toLows(*lp), b.toLows(*lq)
+		keep := make([]uint16, 0, min(len(la), len(lb)))
+		x, y := 0, 0
+		for x < len(la) && y < len(lb) {
+			switch {
+			case la[x] < lb[y]:
+				x++
+			case la[x] > lb[y]:
+				y++
+			default:
+				keep = append(keep, la[x])
+				x++
+				y++
+			}
+		}
+		*lp, *lq = la[:0], lb[:0]
+		lowsPool.Put(lp)
+		lowsPool.Put(lq)
+		if len(keep) == 0 {
+			return container{}, false
+		}
+		return makeContainerLows(keep), true
+	default:
+		sparse, dense := a, b
+		if a.bits != nil {
+			sparse, dense = b, a
+		}
+		lp := lowsPool.Get().(*[]uint16)
+		ls := sparse.toLows(*lp)
+		keep := make([]uint16, 0, len(ls))
+		for _, l := range ls {
+			if dense.bits[l>>6]&(1<<(l&63)) != 0 {
+				keep = append(keep, l)
+			}
+		}
+		*lp = ls[:0]
+		lowsPool.Put(lp)
+		if len(keep) == 0 {
+			return container{}, false
+		}
+		return makeContainerLows(keep), true
+	}
+}
+
+// Union returns the members present in either set.
+func Union(a, b Set) Set {
+	var out Set
+	i, j := 0, 0
+	push := func(k uint16, c container) {
+		out.keys = append(out.keys, k)
+		out.cons = append(out.cons, c)
+		out.n += c.card
+	}
+	for i < len(a.keys) || j < len(b.keys) {
+		switch {
+		case j == len(b.keys) || (i < len(a.keys) && a.keys[i] < b.keys[j]):
+			push(a.keys[i], shareContainer(&a.cons[i]))
+			i++
+		case i == len(a.keys) || b.keys[j] < a.keys[i]:
+			push(b.keys[j], shareContainer(&b.cons[j]))
+			j++
+		default:
+			wp := wordsPool.Get().(*[]uint64)
+			words := *wp
+			a.cons[i].orInto(words)
+			b.cons[j].orInto(words)
+			card := 0
+			for _, w := range words {
+				card += bits.OnesCount64(w)
+			}
+			push(a.keys[i], containerFromBits(words, card))
+			clearWords(words)
+			wordsPool.Put(wp)
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// Difference returns the members of a absent from b.
+func Difference(a, b Set) Set {
+	var out Set
+	j := 0
+	for i := range a.keys {
+		for j < len(b.keys) && b.keys[j] < a.keys[i] {
+			j++
+		}
+		if j == len(b.keys) || b.keys[j] > a.keys[i] {
+			out.keys = append(out.keys, a.keys[i])
+			out.cons = append(out.cons, shareContainer(&a.cons[i]))
+			out.n += a.cons[i].card
+			continue
+		}
+		if c, ok := differenceContainers(&a.cons[i], &b.cons[j]); ok {
+			out.keys = append(out.keys, a.keys[i])
+			out.cons = append(out.cons, c)
+			out.n += c.card
+		}
+	}
+	return out
+}
+
+func differenceContainers(a, b *container) (container, bool) {
+	if a.bits != nil {
+		wp := wordsPool.Get().(*[]uint64)
+		words := *wp
+		copy(words, a.bits)
+		if b.bits != nil {
+			for w := range words {
+				words[w] &^= b.bits[w]
+			}
+		} else {
+			lp := lowsPool.Get().(*[]uint16)
+			for _, l := range b.toLows(*lp) {
+				words[l>>6] &^= 1 << (l & 63)
+			}
+			lowsPool.Put(lp)
+		}
+		card := 0
+		for _, w := range words {
+			card += bits.OnesCount64(w)
+		}
+		var c container
+		ok := card > 0
+		if ok {
+			c = containerFromBits(words, card)
+		}
+		clearWords(words)
+		wordsPool.Put(wp)
+		return c, ok
+	}
+	lp := lowsPool.Get().(*[]uint16)
+	la := a.toLows(*lp)
+	keep := make([]uint16, 0, len(la))
+	if b.bits != nil {
+		for _, l := range la {
+			if b.bits[l>>6]&(1<<(l&63)) == 0 {
+				keep = append(keep, l)
+			}
+		}
+	} else {
+		lq := lowsPool.Get().(*[]uint16)
+		lb := b.toLows(*lq)
+		y := 0
+		for _, l := range la {
+			for y < len(lb) && lb[y] < l {
+				y++
+			}
+			if y == len(lb) || lb[y] != l {
+				keep = append(keep, l)
+			}
+		}
+		*lq = lb[:0]
+		lowsPool.Put(lq)
+	}
+	*lp = la[:0]
+	lowsPool.Put(lp)
+	if len(keep) == 0 {
+		return container{}, false
+	}
+	return makeContainerLows(keep), true
+}
+
+func clearWords(words []uint64) { clear(words) }
+
+// MergeAppend appends the sorted union of the given sets plus the sorted
+// slice extra to dst. It is the query result-assembly primitive: matched
+// extents are disjoint by the partition invariant, so the union is a
+// container-level merge that replaces append-everything-then-sort. Chunks
+// owned by a single stream are emitted directly; the rare chunk shared by
+// several streams is merged through a pooled bitmap.
+func MergeAppend(dst []graph.NodeID, sets []Set, extra []graph.NodeID) []graph.NodeID {
+	total := len(extra)
+	live := 0
+	for _, s := range sets {
+		total += s.n
+		if s.n > 0 {
+			live++
+		}
+	}
+	if total == 0 {
+		return dst
+	}
+	// Fast paths: one stream needs no merging at all.
+	if live == 0 {
+		return append(dst, extra...)
+	}
+	if live == 1 && len(extra) == 0 {
+		for _, s := range sets {
+			if s.n > 0 {
+				return s.AppendTo(dst)
+			}
+		}
+	}
+	if cap(dst)-len(dst) < total {
+		grown := make([]graph.NodeID, len(dst), len(dst)+total)
+		copy(grown, dst)
+		dst = grown
+	}
+	pos := make([]int, len(sets))
+	ei := 0
+	for {
+		// Find the smallest chunk key across all streams.
+		const noKey = 1 << 17
+		minKey := noKey
+		for i, s := range sets {
+			if pos[i] < len(s.keys) && int(s.keys[pos[i]]) < minKey {
+				minKey = int(s.keys[pos[i]])
+			}
+		}
+		if ei < len(extra) && int(key16(extra[ei])) < minKey {
+			minKey = int(key16(extra[ei]))
+		}
+		if minKey == noKey {
+			return dst
+		}
+		k := uint16(minKey)
+		// Count the streams contributing to this chunk.
+		owners := 0
+		ownerSet, ownerCon := -1, -1
+		for i, s := range sets {
+			if pos[i] < len(s.keys) && s.keys[pos[i]] == k {
+				owners++
+				ownerSet, ownerCon = i, pos[i]
+			}
+		}
+		ee := ei
+		for ee < len(extra) && key16(extra[ee]) == k {
+			ee++
+		}
+		if ee > ei {
+			owners++
+		}
+		base := graph.NodeID(uint32(k) << 16)
+		switch {
+		case owners == 1 && ee > ei:
+			dst = append(dst, extra[ei:ee]...)
+		case owners == 1:
+			dst = sets[ownerSet].cons[ownerCon].appendTo(dst, base)
+		default:
+			wp := wordsPool.Get().(*[]uint64)
+			words := *wp
+			for i, s := range sets {
+				if pos[i] < len(s.keys) && s.keys[pos[i]] == k {
+					s.cons[pos[i]].orInto(words)
+				}
+			}
+			for _, id := range extra[ei:ee] {
+				l := low16(id)
+				words[l>>6] |= 1 << (l & 63)
+			}
+			for w, word := range words {
+				for word != 0 {
+					dst = append(dst, base+graph.NodeID(w<<6)+graph.NodeID(bits.TrailingZeros64(word)))
+					word &= word - 1
+				}
+			}
+			clearWords(words)
+			wordsPool.Put(wp)
+		}
+		for i, s := range sets {
+			if pos[i] < len(s.keys) && s.keys[pos[i]] == k {
+				pos[i]++
+			}
+		}
+		ei = ee
+	}
+}
+
+// IntersectSortedAppend appends s ∩ probes to dst in ascending order. probes
+// must be strictly ascending. It is the frontier kernel of the compressed
+// query paths: containers with no probe in range are skipped wholesale, and
+// matching containers are combined in their physical encoding.
+func IntersectSortedAppend(s Set, probes []graph.NodeID, dst []graph.NodeID) []graph.NodeID {
+	pi := 0
+	for ci := range s.cons {
+		if pi == len(probes) {
+			break
+		}
+		k := s.keys[ci]
+		for pi < len(probes) && key16(probes[pi]) < k {
+			pi++
+		}
+		if pi == len(probes) {
+			break
+		}
+		if key16(probes[pi]) > k {
+			continue
+		}
+		end := pi
+		for end < len(probes) && key16(probes[end]) == k {
+			end++
+		}
+		chunk := probes[pi:end]
+		c := &s.cons[ci]
+		if c.bits != nil {
+			for _, p := range chunk {
+				l := low16(p)
+				if c.bits[l>>6]&(1<<(l&63)) != 0 {
+					dst = append(dst, p)
+				}
+			}
+		} else {
+			// Dual walk: advance the delta stream and the probe slice in
+			// lockstep without materializing the container.
+			cur, off, x := uint32(0), 0, 0
+			for i := 0; i < c.card && x < len(chunk); i++ {
+				d, n := decodeUvarint(c.blk[off:])
+				if n <= 0 {
+					panic("nodeset: corrupt sparse block")
+				}
+				off += n
+				if i == 0 {
+					cur = d
+				} else {
+					cur += d
+				}
+				for x < len(chunk) && uint32(low16(chunk[x])) < cur {
+					x++
+				}
+				if x < len(chunk) && uint32(low16(chunk[x])) == cur {
+					dst = append(dst, chunk[x])
+					x++
+				}
+			}
+		}
+		pi = end
+	}
+	return dst
+}

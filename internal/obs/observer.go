@@ -30,6 +30,13 @@ const (
 	MetricCacheEntries       = "dk_query_cache_entries"
 	MetricSnapshotGeneration = "dk_snapshot_generation"
 
+	// Succinct-set memory gauges, labeled kind=extent|posting. Bytes are
+	// split by physical encoding (encoding=sparse|dense); raw bytes are what
+	// plain node slices would occupy; the compression ratio is raw/resident.
+	MetricSetBytes       = "dk_set_bytes"
+	MetricSetRawBytes    = "dk_set_raw_bytes"
+	MetricSetCompression = "dk_set_compression_ratio"
+
 	// Durability metrics, fed by the dkindex Store.
 	MetricWALRecords            = "dk_wal_records_total"
 	MetricWALBytes              = "dk_wal_bytes_total"
@@ -101,6 +108,8 @@ type Observer struct {
 	gauges     struct {
 		indexNodes, indexEdges, dataNodes, dataEdges, maxK *Gauge
 		generation, cacheEntries                           *Gauge
+		extSparse, extDense, extRaw, extRatio              *Gauge
+		postSparse, postDense, postRaw, postRatio          *Gauge
 	}
 	dangling *Counter
 	sampled  *Counter
@@ -149,6 +158,17 @@ func NewObserverWith(reg *Registry, events *Stream, tracer *Tracer) *Observer {
 	o.gauges.maxK = reg.Gauge(MetricIndexMaxK, "Largest local similarity of any index node.")
 	o.gauges.generation = reg.Gauge(MetricSnapshotGeneration, "Generation of the currently published index snapshot.")
 	o.gauges.cacheEntries = reg.Gauge(MetricCacheEntries, "Result cache entries for the current generation.")
+	setBytesHelp := "Resident bytes of succinct node sets, by kind and physical encoding."
+	o.gauges.extSparse = reg.Gauge(MetricSetBytes, setBytesHelp, L("kind", "extent"), L("encoding", "sparse"))
+	o.gauges.extDense = reg.Gauge(MetricSetBytes, setBytesHelp, L("kind", "extent"), L("encoding", "dense"))
+	o.gauges.postSparse = reg.Gauge(MetricSetBytes, setBytesHelp, L("kind", "posting"), L("encoding", "sparse"))
+	o.gauges.postDense = reg.Gauge(MetricSetBytes, setBytesHelp, L("kind", "posting"), L("encoding", "dense"))
+	setRawHelp := "Bytes uncompressed node slices would occupy, by kind."
+	o.gauges.extRaw = reg.Gauge(MetricSetRawBytes, setRawHelp, L("kind", "extent"))
+	o.gauges.postRaw = reg.Gauge(MetricSetRawBytes, setRawHelp, L("kind", "posting"))
+	setRatioHelp := "Raw-to-resident compression ratio of succinct node sets, by kind."
+	o.gauges.extRatio = reg.Gauge(MetricSetCompression, setRatioHelp, L("kind", "extent"))
+	o.gauges.postRatio = reg.Gauge(MetricSetCompression, setRatioHelp, L("kind", "posting"))
 	o.dangling = reg.Counter(MetricDanglingRefs, "IDREF attributes that resolved to no element at load time.")
 	o.sampled = reg.Counter(MetricTracesSampled, "Query traces sampled.")
 	o.durable.walRecords = reg.Counter(MetricWALRecords, "Write-ahead-log records appended and fsynced.")
@@ -388,6 +408,41 @@ func (o *Observer) SetIndexSize(dataNodes, dataEdges, indexNodes, indexEdges, ma
 	o.gauges.indexNodes.Set(float64(indexNodes))
 	o.gauges.indexEdges.Set(float64(indexEdges))
 	o.gauges.maxK.Set(float64(maxK))
+}
+
+// MemorySample carries the succinct-set footprint of an index (kept
+// decoupled from the index package, like BuildSample): resident bytes by
+// encoding plus the bytes equivalent uncompressed slices would occupy.
+type MemorySample struct {
+	ExtentSparseBytes  int
+	ExtentDenseBytes   int
+	ExtentRawBytes     int
+	PostingSparseBytes int
+	PostingDenseBytes  int
+	PostingRawBytes    int
+}
+
+// SetExtentMemory refreshes the succinct-set memory gauges; call after any
+// mutation, alongside SetIndexSize.
+func (o *Observer) SetExtentMemory(m MemorySample) {
+	if o == nil {
+		return
+	}
+	o.gauges.extSparse.Set(float64(m.ExtentSparseBytes))
+	o.gauges.extDense.Set(float64(m.ExtentDenseBytes))
+	o.gauges.extRaw.Set(float64(m.ExtentRawBytes))
+	o.gauges.extRatio.Set(ratio(m.ExtentRawBytes, m.ExtentSparseBytes+m.ExtentDenseBytes))
+	o.gauges.postSparse.Set(float64(m.PostingSparseBytes))
+	o.gauges.postDense.Set(float64(m.PostingDenseBytes))
+	o.gauges.postRaw.Set(float64(m.PostingRawBytes))
+	o.gauges.postRatio.Set(ratio(m.PostingRawBytes, m.PostingSparseBytes+m.PostingDenseBytes))
+}
+
+func ratio(raw, resident int) float64 {
+	if resident <= 0 {
+		return 0
+	}
+	return float64(raw) / float64(resident)
 }
 
 // AddDanglingRefs counts IDREFs that resolved to no element during a load.

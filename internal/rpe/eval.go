@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"dkindex/internal/graph"
+	"dkindex/internal/nodeset"
 	"dkindex/internal/obs"
 )
 
@@ -18,10 +19,17 @@ type Source interface {
 }
 
 // labelIndexed is the optional posting-list view of a Source: when provided
-// (data graphs and index graphs both do), evaluation seeds from per-label
-// node lists instead of probing the automaton once per node.
+// (data graphs do), evaluation seeds from per-label node lists instead of
+// probing the automaton once per node.
 type labelIndexed interface {
 	NodesWithLabel(l graph.LabelID) []graph.NodeID
+	NumLabels() int
+}
+
+// postingIndexed is the succinct posting-list view index graphs provide:
+// seeding then walks each label's compressed set without materializing it.
+type postingIndexed interface {
+	PostingSet(l graph.LabelID) nodeset.Set
 	NumLabels() int
 }
 
@@ -103,7 +111,33 @@ func (c *Compiled) EvalTraced(g Source, visited func(graph.NodeID), tr *obs.Trac
 			queue = append(queue, id)
 		}
 	}
-	if li, ok := g.(labelIndexed); ok {
+	if pi, ok := g.(postingIndexed); ok {
+		// Walk each label's compressed posting set assigning seed states,
+		// then push in one ascending scan over the state table — the same
+		// order the sorted-seeds path produced, without materializing or
+		// sorting a seed slice.
+		for l := 0; l < pi.NumLabels(); l++ {
+			post := pi.PostingSet(graph.LabelID(l))
+			if post.IsEmpty() {
+				continue
+			}
+			s := c.fwd.stepOn(start, graph.LabelID(l))
+			if s == nil {
+				continue
+			}
+			post.Iterate(func(id graph.NodeID) bool {
+				// Each node needs its own state set: the fixpoint widens
+				// states in place as new words reach the node.
+				states[id] = append([]bool(nil), s...)
+				return true
+			})
+		}
+		for i := 0; i < n; i++ {
+			if states[i] != nil {
+				push(graph.NodeID(i))
+			}
+		}
+	} else if li, ok := g.(labelIndexed); ok {
 		var seeds []graph.NodeID
 		for l := 0; l < li.NumLabels(); l++ {
 			nodes := li.NodesWithLabel(graph.LabelID(l))

@@ -111,8 +111,8 @@ func (x *Index) observeBuild(trigger string, dk *core.DK) {
 	})
 }
 
-// syncGauges pushes the current size, generation and cache statistics into
-// the observer's gauges.
+// syncGauges pushes the current size, generation, cache and succinct-set
+// memory statistics into the observer's gauges.
 func (x *Index) syncGauges() {
 	if x.observer == nil {
 		return
@@ -121,6 +121,15 @@ func (x *Index) syncGauges() {
 	x.observer.SetIndexSize(s.DataNodes, s.DataEdges, s.IndexNodes, s.IndexEdges, s.MaxK)
 	x.observer.SetSnapshotGeneration(s.Generation)
 	x.observer.SetCacheEntries(s.CachedResults)
+	ms := x.handle.Load().dk.IG.MemStats()
+	x.observer.SetExtentMemory(obs.MemorySample{
+		ExtentSparseBytes:  ms.Extents.SparseTotal(),
+		ExtentDenseBytes:   ms.Extents.DenseTotal(),
+		ExtentRawBytes:     ms.ExtentRawBytes,
+		PostingSparseBytes: ms.Postings.SparseTotal(),
+		PostingDenseBytes:  ms.Postings.DenseTotal(),
+		PostingRawBytes:    ms.PostingRawBytes,
+	})
 }
 
 // costSample converts evaluation cost counters for the observer's histograms.
