@@ -7,15 +7,16 @@ DK_BENCH_SCALE ?= 1.0
 BENCHTIME ?= 2s
 BENCHCOUNT ?= 1
 
-.PHONY: all build test race vet fmt-check bench bench2 bench3 bench5 bench6 bench-baseline bench-guard profile-build stress fuzz-smoke ci clean
+.PHONY: all build test race vet fmt-check bench bench2 bench3 bench5 bench6 bench7 bench-baseline bench-guard profile-build stress fuzz-smoke serve-smoke ci clean
 
 all: build test
 
 # ci chains every hygiene gate: compile, vet, formatting, the race-enabled
 # test suite, short fuzz runs of the decoders, the stress pair (snapshot
-# races + crash-point sweep) under the race detector, and the benchmark
-# regression guard against the recorded baseline.
-ci: build vet fmt-check race fuzz-smoke stress bench-guard
+# races + crash-point sweep) under the race detector, a short end-to-end
+# serving run through the load harness, and the benchmark regression guard
+# against the recorded baseline.
+ci: build vet fmt-check race fuzz-smoke stress serve-smoke bench-guard
 
 build:
 	$(GO) build ./...
@@ -102,20 +103,38 @@ bench6:
 		| tee BENCH_6.txt
 	$(GO) run ./cmd/dkbench -benchjson < BENCH_6.txt > BENCH_6.json
 
+# bench7 records end-to-end serving latency (BENCH_7.json): the real HTTP
+# server driven by the loadgen harness, closed and open loop, read-only and
+# under concurrent edge mutations, with p50/p99/p999 per scenario and per
+# query kind. The request plan is recorded alongside as BENCH_7_plan.jsonl so
+# the exact sequence replays later (dkbench -exp serve -serve-replay).
+bench7:
+	$(GO) run ./cmd/dkbench -exp serve -scale $(DK_BENCH_SCALE) \
+		-serve-json BENCH_7.json -serve-record BENCH_7_plan.jsonl \
+		| tee BENCH_7.txt
+
+# serve-smoke is the ci-sized bench7: a ~2 second end-to-end run on a small
+# corpus proving the server, RED instrumentation, slow log, runtime telemetry
+# and both load disciplines work together.
+serve-smoke:
+	$(GO) run ./cmd/dkbench -exp serve -scale 0.05 \
+		-serve-dur 400ms -serve-warmup 100ms -serve-conc 4 -serve-rate 400
+
 # bench-baseline records the regression-guard baseline: several short
-# repetitions of the query-throughput benchmark, parsed to JSON. bench-guard
-# compares future runs against it per benchmark name on best-of-N ns/op.
+# repetitions of the guarded benchmarks (query throughput and the parallel
+# snapshot-serving path), parsed to JSON. bench-guard compares future runs
+# against it per benchmark name on best-of-N ns/op.
 bench-baseline:
 	DK_BENCH_SCALE=$(DK_BENCH_SCALE) $(GO) test -run '^$$' \
-		-bench 'BenchmarkQueryThroughput$$' -benchtime 1s -count 5 . \
+		-bench 'BenchmarkQueryThroughput$$|BenchmarkSnapshotQueryParallel$$' -benchtime 1s -count 5 . \
 		| $(GO) run ./cmd/dkbench -benchjson > BENCH_BASELINE.json
 
-# bench-guard fails when the fastest of five query-throughput runs regresses
-# more than 10% against the recorded BENCH_BASELINE.json. Skips with a notice
-# when no baseline has been recorded yet.
+# bench-guard fails when the fastest of five runs of a guarded benchmark
+# regresses more than 10% against the recorded BENCH_BASELINE.json. Skips
+# with a notice when no baseline has been recorded yet.
 bench-guard:
 	DK_BENCH_SCALE=$(DK_BENCH_SCALE) $(GO) test -run '^$$' \
-		-bench 'BenchmarkQueryThroughput$$' -benchtime 1s -count 5 . \
+		-bench 'BenchmarkQueryThroughput$$|BenchmarkSnapshotQueryParallel$$' -benchtime 1s -count 5 . \
 		| $(GO) run ./cmd/dkbench -benchguard BENCH_BASELINE.json
 
 # profile-build captures CPU and heap profiles of the large-XMark 1-index
@@ -129,3 +148,4 @@ profile-build:
 clean:
 	rm -f BENCH_1.txt BENCH_1.json BENCH_2.txt BENCH_2.json BENCH_3.txt BENCH_3.json
 	rm -f BENCH_5.txt BENCH_5.json BENCH_6.txt BENCH_6.json build_cpu.prof build_mem.prof dkindex.test
+	rm -f BENCH_7.txt BENCH_7.json BENCH_7_plan.jsonl

@@ -15,6 +15,10 @@
 //	apex      the APEX workload-aware competitor: cost and update handling
 //	miner     longest-query rule vs budget-aware load mining (not part of
 //	          "all": it builds hundreds of candidate indexes)
+//	serve     end-to-end serving latency: boots the HTTP server and drives it
+//	          with the loadgen harness, closed and open loop, read-only and
+//	          under concurrent edge mutations (not part of "all": wall-clock
+//	          bound, writes BENCH_7.json via -serve-json)
 //	all       everything above
 //
 // Usage:
@@ -48,7 +52,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	fs := flag.NewFlagSet("dkbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp        = fs.String("exp", "all", "experiment: fig4, fig5, tab1, fig6, fig7, ablation, alg4, build, mem, family, docinsert, apex, miner, all")
+		exp        = fs.String("exp", "all", "experiment: fig4, fig5, tab1, fig6, fig7, ablation, alg4, build, mem, family, docinsert, apex, miner, serve, all")
 		scale      = fs.Float64("scale", 1.0, "dataset scale (1.0 = paper size)")
 		edges      = fs.Int("edges", 100, "edge additions for tab1/fig6/fig7/ablation")
 		seed       = fs.Int64("seed", 1, "random seed for workloads and edges")
@@ -58,6 +62,14 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		benchjson  = fs.Bool("benchjson", false, "read `go test -bench` text on stdin, write a JSON report on stdout, and exit")
 		benchguard = fs.String("benchguard", "", "read `go test -bench` text on stdin, fail if any benchmark in this baseline JSON `file` regressed beyond -maxregress, and exit")
 		maxregress = fs.Float64("maxregress", 10, "benchguard failure threshold: max ns/op regression vs baseline, percent")
+
+		serveDur    = fs.Duration("serve-dur", 3*time.Second, "serve: measured duration per scenario")
+		serveWarmup = fs.Duration("serve-warmup", 500*time.Millisecond, "serve: unmeasured warmup per scenario")
+		serveConc   = fs.Int("serve-conc", 8, "serve: closed-loop workers / open-loop outstanding bound")
+		serveRate   = fs.Float64("serve-rate", 2000, "serve: open-loop arrival rate, requests per second")
+		serveJSON   = fs.String("serve-json", "", "serve: write the latency report as JSON to this `file`")
+		serveRecord = fs.String("serve-record", "", "serve: record the request plan as a JSONL trace to this `file`")
+		serveReplay = fs.String("serve-replay", "", "serve: replay the request plan from this JSONL trace `file`")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -244,6 +256,23 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 			a := must(experiments.AblationMiner(loadXMark()))
 			check(experiments.RenderMinerAblation(stdout,
 				"Ablation (Xmark): longest-query rule vs budget-aware load mining", a))
+		})
+	}
+	// The serve experiment is wall-clock bound (four scenarios of -serve-dur
+	// each against a live HTTP server), so like miner it is opt-in only.
+	if *exp == "serve" {
+		ran = true
+		timed("serve", func() {
+			check(serveExperiment(stdout, loadXMark(), serveOptions{
+				Duration:    *serveDur,
+				Warmup:      *serveWarmup,
+				Concurrency: *serveConc,
+				Rate:        *serveRate,
+				Seed:        *seed,
+				JSONOut:     *serveJSON,
+				RecordPath:  *serveRecord,
+				ReplayPath:  *serveReplay,
+			}))
 		})
 	}
 	if run("family") {

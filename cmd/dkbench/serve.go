@@ -1,0 +1,332 @@
+// The serve experiment measures the index as a *served* system, not a
+// library: it boots the real HTTP server on a loopback listener over the
+// XMark dataset and drives it with the loadgen harness in four scenarios —
+// {closed, open} loop × {read-only, concurrent writer} — reporting log-linear
+// latency quantiles (p50/p90/p99/p999) per scenario and per query kind.
+// The generated plan can be recorded to a JSONL trace and replayed later, so
+// serving regressions are reproducible request-for-request.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"dkindex"
+	"dkindex/internal/experiments"
+	"dkindex/internal/graph"
+	"dkindex/internal/loadgen"
+	"dkindex/internal/obs"
+	"dkindex/internal/server"
+)
+
+// serveOptions parameterizes the serve experiment (flags in main).
+type serveOptions struct {
+	Duration    time.Duration
+	Warmup      time.Duration
+	Concurrency int
+	Rate        float64
+	Seed        int64
+	JSONOut     string // BENCH_7.json target ("" = don't write)
+	RecordPath  string // write the plan as a JSONL trace
+	ReplayPath  string // read the plan from a JSONL trace instead
+}
+
+// serveScenario is one loadgen run within the experiment.
+type serveScenario struct {
+	Name string `json:"name"`
+	// Mutations counts writer edge operations applied during the run
+	// (0 for the read-only scenarios).
+	Mutations uint64          `json:"mutations"`
+	Report    *loadgen.Report `json:"report"`
+}
+
+// serveResult is the JSON shape recorded as BENCH_7.json.
+type serveResult struct {
+	Dataset     string          `json:"dataset"`
+	Plan        int             `json:"planOps"`
+	Concurrency int             `json:"concurrency"`
+	Rate        float64         `json:"rate"`
+	DurationNS  time.Duration   `json:"durationNS"`
+	WarmupNS    time.Duration   `json:"warmupNS"`
+	Scenarios   []serveScenario `json:"scenarios"`
+	Slow        []obs.SlowEntry `json:"slowQueries"`
+}
+
+// buildServePlan derives a mixed path/RPE/twig plan from the dataset's query
+// load: every workload path verbatim, a descendant RPE (first//last) and a
+// branching twig (first[second].second) from each long-enough path, plus the
+// XMark staples the snapshot microbenchmarks use. Ops that fail against the
+// index (unparseable derivations) are dropped so the measured traffic is all
+// 200s.
+func buildServePlan(ds *experiments.Dataset, idx *dkindex.Index) []loadgen.Op {
+	labels := ds.G.Labels()
+	var candidates []loadgen.Op
+	for _, q := range ds.W.Queries {
+		path := q.Format(labels)
+		candidates = append(candidates, loadgen.Op{Kind: "path", Query: path})
+		seg := strings.Split(path, ".")
+		if len(seg) >= 3 {
+			candidates = append(candidates, loadgen.Op{Kind: "rpe", Query: seg[0] + "//" + seg[len(seg)-1]})
+		}
+		if len(seg) >= 2 {
+			candidates = append(candidates, loadgen.Op{Kind: "twig", Query: seg[0] + "[" + seg[1] + "]." + seg[1]})
+		}
+	}
+	candidates = append(candidates,
+		loadgen.Op{Kind: "rpe", Query: "open_auction.itemref//name"},
+		loadgen.Op{Kind: "rpe", Query: "person.name|item.name"},
+		loadgen.Op{Kind: "twig", Query: "item[mailbox].name"},
+		loadgen.Op{Kind: "twig", Query: "person[name].emailaddress"},
+	)
+	plan := candidates[:0]
+	for _, op := range candidates {
+		if _, err := idx.Run(dkindex.Request{Kind: dkindex.Kind(op.Kind), Text: op.Query, Limit: -1}); err == nil {
+			plan = append(plan, op)
+		}
+	}
+	return plan
+}
+
+// mutator cycles random reference-edge additions and removals against the
+// live index, publishing a new snapshot roughly every period.
+func mutator(idx *dkindex.Index, edges [][2]graph.NodeID, period time.Duration, stop <-chan struct{}) <-chan uint64 {
+	done := make(chan uint64, 1)
+	go func() {
+		var n uint64
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				done <- n
+				return
+			case <-time.After(period):
+			}
+			e := edges[(i/2)%len(edges)]
+			if i%2 == 0 {
+				if idx.AddEdge(e[0], e[1]) == nil {
+					n++
+				}
+			} else {
+				if idx.RemoveEdge(e[0], e[1]) == nil {
+					n++
+				}
+			}
+		}
+	}()
+	return done
+}
+
+// serveExperiment runs the four load scenarios against a freshly served index
+// and renders the latency table.
+func serveExperiment(stdout io.Writer, ds *experiments.Dataset, opt serveOptions) error {
+	// The served index gets its own clone and observer: the writer scenarios
+	// mutate it, and the slow log / RED metrics below belong to this run.
+	idx := dkindex.FromGraph(ds.G.Clone(), reqNames(ds))
+	o := obs.NewObserverWith(obs.NewRegistry(), obs.NewStream(256), obs.NewTracer(64, 64))
+	idx.Observe(o)
+	srv := server.New(idx)
+
+	stopRT := make(chan struct{})
+	defer close(stopRT)
+	go obs.NewRuntime(o).Run(stopRT, 500*time.Millisecond)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv}
+	go func() { _ = hs.Serve(ln) }()
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+
+	var plan []loadgen.Op
+	if opt.ReplayPath != "" {
+		f, err := os.Open(opt.ReplayPath)
+		if err != nil {
+			return err
+		}
+		plan, err = loadgen.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "serve: replaying %d ops from %s\n", len(plan), opt.ReplayPath)
+	} else {
+		plan = buildServePlan(ds, idx)
+		if len(plan) == 0 {
+			return fmt.Errorf("serve: empty plan for %s", ds.Name)
+		}
+	}
+	if opt.RecordPath != "" {
+		f, err := os.Create(opt.RecordPath)
+		if err != nil {
+			return err
+		}
+		err = loadgen.WriteTrace(f, plan)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "serve: recorded %d ops to %s\n", len(plan), opt.RecordPath)
+	}
+	edges, err := ds.RandomEdges(64, opt.Seed)
+	if err != nil {
+		return err
+	}
+
+	res := serveResult{
+		Dataset: ds.Name, Plan: len(plan),
+		Concurrency: opt.Concurrency, Rate: opt.Rate,
+		DurationNS: opt.Duration, WarmupNS: opt.Warmup,
+	}
+	type scenario struct {
+		name   string
+		mode   loadgen.Mode
+		mutate bool
+	}
+	scenarios := []scenario{
+		{"closed_readonly", loadgen.Closed, false},
+		{"closed_mutating", loadgen.Closed, true},
+		{"open_readonly", loadgen.Open, false},
+		{"open_mutating", loadgen.Open, true},
+	}
+	// mutatePeriod targets tens of snapshot publications per second: enough
+	// churn to defeat the result cache's generation key without turning the
+	// run into a build benchmark.
+	const mutatePeriod = 25 * time.Millisecond
+	for _, sc := range scenarios {
+		var stopMut chan struct{}
+		var mutDone <-chan uint64
+		if sc.mutate {
+			stopMut = make(chan struct{})
+			mutDone = mutator(idx, edges, mutatePeriod, stopMut)
+		}
+		rep, err := loadgen.Run(loadgen.Config{
+			BaseURL:     base,
+			Plan:        plan,
+			Mode:        sc.mode,
+			Concurrency: opt.Concurrency,
+			Rate:        opt.Rate,
+			Duration:    opt.Duration,
+			Warmup:      opt.Warmup,
+		})
+		var muts uint64
+		if sc.mutate {
+			close(stopMut)
+			muts = <-mutDone
+		}
+		if err != nil {
+			return fmt.Errorf("serve %s: %w", sc.name, err)
+		}
+		res.Scenarios = append(res.Scenarios, serveScenario{Name: sc.name, Mutations: muts, Report: rep})
+	}
+	res.Slow = o.Slow.Snapshot()
+	if len(res.Slow) > 10 {
+		res.Slow = res.Slow[:10]
+	}
+
+	renderServe(stdout, &res)
+	if err := verifyServeMetrics(stdout, base); err != nil {
+		return err
+	}
+	if opt.JSONOut != "" {
+		f, err := os.Create(opt.JSONOut)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		err = enc.Encode(&res)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "serve: wrote %s\n", opt.JSONOut)
+	}
+	return nil
+}
+
+// reqNames converts the workload's mined requirements to label names for
+// FromGraph.
+func reqNames(ds *experiments.Dataset) map[string]int {
+	out := make(map[string]int)
+	for l, k := range ds.W.Requirements() {
+		out[ds.G.Labels().Name(l)] = k
+	}
+	return out
+}
+
+func renderServe(w io.Writer, res *serveResult) {
+	fmt.Fprintf(w, "Serving latency (%s, %d plan ops, conc %d, open rate %.0f/s, %v + %v warmup per scenario)\n",
+		res.Dataset, res.Plan, res.Concurrency, res.Rate, res.DurationNS, res.WarmupNS)
+	fmt.Fprintf(w, "%-17s %9s %6s %7s %9s %9s %9s %9s %9s %6s\n",
+		"scenario", "requests", "errs", "dropped", "req/s", "p50", "p90", "p99", "p999", "muts")
+	ms := func(us float64) string { return fmt.Sprintf("%.2fms", us/1e3) }
+	for _, sc := range res.Scenarios {
+		s := sc.Report.Overall
+		fmt.Fprintf(w, "%-17s %9d %6d %7d %9.0f %9s %9s %9s %9s %6d\n",
+			sc.Name, sc.Report.Requests, sc.Report.Errors, sc.Report.Dropped,
+			sc.Report.Throughput, ms(s.P50US), ms(s.P90US), ms(s.P99US), ms(s.P999US), sc.Mutations)
+		kinds := make([]string, 0, len(sc.Report.ByKind))
+		for k := range sc.Report.ByKind {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		for _, k := range kinds {
+			ks := sc.Report.ByKind[k]
+			fmt.Fprintf(w, "  %-15s %9d %*s p50=%s p99=%s p999=%s\n",
+				k, ks.Count, 14, "", ms(ks.P50US), ms(ks.P99US), ms(ks.P999US))
+		}
+	}
+	if len(res.Slow) > 0 {
+		fmt.Fprintf(w, "slowest queries (top %d of the run):\n", len(res.Slow))
+		for _, e := range res.Slow {
+			fmt.Fprintf(w, "  %8.2fms %-5s %-40q cost=%d/%d hit=%v id=%s\n",
+				float64(e.Duration)/1e6, e.Kind, e.Query,
+				e.IndexNodesVisited, e.DataNodesValidated, e.CacheHit, e.RequestID)
+		}
+	}
+}
+
+// verifyServeMetrics scrapes /metrics once, re-parses it and prints the
+// instrumentation the run produced: proof the RED pipeline and runtime
+// collector were live, and a hard failure if the exposition stops parsing.
+func verifyServeMetrics(w io.Writer, base string) error {
+	resp, err := http.Get(base + "/v1/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	fams, err := obs.ParsePrometheusText(resp.Body)
+	if err != nil {
+		return fmt.Errorf("serve: /metrics stopped parsing: %w", err)
+	}
+	var served, errors float64
+	if f := fams[obs.MetricHTTPRequests]; f != nil {
+		for _, s := range f.Samples {
+			served += s.Value
+		}
+	}
+	if f := fams[obs.MetricHTTPErrors]; f != nil {
+		for _, s := range f.Samples {
+			errors += s.Value
+		}
+	}
+	var goroutines float64
+	if f := fams[obs.MetricRuntimeGoroutines]; f != nil && len(f.Samples) == 1 {
+		goroutines = f.Samples[0].Value
+	}
+	fmt.Fprintf(w, "serve: /metrics parsed: %.0f requests, %.0f error responses, %.0f goroutines live\n",
+		served, errors, goroutines)
+	return nil
+}

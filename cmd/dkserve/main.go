@@ -92,6 +92,10 @@ type config struct {
 	readHeaderTimeout time.Duration
 	idleTimeout       time.Duration
 
+	// rtEvery > 0 polls runtime telemetry (goroutines, heap, GC pauses,
+	// snapshot age) into the registry at that interval.
+	rtEvery time.Duration
+
 	// ready backs /readyz: true once setup finished, false again the moment
 	// a shutdown starts draining, so load balancers stop routing here first.
 	ready atomic.Bool
@@ -116,6 +120,7 @@ func setup(args []string, stdout, stderr io.Writer) (*config, int) {
 		dataDir     = fs.String("data-dir", "", "durable store directory (WAL + checkpoints); recovered on start, created from -in/-index when empty")
 		ckptEvery   = fs.Duration("checkpoint-interval", time.Minute, "background checkpoint interval with -data-dir (0 disables)")
 		maxInflight = fs.Int("max-inflight", 0, "bound on concurrently served requests; excess shed with 503 (0 = unbounded)")
+		rtEvery     = fs.Duration("runtime-interval", 10*time.Second, "runtime telemetry poll interval (goroutines, heap, GC pauses; 0 disables)")
 		readHdrTO   = fs.Duration("read-header-timeout", 5*time.Second, "bound on reading a request's headers (0 disables)")
 		idleTO      = fs.Duration("idle-timeout", 2*time.Minute, "bound on idle keep-alive connections (0 disables)")
 	)
@@ -222,6 +227,7 @@ func setup(args []string, stdout, stderr io.Writer) (*config, int) {
 		ckptEvery:         *ckptEvery,
 		readHeaderTimeout: *readHdrTO,
 		idleTimeout:       *idleTO,
+		rtEvery:           *rtEvery,
 	}
 	srv.SetReadyCheck(func() error {
 		if !cfg.ready.Load() {
@@ -266,6 +272,18 @@ func serve(ctx context.Context, ln net.Listener, cfg *config) int {
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.Serve(ln) }()
 
+	// Runtime telemetry: goroutines, heap, GC pauses and snapshot age, polled
+	// into the same registry /metrics serves.
+	stopRT := make(chan struct{})
+	var rtWG sync.WaitGroup
+	if cfg.rtEvery > 0 {
+		rtWG.Add(1)
+		go func() {
+			defer rtWG.Done()
+			obs.NewRuntime(cfg.observer).Run(stopRT, cfg.rtEvery)
+		}()
+	}
+
 	fatal := make(chan error, 1)
 	stopCkpt := make(chan struct{})
 	var ckptWG sync.WaitGroup
@@ -285,6 +303,8 @@ func serve(ctx context.Context, ln net.Listener, cfg *config) int {
 			cfg.logger.Error("shutdown did not drain cleanly", "err", err)
 			code = 1
 		}
+		close(stopRT)
+		rtWG.Wait()
 		close(stopCkpt)
 		ckptWG.Wait()
 		if cfg.store != nil {
@@ -397,11 +417,14 @@ func logRequests(h http.Handler, logger *slog.Logger) http.Handler {
 		if sw.status == 0 {
 			sw.status = http.StatusOK
 		}
+		// The server's middleware stamps X-Request-ID on every /v1 response;
+		// logging it links log lines to /v1/slow entries and sampled traces.
 		logger.Info("request",
 			"method", r.Method,
 			"path", r.URL.Path,
 			"status", sw.status,
 			"bytes", sw.bytes,
-			"durMS", float64(time.Since(start).Microseconds())/1000)
+			"durMS", float64(time.Since(start).Microseconds())/1000,
+			"requestID", sw.Header().Get("X-Request-ID"))
 	})
 }

@@ -1,0 +1,187 @@
+// Package loadgen drives HTTP query traffic against a dkindex server in two
+// disciplines — closed loop (fixed concurrency: each worker issues its next
+// request when the previous answer lands) and open loop (fixed arrival rate:
+// requests are dispatched on a schedule regardless of completions) — and
+// reports latency quantiles from log-linear histograms.
+//
+// The open-loop driver measures latency from each request's *scheduled* start,
+// not its actual send, so queueing delay inside the driver counts against the
+// server: the standard defense against coordinated omission, where a stalled
+// server pauses the load generator and the stall vanishes from the numbers.
+//
+// Request plans are plain []Op and serialize to a JSONL trace (one op per
+// line), so a run can be recorded once and replayed byte-identically later.
+package loadgen
+
+import (
+	"fmt"
+	"math/bits"
+	"time"
+)
+
+// Hist is a log-linear latency histogram over nanoseconds: values below 64ns
+// get exact buckets, above that each power-of-two octave splits into 32
+// sub-buckets, giving a worst-case quantile error of ~3% — plenty for tail
+// reporting — in a fixed ~1.9k-bucket footprint up to ~292 years.
+//
+// Hist is not safe for concurrent use: each worker records into its own and
+// the driver merges them at the end.
+type Hist struct {
+	counts [histBuckets]uint64
+	total  uint64
+	sum    int64 // nanoseconds
+	max    int64
+	min    int64
+}
+
+const (
+	histSubBits = 5  // 32 sub-buckets per octave
+	histExact   = 64 // values < 64ns are bucketed exactly
+	// Octaves 6..62 each contribute 32 sub-buckets after the exact range.
+	histBuckets = histExact + (63-histSubBits-1)*32
+)
+
+// bucketIndex maps a non-negative nanosecond value onto its bucket.
+func bucketIndex(v int64) int {
+	if v < histExact {
+		return int(v)
+	}
+	exp := 63 - bits.LeadingZeros64(uint64(v)) // v in [2^exp, 2^(exp+1)), exp >= 6
+	sub := int(v>>(uint(exp)-histSubBits)) & 31
+	return histExact + (exp-histSubBits-1)*32 + sub
+}
+
+// bucketLow returns the smallest value mapping to bucket i; bucketMid the
+// middle of the bucket's range, which quantiles report.
+func bucketLow(i int) int64 {
+	if i < histExact {
+		return int64(i)
+	}
+	exp := (i-histExact)/32 + histSubBits + 1
+	sub := int64((i - histExact) % 32)
+	return 1<<uint(exp) + sub<<(uint(exp)-histSubBits)
+}
+
+func bucketMid(i int) int64 {
+	lo := bucketLow(i)
+	var width int64 = 1
+	if i >= histExact {
+		exp := (i-histExact)/32 + histSubBits + 1
+		width = 1 << (uint(exp) - histSubBits)
+	}
+	return lo + width/2
+}
+
+// Record adds one latency observation (negative durations clamp to zero).
+func (h *Hist) Record(d time.Duration) {
+	v := int64(d)
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketIndex(v)]++
+	if h.total == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.total++
+	h.sum += v
+}
+
+// Merge folds other into h.
+func (h *Hist) Merge(other *Hist) {
+	if other == nil || other.total == 0 {
+		return
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	if h.total == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+	h.total += other.total
+	h.sum += other.sum
+}
+
+// Count returns the number of recorded observations.
+func (h *Hist) Count() uint64 { return h.total }
+
+// Mean returns the average latency (0 when empty).
+func (h *Hist) Mean() time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / int64(h.total))
+}
+
+// Max returns the largest recorded latency, exact (not bucketed).
+func (h *Hist) Max() time.Duration { return time.Duration(h.max) }
+
+// Quantile returns the latency at quantile q in [0, 1]: the midpoint of the
+// bucket holding the q-th observation, clamped to the observed max so p999 of
+// a small sample never exceeds the real worst case.
+func (h *Hist) Quantile(q float64) time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(h.total))
+	if rank >= h.total {
+		rank = h.total - 1
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum > rank {
+			v := bucketMid(i)
+			if v > h.max {
+				v = h.max
+			}
+			if v < h.min {
+				v = h.min
+			}
+			return time.Duration(v)
+		}
+	}
+	return time.Duration(h.max)
+}
+
+// Summary is the quantile digest of one histogram, shaped for JSON reports.
+type Summary struct {
+	Count  uint64  `json:"count"`
+	MeanUS float64 `json:"meanUS"`
+	P50US  float64 `json:"p50US"`
+	P90US  float64 `json:"p90US"`
+	P99US  float64 `json:"p99US"`
+	P999US float64 `json:"p999US"`
+	MaxUS  float64 `json:"maxUS"`
+}
+
+// Summarize digests the histogram.
+func (h *Hist) Summarize() Summary {
+	us := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+	return Summary{
+		Count:  h.total,
+		MeanUS: us(h.Mean()),
+		P50US:  us(h.Quantile(0.50)),
+		P90US:  us(h.Quantile(0.90)),
+		P99US:  us(h.Quantile(0.99)),
+		P999US: us(h.Quantile(0.999)),
+		MaxUS:  us(h.Max()),
+	}
+}
+
+// String renders the digest for terminal tables.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d p50=%.0fµs p90=%.0fµs p99=%.0fµs p999=%.0fµs max=%.0fµs",
+		s.Count, s.P50US, s.P90US, s.P99US, s.P999US, s.MaxUS)
+}

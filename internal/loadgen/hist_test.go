@@ -1,0 +1,106 @@
+package loadgen
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBucketIndexMonotone(t *testing.T) {
+	// Indices must be monotone in the value and every value must round-trip
+	// into a bucket whose [low, low+width) range contains it.
+	prev := -1
+	for _, v := range []int64{0, 1, 63, 64, 65, 127, 128, 1000, 4096, 1e6, 1e9, 1e12, 1 << 55} {
+		i := bucketIndex(v)
+		if i < prev {
+			t.Fatalf("bucketIndex(%d) = %d < previous %d", v, i, prev)
+		}
+		prev = i
+		if lo := bucketLow(i); lo > v {
+			t.Fatalf("bucketLow(%d) = %d > value %d", i, lo, v)
+		}
+		if i+1 < histBuckets {
+			if hi := bucketLow(i + 1); hi <= v {
+				t.Fatalf("value %d escapes bucket %d (next low %d)", v, i, hi)
+			}
+		}
+	}
+}
+
+func TestBucketRelativeError(t *testing.T) {
+	// 32 sub-buckets per octave bound the midpoint's relative error to ~3%.
+	for _, v := range []int64{100, 999, 12345, 1e6 + 7, 987654321} {
+		mid := bucketMid(bucketIndex(v))
+		if diff := float64(mid-v) / float64(v); diff > 0.033 || diff < -0.033 {
+			t.Errorf("value %d reported as %d (%.1f%% off)", v, mid, 100*diff)
+		}
+	}
+}
+
+func TestHistQuantiles(t *testing.T) {
+	h := &Hist{}
+	// 1..1000µs uniformly: quantiles must sit near their exact ranks.
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	checks := map[float64]time.Duration{
+		0.50:  500 * time.Microsecond,
+		0.90:  900 * time.Microsecond,
+		0.99:  990 * time.Microsecond,
+		0.999: 999 * time.Microsecond,
+	}
+	for q, want := range checks {
+		got := h.Quantile(q)
+		lo, hi := want-want/20, want+want/20 // within 5%
+		if got < lo || got > hi {
+			t.Errorf("q%.3f = %v, want %v ± 5%%", q, got, want)
+		}
+	}
+	if h.Max() != time.Millisecond {
+		t.Errorf("max = %v, want 1ms (exact)", h.Max())
+	}
+	if h.Quantile(1) > h.Max() {
+		t.Errorf("q1 = %v exceeds max %v", h.Quantile(1), h.Max())
+	}
+	if m := h.Mean(); m < 480*time.Microsecond || m > 520*time.Microsecond {
+		t.Errorf("mean = %v, want ~500µs", m)
+	}
+}
+
+func TestHistMerge(t *testing.T) {
+	a, b := &Hist{}, &Hist{}
+	for i := 1; i <= 100; i++ {
+		a.Record(time.Duration(i) * time.Microsecond)
+		b.Record(time.Duration(i+100) * time.Microsecond)
+	}
+	a.Merge(b)
+	if a.Count() != 200 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if a.Max() != 200*time.Microsecond {
+		t.Errorf("merged max = %v", a.Max())
+	}
+	med := a.Quantile(0.5)
+	if med < 90*time.Microsecond || med > 110*time.Microsecond {
+		t.Errorf("merged median = %v, want ~100µs", med)
+	}
+	var empty Hist
+	a.Merge(&empty)
+	a.Merge(nil)
+	if a.Count() != 200 {
+		t.Errorf("merging empties changed the count")
+	}
+}
+
+func TestHistEmpty(t *testing.T) {
+	var h Hist
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Error("empty histogram not all-zero")
+	}
+	s := h.Summarize()
+	if s.Count != 0 || s.P99US != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}

@@ -1,0 +1,274 @@
+package loadgen
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Op is one request of a load plan: a query of the given kind ("path", "rpe"
+// or "twig") against GET /v1/query. Plans cycle: when the run outlasts the
+// plan, dispatch wraps around to the first op.
+type Op struct {
+	Kind  string `json:"kind"`
+	Query string `json:"q"`
+}
+
+// Mode selects the load discipline.
+type Mode string
+
+const (
+	// Closed holds a fixed number of in-flight requests: each of Concurrency
+	// workers issues its next request as soon as the previous answer lands.
+	// Throughput floats with server speed; queueing is invisible.
+	Closed Mode = "closed"
+	// Open dispatches requests on a fixed schedule (Rate per second)
+	// regardless of completions, and measures latency from the scheduled
+	// start — the coordinated-omission-resistant discipline.
+	Open Mode = "open"
+)
+
+// Config parameterizes one Run.
+type Config struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Plan is the request sequence; dispatch cycles through it in order.
+	Plan []Op
+	Mode Mode
+	// Concurrency is the worker count (closed loop) or the outstanding-request
+	// bound (open loop, where excess arrivals are dropped and counted).
+	Concurrency int
+	// Rate is the open-loop arrival rate in requests per second.
+	Rate float64
+	// Duration is how long the measured phase runs; Warmup runs first and is
+	// not recorded.
+	Duration time.Duration
+	Warmup   time.Duration
+	// MaxRequests, when positive, stops dispatch after that many measured
+	// requests even if Duration has not elapsed (closed loop only).
+	MaxRequests int
+	// Client, when nil, defaults to a pooled client sized for Concurrency.
+	Client *http.Client
+}
+
+// Report is the outcome of one Run.
+type Report struct {
+	Mode     Mode   `json:"mode"`
+	Requests uint64 `json:"requests"`
+	Errors   uint64 `json:"errors"`
+	// Dropped counts open-loop arrivals skipped because Concurrency requests
+	// were already outstanding: the driver saturated before the server did.
+	Dropped uint64        `json:"dropped"`
+	Elapsed time.Duration `json:"elapsedNS"`
+	// Throughput is measured requests per second over the measured phase.
+	Throughput float64            `json:"throughput"`
+	Overall    Summary            `json:"overall"`
+	ByKind     map[string]Summary `json:"byKind"`
+}
+
+// collector accumulates latencies per kind; one per worker (closed) or one
+// mutex-shared (open, where completions race).
+type collector struct {
+	mu      sync.Mutex
+	overall Hist
+	byKind  map[string]*Hist
+	errors  uint64
+}
+
+func newCollector() *collector { return &collector{byKind: make(map[string]*Hist)} }
+
+func (c *collector) record(kind string, d time.Duration, ok bool) {
+	c.mu.Lock()
+	if !ok {
+		c.errors++
+	}
+	c.overall.Record(d)
+	h := c.byKind[kind]
+	if h == nil {
+		h = &Hist{}
+		c.byKind[kind] = h
+	}
+	h.Record(d)
+	c.mu.Unlock()
+}
+
+// Run drives the configured load and reports latency quantiles. The request
+// sequence is deterministic: ops are dispatched in plan order (cycling), so a
+// recorded plan replays as the same sequence — exactly, with one closed-loop
+// worker or an open-loop run, and up to worker interleaving otherwise.
+func Run(cfg Config) (*Report, error) {
+	if len(cfg.Plan) == 0 {
+		return nil, fmt.Errorf("loadgen: empty plan")
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 1
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = time.Second
+	}
+	client := cfg.Client
+	if client == nil {
+		t := http.DefaultTransport.(*http.Transport).Clone()
+		t.MaxIdleConnsPerHost = cfg.Concurrency
+		client = &http.Client{Transport: t, Timeout: 30 * time.Second}
+	}
+	switch cfg.Mode {
+	case Closed, "":
+		return runClosed(cfg, client)
+	case Open:
+		if cfg.Rate <= 0 {
+			return nil, fmt.Errorf("loadgen: open loop needs Rate > 0")
+		}
+		return runOpen(cfg, client)
+	default:
+		return nil, fmt.Errorf("loadgen: unknown mode %q", cfg.Mode)
+	}
+}
+
+// doOp issues one op and reports whether it succeeded. The body is drained so
+// the connection returns to the pool.
+func doOp(client *http.Client, base string, op Op) bool {
+	u := base + "/v1/query?kind=" + url.QueryEscape(op.Kind) + "&q=" + url.QueryEscape(op.Query)
+	resp, err := client.Get(u)
+	if err != nil {
+		return false
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+func runClosed(cfg Config, client *http.Client) (*Report, error) {
+	var (
+		next      atomic.Uint64 // shared plan cursor: dispatch order = plan order
+		measured  atomic.Uint64
+		measuring atomic.Bool
+		stop      = make(chan struct{})
+		stopOnce  sync.Once
+	)
+	cols := make([]*collector, cfg.Concurrency)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Concurrency; w++ {
+		col := newCollector()
+		cols[w] = col
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				op := cfg.Plan[(next.Add(1)-1)%uint64(len(cfg.Plan))]
+				start := time.Now()
+				ok := doOp(client, cfg.BaseURL, op)
+				if measuring.Load() {
+					col.record(op.Kind, time.Since(start), ok)
+					if n := measured.Add(1); cfg.MaxRequests > 0 && n >= uint64(cfg.MaxRequests) {
+						stopOnce.Do(func() { close(stop) })
+						return
+					}
+				}
+			}
+		}()
+	}
+	time.Sleep(cfg.Warmup)
+	measuring.Store(true)
+	begin := time.Now()
+	select {
+	case <-stop: // MaxRequests hit
+	case <-time.After(cfg.Duration):
+		stopOnce.Do(func() { close(stop) })
+	}
+	elapsed := time.Since(begin)
+	wg.Wait()
+	total := newCollector()
+	for _, col := range cols {
+		total.overall.Merge(&col.overall)
+		total.errors += col.errors
+		for k, h := range col.byKind {
+			if total.byKind[k] == nil {
+				total.byKind[k] = &Hist{}
+			}
+			total.byKind[k].Merge(h)
+		}
+	}
+	return report(Closed, total, 0, elapsed), nil
+}
+
+func runOpen(cfg Config, client *http.Client) (*Report, error) {
+	var (
+		col     = newCollector()
+		dropped atomic.Uint64
+		sem     = make(chan struct{}, cfg.Concurrency)
+		wg      sync.WaitGroup
+	)
+	interval := time.Duration(float64(time.Second) / cfg.Rate)
+	// One dispatcher assigns ops in plan order at their scheduled times;
+	// completions land concurrently but the *issue* sequence stays the plan's.
+	dispatch := func(from time.Time, until time.Duration, measure bool) {
+		var i uint64
+		for sched := from; ; sched = sched.Add(interval) {
+			if sched.Sub(from) >= until {
+				return
+			}
+			if d := time.Until(sched); d > 0 {
+				time.Sleep(d)
+			}
+			op := cfg.Plan[i%uint64(len(cfg.Plan))]
+			i++
+			select {
+			case sem <- struct{}{}:
+			default:
+				if measure {
+					dropped.Add(1)
+				}
+				continue
+			}
+			wg.Add(1)
+			go func(op Op, sched time.Time) {
+				defer wg.Done()
+				ok := doOp(client, cfg.BaseURL, op)
+				// Latency from the scheduled start: driver-side queueing
+				// counts against the server (anti coordinated omission).
+				if measure {
+					col.record(op.Kind, time.Since(sched), ok)
+				}
+				<-sem
+			}(op, sched)
+		}
+	}
+	if cfg.Warmup > 0 {
+		dispatch(time.Now(), cfg.Warmup, false)
+		wg.Wait()
+	}
+	begin := time.Now()
+	dispatch(begin, cfg.Duration, true)
+	wg.Wait()
+	elapsed := time.Since(begin)
+	return report(Open, col, dropped.Load(), elapsed), nil
+}
+
+func report(mode Mode, col *collector, dropped uint64, elapsed time.Duration) *Report {
+	rep := &Report{
+		Mode:     mode,
+		Requests: col.overall.Count(),
+		Errors:   col.errors,
+		Dropped:  dropped,
+		Elapsed:  elapsed,
+		Overall:  col.overall.Summarize(),
+		ByKind:   make(map[string]Summary, len(col.byKind)),
+	}
+	if elapsed > 0 {
+		rep.Throughput = float64(rep.Requests) / elapsed.Seconds()
+	}
+	for k, h := range col.byKind {
+		rep.ByKind[k] = h.Summarize()
+	}
+	return rep
+}

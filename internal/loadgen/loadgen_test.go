@@ -1,0 +1,205 @@
+package loadgen
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// captureServer answers /v1/query and records the arrival sequence.
+type captureServer struct {
+	mu   sync.Mutex
+	seen []Op
+}
+
+func (c *captureServer) handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/query" {
+			http.NotFound(w, r)
+			return
+		}
+		q := r.URL.Query()
+		c.mu.Lock()
+		c.seen = append(c.seen, Op{Kind: q.Get("kind"), Query: q.Get("q")})
+		c.mu.Unlock()
+		w.Write([]byte(`{"count":0}`))
+	})
+}
+
+var testPlan = []Op{
+	{Kind: "path", Query: "a.b.c"},
+	{Kind: "rpe", Query: "a//c"},
+	{Kind: "twig", Query: "a[b].c"},
+	{Kind: "path", Query: "x.y"},
+}
+
+// TestClosedLoopReplaySequence is the record/replay guarantee: with one
+// worker, the server sees exactly the plan sequence, cycled, in order.
+func TestClosedLoopReplaySequence(t *testing.T) {
+	cap := &captureServer{}
+	ts := httptest.NewServer(cap.handler())
+	defer ts.Close()
+
+	rep, err := Run(Config{
+		BaseURL:     ts.URL,
+		Plan:        testPlan,
+		Mode:        Closed,
+		Concurrency: 1,
+		Duration:    5 * time.Second, // MaxRequests stops it first
+		MaxRequests: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 10 {
+		t.Fatalf("requests = %d, want 10", rep.Requests)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("errors = %d", rep.Errors)
+	}
+	want := make([]Op, 10)
+	for i := range want {
+		want[i] = testPlan[i%len(testPlan)]
+	}
+	cap.mu.Lock()
+	got := append([]Op(nil), cap.seen...)
+	cap.mu.Unlock()
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("server saw %v\nwant %v", got, want)
+	}
+	if rep.Overall.Count != 10 || rep.Overall.P50US <= 0 {
+		t.Errorf("overall summary = %+v", rep.Overall)
+	}
+	for _, kind := range []string{"path", "rpe", "twig"} {
+		if rep.ByKind[kind].Count == 0 {
+			t.Errorf("no per-kind summary for %s: %v", kind, rep.ByKind)
+		}
+	}
+}
+
+// TestClosedLoopConcurrent smoke-tests multiple workers under -race.
+func TestClosedLoopConcurrent(t *testing.T) {
+	cap := &captureServer{}
+	ts := httptest.NewServer(cap.handler())
+	defer ts.Close()
+
+	rep, err := Run(Config{
+		BaseURL:     ts.URL,
+		Plan:        testPlan,
+		Mode:        Closed,
+		Concurrency: 4,
+		Duration:    100 * time.Millisecond,
+		Warmup:      20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests == 0 || rep.Errors != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.Throughput <= 0 {
+		t.Errorf("throughput = %v", rep.Throughput)
+	}
+}
+
+// TestOpenLoop checks the open driver hits roughly the configured rate and
+// reports scheduled-start latencies.
+func TestOpenLoop(t *testing.T) {
+	cap := &captureServer{}
+	ts := httptest.NewServer(cap.handler())
+	defer ts.Close()
+
+	rep, err := Run(Config{
+		BaseURL:     ts.URL,
+		Plan:        testPlan,
+		Mode:        Open,
+		Concurrency: 16,
+		Rate:        500,
+		Duration:    300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~150 scheduled arrivals; allow wide slack for slow CI machines.
+	if rep.Requests+rep.Dropped < 50 || rep.Requests == 0 {
+		t.Fatalf("report = %+v, want ~150 arrivals", rep)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("errors = %d", rep.Errors)
+	}
+	if rep.Overall.P99US <= 0 {
+		t.Errorf("overall = %+v", rep.Overall)
+	}
+}
+
+// TestOpenLoopCountsDrops pins a slow server: with 1 permitted outstanding
+// request and a fast schedule, arrivals beyond capacity must be dropped, not
+// silently queued (which would re-introduce coordinated omission).
+func TestOpenLoopCountsDrops(t *testing.T) {
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(30 * time.Millisecond)
+		w.Write([]byte(`{}`))
+	}))
+	defer slow.Close()
+
+	rep, err := Run(Config{
+		BaseURL:     slow.URL,
+		Plan:        testPlan[:1],
+		Mode:        Open,
+		Concurrency: 1,
+		Rate:        200,
+		Duration:    200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Dropped == 0 {
+		t.Fatalf("no drops recorded against a saturated server: %+v", rep)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Error("empty plan accepted")
+	}
+	if _, err := Run(Config{Plan: testPlan, Mode: "bogus"}); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	if _, err := Run(Config{Plan: testPlan, Mode: Open}); err == nil {
+		t.Error("open loop without rate accepted")
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteTrace(&sb, testPlan); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, testPlan) {
+		t.Errorf("round-trip = %v, want %v", got, testPlan)
+	}
+	// Annotations and blanks are tolerated; defaults fill the kind.
+	annotated := "# recorded 2024\n\n" + `{"q":"a.b"}` + "\n"
+	got, err = ReadTrace(strings.NewReader(annotated))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Kind != "path" || got[0].Query != "a.b" {
+		t.Errorf("annotated trace = %v", got)
+	}
+	// Garbage is rejected with a line number.
+	if _, err := ReadTrace(strings.NewReader(`{"q":"a"}` + "\n{bad\n")); err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("bad line error = %v", err)
+	}
+	if _, err := ReadTrace(strings.NewReader("# only comments\n")); err == nil {
+		t.Error("empty trace accepted")
+	}
+}

@@ -1,0 +1,59 @@
+package loadgen
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteTrace serializes a plan as JSONL: one op per line, in dispatch order.
+// The format is append-friendly and diffs cleanly, so saved traces live well
+// in a repository next to the benchmark results they produced.
+func WriteTrace(w io.Writer, plan []Op) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i, op := range plan {
+		if err := enc.Encode(op); err != nil {
+			return fmt.Errorf("loadgen: trace op %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses a JSONL plan written by WriteTrace. Blank lines and #
+// comment lines are skipped so traces can be annotated by hand.
+func ReadTrace(r io.Reader) ([]Op, error) {
+	var plan []Op
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := bytes.TrimSpace(sc.Bytes())
+		if len(b) == 0 || b[0] == '#' {
+			continue
+		}
+		var op Op
+		dec := json.NewDecoder(bytes.NewReader(b))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&op); err != nil {
+			return nil, fmt.Errorf("loadgen: trace line %d: %w", line, err)
+		}
+		if op.Query == "" {
+			return nil, fmt.Errorf("loadgen: trace line %d: missing q", line)
+		}
+		if op.Kind == "" {
+			op.Kind = "path"
+		}
+		plan = append(plan, op)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("loadgen: reading trace: %w", err)
+	}
+	if len(plan) == 0 {
+		return nil, fmt.Errorf("loadgen: trace holds no ops")
+	}
+	return plan, nil
+}

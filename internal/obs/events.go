@@ -73,6 +73,7 @@ type Stream struct {
 	subs    map[int]chan Event
 	nextSub int
 	dropped uint64
+	dropC   *Counter // optional registry mirror of dropped, set by the observer
 }
 
 // NewStream returns a stream retaining the last capacity events (minimum 1).
@@ -105,6 +106,9 @@ func (s *Stream) Publish(e Event) Event {
 		case ch <- e:
 		default:
 			s.dropped++
+			if s.dropC != nil {
+				s.dropC.Inc()
+			}
 		}
 	}
 	s.mu.Unlock()
@@ -182,6 +186,15 @@ func (s *Stream) LastSeq() uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.nextSeq
+}
+
+// SetDroppedCounter mirrors future drops into a registry counter
+// (dk_events_dropped_total), so overflow to slow subscribers is no longer
+// visible only to pollers of the JSON endpoint. Set before publishing.
+func (s *Stream) SetDroppedCounter(c *Counter) {
+	s.mu.Lock()
+	s.dropC = c
+	s.mu.Unlock()
 }
 
 // Dropped returns how many events were dropped on full subscriber channels.

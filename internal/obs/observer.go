@@ -49,6 +49,18 @@ const (
 	MetricHTTPShed   = "dk_http_shed_total"
 	MetricHTTPPanics = "dk_http_panics_total"
 
+	// HTTP RED metrics, fed by the server middleware: per-route request
+	// latency, requests currently being served, and error responses by
+	// status class (label cardinality stays bounded by the server's fixed
+	// route table).
+	MetricHTTPDuration = "dk_http_request_duration_seconds"
+	MetricHTTPInFlight = "dk_http_inflight_requests"
+	MetricHTTPErrors   = "dk_http_errors_total"
+
+	// MetricEventsDropped counts lifecycle events dropped on full subscriber
+	// channels — without it, ring overflow to slow consumers is silent.
+	MetricEventsDropped = "dk_events_dropped_total"
+
 	// Construction metrics, fed by every index (re)build: initial
 	// construction, optimize, retune, compaction, bulk edge replacement.
 	MetricBuilds          = "dk_builds_total"
@@ -98,6 +110,9 @@ type Observer struct {
 	Registry *Registry
 	Events   *Stream
 	Tracer   *Tracer
+	// Slow retains the slowest served requests (top-N by latency); the HTTP
+	// server feeds it and exposes it at /v1/slow.
+	Slow *SlowLog
 
 	// queryKinds holds the per-kind metric bundles ("path", "rpe", "twig"
 	// pre-registered; others added copy-on-write), swapped atomically so
@@ -127,6 +142,14 @@ type Observer struct {
 		recoveryReplayed, recoveryTruncated *Counter
 		httpShed, httpPanics                *Counter
 	}
+
+	// swap tracks when the published snapshot generation last changed, so
+	// the runtime collector can report snapshot age: a serving process whose
+	// writers stalled shows a climbing age under mutation traffic.
+	swap struct {
+		gen atomic.Uint64
+		at  atomic.Int64 // unix nanos of the last generation change; 0 = never
+	}
 }
 
 // NewObserver builds an observer with a fresh registry, a 256-event stream
@@ -144,7 +167,12 @@ func NewObserverWith(reg *Registry, events *Stream, tracer *Tracer) *Observer {
 		Registry:   reg,
 		Events:     events,
 		Tracer:     tracer,
+		Slow:       NewSlowLog(DefaultSlowLogSize),
 		evCounters: make(map[EventType]*Counter),
+	}
+	if events != nil {
+		events.SetDroppedCounter(reg.Counter(MetricEventsDropped,
+			"Lifecycle events dropped on full subscriber channels."))
 	}
 	kinds := make(map[string]*queryMetrics, 3)
 	for _, kind := range []string{"path", "rpe", "twig"} {
@@ -301,12 +329,29 @@ func (o *Observer) ObserveCacheMiss(kind string) {
 	o.kind(kind).cacheMisses.Inc()
 }
 
-// SetSnapshotGeneration refreshes the published-snapshot generation gauge.
+// SetSnapshotGeneration refreshes the published-snapshot generation gauge
+// and, when the generation changed, stamps the swap time behind SnapshotAge.
 func (o *Observer) SetSnapshotGeneration(gen uint64) {
 	if o == nil {
 		return
 	}
 	o.gauges.generation.Set(float64(gen))
+	if o.swap.gen.Swap(gen) != gen || o.swap.at.Load() == 0 {
+		o.swap.at.Store(time.Now().UnixNano())
+	}
+}
+
+// SnapshotAge returns seconds since the served snapshot generation last
+// changed (zero before the first SetSnapshotGeneration). Nil-safe.
+func (o *Observer) SnapshotAge() float64 {
+	if o == nil {
+		return 0
+	}
+	at := o.swap.at.Load()
+	if at == 0 {
+		return 0
+	}
+	return time.Since(time.Unix(0, at)).Seconds()
 }
 
 // SetCacheEntries refreshes the result-cache occupancy gauge.

@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// SlowEntry is one retained slow request. The cost counters are the paper's
+// per-query model, copied verbatim from the evaluation; RequestID links the
+// entry to the client's logs (the server echoes it as X-Request-ID) and — when
+// Traced is set — to the /traces entry whose Origin carries the same ID.
+type SlowEntry struct {
+	Time      time.Time     `json:"time"`
+	RequestID string        `json:"requestId,omitempty"`
+	Route     string        `json:"route"`
+	Method    string        `json:"method,omitempty"`
+	Kind      string        `json:"kind"`
+	Query     string        `json:"query"`
+	Status    int           `json:"status"`
+	Duration  time.Duration `json:"durationNS"`
+
+	CacheHit   bool   `json:"cacheHit"`
+	Traced     bool   `json:"traced"`
+	Generation uint64 `json:"generation"`
+
+	IndexNodesVisited  int `json:"indexNodesVisited"`
+	DataNodesValidated int `json:"dataNodesValidated"`
+	Validations        int `json:"validations"`
+	Results            int `json:"results"`
+}
+
+// SlowLog retains the top-capacity slowest requests seen so far: a bounded
+// min-heap keyed by duration, so an offered request only displaces the
+// current floor when it is slower. A nil *SlowLog accepts every call and does
+// nothing, matching the package's nil-safe convention.
+type SlowLog struct {
+	mu      sync.Mutex
+	heap    []SlowEntry // min-heap by Duration; heap[0] is the floor
+	cap     int
+	offered uint64
+}
+
+// DefaultSlowLogSize is the slow-log capacity an Observer starts with.
+const DefaultSlowLogSize = 64
+
+// NewSlowLog returns a log retaining the capacity slowest requests
+// (minimum 1).
+func NewSlowLog(capacity int) *SlowLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &SlowLog{cap: capacity}
+}
+
+// Add offers one request to the log. Requests faster than the floor of a full
+// log are rejected in O(1); admissions are O(log capacity).
+func (l *SlowLog) Add(e SlowEntry) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.offered++
+	if len(l.heap) < l.cap {
+		l.heap = append(l.heap, e)
+		l.siftUp(len(l.heap) - 1)
+		return
+	}
+	if e.Duration <= l.heap[0].Duration {
+		return
+	}
+	l.heap[0] = e
+	l.siftDown(0)
+}
+
+// Floor returns the duration a request must exceed to enter a full log
+// (zero while the log still has room).
+func (l *SlowLog) Floor() time.Duration {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.heap) < l.cap {
+		return 0
+	}
+	return l.heap[0].Duration
+}
+
+// Offered returns how many requests were offered to the log.
+func (l *SlowLog) Offered() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.offered
+}
+
+// Snapshot returns the retained entries, slowest first.
+func (l *SlowLog) Snapshot() []SlowEntry {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	out := append([]SlowEntry(nil), l.heap...)
+	l.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Duration > out[j].Duration })
+	return out
+}
+
+func (l *SlowLog) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if l.heap[p].Duration <= l.heap[i].Duration {
+			return
+		}
+		l.heap[p], l.heap[i] = l.heap[i], l.heap[p]
+		i = p
+	}
+}
+
+func (l *SlowLog) siftDown(i int) {
+	n := len(l.heap)
+	for {
+		least := i
+		if c := 2*i + 1; c < n && l.heap[c].Duration < l.heap[least].Duration {
+			least = c
+		}
+		if c := 2*i + 2; c < n && l.heap[c].Duration < l.heap[least].Duration {
+			least = c
+		}
+		if least == i {
+			return
+		}
+		l.heap[i], l.heap[least] = l.heap[least], l.heap[i]
+		i = least
+	}
+}

@@ -20,17 +20,28 @@ type Span struct {
 // evaluators can thread a trace unconditionally without perturbing the hot
 // path. Traces are single-goroutine: one query fills one trace.
 type Trace struct {
-	Kind  string        `json:"kind"` // "path", "rpe" or "twig"
-	Query string        `json:"query"`
-	Start time.Time     `json:"start"`
-	Total time.Duration `json:"totalNS"`
-	Spans []Span        `json:"spans,omitempty"`
+	Kind  string `json:"kind"` // "path", "rpe" or "twig"
+	Query string `json:"query"`
+	// Origin identifies who issued the query — the server stamps the request's
+	// X-Request-ID here, linking /traces entries to /v1/slow and client logs.
+	Origin string        `json:"origin,omitempty"`
+	Start  time.Time     `json:"start"`
+	Total  time.Duration `json:"totalNS"`
+	Spans  []Span        `json:"spans,omitempty"`
 	// The paper's cost counters, copied from the evaluation verbatim —
 	// tracing observes the cost model, it never alters it.
 	IndexNodesVisited  int `json:"indexNodesVisited"`
 	DataNodesValidated int `json:"dataNodesValidated"`
 	Validations        int `json:"validations"`
 	Results            int `json:"results"`
+}
+
+// SetOrigin records who issued the traced query. Nil traces no-op.
+func (t *Trace) SetOrigin(origin string) {
+	if t == nil {
+		return
+	}
+	t.Origin = origin
 }
 
 // StageStart returns the stage start time, or the zero time without touching
@@ -129,8 +140,9 @@ func (tr *Tracer) Sampled() uint64 {
 	return tr.sampled.Load()
 }
 
-// Recent returns the retained traces, oldest first.
-func (tr *Tracer) Recent() []*Trace {
+// Recent returns up to n retained traces, oldest first (all retained traces
+// when n <= 0 or exceeds the retention).
+func (tr *Tracer) Recent(n int) []*Trace {
 	if tr == nil {
 		return nil
 	}
@@ -141,5 +153,8 @@ func (tr *Tracer) Recent() []*Trace {
 		out = append(out, tr.recent[tr.next:]...)
 	}
 	out = append(out, tr.recent[:tr.next]...)
+	if n > 0 && n < len(out) {
+		out = out[len(out)-n:]
+	}
 	return out
 }

@@ -14,7 +14,7 @@ func TestNilTraceAndTracer(t *testing.T) {
 		t.Fatalf("nil tracer sampled %+v", got)
 	}
 	tr.Finish(nil)
-	if tr.Sampled() != 0 || tr.Recent() != nil {
+	if tr.Sampled() != 0 || tr.Recent(0) != nil {
 		t.Fatal("nil tracer not inert")
 	}
 
@@ -41,7 +41,7 @@ func TestTracerSamplingInterval(t *testing.T) {
 	if tr.Sampled() != 10 {
 		t.Fatalf("Sampled() = %d, want 10", tr.Sampled())
 	}
-	recent := tr.Recent()
+	recent := tr.Recent(0)
 	if len(recent) != 8 {
 		t.Fatalf("recent = %d traces, want 8", len(recent))
 	}
@@ -82,8 +82,44 @@ func TestTraceSpans(t *testing.T) {
 	}
 }
 
-// TestTracerConcurrent samples and finishes from many goroutines; run with
-// -race.
+func TestTraceOrigin(t *testing.T) {
+	tr := NewTracer(1, 4)
+	tt := tr.Sample("path", "a/b")
+	tt.SetOrigin("req-123")
+	tr.Finish(tt)
+	recent := tr.Recent(0)
+	if len(recent) != 1 || recent[0].Origin != "req-123" {
+		t.Fatalf("recent = %+v, want one trace with origin req-123", recent)
+	}
+	var nilTrace *Trace
+	nilTrace.SetOrigin("x") // must not panic
+}
+
+func TestTracerRecentPagination(t *testing.T) {
+	tr := NewTracer(1, 8)
+	for i := 0; i < 12; i++ {
+		tt := tr.Sample("path", "q")
+		tt.IndexNodesVisited = i
+		tr.Finish(tt)
+	}
+	all := tr.Recent(0)
+	if len(all) != 8 || all[0].IndexNodesVisited != 4 || all[7].IndexNodesVisited != 11 {
+		t.Fatalf("Recent(0) = %d traces first=%d last=%d, want 8 traces 4..11",
+			len(all), all[0].IndexNodesVisited, all[7].IndexNodesVisited)
+	}
+	// n selects the newest n, still oldest-first within the page.
+	page := tr.Recent(3)
+	if len(page) != 3 || page[0].IndexNodesVisited != 9 || page[2].IndexNodesVisited != 11 {
+		t.Fatalf("Recent(3) = %+v, want traces 9,10,11", page)
+	}
+	if got := tr.Recent(100); len(got) != 8 {
+		t.Fatalf("Recent(100) = %d traces, want all 8", len(got))
+	}
+}
+
+// TestTracerConcurrent samples, finishes and paginates from many goroutines;
+// run with -race. Afterwards the cadence must be exact (atomic counter), the
+// buffer bounded, and every retained trace complete.
 func TestTracerConcurrent(t *testing.T) {
 	tr := NewTracer(2, 16)
 	var wg sync.WaitGroup
@@ -95,14 +131,26 @@ func TestTracerConcurrent(t *testing.T) {
 				if tt := tr.Sample("path", "q"); tt != nil {
 					s := tt.StageStart()
 					tt.EndStage("match", s)
+					tt.SetOrigin("w")
 					tr.Finish(tt)
 				}
-				tr.Recent()
+				if got := tr.Recent(4); len(got) > 4 {
+					t.Errorf("Recent(4) returned %d traces", len(got))
+				}
 			}
 		}()
 	}
 	wg.Wait()
 	if tr.Sampled() != 8*200/2 {
 		t.Fatalf("Sampled = %d, want %d", tr.Sampled(), 8*200/2)
+	}
+	recent := tr.Recent(0)
+	if len(recent) != 16 {
+		t.Fatalf("buffer retained %d traces, want 16", len(recent))
+	}
+	for _, tt := range recent {
+		if tt.Total <= 0 || len(tt.Spans) != 1 || tt.Origin != "w" {
+			t.Fatalf("incomplete retained trace: %+v", tt)
+		}
 	}
 }

@@ -72,9 +72,19 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleTraces serves the tracer's retained query traces, oldest first.
-func (s *Server) handleTraces(w http.ResponseWriter, _ *http.Request) {
-	traces := s.obs.Tracer.Recent()
+// handleTraces serves the tracer's retained query traces, oldest first. n=
+// pages the response down to the newest n traces (default: all retained).
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	n := 0
+	if ns := r.URL.Query().Get("n"); ns != "" {
+		v, err := strconv.Atoi(ns)
+		if err != nil || v < 0 {
+			writeError(w, http.StatusBadRequest, codeBadQuery, fmt.Errorf("n= must be a non-negative integer"))
+			return
+		}
+		n = v
+	}
+	traces := s.obs.Tracer.Recent(n)
 	if traces == nil {
 		traces = []*obs.Trace{}
 	}
@@ -84,15 +94,42 @@ func (s *Server) handleTraces(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-// requestRoutes is the bounded label set for the per-route request counter;
+// handleSlow serves the slow-query log, slowest first. n= caps the count;
+// floorNS is the latency a request must exceed to enter the (full) log, and
+// offered counts every request the log has seen.
+func (s *Server) handleSlow(w http.ResponseWriter, r *http.Request) {
+	n := 0
+	if ns := r.URL.Query().Get("n"); ns != "" {
+		v, err := strconv.Atoi(ns)
+		if err != nil || v < 0 {
+			writeError(w, http.StatusBadRequest, codeBadQuery, fmt.Errorf("n= must be a non-negative integer"))
+			return
+		}
+		n = v
+	}
+	entries := s.obs.Slow.Snapshot()
+	if n > 0 && n < len(entries) {
+		entries = entries[:n]
+	}
+	if entries == nil {
+		entries = []obs.SlowEntry{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"slow":    entries,
+		"offered": s.obs.Slow.Offered(),
+		"floorNS": s.obs.Slow.Floor(),
+	})
+}
+
+// requestRoutes is the bounded label set for the per-route RED metrics;
 // anything else (404s, pprof) counts under "other". Built from the route
 // names mounted at the root and under /v1.
 var requestRoutes = func() map[string]bool {
 	routes := []string{
-		"/healthz", "/stats", "/query", "/explain",
+		"/healthz", "/readyz", "/stats", "/query", "/explain",
 		"/edges", "/edges/remove", "/documents",
 		"/promote", "/demote", "/optimize",
-		"/metrics", "/events", "/traces",
+		"/metrics", "/events", "/traces", "/slow",
 	}
 	m := make(map[string]bool, 2*len(routes))
 	for _, r := range routes {
@@ -101,13 +138,3 @@ var requestRoutes = func() map[string]bool {
 	}
 	return m
 }()
-
-// countRequest bumps the HTTP request counter, with bounded route cardinality.
-func (s *Server) countRequest(r *http.Request) {
-	route := r.URL.Path
-	if !requestRoutes[route] {
-		route = "other"
-	}
-	s.obs.Registry.Counter(obs.MetricHTTPRequests, "HTTP requests served, by route.",
-		obs.L("route", route)).Inc()
-}

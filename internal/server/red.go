@@ -1,0 +1,125 @@
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+
+	"dkindex/internal/obs"
+)
+
+// headerRequestID is echoed on every response: incoming values are kept (when
+// well-formed) so distributed call chains stay correlated, otherwise the
+// server mints one. Error bodies, the slow-query log and sampled traces all
+// carry the same ID.
+const headerRequestID = "X-Request-ID"
+
+// routeRED is one route's pre-registered RED bundle (rate, errors, duration,
+// plus in-flight). Registration happens once in New, so the per-request path
+// is a map lookup and a handful of atomics.
+type routeRED struct {
+	requests *obs.Counter
+	err4xx   *obs.Counter
+	err5xx   *obs.Counter
+	inflight *obs.Gauge
+	duration *obs.Histogram
+}
+
+func newRouteRED(reg *obs.Registry, route string) *routeRED {
+	l := obs.L("route", route)
+	return &routeRED{
+		requests: reg.Counter(obs.MetricHTTPRequests, "HTTP requests served, by route.", l),
+		err4xx: reg.Counter(obs.MetricHTTPErrors,
+			"HTTP error responses, by route and status class.", l, obs.L("class", "4xx")),
+		err5xx: reg.Counter(obs.MetricHTTPErrors,
+			"HTTP error responses, by route and status class.", l, obs.L("class", "5xx")),
+		inflight: reg.Gauge(obs.MetricHTTPInFlight,
+			"HTTP requests currently being served, by route.", l),
+		duration: reg.Histogram(obs.MetricHTTPDuration,
+			"HTTP request latency in seconds, by route.",
+			obs.ExpBuckets(1e-5, 2.5, 14), l),
+	}
+}
+
+// newREDTable pre-registers a bundle per known route plus the "other"
+// catch-all, bounding the label cardinality to the fixed route table.
+func newREDTable(reg *obs.Registry) map[string]*routeRED {
+	t := make(map[string]*routeRED, len(requestRoutes)+1)
+	for route := range requestRoutes {
+		t[route] = newRouteRED(reg, route)
+	}
+	t["other"] = newRouteRED(reg, "other")
+	return t
+}
+
+// routeLabel maps a request path onto the bounded route label set.
+func routeLabel(path string) string {
+	if requestRoutes[path] {
+		return path
+	}
+	return "other"
+}
+
+// Request IDs minted by the server: a per-process random prefix plus a
+// sequence number — unique, cheap (no syscall per request) and greppable.
+var (
+	reqIDSeq    atomic.Uint64
+	reqIDPrefix = func() string {
+		var b [4]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			return "dk"
+		}
+		return hex.EncodeToString(b[:])
+	}()
+)
+
+// requestID returns the client's X-Request-ID when it is well-formed, a
+// freshly minted one otherwise.
+func requestID(r *http.Request) string {
+	if id := r.Header.Get(headerRequestID); validRequestID(id) {
+		return id
+	}
+	return reqIDPrefix + "-" + strconv.FormatUint(reqIDSeq.Add(1), 10)
+}
+
+// validRequestID accepts 1..128 characters of [A-Za-z0-9._-]: enough for
+// UUIDs and trace IDs, while keeping header junk out of logs and JSON.
+func validRequestID(id string) bool {
+	if len(id) == 0 || len(id) > 128 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case 'a' <= c && c <= 'z', 'A' <= c && c <= 'Z', '0' <= c && c <= '9',
+			c == '-', c == '_', c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// statusWriter captures the response status so the middleware can classify
+// errors after the handler returns. An untouched status means the handler
+// wrote nothing yet (the implicit 200 is stamped on first Write).
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}

@@ -15,10 +15,14 @@
 //	GET  /v1/healthz                    liveness
 //	GET  /v1/metrics                    Prometheus text exposition
 //	GET  /v1/events?n=100&since=0       index lifecycle event stream
-//	GET  /v1/traces                     recent sampled query traces
+//	GET  /v1/traces?n=50                recent sampled query traces
+//	GET  /v1/slow?n=10                  slow-query log (top-N by latency)
 //	GET  /query?path=a.b.c              legacy query endpoint (also rpe=, twig=)
 //
-// Errors are structured: {"error": "...", "code": "bad_query|bad_request|conflict|too_large"}.
+// Every response echoes (or mints) an X-Request-ID header; sampled traces and
+// slow-log entries carry the same ID, so one slow request links from client
+// log to trace to cost counters. Errors are structured:
+// {"error": "...", "code": "bad_query|bad_request|conflict|too_large", "requestId": "..."}.
 //
 // The server carries no locks of its own: the index serves queries from
 // atomic snapshots and serializes mutations internally, so handlers call it
@@ -38,6 +42,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"time"
 
 	"dkindex"
 	"dkindex/internal/obs"
@@ -60,6 +65,9 @@ type Server struct {
 	idx *dkindex.Index
 	mux *http.ServeMux
 	obs *obs.Observer
+	// red holds the pre-registered per-route RED metric bundles, keyed by
+	// route label ("other" catches everything off the fixed table).
+	red map[string]*routeRED
 
 	// inflight, when SetMaxInFlight arms it, bounds concurrently served
 	// requests; requests beyond the bound are shed with 503 + Retry-After
@@ -80,7 +88,7 @@ func New(idx *dkindex.Index) *Server {
 		o = obs.NewObserver()
 		idx.Observe(o)
 	}
-	s := &Server{idx: idx, mux: http.NewServeMux(), obs: o}
+	s := &Server{idx: idx, mux: http.NewServeMux(), obs: o, red: newREDTable(o.Registry)}
 	// Every route serves under /v1 and, as a legacy alias, at the root.
 	for _, p := range []string{"", "/v1"} {
 		s.mux.HandleFunc("GET "+p+"/healthz", s.handleHealth)
@@ -96,6 +104,7 @@ func New(idx *dkindex.Index) *Server {
 		s.mux.HandleFunc("GET "+p+"/metrics", s.handleMetrics)
 		s.mux.HandleFunc("GET "+p+"/events", s.handleEvents)
 		s.mux.HandleFunc("GET "+p+"/traces", s.handleTraces)
+		s.mux.HandleFunc("GET "+p+"/slow", s.handleSlow)
 	}
 	// The query endpoint differs between versions: /v1 takes kind= + q=
 	// (one parameter scheme for all languages) and accepts batches by POST;
@@ -133,33 +142,50 @@ func probeRoute(path string) bool {
 	return false
 }
 
-// ServeHTTP implements http.Handler: it counts the request, sheds it if the
-// in-flight bound is hit, and converts handler panics into 500s instead of
-// letting one poisoned request tear down the connection (and, with it, the
-// process's ability to drain the rest).
+// ServeHTTP implements http.Handler: the RED middleware. It stamps the
+// request ID onto the response, counts the request and its in-flight
+// occupancy, sheds it if the in-flight bound is hit, converts handler panics
+// into 500s instead of letting one poisoned request tear down the connection,
+// and records the latency and error class per route on the way out.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.countRequest(r)
+	// Echo (or mint) the request ID before dispatch: handlers and writeError
+	// read it back off the response header, so every body — including shed
+	// and panic responses — is attributable in client logs.
+	w.Header().Set(headerRequestID, requestID(r))
+	m := s.red[routeLabel(r.URL.Path)]
+	m.requests.Inc()
+	m.inflight.Add(1)
+	sw := &statusWriter{ResponseWriter: w}
+	start := time.Now()
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.obs.ObserveHTTPPanic()
+			// The handler may have written already; this is best-effort.
+			writeError(sw, http.StatusInternalServerError, codeInternal,
+				fmt.Errorf("internal error"))
+		}
+		m.inflight.Add(-1)
+		m.duration.Observe(time.Since(start).Seconds())
+		switch {
+		case sw.status >= 500:
+			m.err5xx.Inc()
+		case sw.status >= 400:
+			m.err4xx.Inc()
+		}
+	}()
 	if s.inflight != nil && !probeRoute(r.URL.Path) {
 		select {
 		case s.inflight <- struct{}{}:
 			defer func() { <-s.inflight }()
 		default:
 			s.obs.ObserveHTTPShed()
-			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusServiceUnavailable, codeOverloaded,
+			sw.Header().Set("Retry-After", "1")
+			writeError(sw, http.StatusServiceUnavailable, codeOverloaded,
 				fmt.Errorf("server at capacity, retry shortly"))
 			return
 		}
 	}
-	defer func() {
-		if rec := recover(); rec != nil {
-			s.obs.ObserveHTTPPanic()
-			// The handler may have written already; this is best-effort.
-			writeError(w, http.StatusInternalServerError, codeInternal,
-				fmt.Errorf("internal error"))
-		}
-	}()
-	s.mux.ServeHTTP(w, r)
+	s.mux.ServeHTTP(sw, r)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
@@ -198,6 +224,7 @@ type queryResponse struct {
 	Results    []queryResult      `json:"results"`
 	Cost       dkindex.QueryStats `json:"cost"`
 	CacheHit   bool               `json:"cacheHit"`
+	Traced     bool               `json:"traced"`
 	Generation uint64             `json:"generation"`
 }
 
@@ -236,22 +263,47 @@ func parseLimit(ls string) (int, error) {
 }
 
 // runQuery executes one request and renders the response shape shared by
-// every query endpoint.
-func (s *Server) runQuery(req dkindex.Request) (*queryResponse, error) {
-	res, err := s.idx.Run(req)
-	if err != nil {
-		return nil, err
-	}
+// every query endpoint. It stamps the response's request ID onto the query as
+// its origin (so a sampled trace links back to the request) and offers the
+// execution to the slow-query log with its cost counters.
+func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, req dkindex.Request) (*queryResponse, error) {
 	kind := req.Kind
 	if kind == "" {
 		kind = dkindex.KindPath
 	}
+	req.Origin = w.Header().Get(headerRequestID)
+	start := time.Now()
+	res, err := s.idx.Run(req)
+	entry := obs.SlowEntry{
+		Time:      start,
+		RequestID: req.Origin,
+		Route:     routeLabel(r.URL.Path),
+		Method:    r.Method,
+		Kind:      string(kind),
+		Query:     req.Text,
+		Duration:  time.Since(start),
+	}
+	if err != nil {
+		entry.Status = http.StatusBadRequest
+		s.obs.Slow.Add(entry)
+		return nil, err
+	}
+	entry.Status = http.StatusOK
+	entry.CacheHit = res.CacheHit
+	entry.Traced = res.Traced
+	entry.Generation = res.Generation
+	entry.IndexNodesVisited = res.Stats.IndexNodesVisited
+	entry.DataNodesValidated = res.Stats.DataNodesValidated
+	entry.Validations = res.Stats.Validations
+	entry.Results = res.Total
+	s.obs.Slow.Add(entry)
 	out := &queryResponse{
 		Query:      req.Text,
 		Kind:       string(kind),
 		Count:      res.Total,
 		Cost:       res.Stats,
 		CacheHit:   res.CacheHit,
+		Traced:     res.Traced,
 		Generation: res.Generation,
 		// Preallocate exactly: result sets can run to thousands of nodes
 		// and append-doubling churn showed up in serving profiles.
@@ -282,7 +334,7 @@ func (s *Server) handleLegacyQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, codeBadQuery, fmt.Errorf("one of path=, rpe= or twig= is required"))
 		return
 	}
-	out, err := s.runQuery(req)
+	out, err := s.runQuery(w, r, req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, codeBadQuery, err)
 		return
@@ -309,7 +361,7 @@ func (s *Server) handleV1Query(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, codeBadQuery, fmt.Errorf("kind= must be path, rpe or twig"))
 		return
 	}
-	out, err := s.runQuery(dkindex.Request{Kind: kind, Text: text, Limit: limit})
+	out, err := s.runQuery(w, r, dkindex.Request{Kind: kind, Text: text, Limit: limit})
 	if err != nil {
 		writeError(w, http.StatusBadRequest, codeBadQuery, err)
 		return
@@ -345,6 +397,7 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("at most %d queries per batch", maxBatchQueries))
 		return
 	}
+	reqID := w.Header().Get(headerRequestID)
 	reqs := make([]dkindex.Request, len(body.Queries))
 	for i, bq := range body.Queries {
 		limit := defaultListed
@@ -360,9 +413,17 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 				limit = min(*bq.Limit, maxListed)
 			}
 		}
-		reqs[i] = dkindex.Request{Kind: dkindex.Kind(bq.Kind), Text: bq.Q, Limit: limit}
+		reqs[i] = dkindex.Request{Kind: dkindex.Kind(bq.Kind), Text: bq.Q, Limit: limit, Origin: reqID}
 	}
+	start := time.Now()
 	batch := s.idx.RunBatch(reqs)
+	// The batch enters the slow log as one entry (items are not individually
+	// timed); the aggregated cost counters still attribute the work.
+	bentry := obs.SlowEntry{
+		Time: start, RequestID: reqID, Route: routeLabel(r.URL.Path), Method: r.Method,
+		Kind: "batch", Query: fmt.Sprintf("%d queries", len(reqs)),
+		Status: http.StatusOK, Duration: time.Since(start),
+	}
 	items := make([]any, len(batch))
 	var generation uint64
 	for i, br := range batch {
@@ -372,12 +433,19 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		res := br.Result
 		generation = res.Generation
+		bentry.Generation = res.Generation
+		bentry.Traced = bentry.Traced || res.Traced
+		bentry.IndexNodesVisited += res.Stats.IndexNodesVisited
+		bentry.DataNodesValidated += res.Stats.DataNodesValidated
+		bentry.Validations += res.Stats.Validations
+		bentry.Results += res.Total
 		out := &queryResponse{
 			Query:      reqs[i].Text,
 			Kind:       string(reqs[i].Kind),
 			Count:      res.Total,
 			Cost:       res.Stats,
 			CacheHit:   res.CacheHit,
+			Traced:     res.Traced,
 			Generation: res.Generation,
 			Results:    make([]queryResult, 0, len(res.Nodes)),
 		}
@@ -389,6 +457,7 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		items[i] = out
 	}
+	s.obs.Slow.Add(bentry)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"generation": generation,
 		"results":    items,
@@ -557,7 +626,13 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 func writeError(w http.ResponseWriter, status int, code string, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error(), "code": code})
+	body := map[string]string{"error": err.Error(), "code": code}
+	// The middleware stamps the response's X-Request-ID before dispatch, so
+	// every error body carries the same ID the client can grep its logs for.
+	if id := w.Header().Get(headerRequestID); id != "" {
+		body["requestId"] = id
+	}
+	writeJSON(w, status, body)
 }
 
 // writeDecodeError renders a decodeJSON failure: 413 for oversized bodies,

@@ -167,7 +167,7 @@ func TestObservedCostBitIdentical(t *testing.T) {
 	if o.Tracer.Sampled() != 5 {
 		t.Errorf("traces sampled = %d, want 5", o.Tracer.Sampled())
 	}
-	for _, tr := range o.Tracer.Recent() {
+	for _, tr := range o.Tracer.Recent(0) {
 		if len(tr.Spans) == 0 {
 			t.Errorf("trace %s %q has no spans", tr.Kind, tr.Query)
 		}

@@ -47,6 +47,11 @@ type Request struct {
 	// them, a positive value at most that many, and a negative value none at
 	// all (a count-only query). Result.Total always reports the full count.
 	Limit int
+	// Origin identifies the caller for observability — the HTTP server passes
+	// the request's X-Request-ID. When this execution is trace-sampled, the
+	// origin is stamped onto the trace, linking /traces entries back to the
+	// request that produced them. Empty is fine.
+	Origin string
 }
 
 // Result is the answer to one Request.
@@ -65,6 +70,9 @@ type Result struct {
 	// Generation identifies the snapshot that answered the query; it
 	// increases by one with every index mutation.
 	Generation uint64
+	// Traced reports whether this execution was sampled by the tracer (cache
+	// hits never are — nothing was evaluated).
+	Traced bool
 
 	g *graph.Graph
 }
@@ -206,6 +214,7 @@ func (x *Index) runOn(s *snapshot, req Request) (Result, error) {
 	x.observer.ObserveCacheMiss(string(kind))
 
 	tr := x.observer.SampleTrace(string(kind), req.Text)
+	tr.SetOrigin(req.Origin)
 	var begin time.Time
 	if x.observer != nil {
 		begin = time.Now()
@@ -220,7 +229,9 @@ func (x *Index) runOn(s *snapshot, req Request) (Result, error) {
 	// Put after noteValidation: if an auto-promotion just bumped the
 	// generation, this store is stale and the cache drops it on its own.
 	cache.Put(s.gen, key, &cachedResult{nodes: nodes, cost: cost})
-	return s.result(nodes, cost, false, req.Limit), nil
+	res := s.result(nodes, cost, false, req.Limit)
+	res.Traced = tr != nil
+	return res, nil
 }
 
 // result assembles a Result from a (possibly cached, hence shared and
