@@ -7,7 +7,7 @@ DK_BENCH_SCALE ?= 1.0
 BENCHTIME ?= 2s
 BENCHCOUNT ?= 1
 
-.PHONY: all build test race vet fmt-check bench bench2 bench3 bench5 bench6 bench7 bench-baseline bench-guard profile-build stress fuzz-smoke serve-smoke ci clean
+.PHONY: all build test race vet fmt-check bench bench2 bench3 bench5 bench6 bench7 bench8 bench-baseline bench-guard profile-build stress fuzz-smoke serve-smoke ci clean
 
 all: build test
 
@@ -27,14 +27,18 @@ test:
 race:
 	$(GO) test -race ./...
 
-# stress runs the snapshot-isolation stress test, the crash-point sweep, and
-# the construction audit under -race: the first hammers a torn publish, the
-# second injects a crash at every I/O operation of a mutation scenario and
-# proves recovery lands on exactly the acknowledged state, and the third
-# proves the parallel counting-sort refinement is block-identical to the
-# preserved reference implementation on every experiment dataset.
+# stress runs the snapshot-isolation stress test, the group-commit pipeline
+# stress test, the crash-point sweep, and the construction audit under -race:
+# the first hammers a torn publish, the second cycles concurrent ApplyBatch
+# writers against snapshot readers and watermark pollers, the third injects a
+# crash at every I/O operation of a mutation scenario (including inside a WAL
+# group frame) and proves recovery lands on exactly the acknowledged state,
+# and the fourth proves the parallel counting-sort refinement is
+# block-identical to the preserved reference implementation on every
+# experiment dataset.
 stress:
 	$(GO) test -race -count 2 -run TestSnapshotStressConcurrent .
+	$(GO) test -race -count 2 -run TestApplyBatchStressConcurrent .
 	$(GO) test -race -count 1 -run TestStoreCrashPointSweep .
 	$(GO) test -race -count 1 -run TestBuildPartitionIdentity ./internal/experiments/
 
@@ -113,6 +117,15 @@ bench7:
 		-serve-json BENCH_7.json -serve-record BENCH_7_plan.jsonl \
 		| tee BENCH_7.txt
 
+# bench8 records write-pipeline throughput (BENCH_8.json): a durable store on
+# a real filesystem driven by concurrent writers, fsync-per-operation vs
+# group-committed Apply, reporting mutations/sec, realized batch size and the
+# speedup. The acceptance bar for the group-commit pipeline is a >=5x speedup
+# with a realized batch of >=8 mutations per commit.
+bench8:
+	$(GO) run ./cmd/dkbench -exp write -scale $(DK_BENCH_SCALE) \
+		-write-json BENCH_8.json | tee BENCH_8.txt
+
 # serve-smoke is the ci-sized bench7: a ~2 second end-to-end run on a small
 # corpus proving the server, RED instrumentation, slow log, runtime telemetry
 # and both load disciplines work together.
@@ -121,12 +134,13 @@ serve-smoke:
 		-serve-dur 400ms -serve-warmup 100ms -serve-conc 4 -serve-rate 400
 
 # bench-baseline records the regression-guard baseline: several short
-# repetitions of the guarded benchmarks (query throughput and the parallel
-# snapshot-serving path), parsed to JSON. bench-guard compares future runs
-# against it per benchmark name on best-of-N ns/op.
+# repetitions of the guarded benchmarks (query throughput, the parallel
+# snapshot-serving path, and the in-memory group-commit write pipeline),
+# parsed to JSON. bench-guard compares future runs against it per benchmark
+# name on best-of-N ns/op.
 bench-baseline:
 	DK_BENCH_SCALE=$(DK_BENCH_SCALE) $(GO) test -run '^$$' \
-		-bench 'BenchmarkQueryThroughput$$|BenchmarkSnapshotQueryParallel$$' -benchtime 1s -count 5 . \
+		-bench 'BenchmarkQueryThroughput$$|BenchmarkSnapshotQueryParallel$$|BenchmarkApplyBatchPipeline$$' -benchtime 1s -count 5 . \
 		| $(GO) run ./cmd/dkbench -benchjson > BENCH_BASELINE.json
 
 # bench-guard fails when the fastest of five runs of a guarded benchmark
@@ -134,7 +148,7 @@ bench-baseline:
 # with a notice when no baseline has been recorded yet.
 bench-guard:
 	DK_BENCH_SCALE=$(DK_BENCH_SCALE) $(GO) test -run '^$$' \
-		-bench 'BenchmarkQueryThroughput$$|BenchmarkSnapshotQueryParallel$$' -benchtime 1s -count 5 . \
+		-bench 'BenchmarkQueryThroughput$$|BenchmarkSnapshotQueryParallel$$|BenchmarkApplyBatchPipeline$$' -benchtime 1s -count 5 . \
 		| $(GO) run ./cmd/dkbench -benchguard BENCH_BASELINE.json
 
 # profile-build captures CPU and heap profiles of the large-XMark 1-index
@@ -148,4 +162,4 @@ profile-build:
 clean:
 	rm -f BENCH_1.txt BENCH_1.json BENCH_2.txt BENCH_2.json BENCH_3.txt BENCH_3.json
 	rm -f BENCH_5.txt BENCH_5.json BENCH_6.txt BENCH_6.json build_cpu.prof build_mem.prof dkindex.test
-	rm -f BENCH_7.txt BENCH_7.json BENCH_7_plan.jsonl
+	rm -f BENCH_7.txt BENCH_7.json BENCH_7_plan.jsonl BENCH_8.txt BENCH_8.json

@@ -1,0 +1,220 @@
+package dkindex
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// BatchOptions configures StartBatching.
+type BatchOptions struct {
+	// MaxBatch caps how many mutations one group commit carries. Values
+	// below 1 mean DefaultMaxBatch. An ApplyBatch larger than the cap still
+	// commits as one group — client batches are never split.
+	MaxBatch int
+	// FlushInterval is the coalescing window: after the first mutation of a
+	// window arrives, the committer waits this long (or until MaxBatch fills)
+	// before flushing, trading acknowledgement latency for bigger groups.
+	// Zero flushes as soon as the committer is free — "natural" group
+	// commit: whatever queued while the previous fsync ran forms the next
+	// group, adding no artificial latency.
+	FlushInterval time.Duration
+}
+
+// DefaultMaxBatch is the group-commit size cap when BatchOptions doesn't set
+// one.
+const DefaultMaxBatch = 128
+
+// batcher coalesces concurrent mutations into group commits. Sequence
+// numbers are assigned under its lock at enqueue, and the queue drains in
+// FIFO order by a single committer at a time (the flusher goroutine, then
+// StopBatching's final drain) — so commit order always matches sequence
+// order, which is what makes the watermark a plain high-water mark.
+type batcher struct {
+	x        *Index
+	maxBatch int
+	interval time.Duration
+
+	mu      sync.Mutex
+	queue   [][]*preparedMutation // client batches; never split across commits
+	queued  int                   // total mutations across queue
+	stopped bool
+
+	wake    chan struct{} // buffered(1): "the queue is non-empty"
+	quit    chan struct{} // closed by StopBatching
+	done    chan struct{} // closed when the flusher exits
+	drained chan struct{} // closed when the final drain finished and the index disarmed
+}
+
+// StartBatching arms the group-commit batcher: from now on Apply and
+// ApplyBatch enqueue into a shared window that a background committer flushes
+// as one WAL group append and one snapshot swap per window. It fails if
+// batching is already armed. Pair with StopBatching, which drains the queue
+// before disarming.
+func (x *Index) StartBatching(opts BatchOptions) error {
+	b := &batcher{
+		x:        x,
+		maxBatch: opts.MaxBatch,
+		interval: opts.FlushInterval,
+		wake:     make(chan struct{}, 1),
+		quit:     make(chan struct{}),
+		done:     make(chan struct{}),
+		drained:  make(chan struct{}),
+	}
+	if b.maxBatch < 1 {
+		b.maxBatch = DefaultMaxBatch
+	}
+	if b.interval < 0 {
+		b.interval = 0
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if x.batch.Load() != nil {
+		return errors.New("dkindex: batching already armed")
+	}
+	x.batch.Store(b)
+	go b.loop()
+	return nil
+}
+
+// StopBatching drains and disarms the batcher: queued mutations are group-
+// committed, their waiters released, and subsequent Apply calls commit
+// directly. No-op when batching is not armed; safe to call concurrently
+// (every caller returns only after the drain completed).
+func (x *Index) StopBatching() {
+	b := x.batch.Load()
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	if b.stopped {
+		b.mu.Unlock()
+		<-b.drained
+		return
+	}
+	b.stopped = true
+	b.mu.Unlock()
+	close(b.quit)
+	<-b.done
+	// Final drain under one hold of the writer mutex: nothing can interleave,
+	// so the queued sequence numbers commit in order before any direct
+	// committer (which would mint higher ones) gets in.
+	x.mu.Lock()
+	for {
+		chunk := b.take()
+		if chunk == nil {
+			break
+		}
+		x.commitLocked(chunk)
+		for _, p := range chunk {
+			close(p.done)
+		}
+	}
+	x.batch.Store(nil)
+	x.mu.Unlock()
+	close(b.drained)
+}
+
+// Batching reports whether the group-commit batcher is armed.
+func (x *Index) Batching() bool { return x.batch.Load() != nil }
+
+// enqueue adds one client batch to the window, assigning its sequence
+// numbers, and wakes the committer. It reports false when the batcher is
+// stopping; the submitter waits out the drain and re-routes.
+func (b *batcher) enqueue(ps []*preparedMutation) bool {
+	b.mu.Lock()
+	if b.stopped {
+		b.mu.Unlock()
+		return false
+	}
+	for _, p := range ps {
+		p.seq = b.x.mutSeq.Add(1)
+	}
+	b.queue = append(b.queue, ps)
+	b.queued += len(ps)
+	b.mu.Unlock()
+	select {
+	case b.wake <- struct{}{}:
+	default:
+	}
+	return true
+}
+
+// take pops the next group commit: whole client batches up to maxBatch
+// mutations (always at least one batch, so oversized client batches stay
+// unsplit). Nil when the queue is empty.
+func (b *batcher) take() []*preparedMutation {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.queue) == 0 {
+		return nil
+	}
+	var out []*preparedMutation
+	for len(b.queue) > 0 {
+		el := b.queue[0]
+		if len(out) > 0 && len(out)+len(el) > b.maxBatch {
+			break
+		}
+		out = append(out, el...)
+		b.queue[0] = nil
+		b.queue = b.queue[1:]
+		b.queued -= len(el)
+		if len(out) >= b.maxBatch {
+			break
+		}
+	}
+	if len(b.queue) == 0 {
+		b.queue = nil // release the drained backing array
+	}
+	return out
+}
+
+func (b *batcher) size() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.queued
+}
+
+// loop is the committer: it sleeps until mutations queue, optionally waits
+// out the coalescing window, then flushes the queue as group commits. On
+// quit it exits immediately; StopBatching performs the final drain.
+func (b *batcher) loop() {
+	defer close(b.done)
+	for {
+		select {
+		case <-b.quit:
+			return
+		case <-b.wake:
+		}
+		if b.interval > 0 {
+			t := time.NewTimer(b.interval)
+		window:
+			for {
+				select {
+				case <-b.quit:
+					t.Stop()
+					return
+				case <-b.wake:
+					if b.size() >= b.maxBatch {
+						break window
+					}
+				case <-t.C:
+					break window
+				}
+			}
+			t.Stop()
+		}
+		for {
+			chunk := b.take()
+			if chunk == nil {
+				break
+			}
+			b.x.mu.Lock()
+			b.x.commitLocked(chunk)
+			b.x.mu.Unlock()
+			for _, p := range chunk {
+				close(p.done)
+			}
+		}
+	}
+}

@@ -787,6 +787,43 @@ func BenchmarkSnapshotQueryParallel(b *testing.B) {
 	b.ReportMetric(float64(hits.Load())/float64(b.N), "cache_hit_rate")
 }
 
+// BenchmarkApplyBatchPipeline drives the unified write path end to end in
+// memory: each iteration pushes one 8-mutation batch (four reference-edge
+// additions and their removals, so the graph returns to its starting state)
+// through prepare, composite clone, group application and snapshot publish.
+// No store is attached, so the number isolates the pipeline itself from
+// filesystem noise — which is what makes it stable enough to sit in the
+// bench-guard baseline alongside the read-path benchmarks (`dkbench -exp
+// write` measures the same path with durability on).
+func BenchmarkApplyBatchPipeline(b *testing.B) {
+	ds := benchXMark(b)
+	idx := FromGraph(ds.G.Clone(), nil)
+	edges, err := ds.RandomEdges(4, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := make([]Mutation, 0, 2*len(edges))
+	for _, e := range edges {
+		batch = append(batch, Mutation{Op: MutAddEdge, From: e[0], To: e[1]})
+	}
+	for _, e := range edges {
+		batch = append(batch, Mutation{Op: MutRemoveEdge, From: e[0], To: e[1]})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acks, err := idx.ApplyBatch(batch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, a := range acks {
+			if a.Err != nil {
+				b.Fatal(a.Err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(batch)), "mutations/op")
+}
+
 // BenchmarkXMLLoad measures the XML-to-graph pipeline on the XMark document.
 func BenchmarkXMLLoad(b *testing.B) {
 	doc := datagen.XMark(datagen.XMarkScale(benchScale()))

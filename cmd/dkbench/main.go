@@ -19,6 +19,10 @@
 //	          with the loadgen harness, closed and open loop, read-only and
 //	          under concurrent edge mutations (not part of "all": wall-clock
 //	          bound, writes BENCH_7.json via -serve-json)
+//	write     write pipeline throughput on a durable store: fsync-per-op vs
+//	          group-committed Apply under concurrent writers and readers
+//	          (not part of "all": wall-clock bound, writes BENCH_8.json via
+//	          -write-json)
 //	all       everything above
 //
 // Usage:
@@ -52,7 +56,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	fs := flag.NewFlagSet("dkbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp        = fs.String("exp", "all", "experiment: fig4, fig5, tab1, fig6, fig7, ablation, alg4, build, mem, family, docinsert, apex, miner, serve, all")
+		exp        = fs.String("exp", "all", "experiment: fig4, fig5, tab1, fig6, fig7, ablation, alg4, build, mem, family, docinsert, apex, miner, serve, write, all")
 		scale      = fs.Float64("scale", 1.0, "dataset scale (1.0 = paper size)")
 		edges      = fs.Int("edges", 100, "edge additions for tab1/fig6/fig7/ablation")
 		seed       = fs.Int64("seed", 1, "random seed for workloads and edges")
@@ -70,6 +74,12 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		serveJSON   = fs.String("serve-json", "", "serve: write the latency report as JSON to this `file`")
 		serveRecord = fs.String("serve-record", "", "serve: record the request plan as a JSONL trace to this `file`")
 		serveReplay = fs.String("serve-replay", "", "serve: replay the request plan from this JSONL trace `file`")
+
+		writeWriters = fs.Int("write-writers", 16, "write: concurrent writer goroutines")
+		writeOps     = fs.Int("write-ops", 150, "write: mutations per writer per phase")
+		writeBatch   = fs.Int("write-batch", 256, "write: MaxBatch for the group-committed phase")
+		writeWindow  = fs.Duration("write-window", 2*time.Millisecond, "write: coalescing window for the group-committed phase (0 = natural group commit)")
+		writeJSON    = fs.String("write-json", "", "write: write the throughput report as JSON to this `file`")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -272,6 +282,21 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 				JSONOut:     *serveJSON,
 				RecordPath:  *serveRecord,
 				ReplayPath:  *serveReplay,
+			}))
+		})
+	}
+	// The write experiment runs thousands of durable commits against a real
+	// filesystem, so like serve it is opt-in only.
+	if *exp == "write" {
+		ran = true
+		timed("write", func() {
+			check(writeExperiment(stdout, loadXMark(), writeOptions{
+				Writers: *writeWriters,
+				Ops:     *writeOps,
+				Batch:   *writeBatch,
+				Window:  *writeWindow,
+				Seed:    *seed,
+				JSONOut: *writeJSON,
 			}))
 		})
 	}

@@ -94,9 +94,17 @@ func buildServePlan(ds *experiments.Dataset, idx *dkindex.Index) []loadgen.Op {
 	return plan
 }
 
-// mutator cycles random reference-edge additions and removals against the
-// live index, publishing a new snapshot roughly every period.
-func mutator(idx *dkindex.Index, edges [][2]graph.NodeID, period time.Duration, stop <-chan struct{}) <-chan uint64 {
+// mutatorBatch is how many mutations each writer POST carries: enough to
+// exercise the group-commit path without letting one request dominate the
+// snapshot churn cadence.
+const mutatorBatch = 8
+
+// mutator drives the write pipeline through the served API: every period it
+// POSTs one /v1/mutate batch of paired edge additions and removals, so the
+// measured churn goes through the same JSON endpoint, WAL group commit and
+// snapshot swap a real client would use. Returns the count of acknowledged
+// mutations once stopped.
+func mutator(client *http.Client, base string, edges [][2]graph.NodeID, period time.Duration, stop <-chan struct{}) <-chan uint64 {
 	done := make(chan uint64, 1)
 	go func() {
 		var n uint64
@@ -107,13 +115,33 @@ func mutator(idx *dkindex.Index, edges [][2]graph.NodeID, period time.Duration, 
 				return
 			case <-time.After(period):
 			}
-			e := edges[(i/2)%len(edges)]
-			if i%2 == 0 {
-				if idx.AddEdge(e[0], e[1]) == nil {
-					n++
+			var b strings.Builder
+			b.WriteString(`{"mutations":[`)
+			for j := 0; j < mutatorBatch; j += 2 {
+				e := edges[(i*mutatorBatch/2+j/2)%len(edges)]
+				if j > 0 {
+					b.WriteByte(',')
 				}
-			} else {
-				if idx.RemoveEdge(e[0], e[1]) == nil {
+				fmt.Fprintf(&b, `{"op":"add_edge","from":%d,"to":%d},{"op":"remove_edge","from":%d,"to":%d}`,
+					e[0], e[1], e[0], e[1])
+			}
+			b.WriteString(`]}`)
+			resp, err := client.Post(base+"/v1/mutate", "application/json", strings.NewReader(b.String()))
+			if err != nil {
+				continue
+			}
+			var env struct {
+				Acks []struct {
+					Error string `json:"error"`
+				} `json:"acks"`
+			}
+			err = json.NewDecoder(resp.Body).Decode(&env)
+			resp.Body.Close()
+			if err != nil || resp.StatusCode != http.StatusOK {
+				continue
+			}
+			for _, a := range env.Acks {
+				if a.Error == "" {
 					n++
 				}
 			}
@@ -202,12 +230,13 @@ func serveExperiment(stdout io.Writer, ds *experiments.Dataset, opt serveOptions
 	// churn to defeat the result cache's generation key without turning the
 	// run into a build benchmark.
 	const mutatePeriod = 25 * time.Millisecond
+	mutClient := &http.Client{Timeout: 30 * time.Second}
 	for _, sc := range scenarios {
 		var stopMut chan struct{}
 		var mutDone <-chan uint64
 		if sc.mutate {
 			stopMut = make(chan struct{})
-			mutDone = mutator(idx, edges, mutatePeriod, stopMut)
+			mutDone = mutator(mutClient, base, edges, mutatePeriod, stopMut)
 		}
 		rep, err := loadgen.Run(loadgen.Config{
 			BaseURL:     base,

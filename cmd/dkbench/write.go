@@ -1,0 +1,215 @@
+// The write experiment measures the write pipeline end to end: a durable
+// store on a real filesystem, concurrent writers pushing edge mutations
+// through Apply, and concurrent readers on the published snapshots. It runs
+// the same workload twice — fsync-per-operation (no batcher armed, every
+// Apply is its own WAL append + fsync + snapshot swap) and group-committed
+// (StartBatching, mutations coalesce into WAL group frames with one fsync
+// and one snapshot swap per group) — and reports acknowledged mutations per
+// second for both plus the speedup and the realized batch size. The result
+// is recorded as BENCH_8.json via -write-json.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dkindex"
+	"dkindex/internal/experiments"
+	"dkindex/internal/graph"
+)
+
+// writeOptions parameterizes the write experiment (flags in main).
+type writeOptions struct {
+	Writers int           // concurrent writer goroutines
+	Ops     int           // mutations per writer per phase
+	Batch   int           // MaxBatch for the group-committed phase
+	Window  time.Duration // coalescing window (BatchOptions.FlushInterval)
+	Seed    int64
+	JSONOut string // BENCH_8.json target ("" = don't write)
+}
+
+// writePhase is one measured run: baseline or batched.
+type writePhase struct {
+	Mode string `json:"mode"`
+	// Mutations counts acknowledged (durable) mutations; Rejected counts
+	// per-member validation failures (none are expected here).
+	Mutations uint64        `json:"mutations"`
+	Rejected  uint64        `json:"rejected"`
+	Elapsed   time.Duration `json:"elapsedNS"`
+	// Throughput is acknowledged mutations per second.
+	Throughput float64 `json:"throughput"`
+	// Commits is how many snapshot publications (== WAL fsyncs) the phase
+	// took; AvgBatch is Mutations/Commits — 1.0 for the baseline by
+	// construction, the realized group size when batching.
+	Commits  uint64  `json:"commits"`
+	AvgBatch float64 `json:"avgBatch"`
+	// Reads counts snapshot queries completed by the background readers
+	// while the writers ran: proof the read path stayed live.
+	Reads uint64 `json:"reads"`
+}
+
+// writeResult is the JSON shape recorded as BENCH_8.json.
+type writeResult struct {
+	Dataset  string        `json:"dataset"`
+	Writers  int           `json:"writers"`
+	Ops      int           `json:"opsPerWriter"`
+	MaxBatch int           `json:"maxBatch"`
+	Window   time.Duration `json:"windowNS"`
+	Baseline writePhase    `json:"baseline"`
+	Batched  writePhase    `json:"batched"`
+	// Speedup is Batched.Throughput / Baseline.Throughput.
+	Speedup float64 `json:"speedup"`
+}
+
+// runWritePhase drives Writers goroutines, each applying Ops edge mutations
+// (paired add/remove over a private edge set) against a store-backed index,
+// with two background readers cycling an RPE query. When batch > 0 the
+// batcher is armed for the duration.
+func runWritePhase(idx *dkindex.Index, edges [][2]graph.NodeID, opt writeOptions, batch int) (writePhase, error) {
+	ph := writePhase{Mode: "fsync_per_op"}
+	if batch > 0 {
+		ph.Mode = "group_commit"
+		if err := idx.StartBatching(dkindex.BatchOptions{MaxBatch: batch, FlushInterval: opt.Window}); err != nil {
+			return ph, err
+		}
+	}
+	gen0 := idx.Generation()
+	stopRead := make(chan struct{})
+	var reads atomic.Uint64
+	var readWG sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		readWG.Add(1)
+		go func() {
+			defer readWG.Done()
+			for {
+				select {
+				case <-stopRead:
+					return
+				default:
+				}
+				if _, err := idx.Run(dkindex.Request{Kind: dkindex.KindRPE, Text: "site//item", Limit: -1}); err == nil {
+					reads.Add(1)
+				}
+				// Pollers, not CPU hogs: the readers prove the snapshot path
+				// stays live, they must not starve the committer of cores.
+				time.Sleep(time.Millisecond)
+			}
+		}()
+	}
+
+	perWriter := len(edges) / opt.Writers
+	var acked, rejected atomic.Uint64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < opt.Writers; w++ {
+		mine := edges[w*perWriter : (w+1)*perWriter]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < opt.Ops; i++ {
+				e := mine[(i/2)%len(mine)]
+				op := dkindex.MutAddEdge
+				if i%2 == 1 {
+					op = dkindex.MutRemoveEdge
+				}
+				ack, err := idx.Apply(dkindex.Mutation{Op: op, From: e[0], To: e[1]})
+				if err != nil || ack.Err != nil {
+					rejected.Add(1)
+					continue
+				}
+				acked.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if batch > 0 {
+		idx.StopBatching()
+	}
+	ph.Elapsed = time.Since(start)
+	close(stopRead)
+	readWG.Wait()
+
+	ph.Mutations = acked.Load()
+	ph.Rejected = rejected.Load()
+	ph.Commits = idx.Generation() - gen0
+	ph.Reads = reads.Load()
+	if ph.Elapsed > 0 {
+		ph.Throughput = float64(ph.Mutations) / ph.Elapsed.Seconds()
+	}
+	if ph.Commits > 0 {
+		ph.AvgBatch = float64(ph.Mutations) / float64(ph.Commits)
+	}
+	return ph, nil
+}
+
+// writeExperiment runs the two phases over a fresh durable store each (same
+// dataset, same edge plan, same writer count) and renders the comparison.
+func writeExperiment(stdout io.Writer, ds *experiments.Dataset, opt writeOptions) error {
+	if opt.Writers <= 0 || opt.Ops <= 0 {
+		return fmt.Errorf("write: writers and ops must be positive")
+	}
+	edges, err := ds.RandomEdges(opt.Writers*4, opt.Seed)
+	if err != nil {
+		return err
+	}
+	res := writeResult{Dataset: ds.Name, Writers: opt.Writers, Ops: opt.Ops, MaxBatch: opt.Batch, Window: opt.Window}
+
+	// Each phase gets its own store directory so the baseline's log does not
+	// inflate the batched phase's recovery or checkpoint work.
+	phase := func(batch int) (writePhase, error) {
+		dir, err := os.MkdirTemp("", "dkbench-write-*")
+		if err != nil {
+			return writePhase{}, err
+		}
+		defer os.RemoveAll(dir)
+		idx := dkindex.FromGraph(ds.G.Clone(), reqNames(ds))
+		store, err := dkindex.CreateStore(dir, idx, nil)
+		if err != nil {
+			return writePhase{}, err
+		}
+		defer store.Close()
+		return runWritePhase(idx, edges, opt, batch)
+	}
+	if res.Baseline, err = phase(0); err != nil {
+		return fmt.Errorf("write baseline: %w", err)
+	}
+	if res.Batched, err = phase(opt.Batch); err != nil {
+		return fmt.Errorf("write batched: %w", err)
+	}
+	if res.Baseline.Throughput > 0 {
+		res.Speedup = res.Batched.Throughput / res.Baseline.Throughput
+	}
+
+	fmt.Fprintf(stdout, "Write pipeline (%s, %d writers x %d ops, max batch %d, window %v)\n",
+		res.Dataset, res.Writers, res.Ops, res.MaxBatch, res.Window)
+	fmt.Fprintf(stdout, "%-14s %10s %8s %10s %9s %9s %9s\n",
+		"mode", "mutations", "rejected", "muts/s", "commits", "avgbatch", "reads")
+	for _, ph := range []writePhase{res.Baseline, res.Batched} {
+		fmt.Fprintf(stdout, "%-14s %10d %8d %10.0f %9d %9.1f %9d\n",
+			ph.Mode, ph.Mutations, ph.Rejected, ph.Throughput, ph.Commits, ph.AvgBatch, ph.Reads)
+	}
+	fmt.Fprintf(stdout, "group commit speedup: %.1fx\n", res.Speedup)
+
+	if opt.JSONOut != "" {
+		f, err := os.Create(opt.JSONOut)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		err = enc.Encode(&res)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "write: wrote %s\n", opt.JSONOut)
+	}
+	return nil
+}

@@ -40,7 +40,6 @@
 package dkindex
 
 import (
-	"bytes"
 	"fmt"
 	"io"
 	"strings"
@@ -101,12 +100,22 @@ type Index struct {
 	// published, and the mutation aborts (unpublished) if the append fails.
 	// Guarded by mu.
 	jr mutationJournal
+
+	// mutSeq is the last assigned mutation sequence number and durableMark
+	// the acknowledged-durable watermark (see Apply); both are session-scoped.
+	// batch, when StartBatching arms it, coalesces concurrent mutations into
+	// group commits.
+	mutSeq      atomic.Uint64
+	durableMark atomic.Uint64
+	batch       atomic.Pointer[batcher]
 }
 
 // mutationJournal is the write-ahead hook a Store installs. logMutation must
-// make the record durable before returning nil.
+// make the record durable before returning nil; logGroup must make the whole
+// group durable atomically (recovery replays all members or none).
 type mutationJournal interface {
 	logMutation(op wal.Op, payload []byte) error
+	logGroup(recs []wal.GroupRecord) error
 }
 
 // logMutation journals a mutation about to be published. Callers hold mu; on
@@ -116,6 +125,16 @@ func (x *Index) logMutation(op wal.Op, payload []byte) error {
 		return nil
 	}
 	return x.jr.logMutation(op, payload)
+}
+
+// logGroup journals a batch of mutations about to be published as one
+// atomic, single-fsync group. Callers hold mu; on error none of the batch
+// may be published.
+func (x *Index) logGroup(recs []wal.GroupRecord) error {
+	if x.jr == nil {
+		return nil
+	}
+	return x.jr.logGroup(recs)
 }
 
 // attachJournal installs (or, with nil, removes) the store's write-ahead
@@ -134,6 +153,7 @@ func (x *Index) attachJournal(j mutationJournal) error {
 // default result cache.
 func newIndex(dk *core.DK) *Index {
 	x := &Index{}
+	dk.IG.SealPostings()
 	x.handle.Store(&snapshot{dk: dk})
 	x.cache.Store(qcache.New(DefaultResultCacheSize))
 	return x
@@ -183,8 +203,11 @@ func (x *Index) IG() *index.IndexGraph { return x.handle.Load().dk.IG }
 // DK exposes the current snapshot's D(k)-index handle for advanced use.
 func (x *Index) DK() *core.DK { return x.handle.Load().dk }
 
-// publish installs dk as the next snapshot. Callers hold mu.
+// publish installs dk as the next snapshot. Callers hold mu. Posting views
+// are sealed first so the published graph never lazily mutates under its
+// lock-free readers.
 func (x *Index) publish(dk *core.DK) {
+	dk.IG.SealPostings()
 	x.handle.Store(&snapshot{dk: dk, gen: x.handle.Load().gen + 1})
 }
 
@@ -263,61 +286,23 @@ func (x *Index) ObservedQueries() int {
 // ratio while keeping the index within sizeBudget nodes (<= 0 for
 // unbounded). The recorder is reset afterwards so each epoch tunes to fresh
 // observations. It reports the chosen requirements by label name.
+//
+// Deprecated: use Apply with MutOptimize, which also reports the sequence
+// number and durability watermark. Optimize remains as a thin wrapper.
 func (x *Index) Optimize(sizeBudget int) (map[string]int, error) {
-	rec := x.recorder.Load()
-	if rec == nil || rec.Len() == 0 {
-		return nil, fmt.Errorf("dkindex: no observed load (call WatchLoad and run queries first)")
-	}
-	x.mu.Lock()
-	defer x.mu.Unlock()
-	cur := x.handle.Load()
-	g := cur.dk.IG.Data()
-	res, err := workload.MineBudget(g, rec.Load(), sizeBudget)
-	if err != nil {
-		return nil, err
-	}
-	before, start := x.preOp(cur)
-	// Build reads the graph only and the mined requirements are label ids,
-	// so the successor shares the data graph with the current snapshot.
-	nd := core.Build(g, res.Reqs)
-	x.instrument(nd)
-	out := make(map[string]int, len(res.Reqs))
-	for l, k := range res.Reqs {
-		out[g.Labels().Name(l)] = k
-	}
-	if err := x.logMutation(opSetReqs, encodeReqsPayload(out)); err != nil {
-		return nil, err
-	}
-	rec.Reset()
-	x.publish(nd)
-	x.emit(obs.Event{Type: obs.EventOptimize, NodesBefore: before, Wall: opWall(start),
-		Detail: fmt.Sprintf("%d requirements mined", len(res.Reqs))})
-	x.observeBuild("optimize", nd)
-	return out, nil
+	ack, err := x.Apply(Mutation{Op: MutOptimize, SizeBudget: sizeBudget})
+	return ack.Mined, err
 }
 
 // SetRequirements rebuilds the index for explicit per-label requirements:
 // nodes labeled l answer queries up to length reqs[l] without validation.
 // The error is always nil unless a store manages the index and its
 // write-ahead log rejects the record, in which case nothing changes.
+//
+// Deprecated: use Apply with MutSetRequirements.
 func (x *Index) SetRequirements(reqsByName map[string]int) error {
-	x.mu.Lock()
-	defer x.mu.Unlock()
-	cur := x.handle.Load()
-	before, start := x.preOp(cur)
-	// Requirement names may intern new labels, so the successor gets a
-	// detached graph (private label table).
-	g := cur.dk.IG.Data().CloneDetached()
-	nd := core.Build(g, core.ReqsFromNames(g.Labels(), reqsByName))
-	x.instrument(nd)
-	if err := x.logMutation(opSetReqs, encodeReqsPayload(reqsByName)); err != nil {
-		return err
-	}
-	x.publish(nd)
-	x.emit(obs.Event{Type: obs.EventRetune, NodesBefore: before, Wall: opWall(start),
-		Detail: "explicit requirements"})
-	x.observeBuild("set_requirements", nd)
-	return nil
+	_, err := x.Apply(Mutation{Op: MutSetRequirements, Reqs: reqsByName})
+	return err
 }
 
 // Tune samples a synthetic query load of n paths (2..5 labels, as in the
@@ -372,140 +357,60 @@ func (x *Index) Workload() *workload.Workload { return x.queries.Load() }
 // AddEdge inserts a reference edge between two existing data nodes and
 // updates the index incrementally (Algorithms 4 and 5): no extent splits, no
 // data-graph traversal — only local similarities decay.
+//
+// Deprecated: use Apply with MutAddEdge, which also reports the sequence
+// number and durability watermark (and ApplyBatch to group-commit many edges
+// under one fsync). AddEdge remains as a thin wrapper.
 func (x *Index) AddEdge(from, to NodeID) error {
-	x.mu.Lock()
-	defer x.mu.Unlock()
-	cur := x.handle.Load()
-	g := cur.dk.IG.Data()
-	if int(from) >= g.NumNodes() || int(to) >= g.NumNodes() || from < 0 || to < 0 {
-		return fmt.Errorf("dkindex: edge endpoints out of range")
-	}
-	before, start := x.preOp(cur)
-	nd := cur.dk.CloneForUpdate()
-	x.instrument(nd)
-	stats := nd.AddEdge(from, to)
-	if err := x.logMutation(opEdgeAdd, encodeEdgePayload(from, to)); err != nil {
-		return err
-	}
-	x.publish(nd)
-	x.emit(obs.Event{Type: obs.EventEdgeAdd, NodesBefore: before,
-		Visited: stats.IndexNodesVisited, Wall: opWall(start),
-		Detail: fmt.Sprintf("%d->%d", from, to)})
-	return nil
+	_, err := x.Apply(Mutation{Op: MutAddEdge, From: from, To: to})
+	return err
 }
 
 // RemoveEdge deletes a data edge and updates the index incrementally:
 // similarities of the target's class and its index descendants are lowered
 // to what the deletion provably preserves; no splits, no data traversal.
+//
+// Deprecated: use Apply with MutRemoveEdge.
 func (x *Index) RemoveEdge(from, to NodeID) error {
-	x.mu.Lock()
-	defer x.mu.Unlock()
-	cur := x.handle.Load()
-	g := cur.dk.IG.Data()
-	if int(from) >= g.NumNodes() || int(to) >= g.NumNodes() || from < 0 || to < 0 {
-		return fmt.Errorf("dkindex: edge endpoints out of range")
-	}
-	before, start := x.preOp(cur)
-	nd := cur.dk.CloneForUpdate()
-	x.instrument(nd)
-	stats := nd.RemoveEdge(from, to)
-	if err := x.logMutation(opEdgeRemove, encodeEdgePayload(from, to)); err != nil {
-		return err
-	}
-	x.publish(nd)
-	x.emit(obs.Event{Type: obs.EventEdgeRemove, NodesBefore: before,
-		Visited: stats.IndexNodesVisited, Wall: opWall(start),
-		Detail: fmt.Sprintf("%d->%d", from, to)})
-	return nil
+	_, err := x.Apply(Mutation{Op: MutRemoveEdge, From: from, To: to})
+	return err
 }
 
 // AddDocument parses another XML document and grafts it under the data
 // graph's root, updating the index incrementally (Algorithm 3). It returns
 // the mapping from the new document's element order to data node ids.
+//
+// Deprecated: use Apply with MutAddDocument (the raw bytes in Mutation.Doc).
 func (x *Index) AddDocument(r io.Reader, opts *LoadOptions) ([]NodeID, error) {
-	if opts == nil {
-		opts = &LoadOptions{}
-	}
 	// Buffer the document so the journal can log the raw bytes; replaying
 	// the parse is what makes the record portable across label tables.
 	raw, err := io.ReadAll(r)
 	if err != nil {
 		return nil, err
 	}
-	h, rep, err := xmlgraph.Load(bytes.NewReader(raw), opts)
-	if err != nil {
-		return nil, err
-	}
-	x.observer.AddDanglingRefs(len(rep.DanglingRefs))
-	x.mu.Lock()
-	defer x.mu.Unlock()
-	cur := x.handle.Load()
-	before, start := x.preOp(cur)
-	// Grafting interns the document's labels, so the successor is fully
-	// detached from the published snapshot.
-	nd := cur.dk.CloneDetached()
-	x.instrument(nd)
-	mapping, err := nd.AddSubgraph(h)
-	if err != nil {
-		return nil, err
-	}
-	if err := x.logMutation(opDocument, encodeDocumentPayload(opts, raw)); err != nil {
-		return nil, err
-	}
-	x.publish(nd)
-	x.emit(obs.Event{Type: obs.EventSubgraphAdd, NodesBefore: before, Wall: opWall(start),
-		Detail: fmt.Sprintf("%d document nodes grafted", len(mapping))})
-	x.observeBuild("subgraph_add", nd)
-	return mapping, nil
+	ack, err := x.Apply(Mutation{Op: MutAddDocument, Doc: raw, DocOptions: opts})
+	return ack.Mapping, err
 }
 
 // PromoteLabel raises every index node of the given label to local
 // similarity k (Algorithm 6) — queries of length <= k ending at that label
 // stop needing validation.
+//
+// Deprecated: use Apply with MutPromote.
 func (x *Index) PromoteLabel(label string, k int) error {
-	x.mu.Lock()
-	defer x.mu.Unlock()
-	cur := x.handle.Load()
-	l := cur.dk.IG.Data().Labels().Lookup(label)
-	if l == graph.InvalidLabel {
-		return fmt.Errorf("dkindex: unknown label %q", label)
-	}
-	before, start := x.preOp(cur)
-	// Promotion only touches the summary, so the successor shares the data
-	// graph.
-	nd := cur.dk.CloneIndex()
-	x.instrument(nd)
-	stats := nd.PromoteLabel(l, k)
-	if err := x.logMutation(opPromote, encodePromotePayload(label, k)); err != nil {
-		return err
-	}
-	x.publish(nd)
-	x.emit(obs.Event{Type: obs.EventPromote, Label: label, K: k, NodesBefore: before,
-		Created: stats.IndexNodesCreated, Visited: stats.IndexNodesVisited, Wall: opWall(start)})
-	return nil
+	_, err := x.Apply(Mutation{Op: MutPromote, Label: label, K: k})
+	return err
 }
 
 // Demote shrinks the index to lower per-label requirements (Section 5.4),
 // merging extents without touching the data graph. The error is always nil
 // unless a store manages the index and its write-ahead log rejects the
 // record, in which case nothing changes.
+//
+// Deprecated: use Apply with MutDemote.
 func (x *Index) Demote(reqsByName map[string]int) error {
-	x.mu.Lock()
-	defer x.mu.Unlock()
-	cur := x.handle.Load()
-	before, start := x.preOp(cur)
-	// Requirement names may intern, so detach (see SetRequirements).
-	nd := cur.dk.CloneDetached()
-	nd.Demote(core.ReqsFromNames(nd.IG.Data().Labels(), reqsByName))
-	// Demote replaced nd.IG wholesale; instrument the one being published.
-	x.instrument(nd)
-	if err := x.logMutation(opDemote, encodeReqsPayload(reqsByName)); err != nil {
-		return err
-	}
-	x.publish(nd)
-	x.emit(obs.Event{Type: obs.EventDemote, NodesBefore: before, Wall: opWall(start)})
-	x.observeBuild("demote", nd)
-	return nil
+	_, err := x.Apply(Mutation{Op: MutDemote, Reqs: reqsByName})
+	return err
 }
 
 // LabelName returns the label of a data node; handy when printing results.

@@ -262,6 +262,18 @@ func (ig *IndexGraph) NodesWithLabel(l graph.LabelID) []graph.NodeID {
 	return s.AppendTo(nil)
 }
 
+// SealPostings materializes every pending posting-list view. Builders cache
+// their View lazily — a write — so a graph about to be shared with lock-free
+// readers must seal first: afterwards PostingSet on a quiescent graph is a
+// pure read, safe under concurrent readers and cloning writers.
+func (ig *IndexGraph) SealPostings() {
+	for _, b := range ig.byLabel {
+		if b != nil {
+			b.View()
+		}
+	}
+}
+
 // PostingSet returns the posting list for label l as a succinct set view:
 // the ascending index nodes carrying l. The view is immutable — later node
 // creation never mutates it. Unknown labels return the empty set.

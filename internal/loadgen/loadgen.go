@@ -5,18 +5,26 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 )
 
 // Op is one request of a load plan: a query of the given kind ("path", "rpe"
-// or "twig") against GET /v1/query. Plans cycle: when the run outlasts the
-// plan, dispatch wraps around to the first op.
+// or "twig") against GET /v1/query, or — kind "mutate" — a write whose Body
+// is POSTed to /v1/mutate (a single mutation or a batch, exactly the
+// endpoint's JSON). Plans cycle: when the run outlasts the plan, dispatch
+// wraps around to the first op.
 type Op struct {
 	Kind  string `json:"kind"`
-	Query string `json:"q"`
+	Query string `json:"q,omitempty"`
+	Body  string `json:"body,omitempty"`
 }
+
+// KindMutate marks an op dispatched to POST /v1/mutate instead of the query
+// endpoint.
+const KindMutate = "mutate"
 
 // Mode selects the load discipline.
 type Mode string
@@ -132,14 +140,21 @@ func Run(cfg Config) (*Report, error) {
 // doOp issues one op and reports whether it succeeded. The body is drained so
 // the connection returns to the pool.
 func doOp(client *http.Client, base string, op Op) bool {
-	u := base + "/v1/query?kind=" + url.QueryEscape(op.Kind) + "&q=" + url.QueryEscape(op.Query)
-	resp, err := client.Get(u)
+	var resp *http.Response
+	var err error
+	if op.Kind == KindMutate {
+		resp, err = client.Post(base+"/v1/mutate", "application/json", strings.NewReader(op.Body))
+	} else {
+		u := base + "/v1/query?kind=" + url.QueryEscape(op.Kind) + "&q=" + url.QueryEscape(op.Query)
+		resp, err = client.Get(u)
+	}
 	if err != nil {
 		return false
 	}
 	_, _ = io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
-	return resp.StatusCode == http.StatusOK
+	// Async mutate acks answer 202.
+	return resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted
 }
 
 func runClosed(cfg Config, client *http.Client) (*Report, error) {

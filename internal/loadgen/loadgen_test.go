@@ -1,6 +1,7 @@
 package loadgen
 
 import (
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"reflect"
@@ -10,7 +11,8 @@ import (
 	"time"
 )
 
-// captureServer answers /v1/query and records the arrival sequence.
+// captureServer answers /v1/query and /v1/mutate and records the arrival
+// sequence.
 type captureServer struct {
 	mu   sync.Mutex
 	seen []Op
@@ -18,15 +20,22 @@ type captureServer struct {
 
 func (c *captureServer) handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path != "/v1/query" {
+		switch r.URL.Path {
+		case "/v1/query":
+			q := r.URL.Query()
+			c.mu.Lock()
+			c.seen = append(c.seen, Op{Kind: q.Get("kind"), Query: q.Get("q")})
+			c.mu.Unlock()
+			w.Write([]byte(`{"count":0}`))
+		case "/v1/mutate":
+			body, _ := io.ReadAll(r.Body)
+			c.mu.Lock()
+			c.seen = append(c.seen, Op{Kind: KindMutate, Body: string(body)})
+			c.mu.Unlock()
+			w.Write([]byte(`{"seq":1,"watermark":1}`))
+		default:
 			http.NotFound(w, r)
-			return
 		}
-		q := r.URL.Query()
-		c.mu.Lock()
-		c.seen = append(c.seen, Op{Kind: q.Get("kind"), Query: q.Get("q")})
-		c.mu.Unlock()
-		w.Write([]byte(`{"count":0}`))
 	})
 }
 
@@ -78,6 +87,53 @@ func TestClosedLoopReplaySequence(t *testing.T) {
 		if rep.ByKind[kind].Count == 0 {
 			t.Errorf("no per-kind summary for %s: %v", kind, rep.ByKind)
 		}
+	}
+}
+
+// TestMutateOps drives a mixed read/write plan: mutate ops POST their body to
+// /v1/mutate verbatim and count as successes on 200 (or 202 for async acks).
+func TestMutateOps(t *testing.T) {
+	cap := &captureServer{}
+	ts := httptest.NewServer(cap.handler())
+	defer ts.Close()
+
+	batch := `{"mutations":[{"op":"add_edge","from":0,"to":5},{"op":"remove_edge","from":0,"to":5}]}`
+	plan := []Op{
+		{Kind: "path", Query: "a.b"},
+		{Kind: KindMutate, Body: batch},
+		{Kind: "rpe", Query: "a//b"},
+	}
+	rep, err := Run(Config{
+		BaseURL:     ts.URL,
+		Plan:        plan,
+		Mode:        Closed,
+		Concurrency: 1,
+		Duration:    5 * time.Second,
+		MaxRequests: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("errors = %d", rep.Errors)
+	}
+	if rep.ByKind[KindMutate].Count != 2 {
+		t.Errorf("mutate summary = %+v, want 2 ops", rep.ByKind[KindMutate])
+	}
+	cap.mu.Lock()
+	got := append([]Op(nil), cap.seen...)
+	cap.mu.Unlock()
+	var mutates int
+	for _, op := range got {
+		if op.Kind == KindMutate {
+			mutates++
+			if op.Body != batch {
+				t.Errorf("server received body %q, want %q", op.Body, batch)
+			}
+		}
+	}
+	if mutates != 2 {
+		t.Errorf("server saw %d mutate ops, want 2: %v", mutates, got)
 	}
 }
 
@@ -201,5 +257,24 @@ func TestTraceRoundTrip(t *testing.T) {
 	}
 	if _, err := ReadTrace(strings.NewReader("# only comments\n")); err == nil {
 		t.Error("empty trace accepted")
+	}
+	// Mutate ops round-trip with their body and must carry one.
+	mutPlan := []Op{
+		{Kind: "path", Query: "a.b"},
+		{Kind: KindMutate, Body: `{"op":"add_edge","from":0,"to":5}`},
+	}
+	var mb strings.Builder
+	if err := WriteTrace(&mb, mutPlan); err != nil {
+		t.Fatal(err)
+	}
+	got, err = ReadTrace(strings.NewReader(mb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, mutPlan) {
+		t.Errorf("mutate round-trip = %v, want %v", got, mutPlan)
+	}
+	if _, err := ReadTrace(strings.NewReader(`{"kind":"mutate"}` + "\n")); err == nil || !strings.Contains(err.Error(), "missing body") {
+		t.Errorf("bodyless mutate op error = %v", err)
 	}
 }

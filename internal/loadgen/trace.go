@@ -41,7 +41,11 @@ func ReadTrace(r io.Reader) ([]Op, error) {
 		if err := dec.Decode(&op); err != nil {
 			return nil, fmt.Errorf("loadgen: trace line %d: %w", line, err)
 		}
-		if op.Query == "" {
+		if op.Kind == KindMutate {
+			if op.Body == "" {
+				return nil, fmt.Errorf("loadgen: trace line %d: mutate op missing body", line)
+			}
+		} else if op.Query == "" {
 			return nil, fmt.Errorf("loadgen: trace line %d: missing q", line)
 		}
 		if op.Kind == "" {

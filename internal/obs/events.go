@@ -36,6 +36,12 @@ const (
 	EventCheckpointFail   EventType = "checkpoint_fail"
 	EventWALAppend        EventType = "wal_append"
 	EventRecoveryReplayed EventType = "recovery_replayed"
+
+	// EventBatchCommit is one group commit of several mutations: a single WAL
+	// fsync and a single snapshot swap. Detail carries the applied/rejected
+	// split and the sequence range; the per-mutation events are emitted
+	// alongside.
+	EventBatchCommit EventType = "batch_commit"
 )
 
 // Event is one index lifecycle occurrence. Seq is assigned by the stream and

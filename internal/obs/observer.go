@@ -40,6 +40,7 @@ const (
 	// Durability metrics, fed by the dkindex Store.
 	MetricWALRecords            = "dk_wal_records_total"
 	MetricWALBytes              = "dk_wal_bytes_total"
+	MetricWALGroups             = "dk_wal_groups_total"
 	MetricCheckpoints           = "dk_checkpoints_total"
 	MetricCheckpointBytes       = "dk_checkpoint_bytes_total"
 	MetricRecoveryReplayed      = "dk_recovery_replayed_records_total"
@@ -60,6 +61,20 @@ const (
 	// MetricEventsDropped counts lifecycle events dropped on full subscriber
 	// channels — without it, ring overflow to slow consumers is silent.
 	MetricEventsDropped = "dk_events_dropped_total"
+
+	// Write-pipeline metrics, fed by the facade's group-commit path: commits
+	// (one WAL fsync + one snapshot swap each), the mutations they carried,
+	// mutations rejected before or during application, the batch-size and
+	// flush-latency distributions, and the sequence/watermark gauges (last
+	// assigned mutation sequence number vs the acknowledged-durable
+	// watermark — a widening gap means the committer is falling behind).
+	MetricBatchCommits      = "dk_batch_commits_total"
+	MetricBatchMutations    = "dk_batch_mutations_total"
+	MetricBatchRejected     = "dk_batch_mutations_rejected_total"
+	MetricBatchSize         = "dk_batch_size"
+	MetricBatchFlushSeconds = "dk_batch_flush_duration_seconds"
+	MetricMutationSeq       = "dk_mutation_seq"
+	MetricMutationWatermark = "dk_mutation_watermark"
 
 	// Construction metrics, fed by every index (re)build: initial
 	// construction, optimize, retune, compaction, bulk edge replacement.
@@ -137,10 +152,16 @@ type Observer struct {
 		peakBlocks *Gauge
 	}
 	durable struct {
-		walRecords, walBytes                *Counter
+		walRecords, walBytes, walGroups     *Counter
 		checkpoints, checkpointBytes        *Counter
 		recoveryReplayed, recoveryTruncated *Counter
 		httpShed, httpPanics                *Counter
+	}
+	batch struct {
+		commits, mutations, rejected *Counter
+		size                         *Histogram
+		seconds                      *Histogram
+		seq, watermark               *Gauge
 	}
 
 	// swap tracks when the published snapshot generation last changed, so
@@ -201,6 +222,7 @@ func NewObserverWith(reg *Registry, events *Stream, tracer *Tracer) *Observer {
 	o.sampled = reg.Counter(MetricTracesSampled, "Query traces sampled.")
 	o.durable.walRecords = reg.Counter(MetricWALRecords, "Write-ahead-log records appended and fsynced.")
 	o.durable.walBytes = reg.Counter(MetricWALBytes, "Bytes appended to the write-ahead log.")
+	o.durable.walGroups = reg.Counter(MetricWALGroups, "Group frames appended to the write-ahead log (one fsync each).")
 	o.durable.checkpoints = reg.Counter(MetricCheckpoints, "Checkpoints written successfully.")
 	o.durable.checkpointBytes = reg.Counter(MetricCheckpointBytes, "Bytes written by successful checkpoints.")
 	o.durable.recoveryReplayed = reg.Counter(MetricRecoveryReplayed, "WAL records replayed during startup recovery.")
@@ -213,7 +235,41 @@ func NewObserverWith(reg *Registry, events *Stream, tracer *Tracer) *Observer {
 	o.build.rounds = reg.Histogram(MetricBuildRounds, "Refinement rounds per build (k_max after broadcast).", []float64{0, 1, 2, 3, 4, 6, 8, 12, 16, 24})
 	o.build.splits = reg.Counter(MetricBuildSplits, "Index nodes created by refinement across all builds.")
 	o.build.peakBlocks = reg.Gauge(MetricBuildPeakBlocks, "Partition blocks at the end of the most recent build's refinement.")
+	o.batch.commits = reg.Counter(MetricBatchCommits, "Group commits: one WAL fsync and one snapshot swap each.")
+	o.batch.mutations = reg.Counter(MetricBatchMutations, "Mutations applied through group commits.")
+	o.batch.rejected = reg.Counter(MetricBatchRejected, "Mutations rejected by validation or a failed group append.")
+	o.batch.size = reg.Histogram(MetricBatchSize, "Mutations applied per group commit.", []float64{1, 2, 4, 8, 16, 32, 64, 128, 256})
+	o.batch.seconds = reg.Histogram(MetricBatchFlushSeconds, "Group-commit wall time in seconds (apply + WAL fsync + swap).", ExpBuckets(1e-5, 2.5, 14))
+	o.batch.seq = reg.Gauge(MetricMutationSeq, "Last assigned mutation sequence number.")
+	o.batch.watermark = reg.Gauge(MetricMutationWatermark, "Acknowledged-durable mutation watermark.")
 	return o
+}
+
+// ObserveBatchCommit records one group commit: how many mutations it applied,
+// how many it rejected, and its wall time (apply + WAL fsync + swap).
+func (o *Observer) ObserveBatchCommit(applied, rejected int, d time.Duration) {
+	if o == nil {
+		return
+	}
+	o.batch.commits.Inc()
+	if applied > 0 {
+		o.batch.mutations.Add(uint64(applied))
+		o.batch.size.Observe(float64(applied))
+	}
+	if rejected > 0 {
+		o.batch.rejected.Add(uint64(rejected))
+	}
+	o.batch.seconds.Observe(d.Seconds())
+}
+
+// SetMutationProgress refreshes the write-pipeline gauges: the last assigned
+// mutation sequence number and the acknowledged-durable watermark.
+func (o *Observer) SetMutationProgress(seq, watermark uint64) {
+	if o == nil {
+		return
+	}
+	o.batch.seq.Set(float64(seq))
+	o.batch.watermark.Set(float64(watermark))
 }
 
 // ObserveBuild records one completed construction job under its trigger
@@ -245,6 +301,21 @@ func (o *Observer) ObserveWALAppend(n int) {
 		return
 	}
 	o.durable.walRecords.Inc()
+	if n > 0 {
+		o.durable.walBytes.Add(uint64(n))
+	}
+}
+
+// ObserveWALGroup counts one durable group append carrying records records in
+// an n-byte frame (a single fsync).
+func (o *Observer) ObserveWALGroup(records, n int) {
+	if o == nil {
+		return
+	}
+	o.durable.walGroups.Inc()
+	if records > 0 {
+		o.durable.walRecords.Add(uint64(records))
+	}
 	if n > 0 {
 		o.durable.walBytes.Add(uint64(n))
 	}

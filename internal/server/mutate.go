@@ -1,0 +1,177 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+
+	"dkindex"
+)
+
+// maxBatchMutations bounds one POST /v1/mutate body.
+const maxBatchMutations = 256
+
+// mutateItem is one mutation in a POST /v1/mutate body, mirroring
+// dkindex.Mutation field for field. Op names are the dkindex.MutOp values.
+type mutateItem struct {
+	Op     string         `json:"op"`
+	From   dkindex.NodeID `json:"from"`
+	To     dkindex.NodeID `json:"to"`
+	Doc    string         `json:"doc"`
+	Label  string         `json:"label"`
+	K      int            `json:"k"`
+	Reqs   map[string]int `json:"reqs"`
+	Budget int            `json:"budget"`
+}
+
+func (it mutateItem) mutation() dkindex.Mutation {
+	return dkindex.Mutation{
+		Op:         dkindex.MutOp(it.Op),
+		From:       it.From,
+		To:         it.To,
+		Doc:        []byte(it.Doc),
+		Label:      it.Label,
+		K:          it.K,
+		Reqs:       it.Reqs,
+		SizeBudget: it.Budget,
+	}
+}
+
+// mutateBody is the POST /v1/mutate union: either a single mutation inline
+// (the embedded fields) or a batch under "mutations" — not both.
+type mutateBody struct {
+	mutateItem
+	Mutations []mutateItem `json:"mutations"`
+}
+
+// mutateAck is the JSON shape of one mutation acknowledgement.
+type mutateAck struct {
+	Seq       uint64 `json:"seq"`
+	Watermark uint64 `json:"watermark"`
+	// Generation is the snapshot generation that made the mutation visible;
+	// zero for rejected members and asynchronous acks.
+	Generation uint64 `json:"generation,omitempty"`
+	// Error and Code report a rejected member in place, the same envelope
+	// fields top-level errors use.
+	Error string `json:"error,omitempty"`
+	Code  string `json:"code,omitempty"`
+	// Nodes counts grafted nodes for add_document acks.
+	Nodes int `json:"nodes,omitempty"`
+	// Requirements reports the mined per-label requirements for optimize acks.
+	Requirements map[string]int `json:"requirements,omitempty"`
+}
+
+// handleMutate is the unified write endpoint: a single mutation or a batch,
+// applied through the index's group-commit pipeline. ?ack=sync (the default)
+// answers after the batch is durable; ?ack=async answers 202 as soon as
+// sequence numbers are assigned — poll /v1/watermark for settlement. Batch
+// members are validated independently: a rejected member carries its error in
+// its ack while the rest commit.
+func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
+	async := false
+	switch r.URL.Query().Get("ack") {
+	case "", "sync":
+	case "async":
+		async = true
+	default:
+		writeError(w, http.StatusBadRequest, codeBadRequest, fmt.Errorf("ack= must be sync or async"))
+		return
+	}
+	var body mutateBody
+	if err := decodeJSON(w, r, &body); err != nil {
+		writeDecodeError(w, err)
+		return
+	}
+	single := body.Mutations == nil
+	var items []mutateItem
+	if single {
+		if body.Op == "" {
+			writeError(w, http.StatusBadRequest, codeBadRequest,
+				fmt.Errorf("op is required (or send a mutations array)"))
+			return
+		}
+		items = []mutateItem{body.mutateItem}
+	} else {
+		if body.Op != "" {
+			writeError(w, http.StatusBadRequest, codeBadRequest,
+				fmt.Errorf("send either one inline mutation or mutations, not both"))
+			return
+		}
+		if len(body.Mutations) == 0 {
+			writeError(w, http.StatusBadRequest, codeBadRequest,
+				fmt.Errorf("mutations must not be empty"))
+			return
+		}
+		if len(body.Mutations) > maxBatchMutations {
+			writeError(w, http.StatusRequestEntityTooLarge, codeTooLarge,
+				fmt.Errorf("at most %d mutations per batch", maxBatchMutations))
+			return
+		}
+		items = body.Mutations
+	}
+	ms := make([]dkindex.Mutation, len(items))
+	for i, it := range items {
+		ms[i] = it.mutation()
+	}
+	var acks []dkindex.Ack
+	var err error
+	if async {
+		acks, err = s.idx.ApplyBatchAsync(ms)
+	} else {
+		acks, err = s.idx.ApplyBatch(ms)
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, codeBadRequest, err)
+		return
+	}
+	if single && acks[0].Err != nil {
+		writeError(w, http.StatusBadRequest, codeBadRequest, acks[0].Err)
+		return
+	}
+	status := http.StatusOK
+	if async {
+		status = http.StatusAccepted
+	}
+	out := make([]mutateAck, len(acks))
+	var watermark, generation uint64
+	for i, a := range acks {
+		oa := mutateAck{Seq: a.Seq, Watermark: a.Watermark, Generation: a.Generation}
+		if a.Err != nil {
+			oa.Error, oa.Code, oa.Generation = a.Err.Error(), codeBadRequest, 0
+		}
+		if a.Mapping != nil {
+			oa.Nodes = len(a.Mapping)
+		}
+		if a.Mined != nil {
+			oa.Requirements = a.Mined
+		}
+		if a.Watermark > watermark {
+			watermark = a.Watermark
+		}
+		if a.Generation > generation {
+			generation = a.Generation
+		}
+		out[i] = oa
+	}
+	if single {
+		writeJSON(w, status, out[0])
+		return
+	}
+	writeJSON(w, status, map[string]any{
+		"watermark":  watermark,
+		"generation": generation,
+		"acks":       out,
+	})
+}
+
+// handleWatermark reports the write pipeline's progress: the acknowledged-
+// durable watermark, the last assigned sequence number (their gap is the
+// in-flight window), the snapshot generation, and whether group-commit
+// batching is armed.
+func (s *Server) handleWatermark(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"watermark":  s.idx.Watermark(),
+		"lastSeq":    s.idx.LastSeq(),
+		"generation": s.idx.Generation(),
+		"batching":   s.idx.Batching(),
+	})
+}

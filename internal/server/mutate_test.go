@@ -1,0 +1,158 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestV1MutateSingle(t *testing.T) {
+	ts, idx := newTestServer(t)
+	code, out := post(t, ts.URL+"/v1/mutate", "application/json",
+		`{"op":"promote","label":"title","k":2}`)
+	if code != 200 {
+		t.Fatalf("mutate = %d %v", code, out)
+	}
+	if out["seq"].(float64) < 1 || out["watermark"].(float64) < out["seq"].(float64) {
+		t.Errorf("ack seq/watermark = %v/%v", out["seq"], out["watermark"])
+	}
+	if uint64(out["generation"].(float64)) != idx.Generation() {
+		t.Errorf("ack generation %v != index generation %d", out["generation"], idx.Generation())
+	}
+
+	// The legacy alias mounts too.
+	code, out = post(t, ts.URL+"/mutate", "application/json",
+		`{"op":"add_edge","from":0,"to":5}`)
+	if code != 200 {
+		t.Fatalf("legacy mutate = %d %v", code, out)
+	}
+
+	// A grafted document reports its node count in the ack.
+	code, out = post(t, ts.URL+"/v1/mutate", "application/json",
+		`{"op":"add_document","doc":"<extras><movie id=\"m7\"><title/></movie></extras>"}`)
+	if code != 200 || out["nodes"].(float64) < 3 {
+		t.Fatalf("document mutate = %d %v", code, out)
+	}
+}
+
+func TestV1MutateErrors(t *testing.T) {
+	ts, _ := newTestServer(t)
+	for _, tc := range []struct {
+		body   string
+		status int
+		code   string
+	}{
+		{`{"op":"frobnicate"}`, 400, "bad_request"},
+		{`{"op":"promote","k":1}`, 400, "bad_request"},                // missing label
+		{`{"op":"promote","label":"nope","k":1}`, 400, "bad_request"}, // unknown label
+		{`{"op":"add_edge","from":0,"to":999999}`, 400, "bad_request"},
+		{`{}`, 400, "bad_request"}, // neither op nor mutations
+		{`{"op":"promote","label":"title","k":1,"mutations":[{"op":"promote","label":"title","k":1}]}`,
+			400, "bad_request"}, // both forms at once
+		{`{"mutations":[]}`, 400, "bad_request"},
+		{`{"nonsense":true}`, 400, "bad_request"}, // unknown field
+	} {
+		status, out := post(t, ts.URL+"/v1/mutate", "application/json", tc.body)
+		if status != tc.status || out["code"] != tc.code {
+			t.Errorf("%s = %d %v, want %d code=%s", tc.body, status, out, tc.status, tc.code)
+		}
+	}
+	status, out := post(t, ts.URL+"/v1/mutate?ack=never", "application/json", `{"op":"promote","label":"title","k":1}`)
+	if status != 400 || out["code"] != "bad_request" {
+		t.Errorf("bad ack mode = %d %v", status, out)
+	}
+	var b strings.Builder
+	b.WriteString(`{"mutations":[`)
+	for i := 0; i <= maxBatchMutations; i++ {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		fmt.Fprintf(&b, `{"op":"promote","label":"title","k":1}`)
+	}
+	b.WriteString(`]}`)
+	status, out = post(t, ts.URL+"/v1/mutate", "application/json", b.String())
+	if status != 413 || out["code"] != "too_large" {
+		t.Errorf("oversized batch = %d %v", status, out)
+	}
+}
+
+func TestV1MutateBatch(t *testing.T) {
+	ts, idx := newTestServer(t)
+	gen0 := idx.Generation()
+	code, out := post(t, ts.URL+"/v1/mutate", "application/json", `{"mutations":[
+		{"op":"add_edge","from":0,"to":5},
+		{"op":"promote","label":"no-such-label","k":1},
+		{"op":"promote","label":"name","k":1},
+		{"op":"remove_edge","from":0,"to":5}
+	]}`)
+	if code != 200 {
+		t.Fatalf("batch = %d %v", code, out)
+	}
+	acks := out["acks"].([]any)
+	if len(acks) != 4 {
+		t.Fatalf("batch returned %d acks, want 4", len(acks))
+	}
+	for i, a := range acks {
+		m := a.(map[string]any)
+		if i == 1 {
+			if m["error"] == nil || m["code"] != "bad_request" {
+				t.Errorf("ack 1 should be a structured error, got %v", m)
+			}
+			continue
+		}
+		if m["error"] != nil {
+			t.Errorf("ack %d rejected: %v", i, m)
+		}
+		// One group commit: every applied member shares the generation.
+		if uint64(m["generation"].(float64)) != gen0+1 {
+			t.Errorf("ack %d generation %v, want %d", i, m["generation"], gen0+1)
+		}
+	}
+	if wm := uint64(out["watermark"].(float64)); wm != idx.Watermark() {
+		t.Errorf("envelope watermark %v != index watermark %d", wm, idx.Watermark())
+	}
+	if idx.Generation() != gen0+1 {
+		t.Errorf("batch bumped generation %d times, want 1", idx.Generation()-gen0)
+	}
+}
+
+func TestV1MutateAsyncAndWatermark(t *testing.T) {
+	ts, idx := newTestServer(t)
+	code, out := get(t, ts.URL+"/v1/watermark")
+	if code != 200 {
+		t.Fatalf("watermark = %d %v", code, out)
+	}
+	for _, k := range []string{"watermark", "lastSeq", "generation", "batching"} {
+		if _, ok := out[k]; !ok {
+			t.Errorf("watermark response missing %s: %v", k, out)
+		}
+	}
+	if out["batching"] != false {
+		t.Errorf("batching = %v, want false", out["batching"])
+	}
+
+	code, out = post(t, ts.URL+"/v1/mutate?ack=async", "application/json",
+		`{"op":"promote","label":"title","k":2}`)
+	if code != 202 {
+		t.Fatalf("async mutate = %d %v", code, out)
+	}
+	seq := uint64(out["seq"].(float64))
+	if seq == 0 {
+		t.Fatal("async ack carries no sequence number")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, wm := get(t, ts.URL+"/v1/watermark")
+		if uint64(wm["watermark"].(float64)) >= seq {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("watermark never reached %d: %v", seq, wm)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if idx.Watermark() < seq {
+		t.Errorf("index watermark %d below acked seq %d", idx.Watermark(), seq)
+	}
+}

@@ -129,6 +129,7 @@ var requestRoutes = func() map[string]bool {
 		"/healthz", "/readyz", "/stats", "/query", "/explain",
 		"/edges", "/edges/remove", "/documents",
 		"/promote", "/demote", "/optimize",
+		"/mutate", "/watermark",
 		"/metrics", "/events", "/traces", "/slow",
 	}
 	m := make(map[string]bool, 2*len(routes))

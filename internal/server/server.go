@@ -11,6 +11,10 @@
 //	POST /v1/promote {"label":"x","k":2} promoting process
 //	POST /v1/demote  {"reqs":{"x":1}}   demoting process
 //	POST /v1/optimize {"budget":1000}   re-tune from the observed load
+//	POST /v1/mutate   {"op":...} or {"mutations":[...]}  unified write endpoint
+//	                                    (?ack=sync|async; acks carry seq,
+//	                                    watermark and generation)
+//	GET  /v1/watermark                  write-pipeline progress
 //	GET  /v1/explain?path=a.b.c         per-index-node query explanation
 //	GET  /v1/healthz                    liveness
 //	GET  /v1/metrics                    Prometheus text exposition
@@ -101,6 +105,8 @@ func New(idx *dkindex.Index) *Server {
 		s.mux.HandleFunc("POST "+p+"/promote", s.handlePromote)
 		s.mux.HandleFunc("POST "+p+"/demote", s.handleDemote)
 		s.mux.HandleFunc("POST "+p+"/optimize", s.handleOptimize)
+		s.mux.HandleFunc("POST "+p+"/mutate", s.handleMutate)
+		s.mux.HandleFunc("GET "+p+"/watermark", s.handleWatermark)
 		s.mux.HandleFunc("GET "+p+"/metrics", s.handleMetrics)
 		s.mux.HandleFunc("GET "+p+"/events", s.handleEvents)
 		s.mux.HandleFunc("GET "+p+"/traces", s.handleTraces)

@@ -9,6 +9,10 @@
 //	record: uvarint seq (1-based, contiguous), op byte,
 //	        uvarint payload length, payload,
 //	        crc32/IEEE over (seq|op|len|payload), 4 bytes little-endian
+//	group:  a record whose op byte is the reserved 0xFF and whose payload is
+//	        uvarint member count (≥2), then per member: op byte, uvarint
+//	        payload length, payload. Members take sequence numbers
+//	        seq..seq+count-1; the single frame CRC makes the batch atomic.
 //
 // Append is write-ahead durable: the record is written and fsynced before
 // Append returns. A failed append rolls the file back to the previous record
@@ -36,6 +40,15 @@ import (
 // Op tags one record type. The WAL does not interpret payloads; the facade
 // defines the vocabulary.
 type Op byte
+
+// opGroup frames an atomic group of records inside one physical frame. The
+// value is reserved: Append rejects it so the facade vocabulary can never
+// collide with the framing layer.
+const opGroup Op = 0xFF
+
+// ErrReservedOp reports an attempt to append a record with the reserved
+// group-framing op byte.
+var ErrReservedOp = errors.New("wal: op 0xFF is reserved for group frames")
 
 // Magic identifies a WAL file; Version its format revision.
 var magic = [4]byte{'D', 'K', 'W', 'L'}
@@ -68,6 +81,7 @@ type Writer struct {
 	bytes  int64  // payload+frame bytes acknowledged
 	broken bool
 	buf    []byte
+	gbuf   []byte // group-body scratch
 }
 
 // Create creates (or truncates) a WAL file and durably writes its header.
@@ -127,6 +141,9 @@ func (w *Writer) Bytes() int64 { return w.bytes }
 // written and fsynced. On failure the record is not acknowledged and the
 // file is rolled back to the previous record boundary.
 func (w *Writer) Append(op Op, payload []byte) (int, error) {
+	if op == opGroup {
+		return 0, ErrReservedOp
+	}
 	if w.broken {
 		return 0, ErrWriterBroken
 	}
@@ -138,18 +155,76 @@ func (w *Writer) Append(op Op, payload []byte) (int, error) {
 	frame = binary.LittleEndian.AppendUint32(frame, crc32.ChecksumIEEE(frame))
 	w.buf = frame
 
-	if _, err := w.f.Write(frame); err != nil {
-		w.rollback()
-		return 0, err
-	}
-	if err := w.f.Sync(); err != nil {
-		w.rollback()
+	if err := w.commit(frame); err != nil {
 		return 0, err
 	}
 	w.seq++
+	return len(frame), nil
+}
+
+// GroupRecord is one member of an atomic group append.
+type GroupRecord struct {
+	Op      Op
+	Payload []byte
+}
+
+// AppendGroup durably appends a batch of records as one physical frame with
+// one fsync. The group is atomic under the frame checksum: recovery replays
+// either every member (in order, with contiguous sequence numbers) or none —
+// a torn write can never surface a prefix of the batch. A single-record
+// group degenerates to a plain Append so the on-disk format for singles is
+// unchanged. On failure no member is acknowledged and the file is rolled
+// back to the previous record boundary.
+func (w *Writer) AppendGroup(recs []GroupRecord) (int, error) {
+	if len(recs) == 0 {
+		return 0, errors.New("wal: empty group")
+	}
+	if len(recs) == 1 {
+		return w.Append(recs[0].Op, recs[0].Payload)
+	}
+	if w.broken {
+		return 0, ErrWriterBroken
+	}
+	body := w.gbuf[:0]
+	body = binary.AppendUvarint(body, uint64(len(recs)))
+	for _, r := range recs {
+		if r.Op == opGroup {
+			return 0, ErrReservedOp
+		}
+		body = append(body, byte(r.Op))
+		body = binary.AppendUvarint(body, uint64(len(r.Payload)))
+		body = append(body, r.Payload...)
+	}
+	w.gbuf = body
+
+	frame := w.buf[:0]
+	frame = binary.AppendUvarint(frame, w.seq+1)
+	frame = append(frame, byte(opGroup))
+	frame = binary.AppendUvarint(frame, uint64(len(body)))
+	frame = append(frame, body...)
+	frame = binary.LittleEndian.AppendUint32(frame, crc32.ChecksumIEEE(frame))
+	w.buf = frame
+
+	if err := w.commit(frame); err != nil {
+		return 0, err
+	}
+	w.seq += uint64(len(recs))
+	return len(frame), nil
+}
+
+// commit writes and fsyncs one frame, rolling back on failure.
+func (w *Writer) commit(frame []byte) error {
+	if _, err := w.f.Write(frame); err != nil {
+		w.rollback()
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		w.rollback()
+		return err
+	}
 	w.off += int64(len(frame))
 	w.bytes += int64(len(frame))
-	return len(frame), nil
+	return nil
 }
 
 // rollback chops a partially written frame so the file ends at the last
@@ -207,15 +282,70 @@ func Replay(fs fsx.FS, path string, apply func(Record) error) (*ReplayResult, er
 			res.Truncated = true
 			return res, nil
 		}
-		if err := apply(rec); err != nil {
-			return res, err
+		if rec.Op == opGroup {
+			// A group frame expands to its members; the frame checksum
+			// already vouched for all of them, so a malformed body can only
+			// come from corruption that collided with the CRC — treat it
+			// like a torn tail and stop before applying anything from it.
+			members, ok := parseGroupBody(rec.Seq, rec.Payload)
+			if !ok {
+				res.Truncated = true
+				return res, nil
+			}
+			for _, m := range members {
+				if err := apply(m); err != nil {
+					return res, err
+				}
+				res.Records++
+				res.LastSeq = m.Seq
+			}
+		} else {
+			if err := apply(rec); err != nil {
+				return res, err
+			}
+			res.Records++
+			res.LastSeq = rec.Seq
 		}
-		res.Records++
-		res.LastSeq = rec.Seq
 		res.ValidSize = int64(end)
 		off = end
 	}
 	return res, nil
+}
+
+// parseGroupBody decodes the members of a group frame whose first member
+// carries sequence number firstSeq. ok is false when the body does not
+// decode exactly: wrong count, reserved op, short payload or trailing bytes.
+func parseGroupBody(firstSeq uint64, body []byte) ([]Record, bool) {
+	count, n := binary.Uvarint(body)
+	if n <= 0 || count < 2 || count > uint64(len(body)) {
+		return nil, false
+	}
+	recs := make([]Record, 0, count)
+	p := n
+	for i := uint64(0); i < count; i++ {
+		if p >= len(body) {
+			return nil, false
+		}
+		op := Op(body[p])
+		p++
+		if op == opGroup {
+			return nil, false
+		}
+		plen, n := binary.Uvarint(body[p:])
+		if n <= 0 || plen > uint64(len(body)) {
+			return nil, false
+		}
+		p += n
+		if p+int(plen) > len(body) {
+			return nil, false
+		}
+		recs = append(recs, Record{Seq: firstSeq + i, Op: op, Payload: body[p : p+int(plen)]})
+		p += int(plen)
+	}
+	if p != len(body) {
+		return nil, false
+	}
+	return recs, true
 }
 
 // parseRecord decodes one frame at off. ok is false for any torn, corrupt

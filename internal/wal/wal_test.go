@@ -182,3 +182,163 @@ func TestBadHeader(t *testing.T) {
 		t.Fatalf("want ErrBadHeader, got %v", err)
 	}
 }
+
+func TestAppendGroupRoundTrip(t *testing.T) {
+	fs := faultfs.New()
+	fs.MkdirAll("d")
+	path := "d/wal-1.log"
+	w, err := Create(fs, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append(1, []byte("solo")); err != nil {
+		t.Fatal(err)
+	}
+	group := []GroupRecord{
+		{Op: 2, Payload: []byte("alpha")},
+		{Op: 3, Payload: nil},
+		{Op: 4, Payload: []byte("gamma with \x00\xff bytes")},
+	}
+	if _, err := w.AppendGroup(group); err != nil {
+		t.Fatal(err)
+	}
+	if w.Seq() != 4 {
+		t.Fatalf("Seq after group = %d, want 4", w.Seq())
+	}
+	if _, err := w.Append(5, []byte("tail")); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	recs, res := collect(t, fs, path)
+	if len(recs) != 5 || res.Truncated {
+		t.Fatalf("%d records, truncated=%v", len(recs), res.Truncated)
+	}
+	want := []struct {
+		seq     uint64
+		op      Op
+		payload string
+	}{
+		{1, 1, "solo"},
+		{2, 2, "alpha"},
+		{3, 3, ""},
+		{4, 4, "gamma with \x00\xff bytes"},
+		{5, 5, "tail"},
+	}
+	for i, wr := range want {
+		if recs[i].Seq != wr.seq || recs[i].Op != wr.op || string(recs[i].Payload) != wr.payload {
+			t.Fatalf("record %d = %+v, want %+v", i, recs[i], wr)
+		}
+	}
+	if res.LastSeq != 5 {
+		t.Fatalf("LastSeq = %d", res.LastSeq)
+	}
+}
+
+func TestAppendGroupSingleDegeneratesToPlainRecord(t *testing.T) {
+	fs := faultfs.New()
+	fs.MkdirAll("d")
+	wg, _ := Create(fs, "d/group.log")
+	if _, err := wg.AppendGroup([]GroupRecord{{Op: 7, Payload: []byte("x")}}); err != nil {
+		t.Fatal(err)
+	}
+	wg.Close()
+	wp, _ := Create(fs, "d/plain.log")
+	if _, err := wp.Append(7, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	wp.Close()
+	g, _ := fsx.ReadAll(fs, "d/group.log")
+	p, _ := fsx.ReadAll(fs, "d/plain.log")
+	if !bytes.Equal(g, p) {
+		t.Fatalf("single-member group bytes differ from plain record:\n%x\n%x", g, p)
+	}
+}
+
+func TestAppendGroupRejectsReservedAndEmpty(t *testing.T) {
+	fs := faultfs.New()
+	fs.MkdirAll("d")
+	w, _ := Create(fs, "d/wal-1.log")
+	if _, err := w.Append(opGroup, nil); !errors.Is(err, ErrReservedOp) {
+		t.Fatalf("Append(opGroup) = %v, want ErrReservedOp", err)
+	}
+	if _, err := w.AppendGroup([]GroupRecord{{Op: 1}, {Op: opGroup}}); !errors.Is(err, ErrReservedOp) {
+		t.Fatalf("AppendGroup with reserved member = %v, want ErrReservedOp", err)
+	}
+	if _, err := w.AppendGroup(nil); err == nil {
+		t.Fatal("AppendGroup(nil) should error")
+	}
+	if w.Seq() != 0 {
+		t.Fatalf("rejected appends must not advance seq: %d", w.Seq())
+	}
+	// The writer is still usable after rejections.
+	if _, err := w.Append(1, []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTornGroupReplaysNothing proves group atomicity at the byte level: any
+// truncation inside the group frame drops the whole batch, never a prefix.
+func TestTornGroupReplaysNothing(t *testing.T) {
+	fs := faultfs.New()
+	fs.MkdirAll("d")
+	path := "d/wal-1.log"
+	w, _ := Create(fs, path)
+	w.Append(1, []byte("before"))
+	base, _ := fs.Size(path)
+	n, err := w.AppendGroup([]GroupRecord{
+		{Op: 2, Payload: []byte("aaaa")},
+		{Op: 3, Payload: []byte("bbbb")},
+		{Op: 4, Payload: []byte("cccc")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	full, err := fsx.ReadAll(fs, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < n; cut++ {
+		f, _ := fs.Create(path)
+		f.Write(full[:int(base)+n-cut])
+		f.Close()
+		recs, res := collect(t, fs, path)
+		if len(recs) != 1 || !res.Truncated {
+			t.Fatalf("cut %d: %d records (truncated=%v), want only the pre-group record", cut, len(recs), res.Truncated)
+		}
+		if res.ValidSize != base {
+			t.Fatalf("cut %d: ValidSize = %d, want %d", cut, res.ValidSize, base)
+		}
+	}
+}
+
+func TestFailedGroupAppendRollsBack(t *testing.T) {
+	fs := faultfs.New()
+	fs.MkdirAll("d")
+	w, _ := Create(fs, "d/wal-1.log")
+	w.Append(1, []byte("keep"))
+	fs.FailAt(1, faultfs.ModeError)
+	_, err := w.AppendGroup([]GroupRecord{{Op: 2, Payload: []byte("x")}, {Op: 3, Payload: []byte("y")}})
+	if !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("want injected error, got %v", err)
+	}
+	if w.Broken() {
+		t.Fatal("writer should have rolled back, not broken")
+	}
+	if w.Seq() != 1 {
+		t.Fatalf("seq after failed group = %d, want 1", w.Seq())
+	}
+	if _, err := w.AppendGroup([]GroupRecord{{Op: 2, Payload: []byte("x")}, {Op: 3, Payload: []byte("y")}}); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	recs, res := collect(t, fs, "d/wal-1.log")
+	if len(recs) != 3 || res.Truncated {
+		t.Fatalf("%d records, truncated=%v", len(recs), res.Truncated)
+	}
+	if recs[2].Seq != 3 || string(recs[2].Payload) != "y" {
+		t.Fatalf("record 3 = %+v", recs[2])
+	}
+}

@@ -91,10 +91,17 @@ func (x *Index) emit(e obs.Event) {
 // have already published the snapshot carrying dk. No-op when unobserved or
 // when dk carries no construction statistics (clones, decoded snapshots).
 func (x *Index) observeBuild(trigger string, dk *core.DK) {
-	if x.observer == nil || dk.Stats.Total == 0 {
+	x.observeBuildStats(trigger, dk.Stats, dk.IG.NumNodes())
+}
+
+// observeBuildStats is observeBuild for callers that captured the statistics
+// and node count separately — the group-commit path, whose per-mutation
+// states are intermediate and may no longer be the published one by the time
+// the batch reports. No-op when unobserved or when the statistics are empty.
+func (x *Index) observeBuildStats(trigger string, st core.BuildStats, nodesAfter int) {
+	if x.observer == nil || st.Total == 0 {
 		return
 	}
-	st := dk.Stats
 	x.observer.ObserveBuild(trigger, obs.BuildSample{
 		Rounds:     st.Rounds,
 		Splits:     st.Splits,
@@ -104,7 +111,7 @@ func (x *Index) observeBuild(trigger string, dk *core.DK) {
 	})
 	x.observer.RecordEvent(obs.Event{
 		Type:       obs.EventBuild,
-		NodesAfter: dk.IG.NumNodes(),
+		NodesAfter: nodesAfter,
 		Created:    st.Splits,
 		Wall:       st.Total,
 		Detail:     fmt.Sprintf("trigger=%s rounds=%d peak_blocks=%d csr=%s", trigger, st.Rounds, st.PeakBlocks, st.CSRBuild),

@@ -384,6 +384,28 @@ func (s *Store) logMutation(op wal.Op, payload []byte) error {
 	return nil
 }
 
+// logGroup implements mutationJournal: it durably appends a batch of records
+// as one group frame — one fsync, and recovery replays the whole group or
+// none of it. Called by Index group commits with idx.mu held. A single
+// record degenerates to logMutation (the on-disk bytes are identical).
+func (s *Store) logGroup(recs []wal.GroupRecord) error {
+	if s.closed {
+		return ErrStoreClosed
+	}
+	if len(recs) == 1 {
+		return s.logMutation(recs[0].Op, recs[0].Payload)
+	}
+	n, err := s.w.AppendGroup(recs)
+	if err != nil {
+		return fmt.Errorf("dkindex: wal group append (%d records): %w", len(recs), err)
+	}
+	s.appended += uint64(len(recs))
+	s.observer.ObserveWALGroup(len(recs), n)
+	s.observer.RecordEvent(obs.Event{Type: obs.EventWALAppend,
+		Detail: fmt.Sprintf("group of %d, %d bytes, epoch %d", len(recs), n, s.epoch)})
+	return nil
+}
+
 // Checkpoint writes the current state as the next epoch's checkpoint. The
 // log rotates first — records that land while the checkpoint is being
 // written go to the new epoch's log — so queries and mutations proceed

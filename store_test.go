@@ -64,6 +64,26 @@ func storeSteps(tb testing.TB) []func(*Index) error {
 		func(x *Index) error { f, t := edge(x); return x.RemoveEdge(f, t) },
 		func(x *Index) error { return x.PromoteLabel("name", 1) },
 		func(x *Index) error { _, _, err := x.Compact(); return err },
+		// A group commit: three mutations land as one WAL group frame, so the
+		// sweep also crashes inside the frame's write and fsync — recovery
+		// must observe the whole batch or none of it.
+		func(x *Index) error {
+			f, t := edge(x)
+			acks, err := x.ApplyBatch([]Mutation{
+				{Op: MutAddEdge, From: f, To: t},
+				{Op: MutPromote, Label: "movie", K: 1},
+				{Op: MutRemoveEdge, From: f, To: t},
+			})
+			if err != nil {
+				return err
+			}
+			for _, a := range acks {
+				if a.Err != nil {
+					return a.Err
+				}
+			}
+			return nil
+		},
 	}
 }
 
