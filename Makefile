@@ -7,15 +7,17 @@ DK_BENCH_SCALE ?= 1.0
 BENCHTIME ?= 2s
 BENCHCOUNT ?= 1
 
-.PHONY: all build test race vet fmt-check bench bench2 bench3 bench5 bench6 bench7 bench8 bench-baseline bench-guard profile-build stress fuzz-smoke serve-smoke ci clean
+.PHONY: all build test race vet fmt-check bench bench2 bench3 bench5 bench6 bench7 bench8 bench9 bench-baseline bench-guard profile-build stress fuzz-smoke serve-smoke ci clean
 
 all: build test
 
 # ci chains every hygiene gate: compile, vet, formatting, the race-enabled
-# test suite, short fuzz runs of the decoders, the stress pair (snapshot
-# races + crash-point sweep) under the race detector, a short end-to-end
-# serving run through the load harness, and the benchmark regression guard
-# against the recorded baseline.
+# test suite (which includes the replica flaky-link convergence test in its
+# short form), short fuzz runs of the decoders, the stress battery (snapshot
+# races, crash-point sweeps — store and replica catch-up — and replication
+# under faults) under the race detector, a short end-to-end serving run
+# through the load harness, and the benchmark regression guard against the
+# recorded baseline.
 ci: build vet fmt-check race fuzz-smoke stress serve-smoke bench-guard
 
 build:
@@ -28,19 +30,23 @@ race:
 	$(GO) test -race ./...
 
 # stress runs the snapshot-isolation stress test, the group-commit pipeline
-# stress test, the crash-point sweep, and the construction audit under -race:
-# the first hammers a torn publish, the second cycles concurrent ApplyBatch
-# writers against snapshot readers and watermark pollers, the third injects a
-# crash at every I/O operation of a mutation scenario (including inside a WAL
-# group frame) and proves recovery lands on exactly the acknowledged state,
-# and the fourth proves the parallel counting-sort refinement is
-# block-identical to the preserved reference implementation on every
-# experiment dataset.
+# stress test, the crash-point sweep, the construction audit, and the
+# replication pair under -race: the first hammers a torn publish, the second
+# cycles concurrent ApplyBatch writers against snapshot readers and watermark
+# pollers, the third injects a crash at every I/O operation of a mutation
+# scenario (including inside a WAL group frame) and proves recovery lands on
+# exactly the acknowledged state, the fourth proves the parallel
+# counting-sort refinement is block-identical to the preserved reference
+# implementation on every experiment dataset, and the fifth drives a replica
+# over a flaky link to bit-identical convergence and sweeps a primary crash
+# at every I/O point of a replica catch-up (the full grid; `go test -short`
+# runs a strided subset).
 stress:
 	$(GO) test -race -count 2 -run TestSnapshotStressConcurrent .
 	$(GO) test -race -count 2 -run TestApplyBatchStressConcurrent .
 	$(GO) test -race -count 1 -run TestStoreCrashPointSweep .
 	$(GO) test -race -count 1 -run TestBuildPartitionIdentity ./internal/experiments/
+	$(GO) test -race -count 1 -run 'TestReplicaConvergesUnderFaults|TestReplicaCatchUpCrashSweep' ./internal/replica/
 
 # fuzz-smoke gives each untrusted-input decoder a short fuzzing burst: the
 # checkpoint codec, the write-ahead log replayer, and the XML loader. Long
@@ -126,6 +132,15 @@ bench8:
 	$(GO) run ./cmd/dkbench -exp write -scale $(DK_BENCH_SCALE) \
 		-write-json BENCH_8.json | tee BENCH_8.txt
 
+# bench9 records replicated serving (BENCH_9.json): a durable primary plus
+# one WAL-shipped streaming read replica, both under the bench8-style write
+# workload — read throughput of primary+replica vs the primary alone, and
+# the replica's lag quantiles (in sequence numbers) with the drain time once
+# writes stop.
+bench9:
+	$(GO) run ./cmd/dkbench -exp repl -scale $(DK_BENCH_SCALE) \
+		-repl-json BENCH_9.json | tee BENCH_9.txt
+
 # serve-smoke is the ci-sized bench7: a ~2 second end-to-end run on a small
 # corpus proving the server, RED instrumentation, slow log, runtime telemetry
 # and both load disciplines work together.
@@ -163,3 +178,4 @@ clean:
 	rm -f BENCH_1.txt BENCH_1.json BENCH_2.txt BENCH_2.json BENCH_3.txt BENCH_3.json
 	rm -f BENCH_5.txt BENCH_5.json BENCH_6.txt BENCH_6.json build_cpu.prof build_mem.prof dkindex.test
 	rm -f BENCH_7.txt BENCH_7.json BENCH_7_plan.jsonl BENCH_8.txt BENCH_8.json
+	rm -f BENCH_9.txt BENCH_9.json

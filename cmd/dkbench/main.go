@@ -23,6 +23,10 @@
 //	          group-committed Apply under concurrent writers and readers
 //	          (not part of "all": wall-clock bound, writes BENCH_8.json via
 //	          -write-json)
+//	repl      replicated serving: a durable primary plus one WAL-shipped read
+//	          replica under write churn — combined read throughput vs primary
+//	          alone and replica lag quantiles (not part of "all": wall-clock
+//	          bound, writes BENCH_9.json via -repl-json)
 //	all       everything above
 //
 // Usage:
@@ -56,7 +60,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	fs := flag.NewFlagSet("dkbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp        = fs.String("exp", "all", "experiment: fig4, fig5, tab1, fig6, fig7, ablation, alg4, build, mem, family, docinsert, apex, miner, serve, write, all")
+		exp        = fs.String("exp", "all", "experiment: fig4, fig5, tab1, fig6, fig7, ablation, alg4, build, mem, family, docinsert, apex, miner, serve, write, repl, all")
 		scale      = fs.Float64("scale", 1.0, "dataset scale (1.0 = paper size)")
 		edges      = fs.Int("edges", 100, "edge additions for tab1/fig6/fig7/ablation")
 		seed       = fs.Int64("seed", 1, "random seed for workloads and edges")
@@ -80,6 +84,8 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		writeBatch   = fs.Int("write-batch", 256, "write: MaxBatch for the group-committed phase")
 		writeWindow  = fs.Duration("write-window", 2*time.Millisecond, "write: coalescing window for the group-committed phase (0 = natural group commit)")
 		writeJSON    = fs.String("write-json", "", "write: write the throughput report as JSON to this `file`")
+
+		replJSON = fs.String("repl-json", "", "repl: write the replicated-serving report as JSON to this `file` (load shape comes from the serve-* flags)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -297,6 +303,20 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 				Window:  *writeWindow,
 				Seed:    *seed,
 				JSONOut: *writeJSON,
+			}))
+		})
+	}
+	// The repl experiment boots a primary and a live streaming replica, so
+	// like serve and write it is wall-clock bound and opt-in only.
+	if *exp == "repl" {
+		ran = true
+		timed("repl", func() {
+			check(replExperiment(stdout, loadXMark(), replOptions{
+				Duration:    *serveDur,
+				Warmup:      *serveWarmup,
+				Concurrency: *serveConc,
+				Seed:        *seed,
+				JSONOut:     *replJSON,
 			}))
 		})
 	}

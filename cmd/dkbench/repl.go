@@ -1,0 +1,289 @@
+// The repl experiment measures WAL-shipped replication as a serving system:
+// a durable primary and one streaming read replica, both under the PR 8
+// write workload (batched /v1/mutate edge churn at the primary). It reports
+// read throughput with the primary alone versus primary + replica serving
+// concurrently, and the replica's lag distribution (in sequence numbers)
+// sampled through the replicated run — the number a -max-lag deployment
+// would gate /v1/readyz on.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"time"
+
+	"dkindex"
+	"dkindex/internal/experiments"
+	"dkindex/internal/loadgen"
+	"dkindex/internal/obs"
+	"dkindex/internal/replica"
+	"dkindex/internal/server"
+)
+
+// replOptions parameterizes the repl experiment (flags in main; the load
+// shape reuses the serve-* knobs so BENCH_7 and BENCH_9 are comparable).
+type replOptions struct {
+	Duration    time.Duration
+	Warmup      time.Duration
+	Concurrency int
+	Seed        int64
+	JSONOut     string // BENCH_9.json target ("" = don't write)
+}
+
+// replLag summarizes the replica's lag samples over the replicated scenario.
+type replLag struct {
+	Samples int    `json:"samples"`
+	P50     uint64 `json:"p50"`
+	P90     uint64 `json:"p90"`
+	P99     uint64 `json:"p99"`
+	Max     uint64 `json:"max"`
+	// DrainNS is how long the replica took to reach lag 0 after the write
+	// workload stopped.
+	DrainNS time.Duration `json:"drainNS"`
+}
+
+// replResult is the JSON shape recorded as BENCH_9.json.
+type replResult struct {
+	Dataset     string        `json:"dataset"`
+	Plan        int           `json:"planOps"`
+	Concurrency int           `json:"concurrency"`
+	DurationNS  time.Duration `json:"durationNS"`
+	WarmupNS    time.Duration `json:"warmupNS"`
+	// PrimaryOnly is the baseline: all read traffic at the primary.
+	PrimaryOnly serveScenario `json:"primaryOnly"`
+	// ReplPrimary and ReplReplica are the two halves of the replicated
+	// scenario: the same closed-loop worker count at each endpoint.
+	ReplPrimary serveScenario `json:"replPrimary"`
+	ReplReplica serveScenario `json:"replReplica"`
+	// Combined is the replicated scenario's total read throughput; Speedup
+	// is Combined over the baseline's throughput.
+	Combined float64 `json:"combinedThroughput"`
+	Speedup  float64 `json:"speedup"`
+	Lag      replLag `json:"lag"`
+}
+
+// lagQuantile picks the q-quantile from sorted lag samples.
+func lagQuantile(sorted []uint64, q float64) uint64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// replExperiment boots a durable primary, bootstraps one streaming replica
+// over HTTP, and measures both serving topologies under write churn.
+func replExperiment(stdout io.Writer, ds *experiments.Dataset, opt replOptions) error {
+	dir, err := os.MkdirTemp("", "dkbench-repl-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	// The primary: a store-managed index served over HTTP with the
+	// replication feed enabled — exactly the dkserve -data-dir wiring.
+	idx := dkindex.FromGraph(ds.G.Clone(), reqNames(ds))
+	store, err := dkindex.CreateStore(dir, idx, nil)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+	po := obs.NewObserverWith(obs.NewRegistry(), obs.NewStream(256), obs.NewTracer(0, 8))
+	idx.Observe(po)
+	psrv := server.New(idx)
+	psrv.SetReplSource(store)
+	pln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	phs := &http.Server{Handler: psrv}
+	go func() { _ = phs.Serve(pln) }()
+	defer phs.Close()
+	base := "http://" + pln.Addr().String()
+
+	plan := buildServePlan(ds, idx)
+	if len(plan) == 0 {
+		return fmt.Errorf("repl: empty plan for %s", ds.Name)
+	}
+	edges, err := ds.RandomEdges(64, opt.Seed)
+	if err != nil {
+		return err
+	}
+
+	res := replResult{
+		Dataset: ds.Name, Plan: len(plan), Concurrency: opt.Concurrency,
+		DurationNS: opt.Duration, WarmupNS: opt.Warmup,
+	}
+	const mutatePeriod = 25 * time.Millisecond
+	mutClient := &http.Client{Timeout: 30 * time.Second}
+	readLoad := func(target string) (*loadgen.Report, error) {
+		return loadgen.Run(loadgen.Config{
+			BaseURL:     target,
+			Plan:        plan,
+			Mode:        loadgen.Closed,
+			Concurrency: opt.Concurrency,
+			Duration:    opt.Duration,
+			Warmup:      opt.Warmup,
+		})
+	}
+
+	// Baseline: every reader at the primary, write churn alongside.
+	stopMut := make(chan struct{})
+	mutDone := mutator(mutClient, base, edges, mutatePeriod, stopMut)
+	rep0, err := readLoad(base)
+	close(stopMut)
+	muts := <-mutDone
+	if err != nil {
+		return fmt.Errorf("repl primary_only: %w", err)
+	}
+	res.PrimaryOnly = serveScenario{Name: "primary_only", Mutations: muts, Report: rep0}
+
+	// The replica: bootstrap from the live checkpoint, then tail the WAL
+	// feed continuously while serving read-only /v1 on its own listener.
+	ro := obs.NewObserverWith(obs.NewRegistry(), obs.NewStream(256), obs.NewTracer(0, 8))
+	rep := replica.New(replica.Config{
+		Primary:      base,
+		Observer:     ro,
+		PollInterval: 5 * time.Millisecond,
+		MaxLag:       1 << 16,
+		Seed:         opt.Seed,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := rep.Bootstrap(ctx); err != nil {
+		return fmt.Errorf("repl bootstrap: %w", err)
+	}
+	tailDone := make(chan struct{})
+	go func() { defer close(tailDone); _ = rep.Run(ctx) }()
+	rsrv := server.New(rep.Index())
+	rsrv.SetReplicaMode(base, rep.Status)
+	rln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	rhs := &http.Server{Handler: rsrv}
+	go func() { _ = rhs.Serve(rln) }()
+	defer rhs.Close()
+	rbase := "http://" + rln.Addr().String()
+
+	// Replicated scenario: the same closed-loop worker count at each
+	// endpoint, concurrently, with the write churn still at the primary. A
+	// sampler records the replica's lag every few milliseconds.
+	stopMut = make(chan struct{})
+	mutDone = mutator(mutClient, base, edges, mutatePeriod, stopMut)
+	stopLag := make(chan struct{})
+	lagDone := make(chan []uint64, 1)
+	go func() {
+		var samples []uint64
+		t := time.NewTicker(2 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-stopLag:
+				lagDone <- samples
+				return
+			case <-t.C:
+				samples = append(samples, rep.Lag())
+			}
+		}
+	}()
+	type loadOut struct {
+		rep *loadgen.Report
+		err error
+	}
+	primOut := make(chan loadOut, 1)
+	go func() {
+		r, err := readLoad(base)
+		primOut <- loadOut{r, err}
+	}()
+	replRep, replErr := readLoad(rbase)
+	primRes := <-primOut
+	close(stopMut)
+	muts = <-mutDone
+	close(stopLag)
+	samples := <-lagDone
+	if primRes.err != nil {
+		return fmt.Errorf("repl replicated (primary side): %w", primRes.err)
+	}
+	if replErr != nil {
+		return fmt.Errorf("repl replicated (replica side): %w", replErr)
+	}
+	res.ReplPrimary = serveScenario{Name: "repl_primary", Mutations: muts, Report: primRes.rep}
+	res.ReplReplica = serveScenario{Name: "repl_replica", Report: replRep}
+
+	// Drain: how long the replica takes to catch the primary's final head
+	// once writes stop.
+	drainStart := time.Now()
+	for {
+		_, head := store.ReplStatus()
+		if rep.Applied() >= head {
+			break
+		}
+		if time.Since(drainStart) > 30*time.Second {
+			return fmt.Errorf("repl: replica never drained (applied %d, head %d)", rep.Applied(), head)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	drain := time.Since(drainStart)
+	cancel()
+	<-tailDone
+
+	res.Combined = primRes.rep.Throughput + replRep.Throughput
+	if res.PrimaryOnly.Report.Throughput > 0 {
+		res.Speedup = res.Combined / res.PrimaryOnly.Report.Throughput
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	res.Lag = replLag{
+		Samples: len(samples),
+		P50:     lagQuantile(samples, 0.50),
+		P90:     lagQuantile(samples, 0.90),
+		P99:     lagQuantile(samples, 0.99),
+		DrainNS: drain,
+	}
+	if n := len(samples); n > 0 {
+		res.Lag.Max = samples[n-1]
+	}
+
+	renderRepl(stdout, &res)
+	if opt.JSONOut != "" {
+		f, err := os.Create(opt.JSONOut)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		err = enc.Encode(&res)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "repl: wrote %s\n", opt.JSONOut)
+	}
+	return nil
+}
+
+func renderRepl(w io.Writer, res *replResult) {
+	fmt.Fprintf(w, "Replicated serving (%s, %d plan ops, conc %d per endpoint, %v + %v warmup per scenario)\n",
+		res.Dataset, res.Plan, res.Concurrency, res.DurationNS, res.WarmupNS)
+	fmt.Fprintf(w, "%-14s %9s %6s %9s %9s %9s %9s %6s\n",
+		"scenario", "requests", "errs", "req/s", "p50", "p99", "p999", "muts")
+	ms := func(us float64) string { return fmt.Sprintf("%.2fms", us/1e3) }
+	for _, sc := range []serveScenario{res.PrimaryOnly, res.ReplPrimary, res.ReplReplica} {
+		s := sc.Report.Overall
+		fmt.Fprintf(w, "%-14s %9d %6d %9.0f %9s %9s %9s %6d\n",
+			sc.Name, sc.Report.Requests, sc.Report.Errors,
+			sc.Report.Throughput, ms(s.P50US), ms(s.P99US), ms(s.P999US), sc.Mutations)
+	}
+	fmt.Fprintf(w, "combined read throughput: %.0f req/s (%.2fx primary alone)\n", res.Combined, res.Speedup)
+	fmt.Fprintf(w, "replica lag (seqs, %d samples): p50=%d p90=%d p99=%d max=%d; drained in %v\n",
+		res.Lag.Samples, res.Lag.P50, res.Lag.P90, res.Lag.P99, res.Lag.Max,
+		res.Lag.DrainNS.Round(time.Millisecond))
+}

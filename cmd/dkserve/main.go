@@ -15,6 +15,16 @@
 // state. Repeated checkpoint failures shut the process down with a non-zero
 // exit instead of serving with silently degraded durability.
 //
+// A durable primary (-data-dir) also serves a replication feed under
+// /v1/repl/*; a second dkserve started with -replicate-from=<primary URL>
+// becomes a read-only replica: it bootstraps from the primary's newest
+// checkpoint, tails its WAL, answers reads with an X-Replica-Lag-Seq header,
+// rejects writes with a structured read_only error, and fails /v1/readyz
+// (while continuing to serve) once its lag exceeds -max-lag.
+//
+//	dkserve -in doc.xml -data-dir /var/lib/dk -addr :8080
+//	dkserve -replicate-from http://127.0.0.1:8080 -max-lag 1000 -addr :8081
+//
 // Writes go through the group-commit pipeline by default: concurrent
 // mutations coalesce into one WAL group frame (a single fsync) and one
 // snapshot swap, bounded by -batch-size, with -flush-interval trading
@@ -60,6 +70,7 @@ import (
 
 	"dkindex"
 	"dkindex/internal/obs"
+	"dkindex/internal/replica"
 	"dkindex/internal/server"
 )
 
@@ -100,6 +111,15 @@ type config struct {
 	store     *dkindex.Store
 	ckptEvery time.Duration
 
+	// repl is non-nil when -replicate-from made this process a read-only
+	// follower; serve runs its tail loop alongside the HTTP server.
+	repl *replica.Replica
+
+	// ckptRetry overrides the checkpoint retry schedule; zero fields fall
+	// back to the production constants. Tests shrink it to exercise the
+	// backoff and escalation paths in milliseconds.
+	ckptRetry ckptRetryPolicy
+
 	// HTTP hygiene.
 	readHeaderTimeout time.Duration
 	idleTimeout       time.Duration
@@ -137,12 +157,73 @@ func setup(args []string, stdout, stderr io.Writer) (*config, int) {
 		rtEvery     = fs.Duration("runtime-interval", 10*time.Second, "runtime telemetry poll interval (goroutines, heap, GC pauses; 0 disables)")
 		readHdrTO   = fs.Duration("read-header-timeout", 5*time.Second, "bound on reading a request's headers (0 disables)")
 		idleTO      = fs.Duration("idle-timeout", 2*time.Minute, "bound on idle keep-alive connections (0 disables)")
+
+		replFrom = fs.String("replicate-from", "", "run as a read-only replica of the primary at this base URL (e.g. http://primary:8080)")
+		maxLag   = fs.Uint64("max-lag", 0, "replica staleness bound in global sequences: /v1/readyz fails past it while reads keep serving (0 = always ready once bootstrapped)")
+		bootTO   = fs.Duration("bootstrap-timeout", 30*time.Second, "bound on the replica's initial checkpoint bootstrap from the primary")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, 2
 	}
 	logger := slog.New(slog.NewTextHandler(stderr, nil))
 	observer := obs.NewObserverWith(obs.NewRegistry(), obs.NewStream(256), obs.NewTracer(*traceSample, 32))
+
+	// Replica mode: bootstrap from the primary's replication feed instead of
+	// any local source, serve read-only, and gate readiness on the lag bound.
+	if *replFrom != "" {
+		if *dataDir != "" {
+			fmt.Fprintln(stderr, "dkserve: -replicate-from and -data-dir are mutually exclusive (a replica follows the primary's durability)")
+			return nil, 2
+		}
+		if *in != "" || *load != "" {
+			logger.Warn("replica bootstraps from the primary; -in/-index ignored")
+		}
+		primary := strings.TrimRight(*replFrom, "/")
+		rep := replica.New(replica.Config{
+			Primary:  primary,
+			Observer: observer,
+			MaxLag:   *maxLag,
+		})
+		bctx, cancel := context.WithTimeout(context.Background(), *bootTO)
+		err := rep.Bootstrap(bctx)
+		cancel()
+		if err != nil {
+			fmt.Fprintf(stderr, "dkserve: bootstrap from %s: %v\n", primary, err)
+			return nil, 1
+		}
+		idx := rep.Index()
+		if *cacheSize != dkindex.DefaultResultCacheSize {
+			idx.SetResultCache(*cacheSize)
+		}
+		srv := server.New(idx)
+		if *pprofOn {
+			srv.EnablePprof()
+		}
+		srv.SetMaxInFlight(*maxInflight)
+		srv.SetReplicaMode(primary, rep.Status)
+		cfg := &config{
+			addr:              *addr,
+			logger:            logger,
+			observer:          observer,
+			idx:               idx,
+			repl:              rep,
+			readHeaderTimeout: *readHdrTO,
+			idleTimeout:       *idleTO,
+			rtEvery:           *rtEvery,
+		}
+		srv.SetReadyCheck(func() error {
+			if !cfg.ready.Load() {
+				return fmt.Errorf("not serving (starting up or draining)")
+			}
+			return rep.Ready()
+		})
+		cfg.handler = logRequests(srv, logger)
+		cfg.ready.Store(true)
+		s := idx.Stats()
+		fmt.Fprintf(stdout, "dkserve: replica of %s, %d data nodes, index %d nodes (max k=%d), listening on %s\n",
+			primary, s.DataNodes, s.IndexNodes, s.MaxK, *addr)
+		return cfg, 0
+	}
 
 	var (
 		idx   *dkindex.Index
@@ -243,6 +324,11 @@ func setup(args []string, stdout, stderr io.Writer) (*config, int) {
 		srv.EnablePprof()
 	}
 	srv.SetMaxInFlight(*maxInflight)
+	if store != nil {
+		// A durable primary serves the replication feed: replicas bootstrap
+		// from /v1/repl/checkpoint and tail /v1/repl/wal.
+		srv.SetReplSource(store)
+	}
 	cfg := &config{
 		addr:              *addr,
 		logger:            logger,
@@ -279,10 +365,36 @@ func firstN(s []string, n int) []string {
 // termination signal.
 const shutdownGrace = 10 * time.Second
 
-// maxCheckpointFailures bounds consecutive background checkpoint failures
-// before the process gives up and exits non-zero: a server that can no longer
-// persist is degraded in a way an operator must see, not paper over.
-const maxCheckpointFailures = 3
+// Background checkpoint failures retry with capped exponential backoff (the
+// log chain keeps every acknowledged mutation durable meanwhile) rather than
+// waiting for the next tick; maxCheckpointFailures consecutive failures still
+// shut the process down non-zero — a server that can no longer persist is
+// degraded in a way an operator must see, not paper over.
+const (
+	maxCheckpointFailures  = 8
+	checkpointBackoffFloor = 250 * time.Millisecond
+	checkpointBackoffCap   = 30 * time.Second
+)
+
+// ckptRetryPolicy is the checkpoint retry schedule; zero fields mean the
+// production constants above.
+type ckptRetryPolicy struct {
+	floor, cap  time.Duration
+	maxFailures int
+}
+
+func (p ckptRetryPolicy) normalized() ckptRetryPolicy {
+	if p.floor <= 0 {
+		p.floor = checkpointBackoffFloor
+	}
+	if p.cap <= 0 {
+		p.cap = checkpointBackoffCap
+	}
+	if p.maxFailures <= 0 {
+		p.maxFailures = maxCheckpointFailures
+	}
+	return p
+}
 
 // serve runs the HTTP server on ln until it fails, ctx is cancelled (the
 // signal path), or durability is lost (repeated checkpoint failures). On the
@@ -320,6 +432,20 @@ func serve(ctx context.Context, ln net.Listener, cfg *config) int {
 		}()
 	}
 
+	// Replica mode: the tail loop runs alongside the HTTP server, stopped on
+	// every shutdown path (its own context rather than ctx, which only the
+	// signal path cancels).
+	rctx, stopRepl := context.WithCancel(ctx)
+	defer stopRepl()
+	var replWG sync.WaitGroup
+	if cfg.repl != nil {
+		replWG.Add(1)
+		go func() {
+			defer replWG.Done()
+			_ = cfg.repl.Run(rctx)
+		}()
+	}
+
 	shutdown := func(code int) int {
 		cfg.ready.Store(false)
 		shutCtx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
@@ -332,6 +458,8 @@ func serve(ctx context.Context, ln net.Listener, cfg *config) int {
 		rtWG.Wait()
 		close(stopCkpt)
 		ckptWG.Wait()
+		stopRepl()
+		replWG.Wait()
 		// Drain the group-commit queue before the final checkpoint: every
 		// acknowledged mutation must be in the log the checkpoint folds.
 		cfg.idx.StopBatching()
@@ -371,33 +499,47 @@ func serve(ctx context.Context, ln net.Listener, cfg *config) int {
 
 // checkpointLoop periodically folds the write-ahead log into a fresh
 // checkpoint. A quiet index (no appended records) skips the cycle. A failed
-// checkpoint is retried next tick — the log chain keeps every acknowledged
-// mutation durable meanwhile — but maxCheckpointFailures consecutive failures
-// escalate to fatal.
+// checkpoint schedules a retry with capped exponential backoff (each attempt
+// emits a checkpoint_retry event); only maxCheckpointFailures consecutive
+// failures escalate to fatal.
 func checkpointLoop(cfg *config, stop <-chan struct{}, fatal chan<- error) {
+	pol := cfg.ckptRetry.normalized()
 	t := time.NewTicker(cfg.ckptEvery)
 	defer t.Stop()
 	failures := 0
+	backoff := pol.floor
+	var retry <-chan time.Time // non-nil while a backoff retry is pending
 	for {
 		select {
 		case <-stop:
 			return
 		case <-t.C:
-			if cfg.store.Appended() == 0 {
+			if retry != nil || cfg.store.Appended() == 0 {
 				continue
 			}
-			if err := cfg.store.Checkpoint(); err != nil {
-				failures++
-				cfg.logger.Error("checkpoint failed", "err", err, "consecutive", failures)
-				if failures >= maxCheckpointFailures {
-					fatal <- fmt.Errorf("%d consecutive checkpoint failures, last: %w", failures, err)
-					return
-				}
-				continue
-			}
-			failures = 0
-			cfg.logger.Info("checkpoint written", "epoch", cfg.store.Epoch())
+		case <-retry:
+			retry = nil
 		}
+		if err := cfg.store.Checkpoint(); err != nil {
+			failures++
+			if failures >= pol.maxFailures {
+				cfg.logger.Error("checkpoint failed", "err", err, "consecutive", failures)
+				fatal <- fmt.Errorf("%d consecutive checkpoint failures, last: %w", failures, err)
+				return
+			}
+			cfg.logger.Warn("checkpoint failed, retrying with backoff",
+				"err", err, "consecutive", failures, "backoff", backoff)
+			cfg.observer.RecordEvent(obs.Event{
+				Type: obs.EventCheckpointRetry,
+				Detail: fmt.Sprintf("attempt %d/%d failed: %v; next try in %v",
+					failures, pol.maxFailures, err, backoff),
+			})
+			retry = time.After(backoff)
+			backoff = min(2*backoff, pol.cap)
+			continue
+		}
+		failures, backoff = 0, pol.floor
+		cfg.logger.Info("checkpoint written", "epoch", cfg.store.Epoch())
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/httptest"
@@ -14,6 +15,10 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"dkindex"
+	"dkindex/internal/faultfs"
+	"dkindex/internal/obs"
 )
 
 const doc = `<movieDB><director><name/><movie><title/></movie></director></movieDB>`
@@ -264,5 +269,114 @@ func TestGracefulShutdown(t *testing.T) {
 	}
 	if !strings.Contains(log, "final metrics snapshot") || !strings.Contains(log, "dk_queries_total") {
 		t.Errorf("final metrics snapshot missing or empty:\n%s", log)
+	}
+}
+
+// faultyStore builds a store on a fault-injecting filesystem with one
+// un-checkpointed mutation, ready for checkpointLoop to pick up.
+func faultyStore(t *testing.T) (*faultfs.MemFS, *dkindex.Store) {
+	t.Helper()
+	fs := faultfs.New()
+	idx, err := dkindex.LoadXMLString(doc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := dkindex.CreateStore("store", idx, &dkindex.StoreOptions{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	if err := idx.PromoteLabel("title", 1); err != nil {
+		t.Fatal(err)
+	}
+	return fs, st
+}
+
+func ckptTestConfig(st *dkindex.Store, maxFailures int, errb *syncBuffer) *config {
+	return &config{
+		store:     st,
+		ckptEvery: 2 * time.Millisecond,
+		ckptRetry: ckptRetryPolicy{floor: time.Millisecond, cap: 4 * time.Millisecond, maxFailures: maxFailures},
+		logger:    slog.New(slog.NewTextHandler(errb, nil)),
+		observer:  obs.NewObserverWith(obs.NewRegistry(), obs.NewStream(64), obs.NewTracer(0, 8)),
+	}
+}
+
+func countRetryEvents(cfg *config) int {
+	n := 0
+	for _, e := range cfg.observer.Events.Recent(0) {
+		if e.Type == obs.EventCheckpointRetry {
+			n++
+		}
+	}
+	return n
+}
+
+// TestCheckpointLoopRetriesTransientFailure injects one checkpoint failure:
+// the loop must emit a checkpoint_retry event, retry on its backoff schedule
+// rather than waiting for the next tick, succeed, and never escalate.
+func TestCheckpointLoopRetriesTransientFailure(t *testing.T) {
+	fs, st := faultyStore(t)
+	epoch0 := st.Epoch()
+	errb := &syncBuffer{}
+	cfg := ckptTestConfig(st, 8, errb)
+
+	fs.FailAt(1, faultfs.ModeError) // first write of the next checkpoint fails
+	stop := make(chan struct{})
+	fatal := make(chan error, 1)
+	done := make(chan struct{})
+	go func() { checkpointLoop(cfg, stop, fatal); close(done) }()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for st.Epoch() == epoch0 {
+		if time.Now().After(deadline) {
+			t.Fatal("checkpoint never succeeded after the transient failure")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	<-done
+	select {
+	case err := <-fatal:
+		t.Fatalf("transient failure escalated to fatal: %v", err)
+	default:
+	}
+	if countRetryEvents(cfg) == 0 {
+		t.Error("no checkpoint_retry event emitted")
+	}
+	if !strings.Contains(errb.String(), "checkpoint failed, retrying with backoff") {
+		t.Errorf("no retry warning in log:\n%s", errb.String())
+	}
+	if !strings.Contains(errb.String(), "checkpoint written") {
+		t.Errorf("no success line after retry:\n%s", errb.String())
+	}
+}
+
+// TestCheckpointLoopEscalatesAfterCap crashes the filesystem outright so no
+// checkpoint can ever succeed: the loop must emit a retry event per failed
+// attempt and report fatal only once the consecutive-failure cap is hit.
+func TestCheckpointLoopEscalatesAfterCap(t *testing.T) {
+	fs, st := faultyStore(t)
+	errb := &syncBuffer{}
+	cfg := ckptTestConfig(st, 3, errb)
+
+	fs.Crash() // every filesystem operation fails until Reset
+	stop := make(chan struct{})
+	defer close(stop)
+	fatal := make(chan error, 1)
+	done := make(chan struct{})
+	go func() { checkpointLoop(cfg, stop, fatal); close(done) }()
+
+	select {
+	case err := <-fatal:
+		if !strings.Contains(err.Error(), "3 consecutive checkpoint failures") {
+			t.Errorf("fatal error does not name the cap: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("persistent checkpoint failure never escalated to fatal")
+	}
+	<-done
+	if got := countRetryEvents(cfg); got != 2 {
+		t.Errorf("checkpoint_retry events = %d, want 2 (third failure escalates)", got)
 	}
 }

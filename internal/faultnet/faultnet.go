@@ -1,0 +1,171 @@
+// Package faultnet is the transport-level sibling of faultfs: an
+// http.RoundTripper wrapper that injects the failure modes a replication
+// link sees in the wild — added latency, dropped connections, truncated
+// response bodies and 5xx bursts — deterministically from a seed, so a test
+// that converges under one seed converges under it every run.
+//
+// Faults are injected on the client side of the exchange: a "dropped
+// connection" surfaces as a transport error before the request is sent, a
+// "truncated body" as a response whose body ends mid-frame, a "5xx burst" as
+// a run of synthesized 503s. The wrapped transport is only consulted for
+// exchanges that survive, so the server under test sees realistic partial
+// traffic.
+package faultnet
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjectedDrop is the transport error a simulated connection drop returns.
+var ErrInjectedDrop = errors.New("faultnet: injected connection drop")
+
+// Options configures a Transport. Rates are probabilities in [0, 1] drawn
+// independently per request.
+type Options struct {
+	// Seed feeds the deterministic fault schedule.
+	Seed int64
+	// MaxLatency, when positive, delays each surviving request by a uniform
+	// draw from [0, MaxLatency).
+	MaxLatency time.Duration
+	// DropRate is the probability a request fails with ErrInjectedDrop
+	// before reaching the wrapped transport.
+	DropRate float64
+	// TruncateRate is the probability a successful response body is cut to a
+	// random proper prefix (headers, including Content-Length, are preserved
+	// — the truncation presents as a torn read, not a clean short body).
+	TruncateRate float64
+	// ErrorRate is the probability a request starts a burst of synthesized
+	// 503 responses; the burst covers the next BurstLen requests.
+	ErrorRate float64
+	// BurstLen is the length of a 5xx burst (minimum 1).
+	BurstLen int
+}
+
+// Transport injects faults in front of a wrapped http.RoundTripper.
+type Transport struct {
+	next http.RoundTripper
+	opts Options
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	burst int // remaining 503s of the active burst
+
+	disabled atomic.Bool
+	injected atomic.Uint64
+}
+
+// New wraps next (nil for http.DefaultTransport) with the fault schedule.
+func New(next http.RoundTripper, opts Options) *Transport {
+	if next == nil {
+		next = http.DefaultTransport
+	}
+	if opts.BurstLen < 1 {
+		opts.BurstLen = 1
+	}
+	return &Transport{next: next, opts: opts, rng: rand.New(rand.NewSource(opts.Seed))}
+}
+
+// Stop disables fault injection: the transport becomes a transparent
+// pass-through, modelling the link healing.
+func (t *Transport) Stop() { t.disabled.Store(true) }
+
+// Injected reports how many faults (drops, truncations, 503s, latency
+// insertions) have been injected.
+func (t *Transport) Injected() uint64 { return t.injected.Load() }
+
+// plan draws this request's faults under the lock; the fault actions
+// themselves run outside it so slow requests do not serialize.
+func (t *Transport) plan() (latency time.Duration, drop, truncate, unavailable bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.burst > 0 {
+		t.burst--
+		return 0, false, false, true
+	}
+	if t.opts.ErrorRate > 0 && t.rng.Float64() < t.opts.ErrorRate {
+		t.burst = t.opts.BurstLen - 1
+		return 0, false, false, true
+	}
+	if t.opts.DropRate > 0 && t.rng.Float64() < t.opts.DropRate {
+		return 0, true, false, false
+	}
+	if t.opts.MaxLatency > 0 {
+		latency = time.Duration(t.rng.Int63n(int64(t.opts.MaxLatency)))
+	}
+	truncate = t.opts.TruncateRate > 0 && t.rng.Float64() < t.opts.TruncateRate
+	return latency, false, truncate, false
+}
+
+// cut returns the truncation point for an n-byte body: a proper prefix,
+// biased toward the tail so frames near the end are the ones torn.
+func (t *Transport) cut(n int) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.rng.Intn(n)
+}
+
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if t.disabled.Load() {
+		return t.next.RoundTrip(req)
+	}
+	latency, drop, truncate, unavailable := t.plan()
+	if unavailable {
+		t.injected.Add(1)
+		body := []byte(`{"error":"injected upstream failure","code":"overloaded"}`)
+		return &http.Response{
+			StatusCode:    http.StatusServiceUnavailable,
+			Status:        fmt.Sprintf("%d %s", http.StatusServiceUnavailable, http.StatusText(http.StatusServiceUnavailable)),
+			Proto:         "HTTP/1.1",
+			ProtoMajor:    1,
+			ProtoMinor:    1,
+			Header:        http.Header{"Content-Type": []string{"application/json"}},
+			Body:          io.NopCloser(bytes.NewReader(body)),
+			ContentLength: int64(len(body)),
+			Request:       req,
+		}, nil
+	}
+	if drop {
+		t.injected.Add(1)
+		return nil, ErrInjectedDrop
+	}
+	if latency > 0 {
+		t.injected.Add(1)
+		select {
+		case <-time.After(latency):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	resp, err := t.next.RoundTrip(req)
+	if err != nil || !truncate {
+		return resp, err
+	}
+	// Truncate: drain the real body, keep a random proper prefix, and leave
+	// the original Content-Length in place so the reader sees an unexpected
+	// EOF — the shape of a connection cut mid-transfer.
+	data, rerr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if rerr != nil || len(data) == 0 {
+		resp.Body = io.NopCloser(bytes.NewReader(data))
+		return resp, nil
+	}
+	t.injected.Add(1)
+	resp.Body = io.NopCloser(io.MultiReader(
+		bytes.NewReader(data[:t.cut(len(data))]),
+		errReader{io.ErrUnexpectedEOF},
+	))
+	return resp, nil
+}
+
+// errReader ends a body with a read error instead of a clean EOF.
+type errReader struct{ err error }
+
+func (e errReader) Read([]byte) (int, error) { return 0, e.err }

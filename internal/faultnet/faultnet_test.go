@@ -1,0 +1,109 @@
+package faultnet
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// exercise runs n GETs against ts through tr and tallies what each one saw.
+func exercise(t *testing.T, ts *httptest.Server, tr *Transport, n int) (drops, torn, bursts, clean int) {
+	t.Helper()
+	client := &http.Client{Transport: tr}
+	for i := 0; i < n; i++ {
+		resp, err := client.Get(ts.URL)
+		if err != nil {
+			if !errors.Is(err, ErrInjectedDrop) {
+				t.Fatalf("request %d: unexpected transport error: %v", i, err)
+			}
+			drops++
+			continue
+		}
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusServiceUnavailable:
+			bursts++
+		case rerr != nil:
+			if !errors.Is(rerr, io.ErrUnexpectedEOF) {
+				t.Fatalf("request %d: truncation surfaced as %v, want unexpected EOF", i, rerr)
+			}
+			if !strings.HasPrefix(payload, string(body)) {
+				t.Fatalf("request %d: torn body is not a prefix of the payload", i)
+			}
+			torn++
+		default:
+			if string(body) != payload {
+				t.Fatalf("request %d: clean body mismatch: %q", i, body)
+			}
+			clean++
+		}
+	}
+	return
+}
+
+const payload = "0123456789abcdefghijklmnopqrstuvwxyz-the-wire-payload"
+
+func TestTransportInjectsEveryFaultKind(t *testing.T) {
+	var served int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served++
+		io.WriteString(w, payload)
+	}))
+	defer ts.Close()
+
+	tr := New(ts.Client().Transport, Options{
+		Seed:         1,
+		MaxLatency:   time.Microsecond,
+		DropRate:     0.2,
+		TruncateRate: 0.3,
+		ErrorRate:    0.1,
+		BurstLen:     2,
+	})
+	const n = 200
+	drops, torn, bursts, clean := exercise(t, ts, tr, n)
+	if drops == 0 || torn == 0 || bursts == 0 {
+		t.Fatalf("fault mix incomplete over %d requests: drops=%d torn=%d bursts=%d", n, drops, torn, bursts)
+	}
+	if clean == 0 {
+		t.Fatalf("no request survived untouched over %d requests", n)
+	}
+	if tr.Injected() == 0 {
+		t.Fatal("Injected() = 0 after observed faults")
+	}
+	// Drops and 503s never reach the wrapped transport; torn and clean do.
+	if served != torn+clean {
+		t.Errorf("server saw %d requests, want %d (torn+clean)", served, torn+clean)
+	}
+
+	// Stop heals the link: everything after it passes through untouched.
+	tr.Stop()
+	before := tr.Injected()
+	drops, torn, bursts, clean = exercise(t, ts, tr, 50)
+	if drops+torn+bursts != 0 || clean != 50 {
+		t.Errorf("faults after Stop: drops=%d torn=%d bursts=%d clean=%d", drops, torn, bursts, clean)
+	}
+	if tr.Injected() != before {
+		t.Errorf("Injected() advanced after Stop: %d -> %d", before, tr.Injected())
+	}
+}
+
+func TestTransportDeterministicSchedule(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, payload)
+	}))
+	defer ts.Close()
+	opts := Options{Seed: 7, DropRate: 0.3, TruncateRate: 0.3, ErrorRate: 0.1, BurstLen: 3}
+	run := func() [4]int {
+		tr := New(ts.Client().Transport, opts)
+		d, x, b, c := exercise(t, ts, tr, 100)
+		return [4]int{d, x, b, c}
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("same seed, different schedules: %v vs %v", a, b)
+	}
+}

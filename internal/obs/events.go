@@ -42,6 +42,21 @@ const (
 	// split and the sequence range; the per-mutation events are emitted
 	// alongside.
 	EventBatchCommit EventType = "batch_commit"
+
+	// EventCheckpointRetry is one failed background-checkpoint attempt that
+	// will be retried with backoff (the terminal failure after the retry cap
+	// is a checkpoint_fail followed by process exit).
+	EventCheckpointRetry EventType = "checkpoint_retry"
+
+	// Replication lifecycle, emitted by a replica tailing a primary's feed:
+	// a (re)bootstrap from a shipped checkpoint, catching up to the primary's
+	// head, reconnecting after a transport error, and crossing (or recovering
+	// from) the configured staleness bound.
+	EventReplBootstrap EventType = "replica_bootstrap"
+	EventReplCaughtUp  EventType = "replica_caught_up"
+	EventReplReconnect EventType = "replica_reconnect"
+	EventReplStale     EventType = "replica_stale"
+	EventReplFresh     EventType = "replica_fresh"
 )
 
 // Event is one index lifecycle occurrence. Seq is assigned by the stream and

@@ -76,6 +76,18 @@ const (
 	MetricMutationSeq       = "dk_mutation_seq"
 	MetricMutationWatermark = "dk_mutation_watermark"
 
+	// Replication metrics, fed by a replica tailing a primary's WAL feed:
+	// the applied and primary-head global sequence gauges, the lag between
+	// them, retries (failed feed requests) and reconnects (stream instance
+	// changes forcing a re-bootstrap), and the staleness flag (1 while lag
+	// exceeds the configured bound; the replica keeps serving).
+	MetricReplAppliedSeq = "dk_repl_applied_seq"
+	MetricReplPrimarySeq = "dk_repl_primary_seq"
+	MetricReplLagSeq     = "dk_repl_lag_seq"
+	MetricReplRetries    = "dk_repl_retries_total"
+	MetricReplReconnects = "dk_repl_reconnects_total"
+	MetricReplStale      = "dk_repl_stale"
+
 	// Construction metrics, fed by every index (re)build: initial
 	// construction, optimize, retune, compaction, bulk edge replacement.
 	MetricBuilds          = "dk_builds_total"
@@ -163,6 +175,10 @@ type Observer struct {
 		seconds                      *Histogram
 		seq, watermark               *Gauge
 	}
+	repl struct {
+		applied, primary, lag, stale *Gauge
+		retries, reconnects          *Counter
+	}
 
 	// swap tracks when the published snapshot generation last changed, so
 	// the runtime collector can report snapshot age: a serving process whose
@@ -242,6 +258,12 @@ func NewObserverWith(reg *Registry, events *Stream, tracer *Tracer) *Observer {
 	o.batch.seconds = reg.Histogram(MetricBatchFlushSeconds, "Group-commit wall time in seconds (apply + WAL fsync + swap).", ExpBuckets(1e-5, 2.5, 14))
 	o.batch.seq = reg.Gauge(MetricMutationSeq, "Last assigned mutation sequence number.")
 	o.batch.watermark = reg.Gauge(MetricMutationWatermark, "Acknowledged-durable mutation watermark.")
+	o.repl.applied = reg.Gauge(MetricReplAppliedSeq, "Last global WAL sequence the replica applied.")
+	o.repl.primary = reg.Gauge(MetricReplPrimarySeq, "Primary head global WAL sequence last reported by the feed.")
+	o.repl.lag = reg.Gauge(MetricReplLagSeq, "Replica lag: primary head minus applied global sequence.")
+	o.repl.stale = reg.Gauge(MetricReplStale, "1 while replica lag exceeds the configured bound (still serving).")
+	o.repl.retries = reg.Counter(MetricReplRetries, "Failed replication feed requests that were retried with backoff.")
+	o.repl.reconnects = reg.Counter(MetricReplReconnects, "Replication stream restarts: instance changes or lost positions forcing a re-bootstrap.")
 	return o
 }
 
@@ -270,6 +292,51 @@ func (o *Observer) SetMutationProgress(seq, watermark uint64) {
 	}
 	o.batch.seq.Set(float64(seq))
 	o.batch.watermark.Set(float64(watermark))
+}
+
+// SetReplProgress refreshes the replication gauges: the replica's applied
+// global sequence, the primary head it last saw, and the lag between them.
+func (o *Observer) SetReplProgress(applied, primary uint64) {
+	if o == nil {
+		return
+	}
+	o.repl.applied.Set(float64(applied))
+	o.repl.primary.Set(float64(primary))
+	lag := uint64(0)
+	if primary > applied {
+		lag = primary - applied
+	}
+	o.repl.lag.Set(float64(lag))
+}
+
+// SetReplStale flips the staleness gauge: 1 while the replica's lag exceeds
+// its configured bound, 0 otherwise.
+func (o *Observer) SetReplStale(stale bool) {
+	if o == nil {
+		return
+	}
+	if stale {
+		o.repl.stale.Set(1)
+	} else {
+		o.repl.stale.Set(0)
+	}
+}
+
+// ObserveReplRetry counts one failed feed request about to be retried.
+func (o *Observer) ObserveReplRetry() {
+	if o == nil {
+		return
+	}
+	o.repl.retries.Inc()
+}
+
+// ObserveReplReconnect counts one stream restart (instance change or lost
+// position) that forces the replica to re-bootstrap from a checkpoint.
+func (o *Observer) ObserveReplReconnect() {
+	if o == nil {
+		return
+	}
+	o.repl.reconnects.Inc()
 }
 
 // ObserveBuild records one completed construction job under its trigger

@@ -67,6 +67,9 @@ type mutateAck struct {
 // members are validated independently: a rejected member carries its error in
 // its ack while the rest commit.
 func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
+	if s.rejectReadOnly(w) {
+		return
+	}
 	async := false
 	switch r.URL.Query().Get("ack") {
 	case "", "sync":

@@ -77,6 +77,50 @@ func TestV1MutateErrors(t *testing.T) {
 	}
 }
 
+// TestV1MutateBatchBoundary pins the batch-size contract: exactly
+// maxBatchMutations members are accepted, one more is rejected with the
+// structured too_large envelope naming the cap, and the empty batch names its
+// own rule — clients can rely on the messages, not just the codes.
+func TestV1MutateBatchBoundary(t *testing.T) {
+	ts, _ := newTestServer(t)
+	batch := func(n int) string {
+		var b strings.Builder
+		b.WriteString(`{"mutations":[`)
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			fmt.Fprintf(&b, `{"op":"promote","label":"title","k":1}`)
+		}
+		b.WriteString(`]}`)
+		return b.String()
+	}
+	status, out := post(t, ts.URL+"/v1/mutate", "application/json", batch(maxBatchMutations))
+	if status != 200 {
+		t.Fatalf("batch of exactly %d = %d %v, want 200", maxBatchMutations, status, out)
+	}
+	if acks := out["acks"].([]any); len(acks) != maxBatchMutations {
+		t.Fatalf("full batch returned %d acks, want %d", len(acks), maxBatchMutations)
+	}
+	status, out = post(t, ts.URL+"/v1/mutate", "application/json", batch(maxBatchMutations+1))
+	if status != 413 || out["code"] != "too_large" {
+		t.Fatalf("batch of %d = %d %v, want 413 too_large", maxBatchMutations+1, status, out)
+	}
+	if msg, _ := out["error"].(string); !strings.Contains(msg, fmt.Sprintf("at most %d mutations", maxBatchMutations)) {
+		t.Errorf("too_large envelope does not name the cap: %v", out)
+	}
+	if _, ok := out["requestId"]; !ok {
+		t.Errorf("too_large envelope missing requestId: %v", out)
+	}
+	status, out = post(t, ts.URL+"/v1/mutate", "application/json", `{"mutations":[]}`)
+	if status != 400 || out["code"] != "bad_request" {
+		t.Fatalf("empty batch = %d %v, want 400 bad_request", status, out)
+	}
+	if msg, _ := out["error"].(string); !strings.Contains(msg, "must not be empty") {
+		t.Errorf("empty-batch envelope does not state the rule: %v", out)
+	}
+}
+
 func TestV1MutateBatch(t *testing.T) {
 	ts, idx := newTestServer(t)
 	gen0 := idx.Generation()
@@ -154,5 +198,46 @@ func TestV1MutateAsyncAndWatermark(t *testing.T) {
 	}
 	if idx.Watermark() < seq {
 		t.Errorf("index watermark %d below acked seq %d", idx.Watermark(), seq)
+	}
+
+	// An async batch answers 202 with per-member sequence numbers only;
+	// /v1/watermark observably advances past the batch's last member.
+	code, out = post(t, ts.URL+"/v1/mutate?ack=async", "application/json", `{"mutations":[
+		{"op":"add_edge","from":0,"to":5},
+		{"op":"promote","label":"name","k":1},
+		{"op":"remove_edge","from":0,"to":5}
+	]}`)
+	if code != 202 {
+		t.Fatalf("async batch = %d %v", code, out)
+	}
+	acks := out["acks"].([]any)
+	if len(acks) != 3 {
+		t.Fatalf("async batch returned %d acks, want 3", len(acks))
+	}
+	var last uint64
+	for i, a := range acks {
+		m := a.(map[string]any)
+		if m["error"] != nil {
+			t.Fatalf("async ack %d rejected: %v", i, m)
+		}
+		s := uint64(m["seq"].(float64))
+		if s <= last {
+			t.Fatalf("async batch seqs not increasing: %v then %v", last, s)
+		}
+		if g, ok := m["generation"]; ok && g.(float64) != 0 {
+			t.Errorf("async ack %d carries a generation (%v); visibility is not promised yet", i, g)
+		}
+		last = s
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		_, wm := get(t, ts.URL+"/v1/watermark")
+		if uint64(wm["watermark"].(float64)) >= last {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("watermark never reached async batch tail %d: %v", last, wm)
+		}
+		time.Sleep(time.Millisecond)
 	}
 }

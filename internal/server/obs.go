@@ -130,6 +130,7 @@ var requestRoutes = func() map[string]bool {
 		"/edges", "/edges/remove", "/documents",
 		"/promote", "/demote", "/optimize",
 		"/mutate", "/watermark",
+		"/repl/checkpoint", "/repl/wal",
 		"/metrics", "/events", "/traces", "/slow",
 	}
 	m := make(map[string]bool, 2*len(routes))

@@ -1,0 +1,145 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"dkindex"
+)
+
+// The replication surface. A primary (a server whose index is backed by a
+// durable store) serves the feed:
+//
+//	GET /v1/repl/checkpoint          newest durable checkpoint, for bootstrap
+//	GET /v1/repl/wal?from=<seq>      acknowledged WAL frames at and above the
+//	                                 global sequence (&max= bounds the body)
+//
+// Both bodies are binary (the checkpoint codec and the WAL frame format);
+// positions and identity travel in headers so a client never parses a body
+// it is about to distrust. A replica serves the read-only side: every
+// response carries its staleness watermark and mutations are rejected with a
+// structured read_only error naming the primary.
+
+// Replication protocol headers shared by the feed handlers and the replica
+// client.
+const (
+	// HeaderReplInstance identifies the primary's stream instance; global
+	// sequences from different instances are not comparable, so a change
+	// tells the replica to bootstrap again.
+	HeaderReplInstance = "X-Repl-Instance"
+	// HeaderReplFrom is the global sequence of the first record in a WAL
+	// chunk ("0" when the chunk is empty). It can be below the requested
+	// position when that position lands inside a group frame.
+	HeaderReplFrom = "X-Repl-From"
+	// HeaderReplNext, on a checkpoint response, is the first global sequence
+	// the checkpoint does not cover: the position to tail from.
+	HeaderReplNext = "X-Repl-Next"
+	// HeaderReplEpoch, on a checkpoint response, is the checkpoint's epoch.
+	HeaderReplEpoch = "X-Repl-Epoch"
+	// HeaderReplHead is the primary's head global sequence at serve time, on
+	// every feed response; the replica derives its lag from it.
+	HeaderReplHead = "X-Repl-Primary-Seq"
+	// HeaderReplicaLag is a replica's staleness watermark, stamped on every
+	// response it serves: how many global sequences it trails its primary.
+	HeaderReplicaLag = "X-Replica-Lag-Seq"
+)
+
+// SetReplSource attaches the durable store whose feed /v1/repl/* serves.
+// Without one the feed routes answer 404. Call before serving traffic.
+func (s *Server) SetReplSource(st *dkindex.Store) { s.replSrc = st }
+
+// SetReplicaMode marks the server a read-only replica of the primary at the
+// given URL: mutation routes answer a structured read_only error, and every
+// response carries the lag reported by status (applied and primary head
+// global sequences). Call before serving traffic.
+func (s *Server) SetReplicaMode(primary string, status func() (applied, head uint64)) {
+	s.replicaPrimary = primary
+	s.replicaStatus = status
+}
+
+// replicaLagHeader stamps the staleness watermark on a replica's responses;
+// a no-op for primaries.
+func (s *Server) replicaLagHeader(w http.ResponseWriter) {
+	if s.replicaStatus == nil {
+		return
+	}
+	applied, head := s.replicaStatus()
+	lag := uint64(0)
+	if head > applied {
+		lag = head - applied
+	}
+	w.Header().Set(HeaderReplicaLag, strconv.FormatUint(lag, 10))
+}
+
+// rejectReadOnly answers mutation requests on a replica; true when the
+// request was settled here.
+func (s *Server) rejectReadOnly(w http.ResponseWriter) bool {
+	if s.replicaPrimary == "" {
+		return false
+	}
+	writeError(w, http.StatusForbidden, codeReadOnly,
+		fmt.Errorf("replica is read-only; send writes to the primary at %s", s.replicaPrimary))
+	return true
+}
+
+func (s *Server) handleReplCheckpoint(w http.ResponseWriter, _ *http.Request) {
+	if s.replSrc == nil {
+		writeError(w, http.StatusNotFound, codeBadRequest,
+			fmt.Errorf("this server does not serve a replication feed (no durable store attached)"))
+		return
+	}
+	ck, err := s.replSrc.FeedCheckpoint()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, codeInternal, err)
+		return
+	}
+	h := w.Header()
+	h.Set(HeaderReplInstance, ck.Instance)
+	h.Set(HeaderReplEpoch, strconv.FormatUint(ck.Epoch, 10))
+	h.Set(HeaderReplNext, strconv.FormatUint(ck.NextSeq, 10))
+	h.Set(HeaderReplHead, strconv.FormatUint(ck.Head, 10))
+	h.Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(ck.Data)
+}
+
+func (s *Server) handleReplWAL(w http.ResponseWriter, r *http.Request) {
+	if s.replSrc == nil {
+		writeError(w, http.StatusNotFound, codeBadRequest,
+			fmt.Errorf("this server does not serve a replication feed (no durable store attached)"))
+		return
+	}
+	q := r.URL.Query()
+	from, err := strconv.ParseUint(q.Get("from"), 10, 64)
+	if err != nil || from == 0 {
+		writeError(w, http.StatusBadRequest, codeBadRequest,
+			fmt.Errorf("from= must be a positive integer global sequence"))
+		return
+	}
+	maxBytes := 0
+	if ms := q.Get("max"); ms != "" {
+		if maxBytes, err = strconv.Atoi(ms); err != nil || maxBytes <= 0 {
+			writeError(w, http.StatusBadRequest, codeBadRequest,
+				fmt.Errorf("max= must be a positive byte count"))
+			return
+		}
+	}
+	chunk, err := s.replSrc.FeedWAL(from, maxBytes)
+	if err != nil {
+		if errors.Is(err, dkindex.ErrReplGone) {
+			writeError(w, http.StatusGone, codeGone, err)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, codeInternal, err)
+		return
+	}
+	h := w.Header()
+	h.Set(HeaderReplInstance, chunk.Instance)
+	h.Set(HeaderReplFrom, strconv.FormatUint(chunk.From, 10))
+	h.Set(HeaderReplHead, strconv.FormatUint(chunk.Head, 10))
+	h.Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(chunk.Data)
+}

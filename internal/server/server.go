@@ -61,6 +61,8 @@ const (
 	codeOverloaded = "overloaded"
 	codeNotReady   = "not_ready"
 	codeInternal   = "internal"
+	codeReadOnly   = "read_only"
+	codeGone       = "gone"
 )
 
 // Server wraps an index with the HTTP handlers. It holds no locks: the
@@ -80,6 +82,15 @@ type Server struct {
 	// readyCheck, when SetReadyCheck installs it, backs /v1/readyz: nil
 	// error means ready. Liveness (/healthz) stays unconditional.
 	readyCheck func() error
+
+	// replSrc, when SetReplSource attaches one, backs the /v1/repl/* feed a
+	// primary ships its WAL from. replicaPrimary/replicaStatus, when
+	// SetReplicaMode installs them, make this server a read-only replica:
+	// mutations are rejected toward the primary and every response carries
+	// the replica's staleness watermark.
+	replSrc        *dkindex.Store
+	replicaPrimary string
+	replicaStatus  func() (applied, head uint64)
 }
 
 // New wraps idx; the server starts watching the query load immediately. The
@@ -107,6 +118,8 @@ func New(idx *dkindex.Index) *Server {
 		s.mux.HandleFunc("POST "+p+"/optimize", s.handleOptimize)
 		s.mux.HandleFunc("POST "+p+"/mutate", s.handleMutate)
 		s.mux.HandleFunc("GET "+p+"/watermark", s.handleWatermark)
+		s.mux.HandleFunc("GET "+p+"/repl/checkpoint", s.handleReplCheckpoint)
+		s.mux.HandleFunc("GET "+p+"/repl/wal", s.handleReplWAL)
 		s.mux.HandleFunc("GET "+p+"/metrics", s.handleMetrics)
 		s.mux.HandleFunc("GET "+p+"/events", s.handleEvents)
 		s.mux.HandleFunc("GET "+p+"/traces", s.handleTraces)
@@ -158,6 +171,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	// read it back off the response header, so every body — including shed
 	// and panic responses — is attributable in client logs.
 	w.Header().Set(headerRequestID, requestID(r))
+	s.replicaLagHeader(w)
 	m := s.red[routeLabel(r.URL.Path)]
 	m.requests.Inc()
 	m.inflight.Add(1)
@@ -490,6 +504,9 @@ type edgeRequest struct {
 }
 
 func (s *Server) handleAddEdge(w http.ResponseWriter, r *http.Request) {
+	if s.rejectReadOnly(w) {
+		return
+	}
 	var req edgeRequest
 	if err := decodeJSON(w, r, &req); err != nil {
 		writeDecodeError(w, err)
@@ -503,6 +520,9 @@ func (s *Server) handleAddEdge(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleRemoveEdge(w http.ResponseWriter, r *http.Request) {
+	if s.rejectReadOnly(w) {
+		return
+	}
 	var req edgeRequest
 	if err := decodeJSON(w, r, &req); err != nil {
 		writeDecodeError(w, err)
@@ -516,6 +536,9 @@ func (s *Server) handleRemoveEdge(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleAddDocument(w http.ResponseWriter, r *http.Request) {
+	if s.rejectReadOnly(w) {
+		return
+	}
 	body := http.MaxBytesReader(w, r.Body, 64<<20)
 	defer body.Close()
 	mapping, err := s.idx.AddDocument(body, nil)
@@ -532,6 +555,9 @@ func (s *Server) handleAddDocument(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	if s.rejectReadOnly(w) {
+		return
+	}
 	var req struct {
 		Label string `json:"label"`
 		K     int    `json:"k"`
@@ -552,6 +578,9 @@ func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDemote(w http.ResponseWriter, r *http.Request) {
+	if s.rejectReadOnly(w) {
+		return
+	}
 	var req struct {
 		Reqs map[string]int `json:"reqs"`
 	}
@@ -567,6 +596,9 @@ func (s *Server) handleDemote(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	if s.rejectReadOnly(w) {
+		return
+	}
 	var req struct {
 		Budget int `json:"budget"`
 	}

@@ -1,0 +1,95 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// This file exports the frame layer for replication: a primary re-frames
+// on-disk records with feed-global sequence numbers, and a replica parses the
+// shipped bytes with the same torn-tail discipline recovery uses. The wire
+// format of a replication chunk is exactly the WAL file format — header, then
+// frames — so both sides share one codec and the frame CRC detects a body
+// truncated in flight just like a torn tail on disk.
+
+// HeaderSize is the byte length of the file/stream header.
+const HeaderSize = headerSize
+
+// Header returns a fresh copy of the header that starts every WAL file and
+// every replication chunk.
+func Header() []byte {
+	h := make([]byte, 0, headerSize)
+	h = append(h, magic[:]...)
+	return append(h, Version)
+}
+
+// CheckHeader validates the magic and version at the front of data.
+func CheckHeader(data []byte) error {
+	if len(data) < headerSize || [4]byte(data[:4]) != magic {
+		return ErrBadHeader
+	}
+	if data[4] != Version {
+		return fmt.Errorf("wal: unsupported version %d", data[4])
+	}
+	return nil
+}
+
+// ParseFrame decodes one physical frame at off, expanding a group frame into
+// its members (contiguous sequence numbers from prevSeq+1). ok is false for a
+// torn, corrupt or out-of-sequence frame — the caller stops there, exactly as
+// Replay would.
+func ParseFrame(data []byte, off int, prevSeq uint64) (recs []Record, end int, ok bool) {
+	rec, end, ok := parseRecord(data, off, prevSeq)
+	if !ok {
+		return nil, 0, false
+	}
+	if rec.Op == opGroup {
+		members, ok := parseGroupBody(rec.Seq, rec.Payload)
+		if !ok {
+			return nil, 0, false
+		}
+		return members, end, true
+	}
+	return []Record{rec}, end, true
+}
+
+// AppendFrame appends one encoded frame carrying recs to dst and returns the
+// extended slice. A single record encodes as a plain frame, several as a
+// group frame — byte-for-byte the framing Append and AppendGroup write, with
+// the frame sequence taken from recs[0].Seq (members are assumed contiguous).
+func AppendFrame(dst []byte, recs []Record) ([]byte, error) {
+	if len(recs) == 0 {
+		return dst, errors.New("wal: empty frame")
+	}
+	for _, r := range recs {
+		if r.Op == opGroup {
+			return dst, ErrReservedOp
+		}
+	}
+	start := len(dst)
+	dst = binary.AppendUvarint(dst, recs[0].Seq)
+	if len(recs) == 1 {
+		dst = append(dst, byte(recs[0].Op))
+		dst = binary.AppendUvarint(dst, uint64(len(recs[0].Payload)))
+		dst = append(dst, recs[0].Payload...)
+	} else {
+		body := binary.AppendUvarint(nil, uint64(len(recs)))
+		for _, r := range recs {
+			body = append(body, byte(r.Op))
+			body = binary.AppendUvarint(body, uint64(len(r.Payload)))
+			body = append(body, r.Payload...)
+		}
+		dst = append(dst, byte(opGroup))
+		dst = binary.AppendUvarint(dst, uint64(len(body)))
+		dst = append(dst, body...)
+	}
+	return binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(dst[start:])), nil
+}
+
+// Offset returns the durable end of the writer's file: every byte below it
+// belongs to the header or an acknowledged record and will never change, so
+// a concurrent reader may serve the prefix without synchronizing with
+// appends.
+func (w *Writer) Offset() int64 { return w.off }

@@ -43,6 +43,58 @@ func opName(op wal.Op) string {
 	return fmt.Sprintf("op_%d", byte(op))
 }
 
+// IsCompactRecord reports whether a WAL record re-applies as Index.Compact —
+// a maintenance operation outside the Mutation vocabulary — rather than
+// through Apply. Replication clients branch on it before DecodeWALMutation.
+func IsCompactRecord(op wal.Op) bool { return op == opCompact }
+
+// DecodeWALMutation maps one write-ahead record back onto the Mutation that
+// produced it, so a shipped record replays through the same Apply path
+// recovery uses. Compact records have no Mutation form (see IsCompactRecord)
+// and unknown ops are errors — a feed never ships vocabulary the client
+// cannot apply faithfully.
+func DecodeWALMutation(op wal.Op, payload []byte) (Mutation, error) {
+	switch op {
+	case opEdgeAdd, opEdgeRemove:
+		from, to, err := decodeEdgePayload(payload)
+		if err != nil {
+			return Mutation{}, err
+		}
+		mop := MutAddEdge
+		if op == opEdgeRemove {
+			mop = MutRemoveEdge
+		}
+		return Mutation{Op: mop, From: from, To: to}, nil
+	case opDocument:
+		opts, raw, err := decodeDocumentPayload(payload)
+		if err != nil {
+			return Mutation{}, err
+		}
+		return Mutation{Op: MutAddDocument, Doc: raw, DocOptions: opts}, nil
+	case opPromote:
+		label, k, err := decodePromotePayload(payload)
+		if err != nil {
+			return Mutation{}, err
+		}
+		return Mutation{Op: MutPromote, Label: label, K: k}, nil
+	case opDemote:
+		reqs, err := decodeReqsPayload(payload)
+		if err != nil {
+			return Mutation{}, err
+		}
+		return Mutation{Op: MutDemote, Reqs: reqs}, nil
+	case opSetReqs:
+		reqs, err := decodeReqsPayload(payload)
+		if err != nil {
+			return Mutation{}, err
+		}
+		return Mutation{Op: MutSetRequirements, Reqs: reqs}, nil
+	case opCompact:
+		return Mutation{}, fmt.Errorf("dkindex: compact records apply via Index.Compact, not a Mutation")
+	}
+	return Mutation{}, fmt.Errorf("dkindex: unknown wal op %d", byte(op))
+}
+
 // payloadReader decodes the uvarint/string payload encoding with bounds
 // checks; any damage surfaces as an error, never a panic, because a WAL
 // checksum only vouches for the bytes, not for this layer's framing.

@@ -54,6 +54,26 @@ type Store struct {
 	epoch    uint64
 	appended uint64 // records since the last successful checkpoint
 	closed   bool
+
+	// Replication feed state, also guarded by idx.mu. replInst names this
+	// boot's stream instance: global sequence numbers are only comparable
+	// within one instance, so a restart (which renumbers from the recovered
+	// state) forces replicas to re-bootstrap. segs maps retained WAL epochs
+	// into the instance's global sequence space, in epoch order; the last
+	// segment is always the current epoch. lastCkpt is the epoch of the
+	// newest durable checkpoint, which bootstraps new replicas.
+	replInst string
+	segs     []replSeg
+	lastCkpt uint64
+}
+
+// replSeg maps one WAL epoch into the boot-scoped global replication
+// sequence: record s (1-based within the epoch's log) carries global
+// sequence base+s, and the log holds count records.
+type replSeg struct {
+	epoch uint64
+	base  uint64
+	count uint64
 }
 
 // StoreOptions configures CreateStore and OpenStore.
@@ -156,7 +176,8 @@ func CreateStore(dir string, idx *Index, opts *StoreOptions) (*Store, error) {
 	if StoreExists(fs, dir) {
 		return nil, fmt.Errorf("dkindex: directory %s already holds a store (use OpenStore)", dir)
 	}
-	s := &Store{fs: fs, dir: dir, retain: retain, observer: o, idx: idx}
+	s := &Store{fs: fs, dir: dir, retain: retain, observer: o, idx: idx,
+		replInst: newReplInstance(), segs: []replSeg{{epoch: 0}}}
 	dk := idx.DK()
 	n, err := fsx.WriteAtomic(fs, filepath.Join(dir, checkpointName(0)), func(w io.Writer) error {
 		return codec.SaveDK(w, dk)
@@ -273,11 +294,15 @@ func OpenStore(dir string, opts *StoreOptions) (*Store, *RecoveryReport, error) 
 		maxEpoch = base
 	}
 
-	s := &Store{fs: fs, dir: dir, retain: retain, observer: o, idx: idx}
+	s := &Store{fs: fs, dir: dir, retain: retain, observer: o, idx: idx,
+		replInst: newReplInstance(), lastCkpt: base}
 
 	// Replay the log chain above the checkpoint. Only the last log may
 	// legitimately end torn; damage earlier in the chain (or a record that
-	// fails to re-apply) orphans everything after it.
+	// fails to re-apply) orphans everything after it. Each replayed log also
+	// becomes one replication segment: the feed's global sequence numbering
+	// starts at zero before the first record of wal-base, which is exactly
+	// where a replica bootstrapped from checkpoint-base resumes.
 	last := base // epoch of the last replayed log; base-1 semantics when none
 	var lastRes *wal.ReplayResult
 	haveLog := false
@@ -291,6 +316,7 @@ func OpenStore(dir string, opts *StoreOptions) (*Store, *RecoveryReport, error) 
 			break
 		}
 		rep.Replayed += res.Records
+		s.segs = append(s.segs, replSeg{epoch: e, base: s.headSeqLocked(), count: uint64(res.Records)})
 		last, lastRes, haveLog = e, res, true
 		if rerr != nil {
 			// A record failed to re-apply; nothing after it can be trusted.
@@ -305,6 +331,9 @@ func OpenStore(dir string, opts *StoreOptions) (*Store, *RecoveryReport, error) 
 	}
 	if rep.ChainBroken {
 		last = maxEpoch
+		// The re-anchoring checkpoint below starts a fresh sequence space;
+		// logs replayed onto the broken chain must never be served.
+		s.segs = nil
 	}
 
 	// Resume appending: reopen the last good log past its valid bytes, or
@@ -326,6 +355,7 @@ func OpenStore(dir string, opts *StoreOptions) (*Store, *RecoveryReport, error) 
 			return nil, nil, werr
 		}
 		s.w, s.epoch = w, base
+		s.segs = []replSeg{{epoch: base}}
 	} else {
 		// Broken chain: re-anchor with a fresh checkpoint + log at an epoch
 		// past everything on disk, so stale logs can never be replayed on
@@ -378,6 +408,7 @@ func (s *Store) logMutation(op wal.Op, payload []byte) error {
 		return fmt.Errorf("dkindex: wal append (%s): %w", opName(op), err)
 	}
 	s.appended++
+	s.segs[len(s.segs)-1].count++
 	s.observer.ObserveWALAppend(n)
 	s.observer.RecordEvent(obs.Event{Type: obs.EventWALAppend,
 		Detail: fmt.Sprintf("%s, %d bytes, epoch %d", opName(op), n, s.epoch)})
@@ -400,6 +431,7 @@ func (s *Store) logGroup(recs []wal.GroupRecord) error {
 		return fmt.Errorf("dkindex: wal group append (%d records): %w", len(recs), err)
 	}
 	s.appended += uint64(len(recs))
+	s.segs[len(s.segs)-1].count += uint64(len(recs))
 	s.observer.ObserveWALGroup(len(recs), n)
 	s.observer.RecordEvent(obs.Event{Type: obs.EventWALAppend,
 		Detail: fmt.Sprintf("group of %d, %d bytes, epoch %d", len(recs), n, s.epoch)})
@@ -438,6 +470,7 @@ func (s *Store) Checkpoint() error {
 	}
 	old := s.w
 	s.w, s.epoch = w, next
+	s.segs = append(s.segs, replSeg{epoch: next, base: s.headSeqLocked()})
 	s.idx.mu.Unlock()
 	if old != nil {
 		old.Close()
@@ -454,6 +487,7 @@ func (s *Store) Checkpoint() error {
 	}
 	s.idx.mu.Lock()
 	s.appended = 0
+	s.lastCkpt = next
 	s.idx.mu.Unlock()
 	s.observer.ObserveCheckpoint(n)
 	s.observer.RecordEvent(obs.Event{Type: obs.EventCheckpointOK,
@@ -481,6 +515,14 @@ func (s *Store) prune() {
 	}
 	sort.Slice(ckpts, func(i, j int) bool { return ckpts[i] > ckpts[j] })
 	oldest := ckpts[s.retain-1]
+	// Replication positions inside the pruned epochs are gone with the files;
+	// drop their segments first so the feed reports Gone rather than racing a
+	// removal mid-read.
+	s.idx.mu.Lock()
+	for len(s.segs) > 1 && s.segs[0].epoch < oldest {
+		s.segs = s.segs[1:]
+	}
+	s.idx.mu.Unlock()
 	removed := false
 	for _, name := range names {
 		if e, ok := parseEpoch(name, checkpointPrefix, checkpointSuffix); ok && e < oldest {
