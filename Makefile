@@ -7,18 +7,20 @@ DK_BENCH_SCALE ?= 1.0
 BENCHTIME ?= 2s
 BENCHCOUNT ?= 1
 
-.PHONY: all build test race vet fmt-check bench bench2 bench3 bench5 bench6 bench7 bench8 bench9 bench-baseline bench-guard profile-build stress fuzz-smoke serve-smoke ci clean
+.PHONY: all build test race vet fmt-check bench bench2 bench3 bench5 bench6 bench7 bench8 bench9 bench10 bench-baseline bench-guard profile-build stress fuzz-smoke serve-smoke shard-smoke ci clean
 
 all: build test
 
 # ci chains every hygiene gate: compile, vet, formatting, the race-enabled
 # test suite (which includes the replica flaky-link convergence test in its
 # short form), short fuzz runs of the decoders, the stress battery (snapshot
-# races, crash-point sweeps — store and replica catch-up — and replication
-# under faults) under the race detector, a short end-to-end serving run
-# through the load harness, and the benchmark regression guard against the
-# recorded baseline.
-ci: build vet fmt-check race fuzz-smoke stress serve-smoke bench-guard
+# races, crash-point sweeps — store and replica catch-up — replication under
+# faults, and the sharded engine's reader/writer stress) under the race
+# detector, a short end-to-end serving run through the load harness, the
+# shard bit-identity smoke (merged scatter-gather results must fingerprint
+# identically to the monolithic index), and the benchmark regression guard
+# against the recorded baseline.
+ci: build vet fmt-check race fuzz-smoke stress serve-smoke shard-smoke bench-guard
 
 build:
 	$(GO) build ./...
@@ -37,16 +39,20 @@ race:
 # scenario (including inside a WAL group frame) and proves recovery lands on
 # exactly the acknowledged state, the fourth proves the parallel
 # counting-sort refinement is block-identical to the preserved reference
-# implementation on every experiment dataset, and the fifth drives a replica
+# implementation on every experiment dataset, the fifth drives a replica
 # over a flaky link to bit-identical convergence and sweeps a primary crash
 # at every I/O point of a replica catch-up (the full grid; `go test -short`
-# runs a strided subset).
+# runs a strided subset), and the sixth cycles concurrent merged readers
+# against a writer mutating a sharded engine (document adds, promotions,
+# shard-split batches) checking every merged result stays sorted and
+# duplicate-free.
 stress:
 	$(GO) test -race -count 2 -run TestSnapshotStressConcurrent .
 	$(GO) test -race -count 2 -run TestApplyBatchStressConcurrent .
 	$(GO) test -race -count 1 -run TestStoreCrashPointSweep .
 	$(GO) test -race -count 1 -run TestBuildPartitionIdentity ./internal/experiments/
 	$(GO) test -race -count 1 -run 'TestReplicaConvergesUnderFaults|TestReplicaCatchUpCrashSweep' ./internal/replica/
+	$(GO) test -race -count 1 -run TestShardConcurrentReadersWriters ./internal/shard/
 
 # fuzz-smoke gives each untrusted-input decoder a short fuzzing burst: the
 # checkpoint codec, the write-ahead log replayer, and the XML loader. Long
@@ -141,6 +147,21 @@ bench9:
 	$(GO) run ./cmd/dkbench -exp repl -scale $(DK_BENCH_SCALE) \
 		-repl-json BENCH_9.json | tee BENCH_9.txt
 
+# bench10 records sharded scatter-gather serving (BENCH_10.json): merged
+# query throughput (result caches off) and sustained durable write throughput
+# at 1, 2, 4 and 8 shards against the monolithic index on the same
+# multi-document XMark corpus, preceded by the bit-identity audit on XMark,
+# NASA and DBLP. Speedups depend on real cores: on a 1-CPU container the
+# fan-out is pure overhead and every sharded row reads below 1.0x.
+bench10:
+	$(GO) run ./cmd/dkbench -exp shard -shard-json BENCH_10.json | tee BENCH_10.txt
+
+# shard-smoke is the ci-sized shard audit: a small multi-document XMark
+# corpus served monolithically and through a 4-shard engine must produce
+# identical result fingerprints across all three query languages.
+shard-smoke:
+	$(GO) run ./cmd/dkbench -exp shard-audit -shard-docs 4 -shard-doc-scale 0.02
+
 # serve-smoke is the ci-sized bench7: a ~2 second end-to-end run on a small
 # corpus proving the server, RED instrumentation, slow log, runtime telemetry
 # and both load disciplines work together.
@@ -150,12 +171,15 @@ serve-smoke:
 
 # bench-baseline records the regression-guard baseline: several short
 # repetitions of the guarded benchmarks (query throughput, the parallel
-# snapshot-serving path, and the in-memory group-commit write pipeline),
-# parsed to JSON. bench-guard compares future runs against it per benchmark
-# name on best-of-N ns/op.
+# snapshot-serving path, the in-memory group-commit write pipeline, and the
+# sharded engine's scatter-gather read and shard-split write paths), parsed
+# to JSON. bench-guard compares future runs against it per benchmark name on
+# best-of-N ns/op.
+GUARDED_BENCH = BenchmarkQueryThroughput$$|BenchmarkSnapshotQueryParallel$$|BenchmarkApplyBatchPipeline$$|BenchmarkShardQueryFanout$$|BenchmarkShardApplyBatch$$
+
 bench-baseline:
 	DK_BENCH_SCALE=$(DK_BENCH_SCALE) $(GO) test -run '^$$' \
-		-bench 'BenchmarkQueryThroughput$$|BenchmarkSnapshotQueryParallel$$|BenchmarkApplyBatchPipeline$$' -benchtime 1s -count 5 . \
+		-bench '$(GUARDED_BENCH)' -benchtime 1s -count 5 . ./internal/shard/ \
 		| $(GO) run ./cmd/dkbench -benchjson > BENCH_BASELINE.json
 
 # bench-guard fails when the fastest of five runs of a guarded benchmark
@@ -163,7 +187,7 @@ bench-baseline:
 # with a notice when no baseline has been recorded yet.
 bench-guard:
 	DK_BENCH_SCALE=$(DK_BENCH_SCALE) $(GO) test -run '^$$' \
-		-bench 'BenchmarkQueryThroughput$$|BenchmarkSnapshotQueryParallel$$|BenchmarkApplyBatchPipeline$$' -benchtime 1s -count 5 . \
+		-bench '$(GUARDED_BENCH)' -benchtime 1s -count 5 . ./internal/shard/ \
 		| $(GO) run ./cmd/dkbench -benchguard BENCH_BASELINE.json
 
 # profile-build captures CPU and heap profiles of the large-XMark 1-index
@@ -178,4 +202,4 @@ clean:
 	rm -f BENCH_1.txt BENCH_1.json BENCH_2.txt BENCH_2.json BENCH_3.txt BENCH_3.json
 	rm -f BENCH_5.txt BENCH_5.json BENCH_6.txt BENCH_6.json build_cpu.prof build_mem.prof dkindex.test
 	rm -f BENCH_7.txt BENCH_7.json BENCH_7_plan.jsonl BENCH_8.txt BENCH_8.json
-	rm -f BENCH_9.txt BENCH_9.json
+	rm -f BENCH_9.txt BENCH_9.json BENCH_10.txt BENCH_10.json

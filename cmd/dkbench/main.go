@@ -27,6 +27,13 @@
 //	          replica under write churn — combined read throughput vs primary
 //	          alone and replica lag quantiles (not part of "all": wall-clock
 //	          bound, writes BENCH_9.json via -repl-json)
+//	shard     sharded scatter-gather: merged query throughput and durable
+//	          write throughput at 1/2/4/8 shards vs the monolithic index,
+//	          after a bit-identity audit on XMark, NASA and DBLP corpora
+//	          (not part of "all": wall-clock bound, writes BENCH_10.json via
+//	          -shard-json)
+//	shard-audit  the shard experiment's bit-identity audit alone, XMark only
+//	          — quick enough for CI
 //	all       everything above
 //
 // Usage:
@@ -86,6 +93,10 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		writeJSON    = fs.String("write-json", "", "write: write the throughput report as JSON to this `file`")
 
 		replJSON = fs.String("repl-json", "", "repl: write the replicated-serving report as JSON to this `file` (load shape comes from the serve-* flags)")
+
+		shardDocs  = fs.Int("shard-docs", 8, "shard: documents per corpus")
+		shardScale = fs.Float64("shard-doc-scale", 0.05, "shard: datagen scale per document")
+		shardJSON  = fs.String("shard-json", "", "shard: write the scatter-gather report as JSON to this `file` (duration/readers from the serve-* flags, writers from -write-writers)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -317,6 +328,23 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 				Concurrency: *serveConc,
 				Seed:        *seed,
 				JSONOut:     *replJSON,
+			}))
+		})
+	}
+	// The shard experiment is wall-clock bound like serve/write/repl, so it
+	// is opt-in only; shard-audit is its quick bit-identity check for CI.
+	if *exp == "shard" || *exp == "shard-audit" {
+		ran = true
+		timed(*exp, func() {
+			check(shardExperiment(stdout, shardOptions{
+				Docs:      *shardDocs,
+				DocScale:  *shardScale,
+				Duration:  *serveDur,
+				Readers:   *serveConc,
+				Writers:   *writeWriters,
+				Seed:      *seed,
+				AuditOnly: *exp == "shard-audit",
+				JSONOut:   *shardJSON,
 			}))
 		})
 	}

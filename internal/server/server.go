@@ -43,6 +43,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"sync"
@@ -51,6 +52,26 @@ import (
 	"dkindex"
 	"dkindex/internal/obs"
 )
+
+// HeaderShardGenerations carries the backend's snapshot generation vector on
+// every response, comma-separated ("g0,g1,..."). A single index reports one
+// element; the sharded engine reports one per shard, and an element moves
+// only when its shard commits — so the vector is a result-cache key with
+// per-shard granularity (a write to one shard leaves entries keyed by the
+// other shards' elements valid).
+const HeaderShardGenerations = "X-Shard-Generations"
+
+// formatGenerations renders the generation vector for the header.
+func formatGenerations(gens []uint64) string {
+	var b []byte
+	for i, g := range gens {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendUint(b, g, 10)
+	}
+	return string(b)
+}
 
 // Error codes carried in structured error responses.
 const (
@@ -65,10 +86,46 @@ const (
 	codeGone       = "gone"
 )
 
-// Server wraps an index with the HTTP handlers. It holds no locks: the
-// index's snapshot architecture makes every call safe concurrently.
+// Backend is what the handlers serve: the query, mutation and introspection
+// surface shared by the single *dkindex.Index and the sharded engine
+// (internal/shard.Engine). Both are lock-free for readers and serialize
+// writers internally, so the server's no-locks contract holds either way.
+//
+// Generations is the snapshot version vector: one element for a single index,
+// one per shard for the sharded engine (each element moves only when its
+// shard commits). Every response exposes it as X-Shard-Generations, giving
+// clients a cache key with per-shard granularity.
+type Backend interface {
+	Run(dkindex.Request) (dkindex.Result, error)
+	RunBatch([]dkindex.Request) []dkindex.BatchResult
+	Stats() dkindex.Stats
+	ObservedQueries() int
+	Explain(path string) (*dkindex.Explanation, error)
+
+	ApplyBatch([]dkindex.Mutation) ([]dkindex.Ack, error)
+	ApplyBatchAsync([]dkindex.Mutation) ([]dkindex.Ack, error)
+	AddEdge(from, to dkindex.NodeID) error
+	RemoveEdge(from, to dkindex.NodeID) error
+	AddDocument(r io.Reader, opts *dkindex.LoadOptions) ([]dkindex.NodeID, error)
+	PromoteLabel(label string, k int) error
+	Demote(reqsByName map[string]int) error
+	Optimize(sizeBudget int) (map[string]int, error)
+
+	Watermark() uint64
+	LastSeq() uint64
+	Generation() uint64
+	Generations() []uint64
+	Batching() bool
+
+	WatchLoad()
+	Observer() *obs.Observer
+	Observe(*obs.Observer)
+}
+
+// Server wraps a backend with the HTTP handlers. It holds no locks: the
+// backend's snapshot architecture makes every call safe concurrently.
 type Server struct {
-	idx *dkindex.Index
+	idx Backend
 	mux *http.ServeMux
 	obs *obs.Observer
 	// red holds the pre-registered per-route RED metric bundles, keyed by
@@ -96,7 +153,12 @@ type Server struct {
 // New wraps idx; the server starts watching the query load immediately. The
 // index's observer, when attached, backs /metrics and /events; an unobserved
 // index gets a fresh observer so the endpoints always serve.
-func New(idx *dkindex.Index) *Server {
+func New(idx *dkindex.Index) *Server { return NewBackend(idx) }
+
+// NewBackend wraps any Backend — a single index or the sharded engine — with
+// the same HTTP surface; responses are shard-transparent (global node ids,
+// merged stats) apart from the X-Shard-Generations header.
+func NewBackend(idx Backend) *Server {
 	idx.WatchLoad()
 	o := idx.Observer()
 	if o == nil {
@@ -172,6 +234,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	// and panic responses — is attributable in client logs.
 	w.Header().Set(headerRequestID, requestID(r))
 	s.replicaLagHeader(w)
+	w.Header().Set(HeaderShardGenerations, formatGenerations(s.idx.Generations()))
 	m := s.red[routeLabel(r.URL.Path)]
 	m.requests.Inc()
 	m.inflight.Add(1)
@@ -224,6 +287,7 @@ func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	st := s.idx.Stats()
+	gens := s.idx.Generations()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"dataNodes":       st.DataNodes,
 		"dataEdges":       st.DataEdges,
@@ -233,6 +297,8 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"generation":      st.Generation,
 		"cachedResults":   st.CachedResults,
 		"observedQueries": s.idx.ObservedQueries(),
+		"shards":          len(gens),
+		"generations":     gens,
 	})
 }
 

@@ -75,12 +75,19 @@ type Result struct {
 	Traced bool
 
 	g *graph.Graph
+	// names, when set, overrides g for label resolution: composite results
+	// (CompositeResult) span several indexes, so no single graph can format
+	// their node ids.
+	names func(NodeID) string
 }
 
 // LabelName returns the label of a result node, resolved against the same
 // snapshot that produced the result (label ids from one snapshot must not be
 // formatted against another's table).
 func (r *Result) LabelName(n NodeID) string {
+	if r.names != nil {
+		return r.names(n)
+	}
 	if r.g == nil {
 		return ""
 	}
@@ -126,6 +133,23 @@ func (x *Index) RunBatch(reqs []Request) []BatchResult {
 // Generation returns the current snapshot's generation (0 for a fresh
 // index; each mutation increments it).
 func (x *Index) Generation() uint64 { return x.handle.Load().gen }
+
+// Generations returns the snapshot generation as a one-element vector. It
+// exists so a single index and the sharded engine (internal/shard), whose
+// vector has one element per shard, satisfy the same serving interface.
+func (x *Index) Generations() []uint64 { return []uint64{x.Generation()} }
+
+// CompositeResult assembles a Result for engines that layer several indexes —
+// internal/shard's scatter-gather router merges per-shard results into one.
+// nodes must already be merged, sorted and truncated to the request's limit;
+// total is the untruncated count; names resolves labels for merged node ids
+// (no single snapshot graph can). The caller owns nodes.
+func CompositeResult(nodes []NodeID, total int, stats QueryStats, cacheHit, traced bool, gen uint64, names func(NodeID) string) Result {
+	return Result{
+		Nodes: nodes, Total: total, Stats: stats,
+		CacheHit: cacheHit, Traced: traced, Generation: gen, names: names,
+	}
+}
 
 // SetResultCache replaces the result cache with one holding up to capacity
 // entries per snapshot generation; capacity <= 0 disables caching. The new
